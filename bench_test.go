@@ -1,0 +1,312 @@
+package jackpine
+
+// The benches below regenerate every table and figure of the paper's
+// evaluation (experiments E1–E12; see DESIGN.md for the index). Each
+// benchmark iteration executes one unit of the experiment's workload, so
+// `go test -bench=. -benchmem` reports the per-operation costs the
+// corresponding experiment compares. The cmd/jackpine harness prints the
+// same results as the paper-style comparison tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"jackpine/internal/core"
+	"jackpine/internal/engine"
+	"jackpine/internal/tiger"
+)
+
+// benchEnv caches one loaded engine per (profile, scale, indexed) so the
+// expensive load happens once per `go test -bench` process.
+type benchKey struct {
+	profile string
+	scale   tiger.Scale
+	indexed bool
+}
+
+var (
+	benchMu   sync.Mutex
+	benchEnvs = map[benchKey]*Engine{}
+	benchDS   = map[tiger.Scale]*Dataset{}
+)
+
+func benchDataset(b *testing.B, scale tiger.Scale) *Dataset {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if ds, ok := benchDS[scale]; ok {
+		return ds
+	}
+	ds := GenerateDataset(scale, 1)
+	benchDS[scale] = ds
+	return ds
+}
+
+func benchEngine(b *testing.B, p Profile, scale tiger.Scale, indexed bool) *Engine {
+	b.Helper()
+	ds := benchDataset(b, scale)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	key := benchKey{p.Name, scale, indexed}
+	if eng, ok := benchEnvs[key]; ok {
+		return eng
+	}
+	eng := OpenEngine(p)
+	if err := LoadDataset(eng, ds, indexed); err != nil {
+		b.Fatal(err)
+	}
+	benchEnvs[key] = eng
+	return eng
+}
+
+// runMicroQuery runs one micro query as the benchmark body.
+func runMicroQuery(b *testing.B, eng *Engine, q MicroQuery, ds *Dataset) {
+	b.Helper()
+	ctx := NewQueryContext(ds)
+	conn, err := Connect(eng).Connect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	// Probe support once so unsupported queries skip instead of failing.
+	if _, err := conn.Query(q.SQL(ctx, 0)); err != nil {
+		b.Skipf("unsupported on %s: %v", eng.Profile().Name, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Query(q.SQL(ctx, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1DatasetGeneration measures dataset synthesis (table E1's
+// input); one iteration generates the full small dataset.
+func BenchmarkE1DatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := GenerateDataset(ScaleSmall, int64(i+1))
+		if ds.TotalFeatures() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkE2MicroTopological regenerates figure E2: every DE-9IM micro
+// query on every engine profile.
+func BenchmarkE2MicroTopological(b *testing.B) {
+	for _, p := range AllProfiles() {
+		eng := benchEngine(b, p, ScaleSmall, true)
+		for _, q := range TopologicalSuite() {
+			b.Run(fmt.Sprintf("%s/%s", p.Name, q.ID), func(b *testing.B) {
+				runMicroQuery(b, eng, q, benchDataset(b, ScaleSmall))
+			})
+		}
+	}
+}
+
+// BenchmarkE3MicroAnalysis regenerates figure E3: every spatial-analysis
+// micro query on every engine profile.
+func BenchmarkE3MicroAnalysis(b *testing.B) {
+	for _, p := range AllProfiles() {
+		eng := benchEngine(b, p, ScaleSmall, true)
+		for _, q := range AnalysisSuite() {
+			b.Run(fmt.Sprintf("%s/%s", p.Name, q.ID), func(b *testing.B) {
+				runMicroQuery(b, eng, q, benchDataset(b, ScaleSmall))
+			})
+		}
+	}
+}
+
+// BenchmarkE4MacroScenarios regenerates figure E4: one iteration is one
+// end-user operation of the scenario.
+func BenchmarkE4MacroScenarios(b *testing.B) {
+	for _, p := range AllProfiles() {
+		eng := benchEngine(b, p, ScaleSmall, true)
+		for _, sc := range MacroSuite() {
+			b.Run(fmt.Sprintf("%s/%s", p.Name, sc.ID), func(b *testing.B) {
+				ctx := NewQueryContext(benchDataset(b, ScaleSmall))
+				conn, err := Connect(eng).Connect()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				if _, err := sc.Run(ctx, conn, 0); err != nil {
+					b.Skipf("unsupported on %s: %v", p.Name, err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sc.Run(ctx, conn, i+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE5IndexEffect regenerates figure E5: the MT7 point-in-polygon
+// join with and without the spatial index.
+func BenchmarkE5IndexEffect(b *testing.B) {
+	var q MicroQuery
+	for _, cand := range TopologicalSuite() {
+		if cand.ID == "MT7" {
+			q = cand
+		}
+	}
+	for _, indexed := range []bool{true, false} {
+		name := "indexed"
+		if !indexed {
+			name = "noindex"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := benchEngine(b, GaiaDB(), ScaleSmall, indexed)
+			runMicroQuery(b, eng, q, benchDataset(b, ScaleSmall))
+		})
+	}
+}
+
+// BenchmarkE6ScaleUp regenerates figure E6: the MT3 polygon join at
+// increasing dataset scales.
+func BenchmarkE6ScaleUp(b *testing.B) {
+	var q MicroQuery
+	for _, cand := range TopologicalSuite() {
+		if cand.ID == "MT3" {
+			q = cand
+		}
+	}
+	for _, scale := range []tiger.Scale{ScaleSmall, ScaleMedium} {
+		b.Run(scale.String(), func(b *testing.B) {
+			eng := benchEngine(b, GaiaDB(), scale, true)
+			runMicroQuery(b, eng, q, benchDataset(b, scale))
+		})
+	}
+}
+
+// BenchmarkE7MBRAccuracy regenerates table E7's timing column: the MT3
+// intersects join under exact versus MBR-only semantics.
+func BenchmarkE7MBRAccuracy(b *testing.B) {
+	var q MicroQuery
+	for _, cand := range TopologicalSuite() {
+		if cand.ID == "MT3" {
+			q = cand
+		}
+	}
+	for _, p := range []Profile{GaiaDB(), MySpatial()} {
+		b.Run(p.Name, func(b *testing.B) {
+			eng := benchEngine(b, p, ScaleSmall, true)
+			runMicroQuery(b, eng, q, benchDataset(b, ScaleSmall))
+		})
+	}
+}
+
+// BenchmarkE9ColdWarm regenerates figure E9: a map-browsing window query
+// against a small buffer pool, cold (cache dropped per iteration) versus
+// warm.
+func BenchmarkE9ColdWarm(b *testing.B) {
+	setup := func(b *testing.B) (*Engine, string) {
+		ds := benchDataset(b, ScaleSmall)
+		eng := OpenEngine(GaiaDB(), engine.WithPoolPages(64))
+		if err := LoadDataset(eng, ds, true); err != nil {
+			b.Fatal(err)
+		}
+		eng.Pool().MissPenalty = 5 * time.Microsecond
+		ctx := NewQueryContext(ds)
+		win := ctx.Window("E9", 0, 6)
+		return eng, fmt.Sprintf("SELECT id FROM edges WHERE ST_Intersects(geo, %s)", core.WindowWKT(win))
+	}
+	b.Run("cold", func(b *testing.B) {
+		eng, q := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := eng.Pool().DropAll(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := eng.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng, q := setup(b)
+		if _, err := eng.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10Concurrency regenerates figure E10: parallel geocoding
+// operations (run with -cpu 1,2,4,8 to sweep client counts).
+func BenchmarkE10Concurrency(b *testing.B) {
+	eng := benchEngine(b, GaiaDB(), ScaleSmall, true)
+	ds := benchDataset(b, ScaleSmall)
+	sc := MacroSuite()[1] // geocoding
+	ctx := NewQueryContext(ds)
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := Connect(eng).Connect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := sc.Run(ctx, conn, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11Selectivity regenerates figure E11: window scans at
+// increasing selectivity.
+func BenchmarkE11Selectivity(b *testing.B) {
+	eng := benchEngine(b, GaiaDB(), ScaleSmall, true)
+	ds := benchDataset(b, ScaleSmall)
+	ctx := NewQueryContext(ds)
+	for _, blocks := range []float64{0.5, 2, 8} {
+		b.Run(fmt.Sprintf("blocks-%g", blocks), func(b *testing.B) {
+			conn, err := Connect(eng).Connect()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				win := ctx.Window("E11", i, blocks)
+				q := fmt.Sprintf("SELECT id FROM pointlm WHERE ST_Intersects(geo, %s)", core.WindowWKT(win))
+				if _, err := conn.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12JoinAblation regenerates figure E12: the MT2 spatial join
+// with an index-nested-loop inner versus a block nested loop.
+func BenchmarkE12JoinAblation(b *testing.B) {
+	var q MicroQuery
+	for _, cand := range TopologicalSuite() {
+		if cand.ID == "MT2" {
+			q = cand
+		}
+	}
+	b.Run("index-nested-loop", func(b *testing.B) {
+		eng := benchEngine(b, GaiaDB(), ScaleSmall, true)
+		runMicroQuery(b, eng, q, benchDataset(b, ScaleSmall))
+	})
+	b.Run("block-nested-loop", func(b *testing.B) {
+		eng := benchEngine(b, GaiaDB(), ScaleSmall, false)
+		runMicroQuery(b, eng, q, benchDataset(b, ScaleSmall))
+	})
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"jackpine/internal/tiger"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := map[string]tiger.Scale{
+		"small": tiger.Small, "Small": tiger.Small,
+		"medium": tiger.Medium, "MEDIUM": tiger.Medium,
+		"large": tiger.Large,
+	}
+	for in, want := range cases {
+		got, err := parseScale(in)
+		if err != nil || got != want {
+			t.Errorf("parseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScale("gigantic"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestParseProfiles(t *testing.T) {
+	ps, err := parseProfiles("gaiadb,myspatial,commercedb")
+	if err != nil || len(ps) != 3 {
+		t.Fatalf("parseProfiles: %v, %v", ps, err)
+	}
+	if ps[0].Name != "gaiadb" || ps[2].Name != "commercedb" {
+		t.Errorf("order wrong: %v", ps)
+	}
+	ps, err = parseProfiles(" MySpatial ")
+	if err != nil || len(ps) != 1 || !ps[0].MBRPredicates {
+		t.Errorf("single profile: %v, %v", ps, err)
+	}
+	if _, err := parseProfiles("oracle"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := parseProfiles(""); err == nil {
+		t.Error("empty profile list accepted")
+	}
+	if _, err := parseProfiles(",,"); err == nil {
+		t.Error("blank profile list accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command spatialdbd serves a spatial engine over the wire protocol so
+// remote clients (cmd/spatialsql, or cmd/jackpine with -remote) can use
+// it — the "any database with a driver" side of the benchmark's
+// portability story.
+//
+// Usage:
+//
+//	spatialdbd [-addr 127.0.0.1:7676] [-profile gaiadb] [-preload small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"jackpine/internal/engine"
+	"jackpine/internal/tiger"
+	"jackpine/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spatialdbd:", err)
+		os.Exit(1)
+	}
+}
+
+type engineExecer struct{ e *engine.Engine }
+
+// Exec implements tiger.Execer.
+func (a engineExecer) Exec(q string) error {
+	_, err := a.e.Exec(q)
+	return err
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7676", "listen address")
+		profile = flag.String("profile", "gaiadb", "engine profile: gaiadb, myspatial, commercedb")
+		preload = flag.String("preload", "", "optionally preload a dataset: small, medium, large")
+		seed    = flag.Int64("seed", 1, "preload dataset seed")
+	)
+	flag.Parse()
+
+	var p engine.Profile
+	switch strings.ToLower(*profile) {
+	case "gaiadb":
+		p = engine.GaiaDB()
+	case "myspatial":
+		p = engine.MySpatial()
+	case "commercedb":
+		p = engine.CommerceDB()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	eng := engine.Open(p)
+
+	if *preload != "" {
+		var scale tiger.Scale
+		switch strings.ToLower(*preload) {
+		case "small":
+			scale = tiger.Small
+		case "medium":
+			scale = tiger.Medium
+		case "large":
+			scale = tiger.Large
+		default:
+			return fmt.Errorf("unknown preload scale %q", *preload)
+		}
+		fmt.Printf("preloading %s dataset (seed %d)...\n", scale, *seed)
+		if err := tiger.Load(engineExecer{eng}, tiger.Generate(scale, *seed), true); err != nil {
+			return err
+		}
+	}
+
+	srv := wire.NewServer(eng)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spatialdbd: profile %s listening on %s\n", p.Name, bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("\nspatialdbd: shutting down")
+	return srv.Close()
+}

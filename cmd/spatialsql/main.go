@@ -1,0 +1,185 @@
+// Command spatialsql is a small interactive SQL shell. By default it
+// opens a local in-memory engine; with -remote it connects to a
+// spatialdbd server. Statements are read line by line (end with ';' to
+// span lines) and results print as aligned tables.
+//
+// Usage:
+//
+//	spatialsql [-profile gaiadb] [-remote host:port] [-f script.sql]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"jackpine/internal/driver"
+	"jackpine/internal/engine"
+	"jackpine/internal/storage"
+	"jackpine/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spatialsql:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		profile = flag.String("profile", "gaiadb", "engine profile for local mode")
+		remote  = flag.String("remote", "", "connect to a spatialdbd server at host:port")
+		script  = flag.String("f", "", "execute statements from a file, then exit")
+		timing  = flag.Bool("timing", true, "print per-statement execution time")
+	)
+	flag.Parse()
+
+	var connector driver.Connector
+	if *remote != "" {
+		connector = wire.NewClient(*remote, "remote")
+	} else {
+		var p engine.Profile
+		switch strings.ToLower(*profile) {
+		case "gaiadb":
+			p = engine.GaiaDB()
+		case "myspatial":
+			p = engine.MySpatial()
+		case "commercedb":
+			p = engine.CommerceDB()
+		default:
+			return fmt.Errorf("unknown profile %q", *profile)
+		}
+		connector = driver.NewInProc(engine.Open(p))
+	}
+	conn, err := connector.Connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	var in io.Reader = os.Stdin
+	interactive := true
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+	if interactive {
+		fmt.Printf("spatialsql connected to %s — end statements with ';', \\q quits\n", connector.Name())
+	}
+
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf strings.Builder
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("  -> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
+			return nil
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		if stmt != "" {
+			execute(conn, stmt, *timing)
+		}
+		prompt()
+	}
+	return scanner.Err()
+}
+
+func execute(conn driver.Conn, stmt string, timing bool) {
+	start := time.Now()
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
+		rs, err := conn.Query(stmt)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printResultSet(rs)
+		if timing {
+			fmt.Printf("(%d row(s), %s)\n", len(rs.Rows), elapsed.Round(time.Microsecond))
+		}
+		return
+	}
+	n, err := conn.Exec(stmt)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if timing {
+		fmt.Printf("ok (%d row(s) affected, %s)\n", n, elapsed.Round(time.Microsecond))
+	} else {
+		fmt.Printf("ok (%d row(s) affected)\n", n)
+	}
+}
+
+// printResultSet renders rows with column-width alignment, truncating
+// very long cells (WKT of big geometries).
+func printResultSet(rs *driver.ResultSet) {
+	const maxCell = 60
+	cell := func(v storage.Value) string {
+		s := v.String()
+		if len(s) > maxCell {
+			return s[:maxCell-1] + "…"
+		}
+		return s
+	}
+	widths := make([]int, len(rs.Columns))
+	for i, c := range rs.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(rs.Rows))
+	for r, row := range rs.Rows {
+		rendered[r] = make([]string, len(row))
+		for i, v := range row {
+			rendered[r][i] = cell(v)
+			if len(rendered[r][i]) > widths[i] {
+				widths[i] = len(rendered[r][i])
+			}
+		}
+	}
+	for i, c := range rs.Columns {
+		fmt.Printf("%-*s  ", widths[i], c)
+		_ = i
+	}
+	fmt.Println()
+	for i := range rs.Columns {
+		fmt.Print(strings.Repeat("-", widths[i]), "  ")
+	}
+	fmt.Println()
+	for _, row := range rendered {
+		for i, s := range row {
+			fmt.Printf("%-*s  ", widths[i], s)
+		}
+		fmt.Println()
+	}
+}

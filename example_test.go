@@ -1,0 +1,63 @@
+package jackpine_test
+
+import (
+	"fmt"
+	"log"
+
+	"jackpine"
+)
+
+// Opening an engine and running spatial SQL.
+func Example() {
+	eng := jackpine.OpenEngine(jackpine.GaiaDB())
+	for _, q := range []string{
+		`CREATE TABLE pois (id INTEGER, name TEXT, loc GEOMETRY)`,
+		`INSERT INTO pois VALUES
+			(1, 'city hall', ST_MakePoint(50, 50)),
+			(2, 'harbour',   ST_MakePoint(90, 10))`,
+		`CREATE SPATIAL INDEX pois_loc ON pois (loc)`,
+	} {
+		if _, err := eng.Exec(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := eng.Exec(`SELECT name FROM pois WHERE ST_DWithin(loc, ST_MakePoint(52, 50), 5)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rows[0][0])
+	// Output: city hall
+}
+
+// Generating the benchmark dataset and measuring one engine.
+func ExampleRunMicro() {
+	eng := jackpine.OpenEngine(jackpine.MySpatial())
+	ds := jackpine.GenerateDataset(jackpine.ScaleSmall, 1)
+	if err := jackpine.LoadDataset(eng, ds, true); err != nil {
+		log.Fatal(err)
+	}
+	ctx := jackpine.NewQueryContext(ds)
+	results, err := jackpine.RunMicro(jackpine.Connect(eng),
+		jackpine.TopologicalSuite()[:1], ctx, jackpine.Options{Warmup: 1, Runs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := results[0]
+	fmt.Printf("%s on %s: %d run(s), rows=%d, unsupported=%v\n",
+		r.ID, r.Engine, r.Runs, r.Rows, r.Unsupported)
+	// Output: MT1 on myspatial: 2 run(s), rows=1, unsupported=false
+}
+
+// Running a macro scenario (geocoding).
+func ExampleRunMacro() {
+	eng := jackpine.OpenEngine(jackpine.GaiaDB())
+	ds := jackpine.GenerateDataset(jackpine.ScaleSmall, 1)
+	if err := jackpine.LoadDataset(eng, ds, true); err != nil {
+		log.Fatal(err)
+	}
+	ctx := jackpine.NewQueryContext(ds)
+	res := jackpine.RunMacro(jackpine.Connect(eng), jackpine.MacroSuite()[1], ctx,
+		jackpine.Options{Runs: 3})
+	fmt.Printf("%s: %s, ops=%d, err=%v\n", res.ID, res.Name, res.Ops, res.Err)
+	// Output: MS2: geocoding, ops=3, err=<nil>
+}

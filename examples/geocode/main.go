@@ -1,0 +1,96 @@
+// Geocode: the geocoding and reverse-geocoding macro scenarios (MS2,
+// MS3) as an application — resolve street addresses to coordinates via
+// the indexed address-range lookup, then resolve coordinates back to the
+// nearest address with a k-nearest-neighbour query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jackpine"
+	"jackpine/internal/geom"
+)
+
+func main() {
+	eng := jackpine.OpenEngine(jackpine.GaiaDB())
+	ds := jackpine.GenerateDataset(jackpine.ScaleSmall, 1)
+	if err := jackpine.LoadDataset(eng, ds, true); err != nil {
+		log.Fatal(err)
+	}
+
+	addresses := []struct {
+		street string
+		house  int64
+	}{
+		{"Oak St", 315},
+		{"Main St", 1250},
+		{"Cedar Ave", 742},
+	}
+	fmt.Println("geocoding (address → coordinate):")
+	var lastCoord geom.Coord
+	for _, a := range addresses {
+		c, err := geocode(eng, a.street, a.house)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d %-10s → (%.1f, %.1f)\n", a.house, a.street, c.X, c.Y)
+		lastCoord = c
+	}
+
+	fmt.Println("\nreverse geocoding (coordinate → address):")
+	probes := []geom.Coord{
+		lastCoord,
+		{X: 512, Y: 481},
+		{X: 1503, Y: 1204},
+	}
+	for _, p := range probes {
+		addr, err := reverseGeocode(eng, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  (%.1f, %.1f) → %s\n", p.X, p.Y, addr)
+	}
+}
+
+// geocode resolves a street address to a coordinate by finding the edge
+// whose address range covers the house number and interpolating along it.
+func geocode(eng *jackpine.Engine, street string, house int64) (geom.Coord, error) {
+	q := fmt.Sprintf(
+		"SELECT fromaddr, toaddr, geo FROM edges WHERE name = '%s' AND fromaddr <= %d AND toaddr >= %d",
+		street, house, house)
+	res, err := eng.Exec(q)
+	if err != nil {
+		return geom.Coord{}, err
+	}
+	if len(res.Rows) == 0 {
+		return geom.Coord{}, fmt.Errorf("no address range covers %d %s", house, street)
+	}
+	row := res.Rows[0]
+	from, to := row[0].Int, row[1].Int
+	line := row[2].Geom.(geom.LineString)
+	t := float64(house-from) / float64(to-from)
+	a, b := line[0], line[len(line)-1]
+	return geom.Coord{X: a.X + t*(b.X-a.X), Y: a.Y + t*(b.Y-a.Y)}, nil
+}
+
+// reverseGeocode finds the nearest road edge with a kNN query and
+// interpolates the house number from the projection onto the segment.
+func reverseGeocode(eng *jackpine.Engine, p geom.Coord) (string, error) {
+	q := fmt.Sprintf(
+		"SELECT name, fromaddr, toaddr, geo FROM edges ORDER BY ST_Distance(geo, ST_MakePoint(%g, %g)) LIMIT 1",
+		p.X, p.Y)
+	res, err := eng.Exec(q)
+	if err != nil {
+		return "", err
+	}
+	if len(res.Rows) == 0 {
+		return "", fmt.Errorf("no edges in database")
+	}
+	row := res.Rows[0]
+	line := row[3].Geom.(geom.LineString)
+	_, t := geom.ClosestPointOnSegment(p, line[0], line[len(line)-1])
+	from, to := row[1].Int, row[2].Int
+	house := from + int64(t*float64(to-from))
+	return fmt.Sprintf("%d %s", house, row[0].Text), nil
+}

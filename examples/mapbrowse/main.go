@@ -1,0 +1,121 @@
+// Mapbrowse: the map search & browsing macro scenario (MS1) as an
+// application — simulate a user panning and zooming over the synthetic
+// city and render each viewport as ASCII art from the engine's window
+// query results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jackpine"
+	"jackpine/internal/geom"
+)
+
+const (
+	cols = 72
+	rows = 24
+)
+
+func main() {
+	eng := jackpine.OpenEngine(jackpine.GaiaDB())
+	ds := jackpine.GenerateDataset(jackpine.ScaleSmall, 1)
+	if err := jackpine.LoadDataset(eng, ds, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d features; extent %.0fx%.0f\n",
+		ds.TotalFeatures(), ds.Extent.Width(), ds.Extent.Height())
+
+	// A browsing session: zoom from city view into a neighbourhood.
+	views := []struct {
+		title string
+		win   geom.Rect
+	}{
+		{"city view", geom.Rect{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000}},
+		{"district view", geom.Rect{MinX: 600, MinY: 600, MaxX: 1400, MaxY: 1400}},
+		{"street view", geom.Rect{MinX: 900, MinY: 900, MaxX: 1200, MaxY: 1200}},
+		{"pan east", geom.Rect{MinX: 1000, MinY: 900, MaxX: 1300, MaxY: 1200}},
+	}
+	for _, v := range views {
+		render(eng, v.title, v.win)
+	}
+}
+
+// render draws one viewport: water '~', landmarks '#', roads '+', points '.'.
+func render(eng *jackpine.Engine, title string, win geom.Rect) {
+	canvas := make([][]byte, rows)
+	for i := range canvas {
+		canvas[i] = make([]byte, cols)
+		for j := range canvas[i] {
+			canvas[i][j] = ' '
+		}
+	}
+	plot := func(c geom.Coord, ch byte) {
+		x := int((c.X - win.MinX) / win.Width() * float64(cols))
+		y := int((c.Y - win.MinY) / win.Height() * float64(rows))
+		if x >= 0 && x < cols && y >= 0 && y < rows {
+			canvas[rows-1-y][x] = ch
+		}
+	}
+	drawGeom := func(g geom.Geometry, ch byte) {
+		switch t := g.(type) {
+		case geom.Point:
+			plot(t.Coord, ch)
+		case geom.LineString:
+			drawPath(t, ch, plot)
+		case geom.Polygon:
+			for _, r := range t {
+				drawPath(geom.LineString(r), ch, plot)
+			}
+		case geom.MultiPolygon:
+			for _, p := range t {
+				for _, r := range p {
+					drawPath(geom.LineString(r), ch, plot)
+				}
+			}
+		}
+	}
+
+	layers := []struct {
+		table string
+		ch    byte
+	}{
+		{"areawater", '~'},
+		{"arealm", '#'},
+		{"edges", '+'},
+		{"pointlm", '.'},
+	}
+	totalRows := 0
+	for _, layer := range layers {
+		q := fmt.Sprintf("SELECT geo FROM %s WHERE ST_Intersects(geo, ST_MakeEnvelope(%g, %g, %g, %g))",
+			layer.table, win.MinX, win.MinY, win.MaxX, win.MaxY)
+		res, err := eng.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalRows += len(res.Rows)
+		for _, row := range res.Rows {
+			if row[0].Geom != nil {
+				drawGeom(row[0].Geom, layer.ch)
+			}
+		}
+	}
+
+	fmt.Printf("\n-- %s [%.0f,%.0f → %.0f,%.0f] (%d features) --\n",
+		title, win.MinX, win.MinY, win.MaxX, win.MaxY, totalRows)
+	for _, line := range canvas {
+		fmt.Println(string(line))
+	}
+}
+
+// drawPath samples a polyline onto the canvas.
+func drawPath(l geom.LineString, ch byte, plot func(geom.Coord, byte)) {
+	for i := 0; i+1 < len(l); i++ {
+		a, b := l[i], l[i+1]
+		steps := int(geom.Dist(a, b)/4) + 1
+		for s := 0; s <= steps; s++ {
+			t := float64(s) / float64(steps)
+			plot(geom.Coord{X: a.X + t*(b.X-a.X), Y: a.Y + t*(b.Y-a.Y)}, ch)
+		}
+	}
+}

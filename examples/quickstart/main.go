@@ -1,0 +1,66 @@
+// Quickstart: open an engine, create a spatial table, load a few
+// features, and run the basic spatial query shapes — window search,
+// point-in-polygon, distance search and k-nearest-neighbour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jackpine"
+)
+
+func main() {
+	// A PostGIS-like engine: exact DE-9IM topology with an R-tree index.
+	eng := jackpine.OpenEngine(jackpine.GaiaDB())
+
+	mustExec := func(q string) {
+		if _, err := eng.Exec(q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	mustExec(`CREATE TABLE pois (id INTEGER, name TEXT, kind TEXT, loc GEOMETRY)`)
+	mustExec(`INSERT INTO pois VALUES
+		(1, 'city hall',   'civic',  ST_MakePoint(50, 50)),
+		(2, 'north park',  'park',   ST_GeomFromText('POLYGON ((20 70, 45 70, 45 95, 20 95, 20 70))')),
+		(3, 'ferry dock',  'transit', ST_MakePoint(90, 10)),
+		(4, 'museum',      'civic',  ST_MakePoint(55, 48)),
+		(5, 'river trail', 'park',   ST_GeomFromText('LINESTRING (0 30, 40 35, 80 28, 100 40)'))`)
+	mustExec(`CREATE SPATIAL INDEX pois_loc ON pois (loc)`)
+
+	show := func(title, q string) {
+		res, err := eng.Exec(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		fmt.Printf("\n%s\n  %s\n", title, q)
+		for _, row := range res.Rows {
+			fmt.Print("  ")
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print(" | ")
+				}
+				fmt.Print(v)
+			}
+			fmt.Println()
+		}
+	}
+
+	show("Window search (everything in the city centre):",
+		`SELECT id, name FROM pois WHERE ST_Intersects(loc, ST_MakeEnvelope(40, 40, 60, 60))`)
+
+	show("Point-in-polygon (which park contains the picnic spot?):",
+		`SELECT name FROM pois WHERE kind = 'park' AND ST_Contains(loc, ST_MakePoint(30, 80))`)
+
+	show("Distance search (civic buildings within 10 units of city hall):",
+		`SELECT name, ST_Distance(loc, ST_MakePoint(50, 50)) AS dist
+		 FROM pois WHERE kind = 'civic' AND ST_DWithin(loc, ST_MakePoint(50, 50), 10)`)
+
+	show("Nearest neighbours of the ferry dock:",
+		`SELECT name, ST_Distance(loc, ST_MakePoint(90, 10)) AS dist
+		 FROM pois ORDER BY ST_Distance(loc, ST_MakePoint(90, 10)) LIMIT 3`)
+
+	show("Geometry construction and measurement:",
+		`SELECT name, ST_Area(ST_Buffer(loc, 5)) AS service_area FROM pois WHERE kind = 'transit'`)
+}

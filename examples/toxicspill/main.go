@@ -1,0 +1,91 @@
+// Toxicspill: the toxic spill analysis macro scenario (MS6) as an
+// application — model a chemical spill on a motorway, derive the plume
+// with ST_Buffer, and report threatened water bodies, sensitive sites
+// inside the plume, and the nearest hospitals for emergency response.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jackpine"
+	"jackpine/internal/geom"
+)
+
+func main() {
+	eng := jackpine.OpenEngine(jackpine.GaiaDB())
+	ds := jackpine.GenerateDataset(jackpine.ScaleSmall, 1)
+	if err := jackpine.LoadDataset(eng, ds, true); err != nil {
+		log.Fatal(err)
+	}
+
+	// The incident: a tanker crash on the first motorway segment that
+	// crosses the river corridor.
+	res, err := eng.Exec(`SELECT e.id, e.name, e.geo FROM areawater w JOIN edges e
+		ON ST_Intersects(e.geo, ST_Buffer(w.geo, 60))
+		WHERE w.id = 1 AND e.class = 'motorway' LIMIT 1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		log.Fatal("no motorway near the river in this dataset")
+	}
+	edgeName := res.Rows[0][1].Text
+	line := res.Rows[0][2].Geom.(geom.LineString)
+	spill := geom.Coord{
+		X: (line[0].X + line[len(line)-1].X) / 2,
+		Y: (line[0].Y + line[len(line)-1].Y) / 2,
+	}
+	const plumeRadius = 200.0
+	fmt.Printf("incident: tanker spill on %s at (%.0f, %.0f), plume radius %.0f\n\n",
+		edgeName, spill.X, spill.Y, plumeRadius)
+	plume := fmt.Sprintf("ST_Buffer(ST_MakePoint(%g, %g), %g)", spill.X, spill.Y, plumeRadius)
+
+	// 1. Water bodies threatened by runoff.
+	res, err = eng.Exec(fmt.Sprintf(
+		`SELECT name, ST_Area(ST_Intersection(geo, %s)) AS exposed FROM areawater
+		 WHERE ST_Intersects(geo, %s)`, plume, plume))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("threatened water bodies (%d):\n", len(res.Rows))
+	for _, row := range res.Rows {
+		fmt.Printf("  %-24s exposed area %.0f\n", row[0].Text, row[1].Float)
+	}
+
+	// 2. Sensitive sites inside the plume.
+	res, err = eng.Exec(fmt.Sprintf(
+		`SELECT category, COUNT(*) FROM pointlm WHERE ST_Intersects(geo, %s) GROUP BY category ORDER BY category`,
+		plume))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsites inside the plume:\n")
+	if len(res.Rows) == 0 {
+		fmt.Println("  none")
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %-14s %d\n", row[0].Text, row[1].Int)
+	}
+
+	// 3. Nearest hospitals for response routing.
+	res, err = eng.Exec(fmt.Sprintf(
+		`SELECT name, ST_Distance(geo, ST_MakePoint(%g, %g)) AS dist FROM pointlm
+		 WHERE category = 'hospital' ORDER BY ST_Distance(geo, ST_MakePoint(%g, %g)) LIMIT 3`,
+		spill.X, spill.Y, spill.X, spill.Y))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnearest hospitals:\n")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-24s %.0f away\n", row[0].Text, row[1].Float)
+	}
+
+	// 4. Road closures: edges crossing the plume boundary.
+	res, err = eng.Exec(fmt.Sprintf(
+		`SELECT COUNT(*) FROM edges WHERE ST_Intersects(geo, %s)`, plume))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroad segments to close: %d\n", res.Rows[0][0].Int)
+}

@@ -1,0 +1,3 @@
+module jackpine
+
+go 1.22

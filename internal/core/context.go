@@ -1,0 +1,154 @@
+// Package core implements the Jackpine benchmark framework — the paper's
+// primary contribution. It defines the micro benchmark suites (DE-9IM
+// topological queries and spatial-analysis queries), the six macro
+// workload scenarios (map search and browsing, geocoding, reverse
+// geocoding, flood risk analysis, land information management, toxic
+// spill analysis), a workload runner with warmup, repetition,
+// percentile statistics and multi-client throughput measurement, and
+// plain-text/CSV reporters.
+//
+// The benchmark is portable: it talks to engines exclusively through
+// driver.Connector, so anything with a driver — in-process or across
+// the wire protocol — can be measured.
+package core
+
+import (
+	"fmt"
+
+	"jackpine/internal/geom"
+	"jackpine/internal/tiger"
+)
+
+// QueryContext supplies the workload generators with the dataset under
+// test and deterministic randomness. The same (dataset seed, query id,
+// iteration) triple always yields the same probe geometry, so different
+// engines are measured against identical query streams.
+type QueryContext struct {
+	Dataset *tiger.Dataset
+
+	// FullWindows makes every sampled query window cover the entire
+	// dataset extent, turning the windowed micro joins into the
+	// full-table joins the original paper ran (response times grow from
+	// milliseconds to seconds/minutes with scale; the default windowed
+	// mode keeps runs interactive).
+	FullWindows bool
+}
+
+// NewQueryContext wraps a generated dataset.
+func NewQueryContext(ds *tiger.Dataset) *QueryContext {
+	return &QueryContext{Dataset: ds}
+}
+
+// streamRNG derives a deterministic random stream for (label, iter).
+func (c *QueryContext) streamRNG(label string, iter int) *rng {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 1099511628211
+	}
+	h ^= uint64(c.Dataset.Seed) * 0x9E3779B97F4A7C15
+	h ^= uint64(iter+1) * 0xBF58476D1CE4E5B9
+	return &rng{state: h}
+}
+
+// Window returns a deterministic query window covering roughly blocks ×
+// blocks city blocks, fully inside the dataset extent.
+func (c *QueryContext) Window(label string, iter int, blocks float64) geom.Rect {
+	if c.FullWindows {
+		return c.Dataset.Extent
+	}
+	r := c.streamRNG(label, iter)
+	side := blocks * tiger.BlockSize
+	ext := c.Dataset.Extent
+	maxX := ext.MaxX - side
+	maxY := ext.MaxY - side
+	if maxX < ext.MinX {
+		maxX = ext.MinX
+	}
+	if maxY < ext.MinY {
+		maxY = ext.MinY
+	}
+	x := ext.MinX + r.float()*(maxX-ext.MinX)
+	y := ext.MinY + r.float()*(maxY-ext.MinY)
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + side, MaxY: y + side}
+}
+
+// Point returns a deterministic point inside the extent.
+func (c *QueryContext) Point(label string, iter int) geom.Coord {
+	r := c.streamRNG(label, iter)
+	ext := c.Dataset.Extent
+	return geom.Coord{
+		X: ext.MinX + r.float()*ext.Width(),
+		Y: ext.MinY + r.float()*ext.Height(),
+	}
+}
+
+// RandomEdge returns a deterministic road edge.
+func (c *QueryContext) RandomEdge(label string, iter int) tiger.Edge {
+	r := c.streamRNG(label, iter)
+	return c.Dataset.Edges[r.intn(len(c.Dataset.Edges))]
+}
+
+// RandomParcelID returns a deterministic parcel id, or 0 when the
+// dataset has no parcels.
+func (c *QueryContext) RandomParcelID(label string, iter int) int64 {
+	if len(c.Dataset.Parcels) == 0 {
+		return 0
+	}
+	r := c.streamRNG(label, iter)
+	return c.Dataset.Parcels[r.intn(len(c.Dataset.Parcels))].ID
+}
+
+// RandomWaterID returns a deterministic water-feature id (skipping the
+// river, which is feature 1, so buffers stay small).
+func (c *QueryContext) RandomWaterID(label string, iter int) int64 {
+	n := len(c.Dataset.AreaWater)
+	if n <= 1 {
+		return 1
+	}
+	r := c.streamRNG(label, iter)
+	return c.Dataset.AreaWater[1+r.intn(n-1)].ID
+}
+
+// RandomAddress returns a deterministic (street name, house number) pair
+// drawn from the dataset's real address ranges.
+func (c *QueryContext) RandomAddress(label string, iter int) (string, int64) {
+	e := c.RandomEdge(label, iter)
+	r := c.streamRNG(label+"/num", iter)
+	span := e.ToAddr - e.FromAddr
+	return e.Name, e.FromAddr + int64(r.intn(int(span+1)))
+}
+
+// WindowWKT renders a window as an ST_MakeEnvelope call.
+func WindowWKT(w geom.Rect) string {
+	return fmt.Sprintf("ST_MakeEnvelope(%g, %g, %g, %g)", w.MinX, w.MinY, w.MaxX, w.MaxY)
+}
+
+// PointWKT renders a coordinate as an ST_MakePoint call.
+func PointWKT(p geom.Coord) string {
+	return fmt.Sprintf("ST_MakePoint(%g, %g)", p.X, p.Y)
+}
+
+// GeomWKT renders a geometry as an ST_GeomFromText call.
+func GeomWKT(g geom.Geometry) string {
+	return "ST_GeomFromText('" + geom.WKT(g) + "')"
+}
+
+// rng mirrors the generator used by package tiger (splitmix64).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jackpine/internal/driver"
+	"jackpine/internal/engine"
+	"jackpine/internal/tiger"
+)
+
+// testTarget loads a small dataset into an engine and returns its
+// connector and query context.
+func testTarget(t *testing.T, profile engine.Profile) (driver.Connector, *QueryContext) {
+	t.Helper()
+	ds := Generate(t)
+	eng := engine.Open(profile)
+	if err := tiger.Load(execAdapter{eng}, ds, true); err != nil {
+		t.Fatal(err)
+	}
+	return driver.NewInProc(eng), NewQueryContext(ds)
+}
+
+var sharedDataset *tiger.Dataset
+
+// Generate caches one small dataset across tests in this package.
+func Generate(t *testing.T) *tiger.Dataset {
+	t.Helper()
+	if sharedDataset == nil {
+		sharedDataset = tiger.Generate(tiger.Small, 1)
+	}
+	return sharedDataset
+}
+
+type execAdapter struct{ e *engine.Engine }
+
+func (a execAdapter) Exec(q string) error {
+	_, err := a.e.Exec(q)
+	return err
+}
+
+func TestQueryContextDeterminism(t *testing.T) {
+	ds := Generate(t)
+	ctx1 := NewQueryContext(ds)
+	ctx2 := NewQueryContext(ds)
+	if ctx1.Window("MT1", 3, 4) != ctx2.Window("MT1", 3, 4) {
+		t.Error("windows not deterministic")
+	}
+	if ctx1.Window("MT1", 3, 4) == ctx1.Window("MT1", 4, 4) {
+		t.Error("windows identical across iterations")
+	}
+	if ctx1.Window("MT1", 3, 4) == ctx1.Window("MT2", 3, 4) {
+		t.Error("windows identical across labels")
+	}
+	if ctx1.Point("p", 1) != ctx2.Point("p", 1) {
+		t.Error("points not deterministic")
+	}
+	name1, h1 := ctx1.RandomAddress("a", 5)
+	name2, h2 := ctx2.RandomAddress("a", 5)
+	if name1 != name2 || h1 != h2 {
+		t.Error("addresses not deterministic")
+	}
+	// Windows stay inside the extent.
+	for i := 0; i < 50; i++ {
+		w := ctx1.Window("chk", i, 4)
+		if !ds.Extent.ContainsRect(w) {
+			t.Fatalf("window %d outside extent: %+v", i, w)
+		}
+	}
+}
+
+func TestMicroSuiteCompleteness(t *testing.T) {
+	topo := TopologicalSuite()
+	analysis := AnalysisSuite()
+	if len(topo) != 15 {
+		t.Errorf("topological suite has %d queries, want 15", len(topo))
+	}
+	if len(analysis) != 12 {
+		t.Errorf("analysis suite has %d queries, want 12", len(analysis))
+	}
+	seen := map[string]bool{}
+	for _, q := range MicroSuite() {
+		if seen[q.ID] {
+			t.Errorf("duplicate query id %s", q.ID)
+		}
+		seen[q.ID] = true
+		if q.Name == "" || q.Category == "" || q.SQL == nil {
+			t.Errorf("query %s incomplete", q.ID)
+		}
+	}
+}
+
+func TestRunMicroOnGaiaDB(t *testing.T) {
+	connector, ctx := testTarget(t, engine.GaiaDB())
+	results, err := RunMicro(connector, MicroSuite(), ctx, Options{Warmup: 1, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 27 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.ID, r.Err)
+		}
+		if r.Unsupported {
+			t.Errorf("%s unsupported on gaiadb", r.ID)
+		}
+		if r.Err == nil && !r.Unsupported && r.Mean <= 0 {
+			t.Errorf("%s has zero mean duration", r.ID)
+		}
+	}
+}
+
+func TestRunMicroMarksUnsupported(t *testing.T) {
+	connector, ctx := testTarget(t, engine.MySpatial())
+	results, err := RunMicro(connector, MicroSuite(), ctx, Options{Warmup: 1, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsupported := map[string]bool{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.ID, r.Err)
+		}
+		if r.Unsupported {
+			unsupported[r.ID] = true
+		}
+	}
+	// MT14 uses ST_Covers, MT15 uses ST_Relate, MA5 uses ST_ConvexHull,
+	// MA6 uses ST_DWithin: all missing from the MySpatial profile.
+	for _, id := range []string{"MT14", "MT15", "MA5", "MA6"} {
+		if !unsupported[id] {
+			t.Errorf("%s should be unsupported on myspatial", id)
+		}
+	}
+	if unsupported["MT1"] || unsupported["MA1"] {
+		t.Error("basic queries wrongly marked unsupported")
+	}
+}
+
+func TestMBRCountsAreSupersets(t *testing.T) {
+	exactConn, ctx := testTarget(t, engine.GaiaDB())
+	mbrConn, _ := testTarget(t, engine.MySpatial())
+
+	// MT3 counts intersecting polygon pairs: the MBR engine must report
+	// at least as many as the exact engine on the same window.
+	q := TopologicalSuite()[2]
+	if q.ID != "MT3" {
+		t.Fatal("suite order changed")
+	}
+	ce, _ := exactConn.Connect()
+	cm, _ := mbrConn.Connect()
+	defer ce.Close()
+	defer cm.Close()
+	for iter := 0; iter < 5; iter++ {
+		sqlText := q.SQL(ctx, iter)
+		re, err := ce.Query(sqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := cm.Query(sqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := re.Rows[0][0].Int
+		approx := rm.Rows[0][0].Int
+		if approx < exact {
+			t.Errorf("iter %d: MBR count %d < exact count %d", iter, approx, exact)
+		}
+	}
+}
+
+func TestRunMacroAllScenarios(t *testing.T) {
+	connector, ctx := testTarget(t, engine.GaiaDB())
+	for _, sc := range MacroSuite() {
+		res := RunMacro(connector, sc, ctx, Options{Warmup: 1, Runs: 2})
+		if res.Err != nil {
+			t.Errorf("%s (%s): %v", sc.ID, sc.Name, res.Err)
+			continue
+		}
+		if res.Unsupported {
+			t.Errorf("%s unsupported on gaiadb", sc.ID)
+			continue
+		}
+		if res.Ops != 2 || res.Throughput <= 0 {
+			t.Errorf("%s: ops=%d throughput=%v", sc.ID, res.Ops, res.Throughput)
+		}
+	}
+}
+
+func TestRunMacroMultiClient(t *testing.T) {
+	connector, ctx := testTarget(t, engine.GaiaDB())
+	sc := MacroSuite()[1] // geocoding: cheap per op
+	res := RunMacro(connector, sc, ctx, Options{Warmup: 0, Runs: 5, Clients: 4})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Ops != 20 {
+		t.Errorf("ops = %d, want 20", res.Ops)
+	}
+	if res.Clients != 4 {
+		t.Errorf("clients = %d", res.Clients)
+	}
+}
+
+func TestRunMacroOnMySpatial(t *testing.T) {
+	connector, ctx := testTarget(t, engine.MySpatial())
+	results := RunMacroSuite(connector, ctx, Options{Warmup: 0, Runs: 1})
+	if len(results) != 6 {
+		t.Fatalf("scenario results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.ID, r.Err)
+		}
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	connector, ctx := testTarget(t, engine.GaiaDB())
+	micro, err := RunMicro(connector, TopologicalSuite()[:3], ctx, Options{Warmup: 0, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteMicroTable(&sb, micro)
+	out := sb.String()
+	for _, want := range []string{"MT1", "MT2", "MT3", "gaiadb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	WriteMicroCSV(&sb, micro)
+	if lines := strings.Count(sb.String(), "\n"); lines != 4 {
+		t.Errorf("CSV has %d lines, want 4 (header + 3)", lines)
+	}
+
+	macro := []MacroResult{
+		{ID: "MS1", Name: "map search and browsing", Engine: "gaiadb", Ops: 10, Throughput: 5.5},
+		{ID: "MS1", Name: "map search and browsing", Engine: "myspatial", Unsupported: true},
+	}
+	sb.Reset()
+	WriteMacroTable(&sb, macro)
+	if !strings.Contains(sb.String(), "unsupported") || !strings.Contains(sb.String(), "5.50") {
+		t.Errorf("macro table:\n%s", sb.String())
+	}
+	sb.Reset()
+	WriteMacroCSV(&sb, macro)
+	if !strings.Contains(sb.String(), "MS1,map search and browsing,gaiadb") {
+		t.Errorf("macro csv:\n%s", sb.String())
+	}
+}
+
+func TestGeocodeAlwaysFindsAddress(t *testing.T) {
+	// Every generated (name, house) pair must resolve to exactly one
+	// edge — the generator's address ranges partition each street.
+	connector, ctx := testTarget(t, engine.GaiaDB())
+	conn, _ := connector.Connect()
+	defer conn.Close()
+	sc := MacroSuite()[1]
+	for i := 0; i < 25; i++ {
+		if _, err := sc.Run(ctx, conn, i); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"jackpine/internal/driver"
+	"jackpine/internal/geom"
+)
+
+// MacroScenario is one application workload. An iteration corresponds to
+// one end-user operation (one map pan, one geocode, one risk report …)
+// and may issue several queries, some depending on earlier results —
+// exactly how the original macro scenarios chained queries.
+type MacroScenario struct {
+	// ID is the experiment identifier (MS1…MS6).
+	ID string
+	// Name is the scenario's title from the paper's abstract.
+	Name string
+	// Run executes one operation on the connection, returning the total
+	// number of rows retrieved.
+	Run func(ctx *QueryContext, conn driver.Conn, iter int) (int, error)
+}
+
+// MacroSuite returns the six macro workload scenarios.
+func MacroSuite() []MacroScenario {
+	return []MacroScenario{
+		mapBrowsing(), geocoding(), reverseGeocoding(),
+		floodRisk(), landInformation(), toxicSpill(),
+	}
+}
+
+// queryRows runs a query and returns its row count.
+func queryRows(conn driver.Conn, q string) (int, error) {
+	rs, err := conn.Query(q)
+	if err != nil {
+		return 0, fmt.Errorf("%w (query: %s)", err, q)
+	}
+	return len(rs.Rows), nil
+}
+
+// mapBrowsing (MS1): an interactive map session — fetch all layers for a
+// viewport at three zoom levels, then pan twice at street level.
+func mapBrowsing() MacroScenario {
+	layers := []string{"edges", "areawater", "arealm", "pointlm"}
+	return MacroScenario{
+		ID:   "MS1",
+		Name: "map search and browsing",
+		Run: func(ctx *QueryContext, conn driver.Conn, iter int) (int, error) {
+			total := 0
+			fetch := func(w geom.Rect) error {
+				for _, layer := range layers {
+					n, err := queryRows(conn, fmt.Sprintf(
+						"SELECT id, ST_AsText(geo) FROM %s WHERE ST_Intersects(geo, %s)",
+						layer, WindowWKT(w)))
+					if err != nil {
+						return err
+					}
+					total += n
+				}
+				return nil
+			}
+			// Zoom in: city, district, street level.
+			base := ctx.Window("MS1", iter, 8)
+			for _, blocks := range []float64{8, 4, 2} {
+				w := geom.Rect{
+					MinX: base.MinX, MinY: base.MinY,
+					MaxX: base.MinX + blocks*100, MaxY: base.MinY + blocks*100,
+				}
+				if err := fetch(w); err != nil {
+					return total, err
+				}
+			}
+			// Pan twice at street level.
+			w := geom.Rect{MinX: base.MinX, MinY: base.MinY, MaxX: base.MinX + 200, MaxY: base.MinY + 200}
+			for pan := 0; pan < 2; pan++ {
+				w = geom.Rect{MinX: w.MinX + 100, MinY: w.MinY, MaxX: w.MaxX + 100, MaxY: w.MaxY}
+				if err := fetch(w); err != nil {
+					return total, err
+				}
+			}
+			return total, nil
+		},
+	}
+}
+
+// geocoding (MS2): street name + house number → coordinate, via the
+// address-range lookup plus client-side interpolation along the edge.
+func geocoding() MacroScenario {
+	return MacroScenario{
+		ID:   "MS2",
+		Name: "geocoding",
+		Run: func(ctx *QueryContext, conn driver.Conn, iter int) (int, error) {
+			name, house := ctx.RandomAddress("MS2", iter)
+			rs, err := conn.Query(fmt.Sprintf(
+				"SELECT fromaddr, toaddr, geo FROM edges WHERE name = '%s' AND fromaddr <= %d AND toaddr >= %d",
+				name, house, house))
+			if err != nil {
+				return 0, err
+			}
+			if len(rs.Rows) == 0 {
+				return 0, fmt.Errorf("geocoding: no edge for %q #%d", name, house)
+			}
+			// Interpolate the coordinate along the returned segment.
+			row := rs.Rows[0]
+			from, to := row[0].Int, row[1].Int
+			line, ok := row[2].Geom.(geom.LineString)
+			if !ok || len(line) < 2 {
+				return len(rs.Rows), fmt.Errorf("geocoding: edge has no linestring")
+			}
+			t := float64(house-from) / float64(to-from)
+			_ = geom.Coord{
+				X: line[0].X + t*(line[len(line)-1].X-line[0].X),
+				Y: line[0].Y + t*(line[len(line)-1].Y-line[0].Y),
+			}
+			return len(rs.Rows), nil
+		},
+	}
+}
+
+// reverseGeocoding (MS3): coordinate → nearest road edge → interpolated
+// house number.
+func reverseGeocoding() MacroScenario {
+	return MacroScenario{
+		ID:   "MS3",
+		Name: "reverse geocoding",
+		Run: func(ctx *QueryContext, conn driver.Conn, iter int) (int, error) {
+			p := ctx.Point("MS3", iter)
+			rs, err := conn.Query(fmt.Sprintf(
+				"SELECT name, fromaddr, toaddr, geo FROM edges ORDER BY ST_Distance(geo, %s) LIMIT 1",
+				PointWKT(p)))
+			if err != nil {
+				return 0, err
+			}
+			if len(rs.Rows) == 0 {
+				return 0, fmt.Errorf("reverse geocoding: no edges")
+			}
+			row := rs.Rows[0]
+			line, ok := row[3].Geom.(geom.LineString)
+			if !ok || len(line) < 2 {
+				return 1, fmt.Errorf("reverse geocoding: edge has no linestring")
+			}
+			_, t := geom.ClosestPointOnSegment(p, line[0], line[len(line)-1])
+			from, to := row[1].Int, row[2].Int
+			house := from + int64(t*float64(to-from))
+			_ = house
+			return len(rs.Rows), nil
+		},
+	}
+}
+
+// floodRisk (MS4): buffer a water body and report the parcels at risk
+// with their inundated area.
+func floodRisk() MacroScenario {
+	return MacroScenario{
+		ID:   "MS4",
+		Name: "flood risk analysis",
+		Run: func(ctx *QueryContext, conn driver.Conn, iter int) (int, error) {
+			wid := ctx.RandomWaterID("MS4", iter)
+			n, err := queryRows(conn, fmt.Sprintf(
+				"SELECT p.id, ST_Area(ST_Intersection(p.geo, ST_Buffer(w.geo, 40))) "+
+					"FROM areawater w JOIN parcels p ON ST_Intersects(p.geo, ST_Buffer(w.geo, 40)) "+
+					"WHERE w.id = %d", wid))
+			if err != nil {
+				return 0, err
+			}
+			// Summary statistic for the report.
+			m, err := queryRows(conn, fmt.Sprintf(
+				"SELECT COUNT(*), SUM(ST_Area(p.geo)) FROM areawater w "+
+					"JOIN parcels p ON ST_Intersects(p.geo, ST_Buffer(w.geo, 40)) WHERE w.id = %d", wid))
+			return n + m, err
+		},
+	}
+}
+
+// landInformation (MS5): parcel neighbourhood analysis and a land-use
+// reclassification — lookup, adjacency via Touches, road-corridor
+// aggregation, then an UPDATE.
+func landInformation() MacroScenario {
+	return MacroScenario{
+		ID:   "MS5",
+		Name: "land information management",
+		Run: func(ctx *QueryContext, conn driver.Conn, iter int) (int, error) {
+			pid := ctx.RandomParcelID("MS5", iter)
+			total, err := queryRows(conn, fmt.Sprintf(
+				"SELECT b.id, b.owner, b.landuse FROM parcels a JOIN parcels b ON ST_Touches(b.geo, a.geo) "+
+					"WHERE a.id = %d", pid))
+			if err != nil {
+				return 0, err
+			}
+			// Parcels in a corridor along a sampled road segment.
+			e := ctx.RandomEdge("MS5/road", iter)
+			n, err := queryRows(conn, fmt.Sprintf(
+				"SELECT COUNT(*), SUM(ST_Area(geo)) FROM parcels "+
+					"WHERE ST_Intersects(geo, ST_Buffer(%s, 30))", GeomWKT(e.Geom)))
+			if err != nil {
+				return total, err
+			}
+			total += n
+			// Reclassify the parcel (idempotent, so reruns are stable).
+			if _, err := conn.Exec(fmt.Sprintf(
+				"UPDATE parcels SET landuse = 'public' WHERE id = %d", pid)); err != nil {
+				return total, err
+			}
+			return total, nil
+		},
+	}
+}
+
+// toxicSpill (MS6): a spill on a transport edge — affected water bodies,
+// sensitive sites inside the plume, nearest hospitals for response.
+func toxicSpill() MacroScenario {
+	return MacroScenario{
+		ID:   "MS6",
+		Name: "toxic spill analysis",
+		Run: func(ctx *QueryContext, conn driver.Conn, iter int) (int, error) {
+			e := ctx.RandomEdge("MS6", iter)
+			mid := geom.Coord{
+				X: (e.Geom[0].X + e.Geom[len(e.Geom)-1].X) / 2,
+				Y: (e.Geom[0].Y + e.Geom[len(e.Geom)-1].Y) / 2,
+			}
+			spill := PointWKT(mid)
+			plume := fmt.Sprintf("ST_Buffer(%s, 150)", spill)
+			total := 0
+			n, err := queryRows(conn, fmt.Sprintf(
+				"SELECT id, name FROM areawater WHERE ST_Intersects(geo, %s)", plume))
+			if err != nil {
+				return total, err
+			}
+			total += n
+			n, err = queryRows(conn, fmt.Sprintf(
+				"SELECT id, name, category FROM pointlm WHERE category = 'school' "+
+					"AND ST_Intersects(geo, %s)", plume))
+			if err != nil {
+				return total, err
+			}
+			total += n
+			n, err = queryRows(conn, fmt.Sprintf(
+				"SELECT id, name FROM pointlm WHERE category = 'hospital' "+
+					"ORDER BY ST_Distance(geo, %s) LIMIT 3", spill))
+			if err != nil {
+				return total, err
+			}
+			total += n
+			return total, nil
+		},
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import "fmt"
+
+// MicroQuery is one micro benchmark query: a generator producing the SQL
+// text for a given iteration. Probe geometries vary deterministically
+// per iteration so repeated runs exercise different data while remaining
+// identical across engines.
+type MicroQuery struct {
+	// ID is the experiment identifier (MT1…, MA1…).
+	ID string
+	// Name describes the operation under test.
+	Name string
+	// Category is "topological" or "analysis".
+	Category string
+	// SQL produces the query text for one iteration.
+	SQL func(ctx *QueryContext, iter int) string
+}
+
+// Micro query windows, in city blocks. Topological joins run inside a
+// sampled window so a single execution stays interactive at every scale
+// (the full-table joins of the original paper ran for minutes to hours).
+const (
+	joinWindowBlocks   = 4.0
+	selectWindowBlocks = 6.0
+)
+
+// TopologicalSuite returns the DE-9IM micro benchmark (Jackpine's first
+// micro component): each named topological relation exercised on the
+// geometry-type combination it is most meaningful for.
+func TopologicalSuite() []MicroQuery {
+	return []MicroQuery{
+		{
+			ID: "MT1", Name: "LineString Intersects LineString", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT1", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM edges a JOIN edges b ON ST_Intersects(b.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s) AND a.id < b.id", w)
+			},
+		},
+		{
+			ID: "MT2", Name: "LineString Intersects Polygon", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT2", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm a JOIN edges e ON ST_Intersects(e.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT3", Name: "Polygon Intersects Polygon", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT3", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm a JOIN areawater w ON ST_Intersects(w.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT4", Name: "LineString Crosses Polygon", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT4", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM areawater w JOIN edges e ON ST_Crosses(e.geo, w.geo) "+
+						"WHERE ST_Intersects(w.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT5", Name: "Polygon Overlaps Polygon", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT5", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm a JOIN areawater w ON ST_Overlaps(w.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT6", Name: "Polygon Touches Polygon", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT6", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM parcels a JOIN parcels b ON ST_Touches(b.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s) AND a.id < b.id", w)
+			},
+		},
+		{
+			ID: "MT7", Name: "Point Within Polygon", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT7", iter, selectWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm a JOIN pointlm p ON ST_Within(p.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT8", Name: "Polygon Contains Point", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				p := PointWKT(ctx.Point("MT8", iter))
+				return fmt.Sprintf("SELECT COUNT(*) FROM arealm WHERE ST_Contains(geo, %s)", p)
+			},
+		},
+		{
+			ID: "MT9", Name: "Polygon Equals Polygon", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT9", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm a JOIN arealm b ON ST_Equals(b.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT10", Name: "LineString Within Polygon", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT10", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm a JOIN edges e ON ST_Within(e.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT11", Name: "LineString Touches LineString", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT11", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM edges a JOIN edges b ON ST_Touches(b.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s) AND a.id < b.id", w)
+			},
+		},
+		{
+			ID: "MT12", Name: "Point Intersects LineString", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT12", iter, selectWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM pointlm p JOIN edges e ON ST_Intersects(e.geo, p.geo) "+
+						"WHERE ST_Intersects(p.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT13", Name: "Point Disjoint Polygon (windowed)", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := ctx.Window("MT13", iter, selectWindowBlocks)
+				probe := WindowWKT(ctx.Window("MT13/probe", iter, 2))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM pointlm WHERE ST_Intersects(geo, %s) AND ST_Disjoint(geo, %s)",
+					WindowWKT(w), probe)
+			},
+		},
+		{
+			ID: "MT14", Name: "Polygon Covers Point", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT14", iter, selectWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm a JOIN pointlm p ON ST_Covers(a.geo, p.geo) "+
+						"WHERE ST_Intersects(a.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MT15", Name: "Relate with explicit DE-9IM pattern", Category: "topological",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MT15", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm a JOIN areawater b ON ST_Relate(a.geo, b.geo, 'T*T***T**') "+
+						"WHERE ST_Intersects(a.geo, %s) AND ST_Intersects(b.geo, %s)", w, w)
+			},
+		},
+	}
+}
+
+// AnalysisSuite returns the spatial-analysis-function micro benchmark
+// (Jackpine's second micro component).
+func AnalysisSuite() []MicroQuery {
+	return []MicroQuery{
+		{
+			ID: "MA1", Name: "Total area of area landmarks", Category: "analysis",
+			SQL: func(*QueryContext, int) string {
+				return "SELECT SUM(ST_Area(geo)) FROM arealm"
+			},
+		},
+		{
+			ID: "MA2", Name: "Total length of road edges", Category: "analysis",
+			SQL: func(*QueryContext, int) string {
+				return "SELECT SUM(ST_Length(geo)) FROM edges"
+			},
+		},
+		{
+			ID: "MA3", Name: "Envelope of every water polygon", Category: "analysis",
+			SQL: func(*QueryContext, int) string {
+				return "SELECT SUM(ST_Area(ST_Envelope(geo))) FROM areawater"
+			},
+		},
+		{
+			ID: "MA4", Name: "Buffer around sampled edges", Category: "analysis",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MA4", iter, 2))
+				return fmt.Sprintf(
+					"SELECT SUM(ST_Area(ST_Buffer(geo, 20))) FROM edges WHERE ST_Intersects(geo, %s)", w)
+			},
+		},
+		{
+			ID: "MA5", Name: "Convex hull of landmarks", Category: "analysis",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MA5", iter, selectWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT SUM(ST_Area(ST_ConvexHull(geo))) FROM arealm WHERE ST_Intersects(geo, %s)", w)
+			},
+		},
+		{
+			ID: "MA6", Name: "Distance search (DWithin)", Category: "analysis",
+			SQL: func(ctx *QueryContext, iter int) string {
+				p := PointWKT(ctx.Point("MA6", iter))
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM pointlm WHERE ST_DWithin(geo, %s, %g)", p, 2.5*100.0)
+			},
+		},
+		{
+			ID: "MA7", Name: "Union of intersecting polygon pairs", Category: "analysis",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MA7", iter, joinWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT SUM(ST_Area(ST_Union(a.geo, b.geo))) FROM arealm a "+
+						"JOIN areawater b ON ST_Intersects(b.geo, a.geo) "+
+						"WHERE ST_Intersects(a.geo, %s)", w)
+			},
+		},
+		{
+			ID: "MA8", Name: "Intersection area against probe region", Category: "analysis",
+			SQL: func(ctx *QueryContext, iter int) string {
+				probe := WindowWKT(ctx.Window("MA8", iter, 3))
+				return fmt.Sprintf(
+					"SELECT SUM(ST_Area(ST_Intersection(geo, %s))) FROM arealm WHERE ST_Intersects(geo, %s)",
+					probe, probe)
+			},
+		},
+		{
+			ID: "MA9", Name: "Centroid computation", Category: "analysis",
+			SQL: func(ctx *QueryContext, iter int) string {
+				p := ctx.Point("MA9", iter)
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM arealm WHERE ST_X(ST_Centroid(geo)) > %g", p.X)
+			},
+		},
+		{
+			ID: "MA10", Name: "Boundary decomposition", Category: "analysis",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MA10", iter, selectWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT SUM(ST_NumPoints(ST_Boundary(geo))) FROM arealm WHERE ST_Intersects(geo, %s)", w)
+			},
+		},
+		{
+			ID: "MA11", Name: "Dimension scan", Category: "analysis",
+			SQL: func(ctx *QueryContext, iter int) string {
+				w := WindowWKT(ctx.Window("MA11", iter, selectWindowBlocks))
+				return fmt.Sprintf(
+					"SELECT SUM(ST_Dimension(geo)) FROM parcels WHERE ST_Intersects(geo, %s)", w)
+			},
+		},
+		{
+			ID: "MA12", Name: "Top-k largest landmarks", Category: "analysis",
+			SQL: func(*QueryContext, int) string {
+				return "SELECT id FROM arealm ORDER BY ST_Area(geo) DESC LIMIT 10"
+			},
+		},
+	}
+}
+
+// MicroSuite returns both micro components in order.
+func MicroSuite() []MicroQuery {
+	return append(TopologicalSuite(), AnalysisSuite()...)
+}

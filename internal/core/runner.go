@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"jackpine/internal/driver"
+)
+
+// Options configure a benchmark run.
+type Options struct {
+	// Warmup is the number of unmeasured iterations per query.
+	Warmup int
+	// Runs is the number of measured iterations per query.
+	Runs int
+	// Clients is the number of concurrent connections for macro
+	// throughput measurement (micro queries always run single-stream,
+	// as in the paper).
+	Clients int
+}
+
+// DefaultOptions returns the runner defaults: 2 warmup iterations, 5
+// measured runs, a single client.
+func DefaultOptions() Options { return Options{Warmup: 2, Runs: 5, Clients: 1} }
+
+func (o Options) normalized() Options {
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.Runs < 1 {
+		o.Runs = 1
+	}
+	if o.Clients < 1 {
+		o.Clients = 1
+	}
+	return o
+}
+
+// MicroResult is the measurement of one micro query on one engine.
+type MicroResult struct {
+	ID          string
+	Name        string
+	Category    string
+	Engine      string
+	Runs        int
+	Mean        time.Duration
+	Median      time.Duration
+	P95         time.Duration
+	Min         time.Duration
+	Max         time.Duration
+	Rows        int // rows returned by the last measured run
+	Unsupported bool
+	Err         error
+}
+
+// MacroResult is the measurement of one macro scenario on one engine.
+type MacroResult struct {
+	ID          string
+	Name        string
+	Engine      string
+	Clients     int
+	Ops         int
+	Elapsed     time.Duration
+	Throughput  float64 // operations per second
+	MeanLatency time.Duration
+	RowsPerOp   float64
+	Unsupported bool
+	Err         error
+}
+
+// isUnsupported recognises the engine's feature-gap errors.
+func isUnsupported(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "not supported")
+}
+
+// RunMicro measures every query in the suite against the connector,
+// single-stream. Unsupported queries are reported as such rather than
+// failing the run (the paper's result tables mark these per DBMS).
+func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext, opts Options) ([]MicroResult, error) {
+	opts = opts.normalized()
+	conn, err := connector.Connect()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	results := make([]MicroResult, 0, len(suite))
+	for _, q := range suite {
+		res := MicroResult{
+			ID: q.ID, Name: q.Name, Category: q.Category,
+			Engine: connector.Name(), Runs: opts.Runs,
+		}
+		// Warmup (also surfaces unsupported functions cheaply).
+		aborted := false
+		for w := 0; w < opts.Warmup && !aborted; w++ {
+			if _, err := conn.Query(q.SQL(ctx, w)); err != nil {
+				if isUnsupported(err) {
+					res.Unsupported = true
+				} else {
+					res.Err = err
+				}
+				aborted = true
+			}
+		}
+		if !aborted {
+			durations := make([]time.Duration, 0, opts.Runs)
+			for i := 0; i < opts.Runs; i++ {
+				query := q.SQL(ctx, opts.Warmup+i)
+				start := time.Now()
+				rs, err := conn.Query(query)
+				elapsed := time.Since(start)
+				if err != nil {
+					if isUnsupported(err) {
+						res.Unsupported = true
+					} else {
+						res.Err = fmt.Errorf("%s: %w", q.ID, err)
+					}
+					break
+				}
+				durations = append(durations, elapsed)
+				res.Rows = len(rs.Rows)
+			}
+			if len(durations) > 0 {
+				fillStats(&res, durations)
+			}
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func fillStats(res *MicroResult, ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	res.Runs = len(ds)
+	res.Mean = sum / time.Duration(len(ds))
+	res.Median = ds[len(ds)/2]
+	res.P95 = ds[(len(ds)*95)/100]
+	res.Min = ds[0]
+	res.Max = ds[len(ds)-1]
+}
+
+// RunMacro measures one scenario's throughput with opts.Clients
+// concurrent connections, each performing opts.Runs operations after
+// opts.Warmup unmeasured ones. Iteration numbers are partitioned across
+// clients so concurrent operations touch different probe locations.
+func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, opts Options) MacroResult {
+	opts = opts.normalized()
+	res := MacroResult{
+		ID: sc.ID, Name: sc.Name, Engine: connector.Name(), Clients: opts.Clients,
+	}
+
+	// Feature probe: run one operation; an unsupported error marks the
+	// whole scenario, mirroring the paper's per-DBMS support table.
+	probeConn, err := connector.Connect()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if _, err := sc.Run(ctx, probeConn, 0); err != nil {
+		probeConn.Close()
+		if isUnsupported(err) {
+			res.Unsupported = true
+		} else {
+			res.Err = err
+		}
+		return res
+	}
+	probeConn.Close()
+
+	type clientOut struct {
+		ops  int
+		rows int
+		err  error
+	}
+	outs := make([]clientOut, opts.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := connector.Connect()
+			if err != nil {
+				outs[c].err = err
+				return
+			}
+			defer conn.Close()
+			base := 1 + c*(opts.Warmup+opts.Runs)
+			for w := 0; w < opts.Warmup; w++ {
+				if _, err := sc.Run(ctx, conn, base+w); err != nil {
+					outs[c].err = err
+					return
+				}
+			}
+			for i := 0; i < opts.Runs; i++ {
+				rows, err := sc.Run(ctx, conn, base+opts.Warmup+i)
+				if err != nil {
+					outs[c].err = err
+					return
+				}
+				outs[c].ops++
+				outs[c].rows += rows
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	totalRows := 0
+	for _, o := range outs {
+		if o.err != nil && res.Err == nil {
+			res.Err = o.err
+		}
+		res.Ops += o.ops
+		totalRows += o.rows
+	}
+	if res.Ops > 0 && res.Elapsed > 0 {
+		res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
+		res.MeanLatency = res.Elapsed / time.Duration(res.Ops) * time.Duration(opts.Clients)
+		res.RowsPerOp = float64(totalRows) / float64(res.Ops)
+	}
+	return res
+}
+
+// RunMacroSuite runs every scenario.
+func RunMacroSuite(connector driver.Connector, ctx *QueryContext, opts Options) []MacroResult {
+	var out []MacroResult
+	for _, sc := range MacroSuite() {
+		out = append(out, RunMacro(connector, sc, ctx, opts))
+	}
+	return out
+}

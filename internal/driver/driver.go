@@ -1,0 +1,116 @@
+// Package driver defines the database-access abstraction the Jackpine
+// benchmark runs against — the role JDBC plays in the original paper.
+// Any engine reachable through a Connector can be benchmarked: the
+// in-process connector in this package wraps a local engine directly,
+// and package wire provides a TCP client/server pair implementing the
+// same interfaces for remote engines.
+package driver
+
+import (
+	"fmt"
+	"sync"
+
+	"jackpine/internal/engine"
+	"jackpine/internal/sql"
+	"jackpine/internal/storage"
+)
+
+// ResultSet is a fully-retrieved query result. Benchmark timings include
+// building it, mirroring a JDBC client draining its result cursor.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]storage.Value
+}
+
+// Conn is a single database session.
+type Conn interface {
+	// Exec runs a statement that returns no rows and reports the number
+	// of affected rows.
+	Exec(query string) (int, error)
+	// Query runs a statement and retrieves its full result.
+	Query(query string) (*ResultSet, error)
+	// Close releases the session.
+	Close() error
+}
+
+// Connector creates sessions against one database instance.
+type Connector interface {
+	// Name identifies the target database (profile name).
+	Name() string
+	// Connect opens a new session.
+	Connect() (Conn, error)
+}
+
+// --- in-process connector ------------------------------------------------
+
+// InProc is a Connector bound directly to a local engine.
+type InProc struct {
+	eng *engine.Engine
+}
+
+// NewInProc wraps an engine in a Connector.
+func NewInProc(eng *engine.Engine) *InProc { return &InProc{eng: eng} }
+
+// Engine returns the wrapped engine (for experiment hooks such as cache
+// drops and index toggles).
+func (c *InProc) Engine() *engine.Engine { return c.eng }
+
+// Name implements Connector.
+func (c *InProc) Name() string { return c.eng.Profile().Name }
+
+// Connect implements Connector.
+func (c *InProc) Connect() (Conn, error) {
+	return &inProcConn{eng: c.eng}, nil
+}
+
+type inProcConn struct {
+	mu     sync.Mutex
+	eng    *engine.Engine
+	closed bool
+}
+
+func (c *inProcConn) guard() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("driver: connection is closed")
+	}
+	return nil
+}
+
+// Exec implements Conn.
+func (c *inProcConn) Exec(query string) (int, error) {
+	if err := c.guard(); err != nil {
+		return 0, err
+	}
+	res, err := c.eng.Exec(query)
+	if err != nil {
+		return 0, err
+	}
+	return res.Affected, nil
+}
+
+// Query implements Conn.
+func (c *inProcConn) Query(query string) (*ResultSet, error) {
+	if err := c.guard(); err != nil {
+		return nil, err
+	}
+	res, err := c.eng.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	return FromSQLResult(res), nil
+}
+
+// Close implements Conn.
+func (c *inProcConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// FromSQLResult converts an engine result into a driver ResultSet.
+func FromSQLResult(res *sql.Result) *ResultSet {
+	return &ResultSet{Columns: res.Columns, Rows: res.Rows}
+}

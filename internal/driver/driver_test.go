@@ -1,0 +1,105 @@
+package driver
+
+import (
+	"testing"
+
+	"jackpine/internal/engine"
+)
+
+func TestInProcConnLifecycle(t *testing.T) {
+	eng := engine.Open(engine.GaiaDB())
+	connector := NewInProc(eng)
+	if connector.Name() != "gaiadb" {
+		t.Errorf("Name = %q", connector.Name())
+	}
+	if connector.Engine() != eng {
+		t.Error("Engine accessor broken")
+	}
+
+	conn, err := connector.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := conn.Exec("CREATE TABLE t (a INTEGER, g GEOMETRY)"); err != nil || n != 0 {
+		t.Fatalf("create: n=%d err=%v", n, err)
+	}
+	n, err := conn.Exec("INSERT INTO t VALUES (1, ST_MakePoint(0, 0)), (2, NULL)")
+	if err != nil || n != 2 {
+		t.Fatalf("insert: n=%d err=%v", n, err)
+	}
+	rs, err := conn.Query("SELECT a FROM t ORDER BY a DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Columns) != 1 || len(rs.Rows) != 2 || rs.Rows[0][0].Int != 2 {
+		t.Errorf("result = %+v", rs)
+	}
+
+	// Errors propagate.
+	if _, err := conn.Query("SELECT nope FROM missing"); err == nil {
+		t.Error("query error not propagated")
+	}
+
+	// Closed connections refuse work; closing twice is fine.
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("SELECT a FROM t"); err == nil {
+		t.Error("exec on closed connection succeeded")
+	}
+	if _, err := conn.Query("SELECT a FROM t"); err == nil {
+		t.Error("query on closed connection succeeded")
+	}
+	if err := conn.Close(); err != nil {
+		t.Error("double close errored")
+	}
+
+	// New connections to the same engine still work and see the data.
+	conn2, err := connector.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	rs, err = conn2.Query("SELECT COUNT(*) FROM t")
+	if err != nil || rs.Rows[0][0].Int != 2 {
+		t.Errorf("second connection: %v, %v", rs, err)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	eng := engine.Open(engine.GaiaDB())
+	connector := NewInProc(eng)
+	setup, _ := connector.Connect()
+	setup.Exec("CREATE TABLE t (a INTEGER)")
+	setup.Exec("INSERT INTO t VALUES (1), (2), (3)")
+	setup.Close()
+
+	done := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		go func() {
+			conn, err := connector.Connect()
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			for j := 0; j < 40; j++ {
+				rs, err := conn.Query("SELECT SUM(a) FROM t")
+				if err != nil {
+					done <- err
+					return
+				}
+				if rs.Rows[0][0].Int != 6 {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

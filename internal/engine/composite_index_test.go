@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// compositeFixture builds an address-book style table with a composite
+// (city, street, number) index.
+func compositeFixture(t *testing.T) *Engine {
+	t.Helper()
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE addr (id INTEGER, city TEXT, street TEXT, num INTEGER)")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO addr VALUES ")
+	id := 0
+	for _, city := range []string{"ash", "birch", "cedar"} {
+		for _, street := range []string{"main", "oak", "pine"} {
+			for num := 1; num <= 20; num++ {
+				if id > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "(%d, '%s', '%s', %d)", id, city, street, num)
+				id++
+			}
+		}
+	}
+	e.MustExec(sb.String())
+	e.MustExec("CREATE INDEX addr_csn ON addr (city, street, num)")
+	return e
+}
+
+func TestCompositeIndexFullSeek(t *testing.T) {
+	e := compositeFixture(t)
+	res := e.MustExec("SELECT id FROM addr WHERE city = 'birch' AND street = 'oak' AND num = 7")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Access[0] != "addr:btree-seek" {
+		t.Errorf("access = %v", res.Access)
+	}
+}
+
+func TestCompositeIndexPrefixScan(t *testing.T) {
+	e := compositeFixture(t)
+	// Two of three columns: prefix scan.
+	res := e.MustExec("SELECT COUNT(*) FROM addr WHERE city = 'birch' AND street = 'oak'")
+	if res.Rows[0][0].Int != 20 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if res.Access[0] != "addr:btree-range" {
+		t.Errorf("access = %v", res.Access)
+	}
+	// One of three columns.
+	res = e.MustExec("SELECT COUNT(*) FROM addr WHERE city = 'cedar'")
+	if res.Rows[0][0].Int != 60 || res.Access[0] != "addr:btree-range" {
+		t.Errorf("one-col prefix: %v (%v)", res.Rows[0][0], res.Access)
+	}
+	// Equality on a non-prefix column alone cannot use the index.
+	res = e.MustExec("SELECT COUNT(*) FROM addr WHERE street = 'oak'")
+	if res.Rows[0][0].Int != 60 || res.Access[0] != "addr:seqscan" {
+		t.Errorf("non-prefix: %v (%v)", res.Rows[0][0], res.Access)
+	}
+}
+
+func TestCompositeIndexPrefixPlusRange(t *testing.T) {
+	e := compositeFixture(t)
+	res := e.MustExec("SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'main' AND num BETWEEN 5 AND 9")
+	if res.Rows[0][0].Int != 5 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if res.Access[0] != "addr:btree-range" {
+		t.Errorf("access = %v", res.Access)
+	}
+	res = e.MustExec("SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'main' AND num <= 3")
+	if res.Rows[0][0].Int != 3 || res.Access[0] != "addr:btree-range" {
+		t.Errorf("upper-bounded: %v (%v)", res.Rows[0][0], res.Access)
+	}
+}
+
+func TestCompositeIndexMatchesSeqscan(t *testing.T) {
+	// Every indexed query must return exactly what a sequential scan
+	// returns on an identical unindexed table.
+	indexed := compositeFixture(t)
+	plain := Open(GaiaDB())
+	plain.MustExec("CREATE TABLE addr (id INTEGER, city TEXT, street TEXT, num INTEGER)")
+	indexed.MustExec("CREATE TABLE probe_src (x INTEGER)") // unrelated noise table
+	rows := indexed.MustExec("SELECT id, city, street, num FROM addr ORDER BY id").Rows
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO addr VALUES ")
+	for i, r := range rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, '%s', '%s', %d)", r[0].Int, r[1].Text, r[2].Text, r[3].Int)
+	}
+	plain.MustExec(sb.String())
+
+	queries := []string{
+		"SELECT COUNT(*) FROM addr WHERE city = 'ash'",
+		"SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'pine'",
+		"SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'pine' AND num = 20",
+		"SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'pine' AND num >= 10",
+		"SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'pine' AND num <= 10",
+		"SELECT COUNT(*) FROM addr WHERE city = 'ash' AND num = 3",
+		"SELECT COUNT(*) FROM addr WHERE city = 'zzz'",
+		"SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'pine' AND num BETWEEN 21 AND 99",
+	}
+	for _, q := range queries {
+		a := indexed.MustExec(q).Rows[0][0].Int
+		b := plain.MustExec(q).Rows[0][0].Int
+		if a != b {
+			t.Errorf("%s: indexed %d != seqscan %d", q, a, b)
+		}
+	}
+}
+
+func TestCompositeIndexTextFraming(t *testing.T) {
+	// ("ab","c") and ("a","bc") must not collide in the composite key.
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE f (a TEXT, b TEXT)")
+	e.MustExec("INSERT INTO f VALUES ('ab', 'c'), ('a', 'bc')")
+	e.MustExec("CREATE INDEX fab ON f (a, b)")
+	res := e.MustExec("SELECT COUNT(*) FROM f WHERE a = 'ab' AND b = 'c'")
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("framed seek count = %v", res.Rows[0][0])
+	}
+	if res.Access[0] != "f:btree-seek" {
+		t.Errorf("access = %v", res.Access)
+	}
+	// Strings containing NUL bytes survive the escaping.
+	e.MustExec("INSERT INTO f VALUES ('x' || 'y', 'z')")
+	res = e.MustExec("SELECT COUNT(*) FROM f WHERE a = 'xy' AND b = 'z'")
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("concat key count = %v", res.Rows[0][0])
+	}
+}
+
+func TestCompositeIndexMaintainedByDML(t *testing.T) {
+	e := compositeFixture(t)
+	e.MustExec("DELETE FROM addr WHERE city = 'ash' AND street = 'main' AND num = 1")
+	res := e.MustExec("SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'main'")
+	if res.Rows[0][0].Int != 19 {
+		t.Errorf("after delete: %v", res.Rows[0][0])
+	}
+	e.MustExec("UPDATE addr SET city = 'dogwood' WHERE city = 'ash' AND street = 'main' AND num = 2")
+	res = e.MustExec("SELECT COUNT(*) FROM addr WHERE city = 'dogwood'")
+	if res.Rows[0][0].Int != 1 || res.Access[0] != "addr:btree-range" {
+		t.Errorf("after update: %v (%v)", res.Rows[0][0], res.Access)
+	}
+	res = e.MustExec("SELECT COUNT(*) FROM addr WHERE city = 'ash' AND street = 'main'")
+	if res.Rows[0][0].Int != 18 {
+		t.Errorf("stale entry after update: %v", res.Rows[0][0])
+	}
+	// NULL components are not indexed but remain query-visible.
+	e.MustExec("INSERT INTO addr VALUES (9999, NULL, 'oak', 5)")
+	res = e.MustExec("SELECT COUNT(*) FROM addr WHERE id = 9999")
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("null-component row lost: %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,28 @@
+package engine
+
+import "testing"
+
+func TestDropTable(t *testing.T) {
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE t (a INTEGER)")
+	e.MustExec("INSERT INTO t VALUES (1)")
+	e.MustExec("DROP TABLE t")
+	if _, err := e.Exec("SELECT * FROM t"); err == nil {
+		t.Error("dropped table still queryable")
+	}
+	// The name is reusable with a different schema.
+	e.MustExec("CREATE TABLE t (x TEXT, y TEXT)")
+	e.MustExec("INSERT INTO t VALUES ('a', 'b')")
+	if e.MustExec("SELECT COUNT(*) FROM t").Rows[0][0].Int != 1 {
+		t.Error("recreated table broken")
+	}
+
+	if _, err := e.Exec("DROP TABLE nosuch"); err == nil {
+		t.Error("drop of missing table accepted")
+	}
+	e.MustExec("DROP TABLE IF EXISTS nosuch") // no error
+	e.MustExec("DROP TABLE IF EXISTS t")
+	if names := e.TableNames(); len(names) != 0 {
+		t.Errorf("tables remain: %v", names)
+	}
+}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"jackpine/internal/sql"
+	"jackpine/internal/storage"
+)
+
+// defaultPoolPages sizes the buffer pool when the profile does not
+// (4096 pages = 32 MiB).
+const defaultPoolPages = 4096
+
+// Engine is a complete spatial database instance.
+type Engine struct {
+	profile Profile
+	store   storage.PageStore
+	pool    *storage.BufferPool
+	runner  *sql.Runner
+	reg     *sql.Registry
+
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// Option configures Open.
+type Option func(*options)
+
+type options struct {
+	store     storage.PageStore
+	poolPages int
+}
+
+// WithStore backs the engine with a custom page store (e.g. a FileStore).
+func WithStore(s storage.PageStore) Option {
+	return func(o *options) { o.store = s }
+}
+
+// WithPoolPages overrides the buffer pool size in pages.
+func WithPoolPages(n int) Option {
+	return func(o *options) { o.poolPages = n }
+}
+
+// Open creates an engine with the given profile.
+func Open(profile Profile, opts ...Option) *Engine {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.store == nil {
+		o.store = storage.NewMemStore()
+	}
+	if o.poolPages == 0 {
+		o.poolPages = profile.BufferPoolPages
+	}
+	if o.poolPages == 0 {
+		o.poolPages = defaultPoolPages
+	}
+	e := &Engine{
+		profile: profile,
+		store:   o.store,
+		pool:    storage.NewBufferPool(o.store, o.poolPages),
+		tables:  make(map[string]*table),
+		reg:     sql.NewRegistry(profile.registryOptions()),
+	}
+	e.runner = sql.NewRunner(e, e.reg)
+	return e
+}
+
+// Profile returns the engine's profile.
+func (e *Engine) Profile() Profile { return e.profile }
+
+// Pool exposes the buffer pool (cache experiments).
+func (e *Engine) Pool() *storage.BufferPool { return e.pool }
+
+// Close releases the backing store.
+func (e *Engine) Close() error {
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	return e.store.Close()
+}
+
+// Exec parses and executes one SQL statement. Reads run concurrently;
+// DDL and DML serialize against everything else.
+func (e *Engine) Exec(query string) (*sql.Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if _, isSelect := stmt.(*sql.Select); isSelect {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+	} else {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
+	return e.runner.Execute(stmt)
+}
+
+// MustExec executes a statement and panics on error; intended for
+// loaders and tests.
+func (e *Engine) MustExec(query string) *sql.Result {
+	res, err := e.Exec(query)
+	if err != nil {
+		panic(fmt.Sprintf("engine %s: %s: %v", e.profile.Name, query, err))
+	}
+	return res
+}
+
+// --- sql.Catalog ---------------------------------------------------------
+// The catalog methods are called with e.mu already held by Exec; direct
+// callers (the loader) go through Exec.
+
+// Table implements sql.Catalog.
+func (e *Engine) Table(name string) (sql.Table, bool) {
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return t, true
+}
+
+// CreateTable implements sql.Catalog.
+func (e *Engine) CreateTable(name string, cols []sql.Column) error {
+	key := strings.ToLower(name)
+	if _, exists := e.tables[key]; exists {
+		return fmt.Errorf("engine: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("engine: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c.Name] {
+			return fmt.Errorf("engine: duplicate column %q in table %q", c.Name, name)
+		}
+		seen[c.Name] = true
+	}
+	e.tables[key] = newTable(key, cols, e.pool)
+	return nil
+}
+
+// CreateIndex implements sql.Catalog.
+func (e *Engine) CreateIndex(_, tableName string, columns []string, spatial bool) error {
+	t, ok := e.tables[strings.ToLower(tableName)]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", tableName)
+	}
+	if spatial {
+		if len(columns) != 1 {
+			return fmt.Errorf("engine: spatial indexes take exactly one column")
+		}
+		return t.buildSpatialIndex(columns[0], e.profile.SpatialIndex, e.profile.GridDim)
+	}
+	return t.buildAttrIndex(columns)
+}
+
+// Vacuum implements sql.Catalog: it rewrites the table's heap into fresh
+// pages (reclaiming tombstoned slots and abandoned overflow chains left
+// by DELETE and UPDATE) and rebuilds its indexes. The old pages remain
+// allocated in the page store; only a store rewrite reclaims them.
+func (e *Engine) Vacuum(tableName string) error {
+	t, ok := e.tables[strings.ToLower(tableName)]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", tableName)
+	}
+	return t.rebuild(e.pool, e.profile.SpatialIndex, e.profile.GridDim)
+}
+
+// DropTable implements sql.Catalog. The table's pages remain allocated
+// in the page store (as with Vacuum, only a store rewrite reclaims them)
+// but all in-memory structures are released.
+func (e *Engine) DropTable(tableName string, ifExists bool) error {
+	key := strings.ToLower(tableName)
+	if _, ok := e.tables[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("engine: unknown table %q", tableName)
+	}
+	delete(e.tables, key)
+	return nil
+}
+
+// DropSpatialIndex removes the spatial index on table.column, reporting
+// whether it existed. Used by the index-effect experiment (E5).
+func (e *Engine) DropSpatialIndex(tableName, column string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(tableName)]
+	if !ok {
+		return false
+	}
+	return t.dropSpatialIndex(column)
+}
+
+// TableNames returns the sorted table names.
+func (e *Engine) TableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SupportsFunction reports whether the profile provides the SQL function.
+func (e *Engine) SupportsFunction(name string) bool {
+	return e.reg.Has(strings.ToUpper(name))
+}
+
+// FunctionNames lists the functions this engine supports.
+func (e *Engine) FunctionNames() []string { return e.reg.Names() }

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fx creates an engine with a small shapes table for function tests.
+func fx(t *testing.T) *Engine {
+	t.Helper()
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE shapes (id INTEGER, g GEOMETRY)")
+	e.MustExec("INSERT INTO shapes VALUES " +
+		"(1, ST_GeomFromText('POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))'))," +
+		"(2, ST_GeomFromText('LINESTRING (0 0, 1 0, 2 0, 3 0, 4 0)'))," +
+		"(3, ST_GeomFromText('MULTIPOINT ((1 1), (2 2), (3 3))'))," +
+		"(4, ST_MakePoint(7, 8))")
+	return e
+}
+
+func TestSQLWKBRoundTrip(t *testing.T) {
+	e := fx(t)
+	res := e.MustExec("SELECT ST_AsText(ST_GeomFromWKB(ST_AsBinary(g))) FROM shapes WHERE id = 1")
+	if got := res.Rows[0][0].Text; got != "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))" {
+		t.Errorf("WKB round trip = %q", got)
+	}
+	if _, err := e.Exec("SELECT ST_GeomFromWKB('zz-not-hex') FROM shapes"); err == nil {
+		t.Error("bad hex accepted")
+	}
+}
+
+func TestSQLSimplify(t *testing.T) {
+	e := fx(t)
+	res := e.MustExec("SELECT ST_NumPoints(ST_Simplify(g, 0.1)) FROM shapes WHERE id = 2")
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("simplified collinear line has %v points", res.Rows[0][0])
+	}
+	// Area is preserved for a convex polygon under mild simplification.
+	res = e.MustExec("SELECT ST_Area(ST_Simplify(g, 0.01)) FROM shapes WHERE id = 1")
+	if math.Abs(res.Rows[0][0].Float-16) > 1e-9 {
+		t.Errorf("simplified area = %v", res.Rows[0][0])
+	}
+}
+
+func TestSQLCollectionAccessors(t *testing.T) {
+	e := fx(t)
+	res := e.MustExec("SELECT ST_NumGeometries(g) FROM shapes ORDER BY id")
+	want := []int64{1, 1, 3, 1}
+	for i, row := range res.Rows {
+		if row[0].Int != want[i] {
+			t.Errorf("row %d: NumGeometries = %v, want %d", i, row[0], want[i])
+		}
+	}
+	res = e.MustExec("SELECT ST_AsText(ST_GeometryN(g, 2)) FROM shapes WHERE id = 3")
+	if res.Rows[0][0].Text != "POINT (2 2)" {
+		t.Errorf("GeometryN = %v", res.Rows[0][0])
+	}
+	res = e.MustExec("SELECT ST_GeometryN(g, 9) FROM shapes WHERE id = 3")
+	if !res.Rows[0][0].IsNull() {
+		t.Error("out-of-range GeometryN should be NULL")
+	}
+}
+
+func TestSQLTranslateAndEnvelopeOrdinates(t *testing.T) {
+	e := fx(t)
+	res := e.MustExec("SELECT ST_AsText(ST_Translate(g, 10, -5)) FROM shapes WHERE id = 4")
+	if res.Rows[0][0].Text != "POINT (17 3)" {
+		t.Errorf("translate = %v", res.Rows[0][0])
+	}
+	res = e.MustExec("SELECT ST_XMin(g), ST_YMin(g), ST_XMax(g), ST_YMax(g) FROM shapes WHERE id = 1")
+	r := res.Rows[0]
+	if r[0].Float != 0 || r[1].Float != 0 || r[2].Float != 4 || r[3].Float != 4 {
+		t.Errorf("envelope ordinates = %v", r)
+	}
+	// Translating must not mutate the stored geometry.
+	res = e.MustExec("SELECT ST_AsText(g) FROM shapes WHERE id = 4")
+	if res.Rows[0][0].Text != "POINT (7 8)" {
+		t.Errorf("stored geometry mutated: %v", res.Rows[0][0])
+	}
+}
+
+func TestGroupByOrderByLimit(t *testing.T) {
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE sales (region TEXT, amount INTEGER)")
+	e.MustExec("INSERT INTO sales VALUES ('west', 10), ('east', 30), ('west', 5), ('north', 20), ('east', 1)")
+
+	// ORDER BY an aggregate alias.
+	res := e.MustExec("SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY total DESC")
+	if res.Rows[0][0].Text != "east" || res.Rows[2][0].Text != "west" {
+		t.Errorf("order by alias: %v", res.Rows)
+	}
+	// ORDER BY the group key.
+	res = e.MustExec("SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region")
+	if res.Rows[0][0].Text != "east" || res.Rows[1][0].Text != "north" || res.Rows[2][0].Text != "west" {
+		t.Errorf("order by key: %v", res.Rows)
+	}
+	// ORDER BY ordinal + LIMIT/OFFSET after grouping.
+	res = e.MustExec("SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY 2 DESC LIMIT 1 OFFSET 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Text != "north" {
+		t.Errorf("ordinal order with limit: %v", res.Rows)
+	}
+	// ORDER BY the aggregate expression text.
+	res = e.MustExec("SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY SUM(amount)")
+	if res.Rows[0][0].Text != "west" {
+		t.Errorf("order by aggregate expr: %v", res.Rows)
+	}
+	// Unresolvable ORDER BY errors out.
+	if _, err := e.Exec("SELECT region FROM sales GROUP BY region ORDER BY amount"); err == nil ||
+		!strings.Contains(err.Error(), "ORDER BY") {
+		t.Errorf("expected ORDER BY resolution error, got %v", err)
+	}
+}
+
+func TestAggregateArithmetic(t *testing.T) {
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE v (x INTEGER)")
+	e.MustExec("INSERT INTO v VALUES (1), (2), (3), (4)")
+	res := e.MustExec("SELECT SUM(x) * 2 + COUNT(*) FROM v")
+	if res.Rows[0][0].Int != 10*2+4 {
+		t.Errorf("aggregate arithmetic = %v", res.Rows[0][0])
+	}
+	res = e.MustExec("SELECT MAX(x) - MIN(x), AVG(x) FROM v")
+	if res.Rows[0][0].Int != 3 || res.Rows[0][1].Float != 2.5 {
+		t.Errorf("max-min/avg = %v", res.Rows[0])
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE s (name TEXT, x DOUBLE)")
+	e.MustExec("INSERT INTO s VALUES ('Main St', -2.7), (NULL, 9)")
+	res := e.MustExec("SELECT UPPER(name), LOWER(name), LENGTH(name), ABS(x), FLOOR(x), CEIL(x), SQRT(ABS(x)) FROM s WHERE name IS NOT NULL")
+	r := res.Rows[0]
+	if r[0].Text != "MAIN ST" || r[1].Text != "main st" || r[2].Int != 7 {
+		t.Errorf("text funcs = %v", r)
+	}
+	if r[3].Float != 2.7 || r[4].Float != -3 || r[5].Float != -2 {
+		t.Errorf("numeric funcs = %v", r)
+	}
+	res = e.MustExec("SELECT COALESCE(name, 'unknown') FROM s WHERE name IS NULL")
+	if res.Rows[0][0].Text != "unknown" {
+		t.Errorf("coalesce = %v", res.Rows[0][0])
+	}
+}
+
+func TestLikeAndConcat(t *testing.T) {
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE s (name TEXT)")
+	e.MustExec("INSERT INTO s VALUES ('Oak St'), ('Oak Ave'), ('Pine St')")
+	res := e.MustExec("SELECT COUNT(*) FROM s WHERE name LIKE 'Oak%'")
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("LIKE count = %v", res.Rows[0][0])
+	}
+	res = e.MustExec("SELECT name || ' (road)' FROM s WHERE name LIKE '%Ave'")
+	if res.Rows[0][0].Text != "Oak Ave (road)" {
+		t.Errorf("concat = %v", res.Rows[0][0])
+	}
+}

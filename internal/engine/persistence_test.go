@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jackpine/internal/storage"
+)
+
+// TestFileBackedEngine runs the engine over a FileStore: every page read
+// and write goes through the page file, exercising the full
+// pool-to-disk path under real queries.
+func TestFileBackedEngine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fs, err := storage.NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small pool forces evictions (and therefore page-file writes)
+	// during loading.
+	e := Open(GaiaDB(), WithStore(fs), WithPoolPages(16))
+	e.MustExec("CREATE TABLE pts (id INTEGER, name TEXT, loc GEOMETRY)")
+	for i := 0; i < 40; i++ {
+		e.MustExec("INSERT INTO pts VALUES " + rowsFor(i))
+	}
+	e.MustExec("CREATE SPATIAL INDEX pts_loc ON pts (loc)")
+
+	res := e.MustExec("SELECT COUNT(*) FROM pts")
+	if res.Rows[0][0].Int != 40*50 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	res = e.MustExec("SELECT COUNT(*) FROM pts WHERE ST_DWithin(loc, ST_MakePoint(100, 100), 50)")
+	n1 := res.Rows[0][0].Int
+
+	// Drop the cache: all further reads fault in from the file.
+	if err := e.Pool().DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	res = e.MustExec("SELECT COUNT(*) FROM pts WHERE ST_DWithin(loc, ST_MakePoint(100, 100), 50)")
+	if res.Rows[0][0].Int != n1 {
+		t.Errorf("post-drop count %v != %v", res.Rows[0][0], n1)
+	}
+	if e.Pool().Stats().Misses == 0 {
+		t.Error("expected page faults after cache drop")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rowsFor builds a 50-row VALUES list with deterministic coordinates.
+func rowsFor(batch int) string {
+	out := ""
+	for j := 0; j < 50; j++ {
+		if j > 0 {
+			out += ", "
+		}
+		id := batch*50 + j
+		x := float64(id%40) * 10
+		y := float64(id/40) * 10
+		out += "(" + itoa(id) + ", 'pt-" + itoa(id) + "', ST_MakePoint(" + ftoa(x) + ", " + ftoa(y) + "))"
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(v float64) string { return itoa(int(v)) }

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpatialAggregates(t *testing.T) {
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE plots (zone TEXT, g GEOMETRY)")
+	e.MustExec("INSERT INTO plots VALUES " +
+		"('a', ST_MakeEnvelope(0, 0, 2, 2))," +
+		"('a', ST_MakeEnvelope(1, 0, 3, 2))," + // overlaps the first
+		"('b', ST_MakeEnvelope(10, 10, 12, 12))," +
+		"('b', NULL)")
+
+	// ST_Union as an aggregate dissolves overlapping geometry.
+	res := e.MustExec("SELECT zone, ST_Area(ST_Union(g)) FROM plots GROUP BY zone ORDER BY zone")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if got := res.Rows[0][1].Float; math.Abs(got-6) > 1e-9 {
+		t.Errorf("zone a dissolved area = %v, want 6 (2x2 + 2x2 minus 1x2 overlap)", got)
+	}
+	if got := res.Rows[1][1].Float; math.Abs(got-4) > 1e-9 {
+		t.Errorf("zone b dissolved area = %v, want 4", got)
+	}
+
+	// ST_Extent returns the bounding box of a group (zoom-to-fit).
+	res = e.MustExec("SELECT ST_AsText(ST_Extent(g)) FROM plots")
+	if res.Rows[0][0].Text != "POLYGON ((0 0, 12 0, 12 12, 0 12, 0 0))" {
+		t.Errorf("extent = %v", res.Rows[0][0])
+	}
+
+	// The two-argument ST_Union is still the scalar overlay function.
+	res = e.MustExec("SELECT ST_Area(ST_Union(ST_MakeEnvelope(0,0,1,1), ST_MakeEnvelope(2,2,3,3))) FROM plots LIMIT 1")
+	if got := res.Rows[0][0].Float; math.Abs(got-2) > 1e-9 {
+		t.Errorf("scalar union area = %v, want 2", got)
+	}
+
+	// Aggregate over empty group is NULL.
+	res = e.MustExec("SELECT ST_Union(g) FROM plots WHERE zone = 'nope'")
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("empty ST_Union = %v", res.Rows[0][0])
+	}
+	// Aggregate over a non-geometry column errors.
+	if _, err := e.Exec("SELECT ST_Union(zone) FROM plots"); err == nil {
+		t.Error("ST_Union over text accepted")
+	}
+}

@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"jackpine/internal/geom"
+	"jackpine/internal/index/btree"
+	"jackpine/internal/index/grid"
+	"jackpine/internal/index/rtree"
+	"jackpine/internal/sql"
+	"jackpine/internal/storage"
+)
+
+// table implements sql.Table over a heap file plus indexes.
+type table struct {
+	name string
+	cols []sql.Column
+	heap *storage.HeapFile
+
+	mu       sync.RWMutex
+	spatial  map[string]spatialIndex // column -> index
+	attr     []*attrIdx              // attribute indexes, composite-capable
+	geomCols map[string]int          // geometry column name -> offset
+}
+
+// attrIdx is one attribute index: ordered columns with their offsets and
+// types, over a B+tree of concatenated component encodings.
+type attrIdx struct {
+	columns []string
+	offs    []int
+	types   []storage.ValueType
+	tree    *btree.Tree
+}
+
+// key builds the composite key for a row, or ok=false when any component
+// is NULL (such rows are not indexed; SQL equality never matches NULL).
+func (ix *attrIdx) key(row []storage.Value) ([]byte, bool) {
+	var key []byte
+	for i, off := range ix.offs {
+		v := row[off]
+		if v.IsNull() {
+			return nil, false
+		}
+		switch ix.types[i] {
+		case storage.TypeInt, storage.TypeBool:
+			key = btree.AppendInt(key, v.Int)
+		case storage.TypeFloat:
+			f, _ := v.AsFloat()
+			key = btree.AppendFloat(key, f)
+		case storage.TypeText:
+			key = btree.AppendText(key, v.Text)
+		default:
+			return nil, false
+		}
+	}
+	return key, true
+}
+
+// spatialIndex unifies the R-tree and grid behind sql.SpatialIndex plus
+// the mutation operations the table needs.
+type spatialIndex interface {
+	sql.SpatialIndex
+	insert(r geom.Rect, id sql.RowID)
+	remove(r geom.Rect, id sql.RowID)
+}
+
+type rtreeIndex struct{ t *rtree.Tree }
+
+func (x rtreeIndex) Search(w geom.Rect, fn func(sql.RowID) bool) {
+	x.t.Search(w, func(e rtree.Entry) bool { return fn(sql.RowID(e.ID)) })
+}
+
+func (x rtreeIndex) Nearest(p geom.Coord, fn func(sql.RowID, float64) bool) {
+	x.t.Nearest(p, func(e rtree.Entry, d float64) bool { return fn(sql.RowID(e.ID), d) })
+}
+
+func (x rtreeIndex) Len() int { return x.t.Len() }
+
+func (x rtreeIndex) insert(r geom.Rect, id sql.RowID) { x.t.Insert(r, int64(id)) }
+
+func (x rtreeIndex) remove(r geom.Rect, id sql.RowID) { x.t.Delete(r, int64(id)) }
+
+type gridIndex struct{ g *grid.Index }
+
+func (x gridIndex) Search(w geom.Rect, fn func(sql.RowID) bool) {
+	x.g.Search(w, func(e grid.Entry) bool { return fn(sql.RowID(e.ID)) })
+}
+
+func (x gridIndex) Nearest(p geom.Coord, fn func(sql.RowID, float64) bool) {
+	x.g.Nearest(p, func(e grid.Entry, d float64) bool { return fn(sql.RowID(e.ID), d) })
+}
+
+func (x gridIndex) Len() int { return x.g.Len() }
+
+func (x gridIndex) insert(r geom.Rect, id sql.RowID) { x.g.Insert(r, int64(id)) }
+
+func (x gridIndex) remove(r geom.Rect, id sql.RowID) { x.g.Delete(r, int64(id)) }
+
+// attrIndex adapts btree.Tree to sql.AttrIndex.
+type attrIndex struct{ t *btree.Tree }
+
+// Seek implements sql.AttrIndex.
+func (x attrIndex) Seek(key []byte, fn func(sql.RowID) bool) {
+	x.t.Seek(key, func(rowid int64) bool { return fn(sql.RowID(rowid)) })
+}
+
+// Range implements sql.AttrIndex.
+func (x attrIndex) Range(lo, hi []byte, loInc, hiInc bool, fn func(sql.RowID) bool) {
+	x.t.Range(lo, hi, loInc, hiInc, func(_ []byte, rowid int64) bool { return fn(sql.RowID(rowid)) })
+}
+
+func newTable(name string, cols []sql.Column, pool *storage.BufferPool) *table {
+	t := &table{
+		name:     name,
+		cols:     cols,
+		heap:     storage.NewHeapFile(pool),
+		spatial:  make(map[string]spatialIndex),
+		geomCols: make(map[string]int),
+	}
+	for i, c := range cols {
+		if c.Type == storage.TypeGeom {
+			t.geomCols[c.Name] = i
+		}
+	}
+	return t
+}
+
+// Name implements sql.Table.
+func (t *table) Name() string { return t.name }
+
+// Columns implements sql.Table.
+func (t *table) Columns() []sql.Column { return t.cols }
+
+// RowCount implements sql.Table.
+func (t *table) RowCount() int { return t.heap.Count() }
+
+// Scan implements sql.Table.
+func (t *table) Scan(fn func(sql.RowID, []storage.Value) bool) error {
+	var decodeErr error
+	err := t.heap.Scan(func(rid storage.RecordID, tuple []byte) bool {
+		row, err := storage.DecodeTuple(tuple, len(t.cols))
+		if err != nil {
+			decodeErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+			return false
+		}
+		return fn(sql.PackRowID(rid), row)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
+// Fetch implements sql.Table.
+func (t *table) Fetch(id sql.RowID) ([]storage.Value, error) {
+	tuple, err := t.heap.Get(id.Unpack())
+	if err != nil {
+		return nil, err
+	}
+	return storage.DecodeTuple(tuple, len(t.cols))
+}
+
+// Insert implements sql.Table.
+func (t *table) Insert(row []storage.Value) (sql.RowID, error) {
+	if len(row) != len(t.cols) {
+		return 0, fmt.Errorf("engine: table %s expects %d columns, got %d", t.name, len(t.cols), len(row))
+	}
+	rid, err := t.heap.Insert(storage.EncodeTuple(row))
+	if err != nil {
+		return 0, err
+	}
+	id := sql.PackRowID(rid)
+	t.mu.Lock()
+	t.indexRowLocked(id, row, true)
+	t.mu.Unlock()
+	return id, nil
+}
+
+// indexRowLocked adds (add=true) or removes the row from all indexes.
+func (t *table) indexRowLocked(id sql.RowID, row []storage.Value, add bool) {
+	for col, idx := range t.spatial {
+		off := t.geomCols[col]
+		v := row[off]
+		if v.IsNull() || v.Type != storage.TypeGeom || v.Geom.IsEmpty() {
+			continue
+		}
+		if add {
+			idx.insert(v.Geom.Envelope(), id)
+		} else {
+			idx.remove(v.Geom.Envelope(), id)
+		}
+	}
+	for _, ix := range t.attr {
+		key, ok := ix.key(row)
+		if !ok {
+			continue
+		}
+		if add {
+			ix.tree.Insert(key, int64(id))
+		} else {
+			ix.tree.Delete(key, int64(id))
+		}
+	}
+}
+
+// Delete implements sql.Table.
+func (t *table) Delete(id sql.RowID) error {
+	row, err := t.Fetch(id)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.Delete(id.Unpack()); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.indexRowLocked(id, row, false)
+	t.mu.Unlock()
+	return nil
+}
+
+// Update implements sql.Table as delete-plus-insert; the row id changes.
+func (t *table) Update(id sql.RowID, row []storage.Value) (sql.RowID, error) {
+	if err := t.Delete(id); err != nil {
+		return 0, err
+	}
+	return t.Insert(row)
+}
+
+// SpatialIndexOn implements sql.Table.
+func (t *table) SpatialIndexOn(column string) sql.SpatialIndex {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.spatial[column]
+	if !ok {
+		return nil
+	}
+	return idx
+}
+
+// AttrIndexes implements sql.Table.
+func (t *table) AttrIndexes() []sql.AttrIndexDef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]sql.AttrIndexDef, 0, len(t.attr))
+	for _, ix := range t.attr {
+		out = append(out, sql.AttrIndexDef{Columns: ix.columns, Index: attrIndex{ix.tree}})
+	}
+	return out
+}
+
+// buildSpatialIndex creates and populates a spatial index on column.
+func (t *table) buildSpatialIndex(column string, typ IndexType, gridDim int) error {
+	off, ok := t.geomCols[column]
+	if !ok {
+		return fmt.Errorf("engine: column %s.%s is not GEOMETRY", t.name, column)
+	}
+	// Gather entries first (bulk load beats repeated insertion).
+	var entries []rtree.Entry
+	extent := geom.EmptyRect()
+	err := t.Scan(func(id sql.RowID, row []storage.Value) bool {
+		v := row[off]
+		if v.IsNull() || v.Type != storage.TypeGeom || v.Geom.IsEmpty() {
+			return true
+		}
+		env := v.Geom.Envelope()
+		extent = extent.Union(env)
+		entries = append(entries, rtree.Entry{Rect: env, ID: int64(id)})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	var idx spatialIndex
+	switch typ {
+	case IndexGrid:
+		if gridDim <= 0 {
+			gridDim = 64
+		}
+		g := grid.New(extent.Expand(extent.Width()*0.05+1), gridDim, gridDim)
+		for _, e := range entries {
+			g.Insert(e.Rect, e.ID)
+		}
+		idx = gridIndex{g}
+	default:
+		idx = rtreeIndex{rtree.BulkLoad(entries, 16)}
+	}
+	t.mu.Lock()
+	t.spatial[column] = idx
+	t.mu.Unlock()
+	return nil
+}
+
+// dropSpatialIndex removes the spatial index on column, reporting
+// whether one existed (used by the index-effect experiment).
+func (t *table) dropSpatialIndex(column string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.spatial[column]; !ok {
+		return false
+	}
+	delete(t.spatial, column)
+	return true
+}
+
+// rebuild rewrites the heap, dropping tombstones and abandoned overflow
+// pages, and rebuilds every index. Row ids change.
+func (t *table) rebuild(pool *storage.BufferPool, idxType IndexType, gridDim int) error {
+	fresh := storage.NewHeapFile(pool)
+	err := t.heap.Scan(func(_ storage.RecordID, tuple []byte) bool {
+		// Tuples are copied verbatim; decode errors would have surfaced
+		// on the way in.
+		if _, err := fresh.Insert(append([]byte(nil), tuple...)); err != nil {
+			panic(err) // memory-backed insert cannot fail mid-rebuild
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	spatialCols := make([]string, 0, len(t.spatial))
+	for col := range t.spatial {
+		spatialCols = append(spatialCols, col)
+	}
+	attrDefs := make([][]string, 0, len(t.attr))
+	for _, ix := range t.attr {
+		attrDefs = append(attrDefs, ix.columns)
+	}
+	t.heap = fresh
+	t.spatial = make(map[string]spatialIndex)
+	t.attr = nil
+	t.mu.Unlock()
+	for _, col := range spatialCols {
+		if err := t.buildSpatialIndex(col, idxType, gridDim); err != nil {
+			return err
+		}
+	}
+	for _, cols := range attrDefs {
+		if err := t.buildAttrIndex(cols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildAttrIndex creates and populates a (possibly composite) B+tree
+// index over the given columns.
+func (t *table) buildAttrIndex(columns []string) error {
+	if len(columns) == 0 {
+		return fmt.Errorf("engine: index on %s needs at least one column", t.name)
+	}
+	ix := &attrIdx{columns: columns, tree: btree.New()}
+	for _, column := range columns {
+		off := sql.ColumnIndexByName(t.cols, column)
+		if off < 0 {
+			return fmt.Errorf("engine: unknown column %s.%s", t.name, column)
+		}
+		if t.cols[off].Type == storage.TypeGeom {
+			return fmt.Errorf("engine: use CREATE SPATIAL INDEX for geometry column %s.%s", t.name, column)
+		}
+		ix.offs = append(ix.offs, off)
+		ix.types = append(ix.types, t.cols[off].Type)
+	}
+	err := t.Scan(func(id sql.RowID, row []storage.Value) bool {
+		if key, ok := ix.key(row); ok {
+			ix.tree.Insert(key, int64(id))
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.attr = append(t.attr, ix)
+	t.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestVacuumReclaimsAndPreservesData(t *testing.T) {
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE t (id INTEGER, name TEXT, g GEOMETRY)")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'row-%d', ST_MakePoint(%d, %d))", i, i, i%50, i/50)
+	}
+	e.MustExec(sb.String())
+	e.MustExec("CREATE SPATIAL INDEX tg ON t (g)")
+	e.MustExec("CREATE INDEX tn ON t (name)")
+
+	// Churn: update everything (delete+insert under the hood), delete half.
+	e.MustExec("UPDATE t SET name = name || '!'")
+	e.MustExec("DELETE FROM t WHERE id % 2 = 0")
+
+	before := e.MustExec("SELECT COUNT(*), SUM(id) FROM t").Rows[0]
+	res := e.MustExec("VACUUM t")
+	if res.Affected != 0 {
+		t.Errorf("vacuum affected = %d", res.Affected)
+	}
+	after := e.MustExec("SELECT COUNT(*), SUM(id) FROM t").Rows[0]
+	if before[0].Int != after[0].Int || before[1].Int != after[1].Int {
+		t.Fatalf("vacuum changed data: %v -> %v", before, after)
+	}
+
+	// Indexes still drive queries and return correct results.
+	res = e.MustExec("SELECT COUNT(*) FROM t WHERE ST_Intersects(g, ST_MakeEnvelope(0, 0, 10, 3))")
+	if res.Access[0] != "t:spatial-index" {
+		t.Errorf("post-vacuum access = %v", res.Access)
+	}
+	res2 := e.MustExec("SELECT id FROM t WHERE name = 'row-251!'")
+	if len(res2.Rows) != 1 || res2.Rows[0][0].Int != 251 || res2.Access[0] != "t:btree-seek" {
+		t.Errorf("post-vacuum btree lookup: %v (%v)", res2.Rows, res2.Access)
+	}
+
+	// Further DML keeps working.
+	e.MustExec("INSERT INTO t VALUES (9999, 'fresh', ST_MakePoint(1, 1))")
+	if e.MustExec("SELECT COUNT(*) FROM t").Rows[0][0].Int != after[0].Int+1 {
+		t.Error("insert after vacuum lost")
+	}
+}
+
+func TestVacuumErrors(t *testing.T) {
+	e := Open(GaiaDB())
+	if _, err := e.Exec("VACUUM nosuch"); err == nil {
+		t.Error("vacuum of missing table accepted")
+	}
+	if _, err := e.Exec("VACUUM"); err == nil {
+		t.Error("bare VACUUM accepted")
+	}
+}

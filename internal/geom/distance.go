@@ -1,0 +1,212 @@
+package geom
+
+import "math"
+
+// Distance returns the minimum Euclidean distance between two geometries.
+// It returns +Inf if either geometry is empty. Distance is zero whenever
+// the geometries intersect (including containment: a point inside a
+// polygon is at distance zero from it).
+func Distance(a, b Geometry) float64 {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return math.Inf(1)
+	}
+	// Normalize so the "simpler" type comes first to halve the dispatch.
+	best := math.Inf(1)
+	forEachPart(a, func(pa Geometry) {
+		forEachPart(b, func(pb Geometry) {
+			if d := partDistance(pa, pb); d < best {
+				best = d
+			}
+		})
+	})
+	return best
+}
+
+// DWithin reports whether the two geometries lie within distance d of
+// each other. It is equivalent to Distance(a, b) <= d but can exit early
+// via envelope screening.
+func DWithin(a, b Geometry, d float64) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	if a.Envelope().Distance(b.Envelope()) > d {
+		return false
+	}
+	return Distance(a, b) <= d
+}
+
+// forEachPart visits the primitive (non-multi) parts of g.
+func forEachPart(g Geometry, fn func(Geometry)) {
+	switch t := g.(type) {
+	case MultiPoint:
+		for _, p := range t {
+			if !p.Empty {
+				fn(p)
+			}
+		}
+	case MultiLineString:
+		for _, l := range t {
+			if !l.IsEmpty() {
+				fn(l)
+			}
+		}
+	case MultiPolygon:
+		for _, p := range t {
+			if !p.IsEmpty() {
+				fn(p)
+			}
+		}
+	case Collection:
+		for _, sub := range t {
+			forEachPart(sub, fn)
+		}
+	default:
+		if !g.IsEmpty() {
+			fn(g)
+		}
+	}
+}
+
+// partDistance computes distance between primitive geometries.
+func partDistance(a, b Geometry) float64 {
+	switch ta := a.(type) {
+	case Point:
+		switch tb := b.(type) {
+		case Point:
+			return Dist(ta.Coord, tb.Coord)
+		case LineString:
+			return distPointLine(ta.Coord, tb)
+		case Polygon:
+			return distPointPolygon(ta.Coord, tb)
+		}
+	case LineString:
+		switch tb := b.(type) {
+		case Point:
+			return distPointLine(tb.Coord, ta)
+		case LineString:
+			return distLineLine(ta, tb)
+		case Polygon:
+			return distLinePolygon(ta, tb)
+		}
+	case Polygon:
+		switch tb := b.(type) {
+		case Point:
+			return distPointPolygon(tb.Coord, ta)
+		case LineString:
+			return distLinePolygon(tb, ta)
+		case Polygon:
+			return distPolygonPolygon(ta, tb)
+		}
+	}
+	return math.Inf(1)
+}
+
+func distPointLine(p Coord, l LineString) float64 {
+	if len(l) == 1 {
+		return Dist(p, l[0])
+	}
+	best := math.Inf(1)
+	for i := 0; i < len(l)-1; i++ {
+		if d := DistPointSegment(p, l[i], l[i+1]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// pointInPolygonLoose reports whether c is inside or on the polygon.
+func pointInPolygonLoose(c Coord, p Polygon) bool {
+	if len(p) == 0 {
+		return false
+	}
+	switch PointInRing(c, p[0]) {
+	case RingExterior:
+		return false
+	case RingBoundary:
+		return true
+	}
+	for _, hole := range p[1:] {
+		if PointInRing(c, hole) == RingInterior {
+			return false
+		}
+	}
+	return true
+}
+
+func distPointPolygon(c Coord, p Polygon) float64 {
+	if pointInPolygonLoose(c, p) {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, ring := range p {
+		if d := distPointLine(c, LineString(ring)); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func distLineLine(a, b LineString) float64 {
+	if len(a) == 1 {
+		return distPointLine(a[0], b)
+	}
+	if len(b) == 1 {
+		return distPointLine(b[0], a)
+	}
+	best := math.Inf(1)
+	for i := 0; i < len(a)-1; i++ {
+		for j := 0; j < len(b)-1; j++ {
+			if d := DistSegSeg(a[i], a[i+1], b[j], b[j+1]); d < best {
+				best = d
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+func distLinePolygon(l LineString, p Polygon) float64 {
+	if len(p) == 0 || len(l) == 0 {
+		return math.Inf(1)
+	}
+	// Any vertex inside the polygon means contact or containment.
+	for _, c := range l {
+		if pointInPolygonLoose(c, p) {
+			return 0
+		}
+	}
+	best := math.Inf(1)
+	for _, ring := range p {
+		if d := distLineLine(l, LineString(ring)); d < best {
+			best = d
+			if best == 0 {
+				return 0
+			}
+		}
+	}
+	return best
+}
+
+func distPolygonPolygon(a, b Polygon) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	// Containment screening: a vertex of one inside the other.
+	if pointInPolygonLoose(a[0][0], b) || pointInPolygonLoose(b[0][0], a) {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, ra := range a {
+		for _, rb := range b {
+			if d := distLineLine(LineString(ra), LineString(rb)); d < best {
+				best = d
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,179 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistancePointPoint(t *testing.T) {
+	if d := Distance(Pt(0, 0), Pt(3, 4)); d != 5 {
+		t.Errorf("Distance = %v, want 5", d)
+	}
+}
+
+func TestDistancePointLine(t *testing.T) {
+	l := LineString{{0, 0}, {10, 0}}
+	if d := Distance(Pt(5, 3), l); d != 3 {
+		t.Errorf("Distance = %v, want 3", d)
+	}
+	if d := Distance(l, Pt(5, 3)); d != 3 {
+		t.Errorf("reversed Distance = %v, want 3", d)
+	}
+	if d := Distance(Pt(5, 0), l); d != 0 {
+		t.Errorf("on-line Distance = %v, want 0", d)
+	}
+}
+
+func TestDistancePointPolygon(t *testing.T) {
+	sq := squareAt(0, 0, 4)
+	if d := Distance(Pt(2, 2), sq); d != 0 {
+		t.Errorf("inside point: Distance = %v, want 0", d)
+	}
+	if d := Distance(Pt(4, 2), sq); d != 0 {
+		t.Errorf("boundary point: Distance = %v, want 0", d)
+	}
+	if d := Distance(Pt(7, 2), sq); d != 3 {
+		t.Errorf("outside point: Distance = %v, want 3", d)
+	}
+	// Point inside the hole of a donut: distance to the hole ring.
+	if d := Distance(Pt(5, 5), donut()); d != 1 {
+		t.Errorf("hole point: Distance = %v, want 1", d)
+	}
+}
+
+func TestDistanceLineLine(t *testing.T) {
+	a := LineString{{0, 0}, {10, 0}}
+	b := LineString{{0, 4}, {10, 4}}
+	if d := Distance(a, b); d != 4 {
+		t.Errorf("parallel lines: %v, want 4", d)
+	}
+	c := LineString{{5, -1}, {5, 1}}
+	if d := Distance(a, c); d != 0 {
+		t.Errorf("crossing lines: %v, want 0", d)
+	}
+}
+
+func TestDistancePolygonPolygon(t *testing.T) {
+	a := squareAt(0, 0, 2)
+	b := squareAt(5, 0, 2)
+	if d := Distance(a, b); d != 3 {
+		t.Errorf("side gap: %v, want 3", d)
+	}
+	inner := squareAt(0.5, 0.5, 0.5)
+	if d := Distance(a, inner); d != 0 {
+		t.Errorf("contained polygon: %v, want 0", d)
+	}
+	if d := Distance(inner, a); d != 0 {
+		t.Errorf("containing polygon reversed: %v, want 0", d)
+	}
+}
+
+func TestDistanceLinePolygon(t *testing.T) {
+	sq := squareAt(0, 0, 4)
+	through := LineString{{-2, 2}, {6, 2}}
+	if d := Distance(through, sq); d != 0 {
+		t.Errorf("crossing line: %v, want 0", d)
+	}
+	inside := LineString{{1, 1}, {3, 3}}
+	if d := Distance(inside, sq); d != 0 {
+		t.Errorf("contained line: %v, want 0", d)
+	}
+	away := LineString{{0, 10}, {4, 10}}
+	if d := Distance(away, sq); d != 6 {
+		t.Errorf("distant line: %v, want 6", d)
+	}
+}
+
+func TestDistanceMultiAndCollection(t *testing.T) {
+	mp := MultiPoint{Pt(100, 100), Pt(3, 4)}
+	if d := Distance(Pt(0, 0), mp); d != 5 {
+		t.Errorf("multipoint min distance: %v, want 5", d)
+	}
+	col := Collection{LineString{{50, 50}, {60, 60}}, squareAt(0, 0, 1)}
+	if d := Distance(Pt(2, 0.5), col); d != 1 {
+		t.Errorf("collection distance: %v, want 1", d)
+	}
+}
+
+func TestDistanceEmpty(t *testing.T) {
+	if d := Distance(Pt(0, 0), Polygon{}); !math.IsInf(d, 1) {
+		t.Errorf("distance to empty should be +Inf, got %v", d)
+	}
+	if d := Distance(nil, Pt(0, 0)); !math.IsInf(d, 1) {
+		t.Errorf("distance to nil should be +Inf, got %v", d)
+	}
+}
+
+func TestDWithin(t *testing.T) {
+	a := Pt(0, 0)
+	b := Pt(3, 4)
+	if !DWithin(a, b, 5) {
+		t.Error("DWithin at exact distance should hold")
+	}
+	if DWithin(a, b, 4.999) {
+		t.Error("DWithin below distance should fail")
+	}
+	if DWithin(a, Polygon{}, 1e18) {
+		t.Error("DWithin with empty geometry should fail")
+	}
+}
+
+func TestDistancePropertySymmetric(t *testing.T) {
+	geoms := []Geometry{
+		Pt(0, 0), Pt(7, -2),
+		LineString{{0, 0}, {5, 5}},
+		LineString{{10, 0}, {10, 10}},
+		squareAt(2, 2, 3),
+		donut(),
+		MultiPoint{Pt(1, 9), Pt(-4, 2)},
+	}
+	for i, a := range geoms {
+		for j, b := range geoms {
+			d1, d2 := Distance(a, b), Distance(b, a)
+			if math.Abs(d1-d2) > 1e-9 {
+				t.Errorf("asymmetric distance between %d and %d: %v vs %v", i, j, d1, d2)
+			}
+			if i == j && d1 != 0 {
+				t.Errorf("self-distance of %d = %v", i, d1)
+			}
+		}
+	}
+}
+
+func TestDistancePropertyTriangleish(t *testing.T) {
+	// For points, distance obeys the triangle inequality.
+	norm := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1000)
+	}
+	prop := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Pt(norm(ax), norm(ay))
+		b := Pt(norm(bx), norm(by))
+		c := Pt(norm(cx), norm(cy))
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDWithinPropertyAgreesWithDistance(t *testing.T) {
+	norm := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 100)
+	}
+	sq := squareAt(10, 10, 20)
+	prop := func(x, y, dRaw float64) bool {
+		p := Pt(norm(x), norm(y))
+		d := math.Abs(norm(dRaw))
+		return DWithin(p, sq, d) == (Distance(p, sq) <= d)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

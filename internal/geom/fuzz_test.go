@@ -1,0 +1,105 @@
+package geom
+
+import (
+	"testing"
+)
+
+// The fuzz targets assert the parser trilogy never panics and that
+// anything successfully parsed round-trips through its writer. Run with
+// `go test -fuzz FuzzParseWKT ./internal/geom` for continuous fuzzing;
+// plain `go test` executes the seed corpus.
+
+func FuzzParseWKT(f *testing.F) {
+	seeds := []string{
+		"POINT (1 2)",
+		"POINT EMPTY",
+		"LINESTRING (0 0, 1 1)",
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))",
+		"MULTIPOINT (1 2, 3 4)",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))",
+		"GEOMETRYCOLLECTION (POINT (1 2), GEOMETRYCOLLECTION EMPTY)",
+		"POINT (1e308 -1e308)",
+		"POINT (",
+		"POLYGON ((0 0))",
+		"LINESTRING (0 0, 1 1) garbage",
+		"  point  ( 1   2 )  ",
+		"POINT (1.5.5 2)",
+		"GEOMETRYCOLLECTION (GEOMETRYCOLLECTION (GEOMETRYCOLLECTION (POINT (0 0))))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ParseWKT(s)
+		if err != nil {
+			return
+		}
+		// Parsed geometries must serialize and re-parse to the same text.
+		out := WKT(g)
+		g2, err := ParseWKT(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", out, err)
+		}
+		if WKT(g2) != out {
+			t.Fatalf("unstable WKT: %q -> %q", out, WKT(g2))
+		}
+	})
+}
+
+func FuzzUnmarshalWKB(f *testing.F) {
+	for _, g := range []Geometry{
+		Pt(1, 2),
+		LineString{{0, 0}, {1, 1}},
+		Polygon{Ring{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}}},
+		MultiPolygon{},
+		Collection{Pt(0, 0), MultiPoint{Pt(1, 1)}},
+	} {
+		f.Add(MarshalWKB(g))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 7, 0, 0, 0, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalWKB(data)
+		if err != nil {
+			return
+		}
+		// Decoded geometries re-encode and decode losslessly.
+		out := MarshalWKB(g)
+		g2, err := UnmarshalWKB(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if WKT(g2) != WKT(g) {
+			t.Fatalf("unstable WKB: %s vs %s", WKT(g), WKT(g2))
+		}
+	})
+}
+
+func FuzzUnmarshalGeoJSON(f *testing.F) {
+	seeds := []string{
+		`{"type":"Point","coordinates":[1,2]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,0]]]}`,
+		`{"type":"GeometryCollection","geometries":[]}`,
+		`{"type":"MultiLineString","coordinates":[[[0,0],[1,1]]]}`,
+		`{"type":"Point"}`,
+		`{"type":"Point","coordinates":[1]}`,
+		`[]`,
+		`{"type":"GeometryCollection","geometries":[{"type":"Point","coordinates":[0,0]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalGeoJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalGeoJSON(g)
+		if err != nil {
+			t.Fatalf("re-marshal of %s failed: %v", WKT(g), err)
+		}
+		if _, err := UnmarshalGeoJSON(out); err != nil {
+			t.Fatalf("re-parse of %s failed: %v", out, err)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package geom
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// geoJSON is the wire structure for all geometry types.
+type geoJSON struct {
+	Type        string            `json:"type"`
+	Coordinates json.RawMessage   `json:"coordinates,omitempty"`
+	Geometries  []json.RawMessage `json:"geometries,omitempty"`
+}
+
+// MarshalGeoJSON serializes the geometry as RFC 7946 GeoJSON. Empty
+// points (which GeoJSON cannot express) encode as an empty
+// GeometryCollection.
+func MarshalGeoJSON(g Geometry) ([]byte, error) {
+	obj, err := toGeoJSON(g)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(obj)
+}
+
+func toGeoJSON(g Geometry) (*geoJSON, error) {
+	enc := func(v any) (json.RawMessage, error) {
+		b, err := json.Marshal(v)
+		return json.RawMessage(b), err
+	}
+	switch t := g.(type) {
+	case Point:
+		if t.Empty {
+			return &geoJSON{Type: "GeometryCollection", Geometries: []json.RawMessage{}}, nil
+		}
+		c, err := enc(coordJSON(t.Coord))
+		if err != nil {
+			return nil, err
+		}
+		return &geoJSON{Type: "Point", Coordinates: c}, nil
+	case MultiPoint:
+		cs := make([][2]float64, 0, len(t))
+		for _, p := range t {
+			if !p.Empty {
+				cs = append(cs, coordJSON(p.Coord))
+			}
+		}
+		c, err := enc(cs)
+		if err != nil {
+			return nil, err
+		}
+		return &geoJSON{Type: "MultiPoint", Coordinates: c}, nil
+	case LineString:
+		c, err := enc(coordsJSON(t))
+		if err != nil {
+			return nil, err
+		}
+		return &geoJSON{Type: "LineString", Coordinates: c}, nil
+	case MultiLineString:
+		lines := make([][][2]float64, len(t))
+		for i, l := range t {
+			lines[i] = coordsJSON(l)
+		}
+		c, err := enc(lines)
+		if err != nil {
+			return nil, err
+		}
+		return &geoJSON{Type: "MultiLineString", Coordinates: c}, nil
+	case Polygon:
+		c, err := enc(polyJSON(t))
+		if err != nil {
+			return nil, err
+		}
+		return &geoJSON{Type: "Polygon", Coordinates: c}, nil
+	case MultiPolygon:
+		polys := make([][][][2]float64, len(t))
+		for i, p := range t {
+			polys[i] = polyJSON(p)
+		}
+		c, err := enc(polys)
+		if err != nil {
+			return nil, err
+		}
+		return &geoJSON{Type: "MultiPolygon", Coordinates: c}, nil
+	case Collection:
+		subs := make([]json.RawMessage, 0, len(t))
+		for _, sub := range t {
+			b, err := MarshalGeoJSON(sub)
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, json.RawMessage(b))
+		}
+		return &geoJSON{Type: "GeometryCollection", Geometries: subs}, nil
+	default:
+		return nil, fmt.Errorf("geom: cannot encode %T as GeoJSON", g)
+	}
+}
+
+func coordJSON(c Coord) [2]float64 { return [2]float64{c.X, c.Y} }
+
+func coordsJSON(cs []Coord) [][2]float64 {
+	out := make([][2]float64, len(cs))
+	for i, c := range cs {
+		out[i] = coordJSON(c)
+	}
+	return out
+}
+
+func polyJSON(p Polygon) [][][2]float64 {
+	out := make([][][2]float64, len(p))
+	for i, r := range p {
+		out[i] = coordsJSON(r)
+	}
+	return out
+}
+
+// UnmarshalGeoJSON parses an RFC 7946 GeoJSON geometry object. Position
+// arrays may carry extra ordinates (altitude), which are discarded.
+func UnmarshalGeoJSON(data []byte) (Geometry, error) {
+	var obj geoJSON
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return nil, fmt.Errorf("geom: parse GeoJSON: %w", err)
+	}
+	return fromGeoJSON(&obj, 0)
+}
+
+const maxGeoJSONNesting = 32
+
+func fromGeoJSON(obj *geoJSON, depth int) (Geometry, error) {
+	if depth > maxGeoJSONNesting {
+		return nil, fmt.Errorf("geom: GeoJSON nesting deeper than %d", maxGeoJSONNesting)
+	}
+	dec := func(v any) error {
+		if obj.Coordinates == nil {
+			return fmt.Errorf("geom: GeoJSON %s missing coordinates", obj.Type)
+		}
+		return json.Unmarshal(obj.Coordinates, v)
+	}
+	switch obj.Type {
+	case "Point":
+		var c []float64
+		if err := dec(&c); err != nil {
+			return nil, err
+		}
+		if len(c) < 2 {
+			return nil, fmt.Errorf("geom: GeoJSON point needs 2 ordinates")
+		}
+		return Pt(c[0], c[1]), nil
+	case "MultiPoint":
+		var cs [][]float64
+		if err := dec(&cs); err != nil {
+			return nil, err
+		}
+		mp := make(MultiPoint, 0, len(cs))
+		for _, c := range cs {
+			if len(c) < 2 {
+				return nil, fmt.Errorf("geom: GeoJSON position needs 2 ordinates")
+			}
+			mp = append(mp, Pt(c[0], c[1]))
+		}
+		return mp, nil
+	case "LineString":
+		var cs [][]float64
+		if err := dec(&cs); err != nil {
+			return nil, err
+		}
+		return LineString(positions(cs)), nil
+	case "MultiLineString":
+		var ls [][][]float64
+		if err := dec(&ls); err != nil {
+			return nil, err
+		}
+		ml := make(MultiLineString, 0, len(ls))
+		for _, l := range ls {
+			ml = append(ml, LineString(positions(l)))
+		}
+		return ml, nil
+	case "Polygon":
+		var rings [][][]float64
+		if err := dec(&rings); err != nil {
+			return nil, err
+		}
+		return polyFromPositions(rings), nil
+	case "MultiPolygon":
+		var polys [][][][]float64
+		if err := dec(&polys); err != nil {
+			return nil, err
+		}
+		mp := make(MultiPolygon, 0, len(polys))
+		for _, rings := range polys {
+			mp = append(mp, polyFromPositions(rings))
+		}
+		return mp, nil
+	case "GeometryCollection":
+		col := make(Collection, 0, len(obj.Geometries))
+		for _, raw := range obj.Geometries {
+			var sub geoJSON
+			if err := json.Unmarshal(raw, &sub); err != nil {
+				return nil, fmt.Errorf("geom: parse GeoJSON member: %w", err)
+			}
+			g, err := fromGeoJSON(&sub, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			col = append(col, g)
+		}
+		return col, nil
+	default:
+		return nil, fmt.Errorf("geom: unknown GeoJSON type %q", obj.Type)
+	}
+}
+
+func positions(cs [][]float64) []Coord {
+	out := make([]Coord, 0, len(cs))
+	for _, c := range cs {
+		if len(c) >= 2 {
+			out = append(out, Coord{X: c[0], Y: c[1]})
+		}
+	}
+	return out
+}
+
+func polyFromPositions(rings [][][]float64) Polygon {
+	p := make(Polygon, 0, len(rings))
+	for _, r := range rings {
+		p = append(p, Ring(positions(r)))
+	}
+	return p
+}

@@ -1,0 +1,127 @@
+package geom
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGeoJSONRoundTrip(t *testing.T) {
+	geoms := []Geometry{
+		Pt(1.5, -2),
+		MultiPoint{Pt(0, 0), Pt(3, 4)},
+		LineString{{0, 0}, {1, 1}, {2, 0}},
+		MultiLineString{{{0, 0}, {1, 1}}, {{5, 5}, {6, 6}}},
+		unitSquare(),
+		donut(),
+		MultiPolygon{unitSquare(), squareAt(5, 5, 2)},
+		Collection{Pt(1, 2), LineString{{0, 0}, {1, 1}}},
+		Collection{},
+	}
+	for _, g := range geoms {
+		data, err := MarshalGeoJSON(g)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", WKT(g), err)
+		}
+		back, err := UnmarshalGeoJSON(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal %s: %v", WKT(g), data, err)
+		}
+		if WKT(back) != WKT(g) {
+			t.Errorf("round trip: %s -> %s -> %s", WKT(g), data, WKT(back))
+		}
+	}
+}
+
+func TestGeoJSONExactShapes(t *testing.T) {
+	data, err := MarshalGeoJSON(Pt(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"type":"Point","coordinates":[1,2]}` {
+		t.Errorf("point json = %s", data)
+	}
+	data, _ = MarshalGeoJSON(unitSquare())
+	var obj map[string]any
+	if err := json.Unmarshal(data, &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["type"] != "Polygon" {
+		t.Errorf("polygon json = %s", data)
+	}
+}
+
+func TestGeoJSONEmptyPoint(t *testing.T) {
+	data, err := MarshalGeoJSON(Point{Empty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGeoJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsEmpty() {
+		t.Errorf("empty point round trip = %s", WKT(back))
+	}
+}
+
+func TestGeoJSONParseExtras(t *testing.T) {
+	// Altitude ordinates are discarded.
+	g, err := UnmarshalGeoJSON([]byte(`{"type":"Point","coordinates":[1,2,99]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.(Point); !p.Equal(Coord{1, 2}) {
+		t.Errorf("3D point = %v", p)
+	}
+	// Nested collections parse.
+	g, err = UnmarshalGeoJSON([]byte(`{"type":"GeometryCollection","geometries":[
+		{"type":"GeometryCollection","geometries":[{"type":"Point","coordinates":[7,8]}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := g.(Collection)[0].(Collection)[0].(Point)
+	if !inner.Equal(Coord{7, 8}) {
+		t.Errorf("nested = %v", inner)
+	}
+}
+
+func TestGeoJSONParseErrors(t *testing.T) {
+	bad := []struct {
+		json   string
+		reason string
+	}{
+		{`not json`, "parse"},
+		{`{"type":"Hexagon","coordinates":[]}`, "unknown"},
+		{`{"type":"Point"}`, "missing coordinates"},
+		{`{"type":"Point","coordinates":[1]}`, "2 ordinates"},
+		{`{"type":"MultiPoint","coordinates":[[1]]}`, "2 ordinates"},
+		{`{"type":"Polygon","coordinates":"nope"}`, "cannot unmarshal"},
+	}
+	for _, tc := range bad {
+		_, err := UnmarshalGeoJSON([]byte(tc.json))
+		if err == nil {
+			t.Errorf("%s: parsed, expected error about %q", tc.json, tc.reason)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.reason) {
+			t.Errorf("%s: error %q does not mention %q", tc.json, err, tc.reason)
+		}
+	}
+	// Recursion bomb is rejected.
+	deep := strings.Repeat(`{"type":"GeometryCollection","geometries":[`, 40) +
+		`{"type":"Point","coordinates":[0,0]}` + strings.Repeat(`]}`, 40)
+	if _, err := UnmarshalGeoJSON([]byte(deep)); err == nil {
+		t.Error("deep nesting accepted")
+	}
+}
+
+func TestGeoJSONPreservesStructure(t *testing.T) {
+	d := donut()
+	data, _ := MarshalGeoJSON(d)
+	back, _ := UnmarshalGeoJSON(data)
+	if !reflect.DeepEqual(back, d) {
+		t.Errorf("donut structure changed: %s", WKT(back))
+	}
+}

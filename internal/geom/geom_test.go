@@ -1,0 +1,199 @@
+package geom
+
+import (
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypePoint:              "POINT",
+		TypeLineString:         "LINESTRING",
+		TypePolygon:            "POLYGON",
+		TypeMultiPoint:         "MULTIPOINT",
+		TypeMultiLineString:    "MULTILINESTRING",
+		TypeMultiPolygon:       "MULTIPOLYGON",
+		TypeGeometryCollection: "GEOMETRYCOLLECTION",
+		Type(99):               "UNKNOWN(99)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func unitSquare() Polygon {
+	return Polygon{Ring{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}}}
+}
+
+func squareAt(x, y, side float64) Polygon {
+	return Polygon{Ring{
+		{x, y}, {x + side, y}, {x + side, y + side}, {x, y + side}, {x, y},
+	}}
+}
+
+// donut returns a square with a square hole.
+func donut() Polygon {
+	return Polygon{
+		Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}},
+		Ring{{4, 4}, {6, 4}, {6, 6}, {4, 6}, {4, 4}},
+	}
+}
+
+func TestEnvelopes(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Geometry
+		want Rect
+	}{
+		{"point", Pt(3, 4), Rect{3, 4, 3, 4}},
+		{"linestring", LineString{{0, 0}, {2, 5}, {-1, 3}}, Rect{-1, 0, 2, 5}},
+		{"polygon", unitSquare(), Rect{0, 0, 1, 1}},
+		{"multipoint", MultiPoint{Pt(1, 1), Pt(-2, 4)}, Rect{-2, 1, 1, 4}},
+		{"multilinestring", MultiLineString{{{0, 0}, {1, 1}}, {{5, 5}, {6, 7}}}, Rect{0, 0, 6, 7}},
+		{"multipolygon", MultiPolygon{unitSquare(), squareAt(5, 5, 2)}, Rect{0, 0, 7, 7}},
+		{"collection", Collection{Pt(0, 0), LineString{{3, 3}, {4, 9}}}, Rect{0, 0, 4, 9}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.Envelope(); got != tc.want {
+				t.Errorf("Envelope() = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEmptyGeometries(t *testing.T) {
+	empties := []Geometry{
+		Point{Empty: true},
+		MultiPoint{},
+		LineString{},
+		MultiLineString{},
+		Polygon{},
+		MultiPolygon{},
+		Collection{},
+	}
+	for _, g := range empties {
+		if !g.IsEmpty() {
+			t.Errorf("%s: IsEmpty() = false, want true", g.GeomType())
+		}
+		if !g.Envelope().IsEmpty() {
+			t.Errorf("%s: Envelope().IsEmpty() = false, want true", g.GeomType())
+		}
+		if g.NumCoords() != 0 {
+			t.Errorf("%s: NumCoords() = %d, want 0", g.GeomType(), g.NumCoords())
+		}
+	}
+}
+
+func TestNonEmptyGeometries(t *testing.T) {
+	nonEmpties := []struct {
+		g Geometry
+		n int
+	}{
+		{Pt(1, 2), 1},
+		{MultiPoint{Pt(1, 2), Pt(3, 4)}, 2},
+		{LineString{{0, 0}, {1, 1}}, 2},
+		{unitSquare(), 5},
+		{donut(), 10},
+		{Collection{Pt(0, 0), unitSquare()}, 6},
+	}
+	for _, tc := range nonEmpties {
+		if tc.g.IsEmpty() {
+			t.Errorf("%s: IsEmpty() = true, want false", tc.g.GeomType())
+		}
+		if got := tc.g.NumCoords(); got != tc.n {
+			t.Errorf("%s: NumCoords() = %d, want %d", tc.g.GeomType(), got, tc.n)
+		}
+	}
+}
+
+func TestDimension(t *testing.T) {
+	tests := []struct {
+		g    Geometry
+		want int
+	}{
+		{Pt(0, 0), 0},
+		{MultiPoint{Pt(0, 0)}, 0},
+		{LineString{{0, 0}, {1, 1}}, 1},
+		{MultiLineString{{{0, 0}, {1, 1}}}, 1},
+		{unitSquare(), 2},
+		{MultiPolygon{unitSquare()}, 2},
+		{Collection{Pt(0, 0), LineString{{0, 0}, {1, 1}}}, 1},
+		{Collection{Pt(0, 0), unitSquare()}, 2},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Dimension(); got != tc.want {
+			t.Errorf("%s: Dimension() = %d, want %d", tc.g.GeomType(), got, tc.want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ls := LineString{{0, 0}, {1, 1}}
+	cl := ls.Clone().(LineString)
+	cl[0].X = 99
+	if ls[0].X == 99 {
+		t.Error("Clone shares backing storage with original LineString")
+	}
+
+	poly := donut()
+	pc := poly.Clone().(Polygon)
+	pc[1][0].X = 99
+	if poly[1][0].X == 99 {
+		t.Error("Clone shares backing storage with original Polygon")
+	}
+
+	col := Collection{LineString{{0, 0}, {1, 1}}}
+	cc := col.Clone().(Collection)
+	cc[0].(LineString)[0].X = 99
+	if col[0].(LineString)[0].X == 99 {
+		t.Error("Clone shares backing storage with original Collection")
+	}
+}
+
+func TestLineStringIsClosed(t *testing.T) {
+	if (LineString{{0, 0}, {1, 1}}).IsClosed() {
+		t.Error("open linestring reported closed")
+	}
+	if !(LineString{{0, 0}, {1, 0}, {1, 1}, {0, 0}}).IsClosed() {
+		t.Error("closed linestring reported open")
+	}
+	if (LineString{{0, 0}, {0, 0}}).IsClosed() {
+		t.Error("degenerate 2-point loop must not count as closed")
+	}
+}
+
+func TestPolygonShellHoles(t *testing.T) {
+	d := donut()
+	if len(d.Shell()) != 5 {
+		t.Errorf("Shell() has %d coords, want 5", len(d.Shell()))
+	}
+	if len(d.Holes()) != 1 {
+		t.Fatalf("Holes() has %d rings, want 1", len(d.Holes()))
+	}
+	var empty Polygon
+	if empty.Shell() != nil {
+		t.Error("empty polygon Shell() should be nil")
+	}
+	if empty.Holes() != nil {
+		t.Error("empty polygon Holes() should be nil")
+	}
+}
+
+func TestCoordArithmetic(t *testing.T) {
+	a := Coord{1, 2}
+	b := Coord{3, 5}
+	if got := b.Sub(a); got != (Coord{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Add(b); got != (Coord{4, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(2); got != (Coord{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if !a.Equal(Coord{1, 2}) || a.Equal(b) {
+		t.Error("Equal misbehaves")
+	}
+}

@@ -1,0 +1,342 @@
+package geom
+
+import "math"
+
+// Area returns the area of the geometry. Points and curves have zero
+// area. Polygon holes subtract from the shell's area.
+func Area(g Geometry) float64 {
+	switch t := g.(type) {
+	case Polygon:
+		return polygonArea(t)
+	case MultiPolygon:
+		var sum float64
+		for _, p := range t {
+			sum += polygonArea(p)
+		}
+		return sum
+	case Collection:
+		var sum float64
+		for _, sub := range t {
+			sum += Area(sub)
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+func polygonArea(p Polygon) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	area := math.Abs(RingSignedArea2(p[0])) / 2
+	for _, hole := range p[1:] {
+		area -= math.Abs(RingSignedArea2(hole)) / 2
+	}
+	if area < 0 {
+		return 0
+	}
+	return area
+}
+
+// Length returns the length of all curves in the geometry. For polygons
+// it returns the perimeter (shell plus holes), matching OGC ST_Length
+// applied to polygon boundaries via ST_Perimeter semantics.
+func Length(g Geometry) float64 {
+	switch t := g.(type) {
+	case LineString:
+		return coordsLength(t)
+	case MultiLineString:
+		var sum float64
+		for _, l := range t {
+			sum += coordsLength(l)
+		}
+		return sum
+	case Polygon:
+		var sum float64
+		for _, r := range t {
+			sum += coordsLength(r)
+		}
+		return sum
+	case MultiPolygon:
+		var sum float64
+		for _, p := range t {
+			sum += Length(p)
+		}
+		return sum
+	case Collection:
+		var sum float64
+		for _, sub := range t {
+			sum += Length(sub)
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+func coordsLength(cs []Coord) float64 {
+	var sum float64
+	for i := 0; i < len(cs)-1; i++ {
+		sum += Dist(cs[i], cs[i+1])
+	}
+	return sum
+}
+
+// Centroid returns the centroid of the geometry and whether one exists
+// (empty geometries have none). The centroid of mixed collections uses
+// the highest-dimension components, per OGC semantics.
+func Centroid(g Geometry) (Coord, bool) {
+	switch t := g.(type) {
+	case Point:
+		if t.Empty {
+			return Coord{}, false
+		}
+		return t.Coord, true
+	case MultiPoint:
+		var sx, sy float64
+		n := 0
+		for _, p := range t {
+			if !p.Empty {
+				sx += p.X
+				sy += p.Y
+				n++
+			}
+		}
+		if n == 0 {
+			return Coord{}, false
+		}
+		return Coord{sx / float64(n), sy / float64(n)}, true
+	case LineString:
+		return curveCentroid([]LineString{t})
+	case MultiLineString:
+		return curveCentroid(t)
+	case Polygon:
+		return areaCentroid(MultiPolygon{t})
+	case MultiPolygon:
+		return areaCentroid(t)
+	case Collection:
+		// Use the highest-dimension members.
+		dim := t.Dimension()
+		var acc Collection
+		for _, sub := range t {
+			if sub.Dimension() == dim && !sub.IsEmpty() {
+				acc = append(acc, sub)
+			}
+		}
+		if len(acc) == 0 {
+			return Coord{}, false
+		}
+		var sx, sy, sw float64
+		for _, sub := range acc {
+			c, ok := Centroid(sub)
+			if !ok {
+				continue
+			}
+			w := 1.0
+			switch dim {
+			case 1:
+				w = Length(sub)
+			case 2:
+				w = Area(sub)
+			}
+			if w <= 0 {
+				w = 1e-300 // degenerate member: vanishing weight
+			}
+			sx += c.X * w
+			sy += c.Y * w
+			sw += w
+		}
+		if sw == 0 {
+			return Coord{}, false
+		}
+		return Coord{sx / sw, sy / sw}, true
+	default:
+		return Coord{}, false
+	}
+}
+
+func curveCentroid(lines []LineString) (Coord, bool) {
+	var sx, sy, sl float64
+	for _, l := range lines {
+		for i := 0; i < len(l)-1; i++ {
+			mid := Coord{(l[i].X + l[i+1].X) / 2, (l[i].Y + l[i+1].Y) / 2}
+			d := Dist(l[i], l[i+1])
+			sx += mid.X * d
+			sy += mid.Y * d
+			sl += d
+		}
+	}
+	if sl == 0 {
+		// Degenerate: average the vertices.
+		n := 0
+		for _, l := range lines {
+			for _, c := range l {
+				sx += c.X
+				sy += c.Y
+				n++
+			}
+		}
+		if n == 0 {
+			return Coord{}, false
+		}
+		return Coord{sx / float64(n), sy / float64(n)}, true
+	}
+	return Coord{sx / sl, sy / sl}, true
+}
+
+func areaCentroid(polys MultiPolygon) (Coord, bool) {
+	var sx, sy, sa float64
+	addRing := func(ring []Coord, sign float64) {
+		for i := 0; i < len(ring)-1; i++ {
+			a, b := ring[i], ring[i+1]
+			cross := a.X*b.Y - b.X*a.Y
+			sx += sign * (a.X + b.X) * cross
+			sy += sign * (a.Y + b.Y) * cross
+			sa += sign * cross
+		}
+	}
+	for _, p := range polys {
+		if len(p) == 0 {
+			continue
+		}
+		// Normalize orientations: shell contributes positively, holes
+		// negatively, independent of stored winding.
+		shellSign := 1.0
+		if !RingIsCCW(p[0]) {
+			shellSign = -1
+		}
+		addRing(p[0], shellSign)
+		for _, hole := range p[1:] {
+			holeSign := -1.0
+			if !RingIsCCW(hole) {
+				holeSign = 1
+			}
+			addRing(hole, holeSign)
+		}
+	}
+	if math.Abs(sa) < 1e-300 {
+		return Coord{}, false
+	}
+	return Coord{sx / (3 * sa), sy / (3 * sa)}, true
+}
+
+// InteriorPoint returns a point guaranteed to lie in the interior of the
+// geometry (for polygons) or on the geometry (for curves and points).
+// It reports false for empty geometries.
+func InteriorPoint(g Geometry) (Coord, bool) {
+	switch t := g.(type) {
+	case Point:
+		if t.Empty {
+			return Coord{}, false
+		}
+		return t.Coord, true
+	case MultiPoint:
+		for _, p := range t {
+			if !p.Empty {
+				return p.Coord, true
+			}
+		}
+		return Coord{}, false
+	case LineString:
+		if len(t) == 0 {
+			return Coord{}, false
+		}
+		if len(t) == 1 {
+			return t[0], true
+		}
+		// Midpoint of the first segment avoids endpoints (which are
+		// boundary, not interior, for open curves).
+		return Coord{(t[0].X + t[1].X) / 2, (t[0].Y + t[1].Y) / 2}, true
+	case MultiLineString:
+		for _, l := range t {
+			if c, ok := InteriorPoint(l); ok {
+				return c, true
+			}
+		}
+		return Coord{}, false
+	case Polygon:
+		return polygonInteriorPoint(t)
+	case MultiPolygon:
+		for _, p := range t {
+			if c, ok := polygonInteriorPoint(p); ok {
+				return c, true
+			}
+		}
+		return Coord{}, false
+	case Collection:
+		dim := t.Dimension()
+		for _, sub := range t {
+			if sub.Dimension() == dim {
+				if c, ok := InteriorPoint(sub); ok {
+					return c, true
+				}
+			}
+		}
+		return Coord{}, false
+	default:
+		return Coord{}, false
+	}
+}
+
+// polygonInteriorPoint scans horizontal lines through the polygon until a
+// point strictly inside the shell and outside every hole is found.
+func polygonInteriorPoint(p Polygon) (Coord, bool) {
+	if p.IsEmpty() {
+		return Coord{}, false
+	}
+	env := p.Envelope()
+	if env.Height() == 0 || env.Width() == 0 {
+		return Coord{}, false // degenerate polygon has no interior
+	}
+	inside := func(c Coord) bool {
+		if PointInRing(c, p[0]) != RingInterior {
+			return false
+		}
+		for _, hole := range p[1:] {
+			if PointInRing(c, hole) != RingExterior {
+				return false
+			}
+		}
+		return true
+	}
+	// Try the centroid first: for convex-ish shapes this hits immediately.
+	if c, ok := areaCentroid(MultiPolygon{p}); ok && inside(c) {
+		return c, true
+	}
+	// Scanline sampling: for each of several y values, intersect the
+	// scanline with the shell edges and take midpoints between crossing
+	// pairs.
+	const scans = 17
+	for s := 1; s <= scans; s++ {
+		y := env.MinY + env.Height()*float64(s)/float64(scans+1)
+		var xs []float64
+		for i := 0; i < len(p[0])-1; i++ {
+			a, b := p[0][i], p[0][i+1]
+			if (a.Y > y) != (b.Y > y) {
+				t := (y - a.Y) / (b.Y - a.Y)
+				xs = append(xs, a.X+t*(b.X-a.X))
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		sortFloats(xs)
+		for i := 0; i+1 < len(xs); i += 2 {
+			c := Coord{(xs[i] + xs[i+1]) / 2, y}
+			if inside(c) {
+				return c, true
+			}
+		}
+	}
+	return Coord{}, false
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort: the slices here are tiny (ring/scanline crossings).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

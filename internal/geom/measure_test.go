@@ -1,0 +1,196 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestArea(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Geometry
+		want float64
+	}{
+		{"point", Pt(1, 1), 0},
+		{"line", LineString{{0, 0}, {3, 4}}, 0},
+		{"unit square", unitSquare(), 1},
+		{"donut", donut(), 100 - 4},
+		{"multipolygon", MultiPolygon{unitSquare(), squareAt(5, 5, 2)}, 5},
+		{"collection", Collection{unitSquare(), Pt(0, 0)}, 1},
+		{"cw ring", Polygon{Ring{{0, 0}, {0, 2}, {2, 2}, {2, 0}, {0, 0}}}, 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Area(tc.g); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Area = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLength(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Geometry
+		want float64
+	}{
+		{"point", Pt(1, 1), 0},
+		{"segment", LineString{{0, 0}, {3, 4}}, 5},
+		{"polyline", LineString{{0, 0}, {3, 4}, {3, 10}}, 11},
+		{"multiline", MultiLineString{{{0, 0}, {1, 0}}, {{0, 0}, {0, 2}}}, 3},
+		{"square perimeter", unitSquare(), 4},
+		{"donut perimeter", donut(), 40 + 8},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Length(tc.g); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Length = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Geometry
+		want Coord
+	}{
+		{"point", Pt(3, 4), Coord{3, 4}},
+		{"multipoint", MultiPoint{Pt(0, 0), Pt(2, 2)}, Coord{1, 1}},
+		{"segment", LineString{{0, 0}, {4, 0}}, Coord{2, 0}},
+		{"square", unitSquare(), Coord{0.5, 0.5}},
+		{"donut", donut(), Coord{5, 5}},
+		{"cw square", Polygon{Ring{{0, 0}, {0, 2}, {2, 2}, {2, 0}, {0, 0}}}, Coord{1, 1}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := Centroid(tc.g)
+			if !ok {
+				t.Fatal("no centroid for non-empty geometry")
+			}
+			if math.Abs(got.X-tc.want.X) > 1e-9 || math.Abs(got.Y-tc.want.Y) > 1e-9 {
+				t.Errorf("Centroid = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCentroidEmpty(t *testing.T) {
+	for _, g := range []Geometry{Point{Empty: true}, MultiPoint{}, LineString{}, Polygon{}, Collection{}} {
+		if _, ok := Centroid(g); ok {
+			t.Errorf("%s: empty geometry should have no centroid", g.GeomType())
+		}
+	}
+}
+
+func TestCentroidCollectionUsesHighestDimension(t *testing.T) {
+	// The point should be ignored: only the polygon (dim 2) counts.
+	c := Collection{Pt(100, 100), unitSquare()}
+	got, ok := Centroid(c)
+	if !ok {
+		t.Fatal("no centroid")
+	}
+	if math.Abs(got.X-0.5) > 1e-9 || math.Abs(got.Y-0.5) > 1e-9 {
+		t.Errorf("Centroid = %v, want (0.5, 0.5)", got)
+	}
+}
+
+func TestInteriorPoint(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Geometry
+	}{
+		{"square", unitSquare()},
+		{"donut", donut()},
+		{"concave C", Polygon{Ring{{0, 0}, {6, 0}, {6, 2}, {2, 2}, {2, 4}, {6, 4}, {6, 6}, {0, 6}, {0, 0}}}},
+		{"line", LineString{{0, 0}, {2, 2}}},
+		{"point", Pt(7, 8)},
+		{"multipolygon", MultiPolygon{unitSquare()}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c, ok := InteriorPoint(tc.g)
+			if !ok {
+				t.Fatal("no interior point for non-empty geometry")
+			}
+			switch g := tc.g.(type) {
+			case Polygon:
+				if PointInRing(c, g[0]) != RingInterior {
+					t.Errorf("interior point %v not strictly inside shell", c)
+				}
+				for _, hole := range g[1:] {
+					if PointInRing(c, hole) != RingExterior {
+						t.Errorf("interior point %v inside a hole", c)
+					}
+				}
+			case LineString:
+				if DistPointSegment(c, g[0], g[1]) > 1e-12 {
+					t.Errorf("interior point %v not on line", c)
+				}
+			}
+		})
+	}
+}
+
+func TestInteriorPointDonutCentroidMiss(t *testing.T) {
+	// The centroid of this donut falls inside the hole, forcing the
+	// scanline fallback.
+	d := donut()
+	c, ok := InteriorPoint(d)
+	if !ok {
+		t.Fatal("no interior point")
+	}
+	if PointInRing(c, d[1]) != RingExterior {
+		t.Errorf("interior point %v is inside the hole", c)
+	}
+}
+
+func TestInteriorPointEmpty(t *testing.T) {
+	for _, g := range []Geometry{Point{Empty: true}, Polygon{}, LineString{}, MultiPolygon{}, Collection{}} {
+		if _, ok := InteriorPoint(g); ok {
+			t.Errorf("%s: empty geometry should have no interior point", g.GeomType())
+		}
+	}
+}
+
+func TestAreaPropertyScaling(t *testing.T) {
+	// Scaling a polygon by f scales its area by f^2.
+	prop := func(fRaw float64) bool {
+		f := math.Mod(math.Abs(fRaw), 50) + 0.5
+		p := donut()
+		scaled := p.Clone().(Polygon)
+		for _, r := range scaled {
+			for i := range r {
+				r[i] = r[i].Scale(f)
+			}
+		}
+		want := Area(p) * f * f
+		got := Area(scaled)
+		return math.Abs(got-want) <= 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthPropertyTranslationInvariance(t *testing.T) {
+	prop := func(dxRaw, dyRaw float64) bool {
+		dx := math.Mod(dxRaw, 1e6)
+		dy := math.Mod(dyRaw, 1e6)
+		if math.IsNaN(dx) || math.IsNaN(dy) {
+			return true
+		}
+		l := LineString{{0, 0}, {3, 4}, {10, 4}, {10, 20}}
+		moved := l.Clone().(LineString)
+		for i := range moved {
+			moved[i].X += dx
+			moved[i].Y += dy
+		}
+		return math.Abs(Length(l)-Length(moved)) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package geom
+
+// Simplify returns a simplified copy of the geometry using the
+// Douglas–Peucker algorithm with the given distance tolerance. Points
+// are returned unchanged; linestrings keep their endpoints; rings keep
+// at least four coordinates (degenerating rings are dropped, which can
+// empty a polygon). A non-positive tolerance returns a clone.
+func Simplify(g Geometry, tolerance float64) Geometry {
+	if g == nil {
+		return nil
+	}
+	if tolerance <= 0 {
+		return g.Clone()
+	}
+	switch t := g.(type) {
+	case Point, MultiPoint:
+		return g.Clone()
+	case LineString:
+		return LineString(simplifyCoords(t, tolerance, 2))
+	case MultiLineString:
+		out := make(MultiLineString, 0, len(t))
+		for _, l := range t {
+			s := simplifyCoords(l, tolerance, 2)
+			if len(s) >= 2 {
+				out = append(out, LineString(s))
+			}
+		}
+		return out
+	case Polygon:
+		return simplifyPolygon(t, tolerance)
+	case MultiPolygon:
+		out := make(MultiPolygon, 0, len(t))
+		for _, p := range t {
+			if sp := simplifyPolygon(p, tolerance); !sp.IsEmpty() {
+				out = append(out, sp)
+			}
+		}
+		return out
+	case Collection:
+		out := make(Collection, 0, len(t))
+		for _, sub := range t {
+			out = append(out, Simplify(sub, tolerance))
+		}
+		return out
+	default:
+		return g.Clone()
+	}
+}
+
+func simplifyPolygon(p Polygon, tolerance float64) Polygon {
+	var out Polygon
+	for i, r := range p {
+		s := simplifyRing(r, tolerance)
+		if len(s) < 4 {
+			if i == 0 {
+				return Polygon{} // shell collapsed: polygon vanishes
+			}
+			continue // hole collapsed: drop it
+		}
+		out = append(out, Ring(s))
+	}
+	return out
+}
+
+// simplifyRing simplifies a closed ring, keeping closure. The ring is
+// cut at its start vertex; if the result degenerates below 4 coords the
+// caller drops it.
+func simplifyRing(r Ring, tolerance float64) []Coord {
+	if len(r) < 4 {
+		return nil
+	}
+	s := simplifyCoords(r, tolerance, 3)
+	if len(s) < 4 || !s[0].Equal(s[len(s)-1]) {
+		return nil
+	}
+	return s
+}
+
+// simplifyCoords runs Douglas–Peucker keeping at least minKeep interior
+// structure (endpoints always survive).
+func simplifyCoords(cs []Coord, tolerance float64, minKeep int) []Coord {
+	n := len(cs)
+	if n <= minKeep {
+		out := make([]Coord, n)
+		copy(out, cs)
+		return out
+	}
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+	dpMark(cs, 0, n-1, tolerance, keep)
+	out := make([]Coord, 0, n)
+	for i, k := range keep {
+		if k {
+			out = append(out, cs[i])
+		}
+	}
+	return out
+}
+
+// dpMark marks the coordinates to keep between endpoints lo and hi.
+func dpMark(cs []Coord, lo, hi int, tolerance float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	maxDist := -1.0
+	maxIdx := -1
+	for i := lo + 1; i < hi; i++ {
+		d := DistPointSegment(cs[i], cs[lo], cs[hi])
+		if d > maxDist {
+			maxDist = d
+			maxIdx = i
+		}
+	}
+	if maxDist > tolerance {
+		keep[maxIdx] = true
+		dpMark(cs, lo, maxIdx, tolerance, keep)
+		dpMark(cs, maxIdx, hi, tolerance, keep)
+	}
+}

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyLineCollinear(t *testing.T) {
+	l := LineString{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}}
+	s := Simplify(l, 0.01).(LineString)
+	if len(s) != 2 || !s[0].Equal(Coord{0, 0}) || !s[1].Equal(Coord{4, 0}) {
+		t.Errorf("collinear simplify = %v", WKT(s))
+	}
+}
+
+func TestSimplifyKeepsSignificantVertices(t *testing.T) {
+	l := LineString{{0, 0}, {2, 0.05}, {4, 3}, {6, 0.05}, {8, 0}}
+	// With the bump kept, the wiggles sit ~1.16 from the slanted
+	// sub-baselines, so a tolerance of 1.5 removes them but not the bump.
+	s := Simplify(l, 1.5).(LineString)
+	if len(s) != 3 || !s[1].Equal(Coord{4, 3}) {
+		t.Errorf("simplify = %v", WKT(s))
+	}
+	// A tolerance above the bump flattens everything.
+	s = Simplify(l, 5).(LineString)
+	if len(s) != 2 {
+		t.Errorf("aggressive simplify = %v", WKT(s))
+	}
+}
+
+func TestSimplifyEndpointsPreserved(t *testing.T) {
+	l := LineString{{0, 0}, {1, 5}, {2, -5}, {3, 1}}
+	s := Simplify(l, 100).(LineString)
+	if !s[0].Equal(l[0]) || !s[len(s)-1].Equal(l[len(l)-1]) {
+		t.Error("endpoints must survive simplification")
+	}
+}
+
+func TestSimplifyPolygon(t *testing.T) {
+	// A square with a redundant midpoint on each edge.
+	p := Polygon{Ring{
+		{0, 0}, {2, 0}, {4, 0}, {4, 2}, {4, 4}, {2, 4}, {0, 4}, {0, 2}, {0, 0},
+	}}
+	s := Simplify(p, 0.1).(Polygon)
+	if len(s[0]) != 5 {
+		t.Errorf("square simplify kept %d coords: %s", len(s[0]), WKT(s))
+	}
+	if math.Abs(Area(s)-16) > 1e-9 {
+		t.Errorf("area changed: %v", Area(s))
+	}
+	if err := Validate(s); err != nil {
+		t.Errorf("simplified polygon invalid: %v", err)
+	}
+}
+
+func TestSimplifyPolygonCollapse(t *testing.T) {
+	// A sliver narrower than the tolerance collapses to empty.
+	p := Polygon{Ring{{0, 0}, {10, 0.01}, {10, 0.02}, {0, 0.01}, {0, 0}}}
+	s := Simplify(p, 1).(Polygon)
+	if !s.IsEmpty() {
+		t.Errorf("sliver should collapse, got %s", WKT(s))
+	}
+	// Holes collapse independently of the shell.
+	d := Polygon{
+		Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}},
+		Ring{{5, 5}, {5.01, 5}, {5.01, 5.01}, {5, 5.01}, {5, 5}},
+	}
+	s = Simplify(d, 0.5).(Polygon)
+	if len(s) != 1 {
+		t.Errorf("tiny hole should vanish: %s", WKT(s))
+	}
+}
+
+func TestSimplifyZeroToleranceClones(t *testing.T) {
+	l := LineString{{0, 0}, {1, 0.0001}, {2, 0}}
+	s := Simplify(l, 0).(LineString)
+	if len(s) != 3 {
+		t.Error("zero tolerance must not simplify")
+	}
+	s[0].X = 99
+	if l[0].X == 99 {
+		t.Error("zero-tolerance result shares storage")
+	}
+}
+
+func TestSimplifyPropertyWithinTolerance(t *testing.T) {
+	// Every dropped vertex lies within tolerance of the simplified line.
+	prop := func(seed uint64) bool {
+		r := seed
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64(r>>40) / float64(1<<24)
+		}
+		l := make(LineString, 30)
+		x := 0.0
+		for i := range l {
+			x += next() * 5
+			l[i] = Coord{X: x, Y: next() * 10}
+		}
+		const tol = 2.0
+		s := Simplify(l, tol).(LineString)
+		for _, c := range l {
+			best := math.Inf(1)
+			for i := 0; i+1 < len(s); i++ {
+				if d := DistPointSegment(c, s[i], s[i+1]); d < best {
+					best = d
+				}
+			}
+			// Douglas–Peucker guarantees each dropped vertex is within
+			// tol of the segment that replaced its subchain; distance to
+			// the whole simplified line can only be smaller.
+			if best > tol+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

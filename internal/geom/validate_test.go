@@ -1,0 +1,133 @@
+package geom
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateValidGeometries(t *testing.T) {
+	valid := []Geometry{
+		Pt(1, 2),
+		Point{Empty: true},
+		LineString{{0, 0}, {1, 1}},
+		LineString{},
+		unitSquare(),
+		donut(),
+		Polygon{},
+		MultiPolygon{unitSquare(), squareAt(10, 10, 1)},
+		Collection{Pt(0, 0), unitSquare()},
+	}
+	for _, g := range valid {
+		if err := Validate(g); err != nil {
+			t.Errorf("%s: unexpected error: %v", WKT(g), err)
+		}
+	}
+}
+
+func TestValidateInvalidGeometries(t *testing.T) {
+	bowtie := Polygon{Ring{{0, 0}, {4, 0}, {1, 3}, {3, 3}, {0, 0}}}
+	tests := []struct {
+		name   string
+		g      Geometry
+		reason string
+	}{
+		{"nan point", Pt(math.NaN(), 0), "non-finite"},
+		{"inf line", LineString{{0, 0}, {math.Inf(1), 1}}, "non-finite"},
+		{"one-coord line", LineString{{0, 0}}, "need >= 2"},
+		{"zero-length line", LineString{{1, 1}, {1, 1}}, "zero length"},
+		{"open ring", Polygon{Ring{{0, 0}, {1, 0}, {1, 1}, {0, 1}}}, "not closed"},
+		{"tiny ring", Polygon{Ring{{0, 0}, {1, 0}, {0, 0}}}, "coordinate"},
+		{"zero-area ring", Polygon{Ring{{0, 0}, {1, 1}, {2, 2}, {0, 0}}}, "zero area"},
+		{"bowtie", bowtie, "self-intersection"},
+		{"hole outside", Polygon{
+			Ring{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}},
+			Ring{{10, 10}, {12, 10}, {12, 12}, {10, 12}, {10, 10}},
+		}, "outside shell"},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.g)
+			if err == nil {
+				t.Fatalf("expected error mentioning %q", tc.reason)
+			}
+			if !strings.Contains(err.Error(), tc.reason) {
+				t.Errorf("error %q does not mention %q", err, tc.reason)
+			}
+		})
+	}
+	if IsValid(bowtie) {
+		t.Error("IsValid(bowtie) = true")
+	}
+	if !IsValid(unitSquare()) {
+		t.Error("IsValid(square) = false")
+	}
+}
+
+func TestValidateNestedErrorsArePrefixed(t *testing.T) {
+	g := MultiPolygon{unitSquare(), Polygon{Ring{{0, 0}, {1, 1}, {2, 2}, {0, 0}}}}
+	err := Validate(g)
+	if err == nil || !strings.Contains(err.Error(), "polygon 1") {
+		t.Errorf("error should name the failing polygon, got %v", err)
+	}
+	c := Collection{Pt(0, 0), LineString{{0, 0}}}
+	err = Validate(c)
+	if err == nil || !strings.Contains(err.Error(), "element 1") {
+		t.Errorf("error should name the failing element, got %v", err)
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	// Open line: two endpoints.
+	b := Boundary(LineString{{0, 0}, {1, 1}, {2, 2}})
+	mp, ok := b.(MultiPoint)
+	if !ok || len(mp) != 2 {
+		t.Fatalf("line boundary = %v", WKT(b))
+	}
+	// Closed line: empty boundary.
+	closed := LineString{{0, 0}, {1, 0}, {1, 1}, {0, 0}}
+	if !Boundary(closed).IsEmpty() {
+		t.Error("closed line boundary should be empty")
+	}
+	// Point: empty boundary.
+	if !Boundary(Pt(1, 1)).IsEmpty() {
+		t.Error("point boundary should be empty")
+	}
+	// Polygon: rings.
+	pb := Boundary(donut())
+	ml, ok := pb.(MultiLineString)
+	if !ok || len(ml) != 2 {
+		t.Fatalf("donut boundary = %v", WKT(pb))
+	}
+}
+
+func TestBoundaryMod2Rule(t *testing.T) {
+	// Two lines sharing an endpoint: the shared endpoint appears twice
+	// (even) so it is NOT on the boundary; the other two are.
+	m := MultiLineString{
+		{{0, 0}, {1, 1}},
+		{{1, 1}, {2, 0}},
+	}
+	b := Boundary(m).(MultiPoint)
+	if len(b) != 2 {
+		t.Fatalf("mod-2 boundary has %d points, want 2: %v", len(b), WKT(b))
+	}
+	for _, p := range b {
+		if p.Equal(Coord{1, 1}) {
+			t.Error("shared endpoint must not be on the boundary")
+		}
+	}
+	// Three lines at one point: odd count keeps it on the boundary.
+	m = append(m, LineString{{1, 1}, {1, 5}})
+	b = Boundary(m).(MultiPoint)
+	found := false
+	for _, p := range b {
+		if p.Equal(Coord{1, 1}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("triple junction endpoint should be on the boundary")
+	}
+}

@@ -1,0 +1,320 @@
+package geom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WKB byte-order markers.
+const (
+	wkbBigEndian    = 0
+	wkbLittleEndian = 1
+)
+
+// ErrCorruptWKB is wrapped by all WKB decode errors.
+var ErrCorruptWKB = errors.New("geom: corrupt WKB")
+
+// MarshalWKB serializes the geometry to little-endian Well-Known Binary.
+func MarshalWKB(g Geometry) []byte {
+	return AppendWKB(make([]byte, 0, wkbSize(g)), g)
+}
+
+// AppendWKB appends the little-endian WKB encoding of g to dst.
+func AppendWKB(dst []byte, g Geometry) []byte {
+	dst = append(dst, wkbLittleEndian)
+	dst = appendUint32(dst, uint32(g.GeomType()))
+	switch t := g.(type) {
+	case Point:
+		if t.Empty {
+			// Encode the OGC convention for empty points: NaN ordinates.
+			dst = appendFloat64(dst, math.NaN())
+			dst = appendFloat64(dst, math.NaN())
+			return dst
+		}
+		dst = appendFloat64(dst, t.X)
+		return appendFloat64(dst, t.Y)
+	case LineString:
+		return appendWKBCoords(dst, t)
+	case Polygon:
+		dst = appendUint32(dst, uint32(len(t)))
+		for _, r := range t {
+			dst = appendWKBCoords(dst, r)
+		}
+		return dst
+	case MultiPoint:
+		dst = appendUint32(dst, uint32(len(t)))
+		for _, p := range t {
+			dst = AppendWKB(dst, p)
+		}
+		return dst
+	case MultiLineString:
+		dst = appendUint32(dst, uint32(len(t)))
+		for _, l := range t {
+			dst = AppendWKB(dst, l)
+		}
+		return dst
+	case MultiPolygon:
+		dst = appendUint32(dst, uint32(len(t)))
+		for _, p := range t {
+			dst = AppendWKB(dst, p)
+		}
+		return dst
+	case Collection:
+		dst = appendUint32(dst, uint32(len(t)))
+		for _, sub := range t {
+			dst = AppendWKB(dst, sub)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("geom: unknown geometry type %T", g))
+	}
+}
+
+// wkbSize returns the exact encoded size of g.
+func wkbSize(g Geometry) int {
+	const hdr = 1 + 4
+	switch t := g.(type) {
+	case Point:
+		return hdr + 16
+	case LineString:
+		return hdr + 4 + 16*len(t)
+	case Polygon:
+		n := hdr + 4
+		for _, r := range t {
+			n += 4 + 16*len(r)
+		}
+		return n
+	case MultiPoint:
+		return hdr + 4 + len(t)*(hdr+16)
+	case MultiLineString:
+		n := hdr + 4
+		for _, l := range t {
+			n += wkbSize(l)
+		}
+		return n
+	case MultiPolygon:
+		n := hdr + 4
+		for _, p := range t {
+			n += wkbSize(p)
+		}
+		return n
+	case Collection:
+		n := hdr + 4
+		for _, sub := range t {
+			n += wkbSize(sub)
+		}
+		return n
+	default:
+		return hdr
+	}
+}
+
+func appendUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendWKBCoords(dst []byte, cs []Coord) []byte {
+	dst = appendUint32(dst, uint32(len(cs)))
+	for _, c := range cs {
+		dst = appendFloat64(dst, c.X)
+		dst = appendFloat64(dst, c.Y)
+	}
+	return dst
+}
+
+// UnmarshalWKB decodes a WKB-encoded geometry. Both byte orders are
+// accepted. The entire input must be consumed.
+func UnmarshalWKB(data []byte) (Geometry, error) {
+	d := &wkbDecoder{data: data}
+	g, err := d.geometry(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptWKB, len(data)-d.pos)
+	}
+	return g, nil
+}
+
+type wkbDecoder struct {
+	data []byte
+	pos  int
+}
+
+// maxWKBNesting bounds recursion for hostile inputs.
+const maxWKBNesting = 32
+
+func (d *wkbDecoder) remaining() int { return len(d.data) - d.pos }
+
+func (d *wkbDecoder) byteOrder() (binary.ByteOrder, error) {
+	if d.remaining() < 1 {
+		return nil, fmt.Errorf("%w: truncated byte-order marker", ErrCorruptWKB)
+	}
+	b := d.data[d.pos]
+	d.pos++
+	switch b {
+	case wkbLittleEndian:
+		return binary.LittleEndian, nil
+	case wkbBigEndian:
+		return binary.BigEndian, nil
+	default:
+		return nil, fmt.Errorf("%w: bad byte-order marker %d", ErrCorruptWKB, b)
+	}
+}
+
+func (d *wkbDecoder) uint32(bo binary.ByteOrder) (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, fmt.Errorf("%w: truncated uint32", ErrCorruptWKB)
+	}
+	v := bo.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *wkbDecoder) float64(bo binary.ByteOrder) (float64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated float64", ErrCorruptWKB)
+	}
+	v := math.Float64frombits(bo.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+func (d *wkbDecoder) coords(bo binary.ByteOrder) ([]Coord, error) {
+	n, err := d.uint32(bo)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > d.remaining()/16 {
+		return nil, fmt.Errorf("%w: coordinate count %d exceeds input", ErrCorruptWKB, n)
+	}
+	cs := make([]Coord, n)
+	for i := range cs {
+		if cs[i].X, err = d.float64(bo); err != nil {
+			return nil, err
+		}
+		if cs[i].Y, err = d.float64(bo); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
+}
+
+func (d *wkbDecoder) geometry(depth int) (Geometry, error) {
+	if depth > maxWKBNesting {
+		return nil, fmt.Errorf("%w: nesting deeper than %d", ErrCorruptWKB, maxWKBNesting)
+	}
+	bo, err := d.byteOrder()
+	if err != nil {
+		return nil, err
+	}
+	typ, err := d.uint32(bo)
+	if err != nil {
+		return nil, err
+	}
+	switch Type(typ) {
+	case TypePoint:
+		x, err := d.float64(bo)
+		if err != nil {
+			return nil, err
+		}
+		y, err := d.float64(bo)
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(x) && math.IsNaN(y) {
+			return Point{Empty: true}, nil
+		}
+		return Point{Coord: Coord{x, y}}, nil
+
+	case TypeLineString:
+		cs, err := d.coords(bo)
+		if err != nil {
+			return nil, err
+		}
+		return LineString(cs), nil
+
+	case TypePolygon:
+		n, err := d.uint32(bo)
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > d.remaining()/4 {
+			return nil, fmt.Errorf("%w: ring count %d exceeds input", ErrCorruptWKB, n)
+		}
+		poly := make(Polygon, 0, n)
+		for i := uint32(0); i < n; i++ {
+			cs, err := d.coords(bo)
+			if err != nil {
+				return nil, err
+			}
+			poly = append(poly, Ring(cs))
+		}
+		return poly, nil
+
+	case TypeMultiPoint, TypeMultiLineString, TypeMultiPolygon, TypeGeometryCollection:
+		n, err := d.uint32(bo)
+		if err != nil {
+			return nil, err
+		}
+		// Each nested geometry takes at least 5 bytes.
+		if int(n) > d.remaining()/5 {
+			return nil, fmt.Errorf("%w: element count %d exceeds input", ErrCorruptWKB, n)
+		}
+		subs := make([]Geometry, 0, n)
+		for i := uint32(0); i < n; i++ {
+			sub, err := d.geometry(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+		}
+		return assembleMulti(Type(typ), subs)
+
+	default:
+		return nil, fmt.Errorf("%w: unknown geometry type code %d", ErrCorruptWKB, typ)
+	}
+}
+
+func assembleMulti(t Type, subs []Geometry) (Geometry, error) {
+	switch t {
+	case TypeMultiPoint:
+		mp := make(MultiPoint, 0, len(subs))
+		for _, s := range subs {
+			p, ok := s.(Point)
+			if !ok {
+				return nil, fmt.Errorf("%w: multipoint element is %s", ErrCorruptWKB, s.GeomType())
+			}
+			mp = append(mp, p)
+		}
+		return mp, nil
+	case TypeMultiLineString:
+		ml := make(MultiLineString, 0, len(subs))
+		for _, s := range subs {
+			l, ok := s.(LineString)
+			if !ok {
+				return nil, fmt.Errorf("%w: multilinestring element is %s", ErrCorruptWKB, s.GeomType())
+			}
+			ml = append(ml, l)
+		}
+		return ml, nil
+	case TypeMultiPolygon:
+		mp := make(MultiPolygon, 0, len(subs))
+		for _, s := range subs {
+			p, ok := s.(Polygon)
+			if !ok {
+				return nil, fmt.Errorf("%w: multipolygon element is %s", ErrCorruptWKB, s.GeomType())
+			}
+			mp = append(mp, p)
+		}
+		return mp, nil
+	default:
+		return Collection(subs), nil
+	}
+}

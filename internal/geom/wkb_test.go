@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func wkbCorpus() []Geometry {
+	return []Geometry{
+		Pt(1, 2),
+		Point{Empty: true},
+		LineString{{0, 0}, {1, 1}, {2, 0}},
+		LineString{},
+		unitSquare(),
+		donut(),
+		Polygon{},
+		MultiPoint{Pt(1, 2), Pt(3, 4)},
+		MultiPoint{},
+		MultiLineString{{{0, 0}, {1, 1}}, {{2, 2}, {3, 3}}},
+		MultiPolygon{unitSquare(), squareAt(5, 5, 2)},
+		Collection{Pt(1, 2), LineString{{0, 0}, {1, 1}}, unitSquare()},
+		Collection{},
+		Collection{Collection{Pt(9, 9)}},
+	}
+}
+
+func TestWKBRoundTrip(t *testing.T) {
+	for _, g := range wkbCorpus() {
+		data := MarshalWKB(g)
+		got, err := UnmarshalWKB(data)
+		if err != nil {
+			t.Errorf("%s: UnmarshalWKB: %v", WKT(g), err)
+			continue
+		}
+		if !reflect.DeepEqual(normalizeNil(got), normalizeNil(g)) {
+			t.Errorf("round trip mismatch:\n in: %s\nout: %s", WKT(g), WKT(got))
+		}
+	}
+}
+
+// normalizeNil maps nil slices to empty ones so DeepEqual compares
+// semantically (an empty LineString round-trips as a zero-length slice).
+func normalizeNil(g Geometry) Geometry {
+	switch t := g.(type) {
+	case LineString:
+		if t == nil {
+			return LineString{}
+		}
+	case MultiPoint:
+		if t == nil {
+			return MultiPoint{}
+		}
+	case MultiLineString:
+		if t == nil {
+			return MultiLineString{}
+		}
+	case Polygon:
+		if t == nil {
+			return Polygon{}
+		}
+	case MultiPolygon:
+		if t == nil {
+			return MultiPolygon{}
+		}
+	case Collection:
+		if t == nil {
+			return Collection{}
+		}
+		out := make(Collection, len(t))
+		for i, sub := range t {
+			out[i] = normalizeNil(sub)
+		}
+		return out
+	}
+	return g
+}
+
+func TestWKBSizeExact(t *testing.T) {
+	for _, g := range wkbCorpus() {
+		if got, want := len(MarshalWKB(g)), wkbSize(g); got != want {
+			t.Errorf("%s: encoded %d bytes, wkbSize says %d", WKT(g), got, want)
+		}
+	}
+}
+
+func TestWKBBigEndianDecode(t *testing.T) {
+	// Hand-build a big-endian POINT (1 2).
+	buf := []byte{wkbBigEndian}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(TypePoint))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(1))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(2))
+	g, err := UnmarshalWKB(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.(Point); !p.Equal(Coord{1, 2}) {
+		t.Errorf("decoded %v", p)
+	}
+}
+
+func TestWKBCorruptInputs(t *testing.T) {
+	valid := MarshalWKB(unitSquare())
+	cases := [][]byte{
+		nil,
+		{},
+		{5},                                      // bad byte order
+		{1},                                      // truncated type
+		{1, 1, 0, 0},                             // truncated type
+		valid[:len(valid)-1],                     // truncated payload
+		append(append([]byte{}, valid...), 0xFF), // trailing byte
+		{1, 99, 0, 0, 0},                         // unknown type code
+		// Huge declared coordinate count.
+		{1, 2, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F},
+		// Huge declared element count in a collection.
+		{1, 7, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F},
+	}
+	for i, data := range cases {
+		if _, err := UnmarshalWKB(data); err == nil {
+			t.Errorf("case %d: expected error for corrupt input", i)
+		} else if !errors.Is(err, ErrCorruptWKB) {
+			t.Errorf("case %d: error %v is not ErrCorruptWKB", i, err)
+		}
+	}
+}
+
+func TestWKBDeepNestingRejected(t *testing.T) {
+	g := Geometry(Pt(0, 0))
+	for i := 0; i < maxWKBNesting+2; i++ {
+		g = Collection{g}
+	}
+	if _, err := UnmarshalWKB(MarshalWKB(g)); err == nil {
+		t.Error("expected nesting-depth error")
+	}
+}
+
+func TestWKBWrongElementType(t *testing.T) {
+	// A MultiPoint whose element is a LineString.
+	buf := []byte{wkbLittleEndian}
+	buf = appendUint32(buf, uint32(TypeMultiPoint))
+	buf = appendUint32(buf, 1)
+	buf = AppendWKB(buf, LineString{{0, 0}, {1, 1}})
+	if _, err := UnmarshalWKB(buf); err == nil {
+		t.Error("expected element-type error")
+	}
+}
+
+func TestWKBPropertyRoundTripPolygons(t *testing.T) {
+	prop := func(seed int64) bool {
+		// Build a deterministic star polygon from the seed.
+		n := 5 + int(uint64(seed)%13)
+		ring := make(Ring, 0, n+1)
+		for i := 0; i < n; i++ {
+			ang := 2 * math.Pi * float64(i) / float64(n)
+			r := 5 + float64((uint64(seed)>>(i%32))%7)
+			ring = append(ring, Coord{r * math.Cos(ang), r * math.Sin(ang)})
+		}
+		ring = append(ring, ring[0])
+		p := Polygon{ring}
+		got, err := UnmarshalWKB(MarshalWKB(p))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,358 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseWKT parses Well-Known Text into a Geometry. Parsing is
+// case-insensitive and tolerant of extra whitespace. Z/M/ZM dimensions
+// are rejected: the engine is strictly planar.
+func ParseWKT(s string) (Geometry, error) {
+	p := &wktParser{src: s}
+	g, err := p.parseGeometry()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("trailing input after geometry")
+	}
+	return g, nil
+}
+
+// MustParseWKT parses WKT and panics on error. Intended for tests and
+// static data tables.
+func MustParseWKT(s string) Geometry {
+	g, err := ParseWKT(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type wktParser struct {
+	src string
+	pos int
+}
+
+func (p *wktParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("geom: parse WKT at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *wktParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// word consumes the next identifier (letters only), upper-cased.
+func (p *wktParser) word() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return strings.ToUpper(p.src[start:p.pos])
+}
+
+// peekWord reports the next identifier without consuming it.
+func (p *wktParser) peekWord() string {
+	save := p.pos
+	w := p.word()
+	p.pos = save
+	return w
+}
+
+func (p *wktParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return p.errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+// accept consumes c if it is next, reporting whether it did.
+func (p *wktParser) accept(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *wktParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+			c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, p.errorf("expected number")
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errorf("bad number %q: %v", p.src[start:p.pos], err)
+	}
+	return v, nil
+}
+
+func (p *wktParser) coord() (Coord, error) {
+	x, err := p.number()
+	if err != nil {
+		return Coord{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return Coord{}, err
+	}
+	// Reject a third ordinate (Z) explicitly for a clear error.
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' {
+			return Coord{}, p.errorf("3D coordinates are not supported")
+		}
+	}
+	return Coord{x, y}, nil
+}
+
+// isEmptyTag consumes the EMPTY keyword if present.
+func (p *wktParser) isEmptyTag() bool {
+	save := p.pos
+	if p.word() == "EMPTY" {
+		return true
+	}
+	p.pos = save
+	return false
+}
+
+func (p *wktParser) coordSeq() ([]Coord, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var cs []Coord
+	for {
+		c, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+		if !p.accept(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+func (p *wktParser) parseGeometry() (Geometry, error) {
+	tag := p.word()
+	// Reject dimensional modifiers attached or separate (POINT Z, POINTZ).
+	switch p.peekWord() {
+	case "Z", "M", "ZM":
+		return nil, p.errorf("dimensional modifier %q not supported", p.peekWord())
+	}
+	switch tag {
+	case "POINT":
+		if p.isEmptyTag() {
+			return Point{Empty: true}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		c, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Point{Coord: c}, nil
+
+	case "LINESTRING":
+		if p.isEmptyTag() {
+			return LineString{}, nil
+		}
+		cs, err := p.coordSeq()
+		if err != nil {
+			return nil, err
+		}
+		if len(cs) < 2 {
+			return nil, p.errorf("linestring needs at least 2 coordinates")
+		}
+		return LineString(cs), nil
+
+	case "POLYGON":
+		if p.isEmptyTag() {
+			return Polygon{}, nil
+		}
+		rings, err := p.ringList()
+		if err != nil {
+			return nil, err
+		}
+		return Polygon(rings), nil
+
+	case "MULTIPOINT":
+		if p.isEmptyTag() {
+			return MultiPoint{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var mp MultiPoint
+		for {
+			if p.isEmptyTag() {
+				mp = append(mp, Point{Empty: true})
+			} else if p.accept('(') {
+				c, err := p.coord()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(')'); err != nil {
+					return nil, err
+				}
+				mp = append(mp, Point{Coord: c})
+			} else {
+				// Bare-coordinate form: MULTIPOINT (1 2, 3 4).
+				c, err := p.coord()
+				if err != nil {
+					return nil, err
+				}
+				mp = append(mp, Point{Coord: c})
+			}
+			if !p.accept(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return mp, nil
+
+	case "MULTILINESTRING":
+		if p.isEmptyTag() {
+			return MultiLineString{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var ml MultiLineString
+		for {
+			cs, err := p.coordSeq()
+			if err != nil {
+				return nil, err
+			}
+			if len(cs) < 2 {
+				return nil, p.errorf("linestring needs at least 2 coordinates")
+			}
+			ml = append(ml, LineString(cs))
+			if !p.accept(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return ml, nil
+
+	case "MULTIPOLYGON":
+		if p.isEmptyTag() {
+			return MultiPolygon{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var mp MultiPolygon
+		for {
+			rings, err := p.ringList()
+			if err != nil {
+				return nil, err
+			}
+			mp = append(mp, Polygon(rings))
+			if !p.accept(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return mp, nil
+
+	case "GEOMETRYCOLLECTION":
+		if p.isEmptyTag() {
+			return Collection{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var col Collection
+		for {
+			g, err := p.parseGeometry()
+			if err != nil {
+				return nil, err
+			}
+			col = append(col, g)
+			if !p.accept(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return col, nil
+
+	case "":
+		return nil, p.errorf("expected geometry tag")
+	default:
+		return nil, p.errorf("unknown geometry tag %q", tag)
+	}
+}
+
+func (p *wktParser) ringList() ([]Ring, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var rings []Ring
+	for {
+		cs, err := p.coordSeq()
+		if err != nil {
+			return nil, err
+		}
+		if len(cs) < 4 {
+			return nil, p.errorf("ring needs at least 4 coordinates")
+		}
+		if !cs[0].Equal(cs[len(cs)-1]) {
+			return nil, p.errorf("ring is not closed")
+		}
+		rings = append(rings, Ring(cs))
+		if !p.accept(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return rings, nil
+}

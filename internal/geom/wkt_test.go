@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWKTRoundTrip(t *testing.T) {
+	wkts := []string{
+		"POINT (1 2)",
+		"POINT EMPTY",
+		"LINESTRING (0 0, 1 1, 2 0)",
+		"LINESTRING EMPTY",
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+		"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+		"POLYGON EMPTY",
+		"MULTIPOINT ((1 2), (3 4))",
+		"MULTIPOINT EMPTY",
+		"MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 2))",
+		"MULTILINESTRING EMPTY",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 7 5, 7 7, 5 7, 5 5)))",
+		"MULTIPOLYGON EMPTY",
+		"GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))",
+		"GEOMETRYCOLLECTION EMPTY",
+		"POINT (-1.5 2.25)",
+		"POINT (1e-07 2500000)",
+	}
+	for _, s := range wkts {
+		g, err := ParseWKT(s)
+		if err != nil {
+			t.Errorf("ParseWKT(%q): %v", s, err)
+			continue
+		}
+		out := WKT(g)
+		g2, err := ParseWKT(out)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q): %v", out, s, err)
+			continue
+		}
+		if WKT(g2) != out {
+			t.Errorf("WKT not stable: %q -> %q -> %q", s, out, WKT(g2))
+		}
+	}
+}
+
+func TestWKTExactOutput(t *testing.T) {
+	tests := []struct {
+		g    Geometry
+		want string
+	}{
+		{Pt(1, 2), "POINT (1 2)"},
+		{Point{Empty: true}, "POINT EMPTY"},
+		{LineString{{0, 0}, {1, 1}}, "LINESTRING (0 0, 1 1)"},
+		{unitSquare(), "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"},
+		{MultiPoint{Pt(1, 2)}, "MULTIPOINT ((1 2))"},
+		{MultiPoint{{Empty: true}}, "MULTIPOINT (EMPTY)"},
+		{Collection{}, "GEOMETRYCOLLECTION EMPTY"},
+		{nil, "GEOMETRYCOLLECTION EMPTY"},
+	}
+	for _, tc := range tests {
+		if got := WKT(tc.g); got != tc.want {
+			t.Errorf("WKT = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestParseWKTFlexibleSyntax(t *testing.T) {
+	// Case-insensitivity, odd whitespace, bare multipoint coordinates.
+	variants := []string{
+		"point(1 2)",
+		"  POINT  ( 1   2 ) ",
+		"Point (1 2)",
+	}
+	for _, s := range variants {
+		g, err := ParseWKT(s)
+		if err != nil {
+			t.Errorf("ParseWKT(%q): %v", s, err)
+			continue
+		}
+		if p, ok := g.(Point); !ok || !p.Equal(Coord{1, 2}) {
+			t.Errorf("ParseWKT(%q) = %v", s, g)
+		}
+	}
+	g, err := ParseWKT("MULTIPOINT (1 2, 3 4)")
+	if err != nil {
+		t.Fatalf("bare multipoint: %v", err)
+	}
+	if mp := g.(MultiPoint); len(mp) != 2 || !mp[1].Equal(Coord{3, 4}) {
+		t.Errorf("bare multipoint = %v", g)
+	}
+}
+
+func TestParseWKTErrors(t *testing.T) {
+	bad := []struct {
+		wkt    string
+		reason string
+	}{
+		{"", "tag"},
+		{"CIRCLE (0 0, 1)", "unknown"},
+		{"POINT", `expected "("`},
+		{"POINT (1)", "number"},
+		{"POINT (1 2", `expected ")"`},
+		{"POINT (1 2) junk", "trailing"},
+		{"POINT Z (1 2 3)", "modifier"},
+		{"POINT (1 2 3)", "3D"},
+		{"LINESTRING (0 0)", "at least 2"},
+		{"POLYGON ((0 0, 1 1, 0 0))", "at least 4"},
+		{"POLYGON ((0 0, 1 0, 1 1, 0 1))", "not closed"},
+		{"POINT (a b)", "number"},
+	}
+	for _, tc := range bad {
+		_, err := ParseWKT(tc.wkt)
+		if err == nil {
+			t.Errorf("ParseWKT(%q): expected error containing %q", tc.wkt, tc.reason)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.reason) {
+			t.Errorf("ParseWKT(%q) error %q does not mention %q", tc.wkt, err, tc.reason)
+		}
+	}
+}
+
+func TestMustParseWKTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseWKT did not panic on bad input")
+		}
+	}()
+	MustParseWKT("NOT A GEOMETRY")
+}
+
+func TestParseWKTPreservesPrecision(t *testing.T) {
+	const x = 123456.789012345
+	g := MustParseWKT(WKT(Pt(x, -x)))
+	p := g.(Point)
+	if p.X != x || p.Y != -x {
+		t.Errorf("precision lost: %v", p)
+	}
+}

@@ -1,0 +1,338 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertSeek(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(EncodeInt(int64(i%100)), int64(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	rows := tr.SeekAll(EncodeInt(7))
+	if len(rows) != 10 {
+		t.Fatalf("SeekAll(7) returned %d rows, want 10", len(rows))
+	}
+	for i, r := range rows {
+		if r%100 != 7 {
+			t.Errorf("row %d = %d, wrong key residue", i, r)
+		}
+		if i > 0 && rows[i] <= rows[i-1] {
+			t.Errorf("rowids not in order at %d", i)
+		}
+	}
+	if got := tr.SeekAll(EncodeInt(500)); len(got) != 0 {
+		t.Errorf("missing key returned %v", got)
+	}
+}
+
+func TestInsertDuplicatePairIgnored(t *testing.T) {
+	tr := New()
+	tr.Insert(EncodeInt(1), 10)
+	tr.Insert(EncodeInt(1), 10)
+	if tr.Len() != 1 {
+		t.Errorf("duplicate pair stored twice: Len = %d", tr.Len())
+	}
+	tr.Insert(EncodeInt(1), 11)
+	if tr.Len() != 2 {
+		t.Errorf("distinct rowid not stored: Len = %d", tr.Len())
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(EncodeInt(int64(i)), int64(i*10))
+	}
+	var keys []int64
+	tr.Range(EncodeInt(100), EncodeInt(199), true, true, func(k []byte, rowid int64) bool {
+		keys = append(keys, rowid/10)
+		return true
+	})
+	if len(keys) != 100 {
+		t.Fatalf("range scan returned %d entries, want 100", len(keys))
+	}
+	for i, k := range keys {
+		if k != int64(100+i) {
+			t.Fatalf("out-of-order key at %d: %d", i, k)
+		}
+	}
+	// Exclusive bounds.
+	keys = nil
+	tr.Range(EncodeInt(100), EncodeInt(199), false, false, func(k []byte, rowid int64) bool {
+		keys = append(keys, rowid/10)
+		return true
+	})
+	if len(keys) != 98 || keys[0] != 101 || keys[len(keys)-1] != 198 {
+		t.Errorf("exclusive range: len=%d first=%v last=%v", len(keys), keys[0], keys[len(keys)-1])
+	}
+	// Unbounded below.
+	count := 0
+	tr.Range(nil, EncodeInt(9), true, true, func([]byte, int64) bool { count++; return true })
+	if count != 10 {
+		t.Errorf("unbounded-below range count = %d, want 10", count)
+	}
+	// Unbounded above.
+	count = 0
+	tr.Range(EncodeInt(490), nil, true, true, func([]byte, int64) bool { count++; return true })
+	if count != 10 {
+		t.Errorf("unbounded-above range count = %d, want 10", count)
+	}
+	// Early stop.
+	count = 0
+	tr.Range(nil, nil, true, true, func([]byte, int64) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop count = %d", count)
+	}
+}
+
+func TestDeleteWithDuplicates(t *testing.T) {
+	tr := New()
+	// Many duplicate keys spanning several leaves.
+	for i := 0; i < 300; i++ {
+		tr.Insert(EncodeString("main st"), int64(i))
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(EncodeString("oak ave"), int64(i))
+	}
+	// Delete every duplicate of "main st" and verify each is found.
+	for i := 0; i < 300; i++ {
+		if !tr.Delete(EncodeString("main st"), int64(i)) {
+			t.Fatalf("Delete(main st, %d) not found", i)
+		}
+	}
+	if got := tr.SeekAll(EncodeString("main st")); len(got) != 0 {
+		t.Errorf("main st still has %d rows", len(got))
+	}
+	if got := tr.SeekAll(EncodeString("oak ave")); len(got) != 100 {
+		t.Errorf("oak ave lost rows: %d", len(got))
+	}
+	if tr.Delete(EncodeString("main st"), 0) {
+		t.Error("delete of already-deleted entry returned true")
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := New()
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree should report !ok")
+	}
+	tr.Insert(EncodeInt(5), 50)
+	tr.Insert(EncodeInt(-3), 30)
+	tr.Insert(EncodeInt(100), 1)
+	k, rowid, ok := tr.Min()
+	if !ok || !bytes.Equal(k, EncodeInt(-3)) || rowid != 30 {
+		t.Errorf("Min = %v %d %v", k, rowid, ok)
+	}
+}
+
+func TestEncodeIntOrder(t *testing.T) {
+	vals := []int64{math.MinInt64, -1e12, -500, -1, 0, 1, 42, 1e12, math.MaxInt64}
+	for i := 0; i+1 < len(vals); i++ {
+		if bytes.Compare(EncodeInt(vals[i]), EncodeInt(vals[i+1])) >= 0 {
+			t.Errorf("EncodeInt order broken: %d vs %d", vals[i], vals[i+1])
+		}
+	}
+}
+
+func TestEncodeFloatOrder(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -2.5, -0.1, 0, 0.1, 1, 2.5, 1e300, math.Inf(1)}
+	for i := 0; i+1 < len(vals); i++ {
+		if bytes.Compare(EncodeFloat(vals[i]), EncodeFloat(vals[i+1])) >= 0 {
+			t.Errorf("EncodeFloat order broken: %v vs %v", vals[i], vals[i+1])
+		}
+	}
+	// -0 and +0 must encode adjacently and consistently with <=.
+	if bytes.Compare(EncodeFloat(math.Copysign(0, -1)), EncodeFloat(0)) > 0 {
+		t.Error("-0 should not sort after +0")
+	}
+}
+
+func TestEncodeFloatPropertyOrder(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		c := bytes.Compare(EncodeFloat(a), EncodeFloat(b))
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0 || (a == 0 && b == 0) // ±0 compare equal numerically
+		}
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTreeMatchesSortedSlice(t *testing.T) {
+	prop := func(seed uint64) bool {
+		tr := New()
+		type pair struct {
+			k string
+			r int64
+		}
+		var pairs []pair
+		s := seed
+		for i := 0; i < 400; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			k := fmt.Sprintf("key-%03d", (s>>20)%50)
+			tr.Insert(EncodeString(k), int64(i))
+			pairs = append(pairs, pair{k, int64(i)})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].k != pairs[j].k {
+				return pairs[i].k < pairs[j].k
+			}
+			return pairs[i].r < pairs[j].r
+		})
+		i := 0
+		ok := true
+		tr.Range(nil, nil, true, true, func(k []byte, rowid int64) bool {
+			if i >= len(pairs) || string(k) != pairs[i].k || rowid != pairs[i].r {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(pairs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendTextFraming(t *testing.T) {
+	// Component boundaries must not bleed: ("ab","c") != ("a","bc").
+	k1 := AppendText(AppendText(nil, "ab"), "c")
+	k2 := AppendText(AppendText(nil, "a"), "bc")
+	if bytes.Equal(k1, k2) {
+		t.Fatal("framing collision")
+	}
+	// Embedded NUL bytes survive and preserve ordering.
+	a := AppendText(nil, "a\x00b")
+	b := AppendText(nil, "a\x00c")
+	c := AppendText(nil, "a")
+	if !(bytes.Compare(c, a) < 0 && bytes.Compare(a, b) < 0) {
+		t.Errorf("NUL ordering broken: %x %x %x", c, a, b)
+	}
+	// Prefix relationship holds for composite ordering: "a" < "a\x00…"
+	// under the framed encoding because the terminator (0x00 0x00) sorts
+	// below the escape (0x00 0xFF).
+	if bytes.Compare(AppendText(nil, ""), AppendText(nil, "\x00")) >= 0 {
+		t.Error("empty should sort before NUL string")
+	}
+}
+
+func TestAppendTextOrderProperty(t *testing.T) {
+	strs := []string{"", "\x00", "\x00\x00", "a", "a\x00", "ab", "b", "zz"}
+	for i := 0; i < len(strs); i++ {
+		for j := 0; j < len(strs); j++ {
+			want := 0
+			switch {
+			case strs[i] < strs[j]:
+				want = -1
+			case strs[i] > strs[j]:
+				want = 1
+			}
+			got := bytes.Compare(AppendText(nil, strs[i]), AppendText(nil, strs[j]))
+			if got != want {
+				t.Errorf("order(%q, %q) = %d, want %d", strs[i], strs[j], got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{1, 2, 3}, []byte{1, 2, 4}},
+		{[]byte{1, 0xFF}, []byte{2}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{}, nil},
+		{[]byte{0}, []byte{1}},
+	}
+	for _, tc := range cases {
+		got := PrefixSuccessor(tc.in)
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("PrefixSuccessor(%x) = %x, want %x", tc.in, got, tc.want)
+		}
+	}
+	// Semantics: Range(prefix, successor, true, false) returns exactly
+	// the keys with that prefix.
+	tr := New()
+	keys := [][]byte{
+		{1, 0}, {1, 5}, {1, 0xFF}, {2, 0}, {0, 9},
+	}
+	for i, k := range keys {
+		tr.Insert(k, int64(i))
+	}
+	var got []int64
+	prefix := []byte{1}
+	tr.Range(prefix, PrefixSuccessor(prefix), true, false, func(k []byte, r int64) bool {
+		got = append(got, r)
+		return true
+	})
+	if len(got) != 3 {
+		t.Errorf("prefix scan found %d keys, want 3", len(got))
+	}
+}
+
+func TestAppendNumericMatchesEncode(t *testing.T) {
+	if !bytes.Equal(AppendInt(nil, -42), EncodeInt(-42)) {
+		t.Error("AppendInt disagrees with EncodeInt")
+	}
+	if !bytes.Equal(AppendFloat(nil, 2.5), EncodeFloat(2.5)) {
+		t.Error("AppendFloat disagrees with EncodeFloat")
+	}
+	// Composite numeric ordering: (1, 9) < (2, 0).
+	a := AppendInt(AppendInt(nil, 1), 9)
+	b := AppendInt(AppendInt(nil, 2), 0)
+	if bytes.Compare(a, b) >= 0 {
+		t.Error("composite int ordering broken")
+	}
+}
+
+func TestLargeSequentialAndReverseInserts(t *testing.T) {
+	for name, gen := range map[string]func(i int) int64{
+		"sequential": func(i int) int64 { return int64(i) },
+		"reverse":    func(i int) int64 { return int64(10000 - i) },
+	} {
+		tr := New()
+		for i := 0; i < 10000; i++ {
+			tr.Insert(EncodeInt(gen(i)), int64(i))
+		}
+		if tr.Len() != 10000 {
+			t.Fatalf("%s: Len = %d", name, tr.Len())
+		}
+		prev := int64(math.MinInt64)
+		count := 0
+		tr.Range(nil, nil, true, true, func(k []byte, _ int64) bool {
+			v := int64(uint64(k[0])<<56|uint64(k[1])<<48|uint64(k[2])<<40|uint64(k[3])<<32|
+				uint64(k[4])<<24|uint64(k[5])<<16|uint64(k[6])<<8|uint64(k[7])) ^ math.MinInt64
+			if v < prev {
+				t.Fatalf("%s: keys out of order", name)
+			}
+			prev = v
+			count++
+			return true
+		})
+		if count != 10000 {
+			t.Fatalf("%s: scanned %d", name, count)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package grid implements a fixed uniform grid spatial index: the
+// indexed extent is divided into nx × ny cells, and each entry's
+// rectangle is registered in every cell it overlaps. Window searches
+// collect candidates from the covered cells and deduplicate.
+//
+// The grid reproduces the index style of systems that predate R-trees or
+// use quadtree/grid tessellation; it degrades on skewed data, which is
+// one of the effects the Jackpine benchmark surfaces.
+package grid
+
+import (
+	"math"
+
+	"jackpine/internal/geom"
+)
+
+// Entry is a grid record: a bounding rectangle and its identifier.
+type Entry struct {
+	Rect geom.Rect
+	ID   int64
+}
+
+// Index is a fixed uniform grid. Create with New; not safe for concurrent
+// mutation.
+type Index struct {
+	extent   geom.Rect
+	nx, ny   int
+	cellW    float64
+	cellH    float64
+	cells    [][]Entry
+	overflow []Entry // entries outside the declared extent
+	size     int
+}
+
+// New creates a grid over extent with nx × ny cells. Dimensions below 1
+// are clamped to 1; an empty extent yields a grid where every entry lands
+// in the overflow list (searches still work, at O(n)).
+func New(extent geom.Rect, nx, ny int) *Index {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	g := &Index{extent: extent, nx: nx, ny: ny}
+	if !extent.IsEmpty() && extent.Width() > 0 && extent.Height() > 0 {
+		g.cellW = extent.Width() / float64(nx)
+		g.cellH = extent.Height() / float64(ny)
+		g.cells = make([][]Entry, nx*ny)
+	}
+	return g
+}
+
+// Len returns the number of entries.
+func (g *Index) Len() int { return g.size }
+
+// cellRange returns the covered cell index ranges, or ok=false when the
+// rectangle is outside the grid extent entirely.
+func (g *Index) cellRange(r geom.Rect) (x0, x1, y0, y1 int, ok bool) {
+	if g.cells == nil || !r.Intersects(g.extent) {
+		return 0, 0, 0, 0, false
+	}
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0 = clamp(int(math.Floor((r.MinX-g.extent.MinX)/g.cellW)), 0, g.nx-1)
+	x1 = clamp(int(math.Floor((r.MaxX-g.extent.MinX)/g.cellW)), 0, g.nx-1)
+	y0 = clamp(int(math.Floor((r.MinY-g.extent.MinY)/g.cellH)), 0, g.ny-1)
+	y1 = clamp(int(math.Floor((r.MaxY-g.extent.MinY)/g.cellH)), 0, g.ny-1)
+	return x0, x1, y0, y1, true
+}
+
+// Insert adds an entry. Rectangles that do not intersect the grid extent
+// go to the overflow list.
+func (g *Index) Insert(r geom.Rect, id int64) {
+	if r.IsEmpty() {
+		return
+	}
+	g.size++
+	x0, x1, y0, y1, ok := g.cellRange(r)
+	if !ok {
+		g.overflow = append(g.overflow, Entry{Rect: r, ID: id})
+		return
+	}
+	e := Entry{Rect: r, ID: id}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			idx := y*g.nx + x
+			g.cells[idx] = append(g.cells[idx], e)
+		}
+	}
+	// Entries partially outside the extent must also be findable by
+	// queries entirely outside it.
+	if !g.extent.ContainsRect(r) {
+		g.overflow = append(g.overflow, e)
+	}
+}
+
+// Delete removes the entry, reporting whether it was present.
+func (g *Index) Delete(r geom.Rect, id int64) bool {
+	found := false
+	remove := func(list []Entry) []Entry {
+		for i := range list {
+			if list[i].ID == id && list[i].Rect == r {
+				found = true
+				return append(list[:i], list[i+1:]...)
+			}
+		}
+		return list
+	}
+	if x0, x1, y0, y1, ok := g.cellRange(r); ok {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				g.cells[y*g.nx+x] = remove(g.cells[y*g.nx+x])
+			}
+		}
+	}
+	g.overflow = remove(g.overflow)
+	if found {
+		g.size--
+	}
+	return found
+}
+
+// Search invokes fn for every entry whose rectangle intersects query,
+// stopping early if fn returns false. Entries spanning multiple cells are
+// reported once.
+func (g *Index) Search(query geom.Rect, fn func(Entry) bool) {
+	if query.IsEmpty() {
+		return
+	}
+	seen := make(map[int64]bool)
+	emit := func(e Entry) bool {
+		if seen[e.ID] || !e.Rect.Intersects(query) {
+			return true
+		}
+		seen[e.ID] = true
+		return fn(e)
+	}
+	if x0, x1, y0, y1, ok := g.cellRange(query); ok {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				for _, e := range g.cells[y*g.nx+x] {
+					if !emit(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+	for _, e := range g.overflow {
+		if !emit(e) {
+			return
+		}
+	}
+}
+
+// SearchAll returns the ids of all entries intersecting query.
+func (g *Index) SearchAll(query geom.Rect) []int64 {
+	var out []int64
+	g.Search(query, func(e Entry) bool {
+		out = append(out, e.ID)
+		return true
+	})
+	return out
+}
+
+// Nearest visits entries in roughly increasing distance from p by
+// expanding square rings of cells outward, calling fn until it returns
+// false. Unlike an R-tree's best-first search this may visit candidates
+// slightly out of order across ring boundaries, so candidates are
+// collected ring by ring and sorted by rectangle distance before
+// delivery.
+func (g *Index) Nearest(p geom.Coord, fn func(Entry, float64) bool) {
+	if g.size == 0 {
+		return
+	}
+	if g.cells == nil {
+		g.deliverSorted(append([]Entry(nil), g.overflow...), p, fn)
+		return
+	}
+	cx := int(math.Floor((p.X - g.extent.MinX) / g.cellW))
+	cy := int(math.Floor((p.Y - g.extent.MinY) / g.cellH))
+	maxRing := g.nx
+	if g.ny > maxRing {
+		maxRing = g.ny
+	}
+	seen := make(map[int64]bool)
+	var pending []Entry
+	stop := false
+	collect := func(x, y int) {
+		if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+			return
+		}
+		for _, e := range g.cells[y*g.nx+x] {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				pending = append(pending, e)
+			}
+		}
+	}
+	for ring := 0; ring <= maxRing && !stop; ring++ {
+		pending = pending[:0]
+		if ring == 0 {
+			collect(cx, cy)
+		} else {
+			for x := cx - ring; x <= cx+ring; x++ {
+				collect(x, cy-ring)
+				collect(x, cy+ring)
+			}
+			for y := cy - ring + 1; y <= cy+ring-1; y++ {
+				collect(cx-ring, y)
+				collect(cx+ring, y)
+			}
+		}
+		if len(pending) > 0 {
+			stop = !g.deliverSorted(pending, p, fn)
+		}
+	}
+	if !stop {
+		var rest []Entry
+		for _, e := range g.overflow {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				rest = append(rest, e)
+			}
+		}
+		g.deliverSorted(rest, p, fn)
+	}
+}
+
+// deliverSorted sorts entries by distance from p and feeds them to fn,
+// reporting whether iteration should continue.
+func (g *Index) deliverSorted(es []Entry, p geom.Coord, fn func(Entry, float64) bool) bool {
+	type cand struct {
+		e Entry
+		d float64
+	}
+	cands := make([]cand, len(es))
+	for i, e := range es {
+		cands[i] = cand{e, e.Rect.DistanceToCoord(p)}
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].d < cands[j-1].d; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands {
+		if !fn(c.e, c.d) {
+			return false
+		}
+	}
+	return true
+}
+
+// KNearest returns the ids of approximately the k nearest entries to p,
+// in increasing rectangle-distance order.
+func (g *Index) KNearest(p geom.Coord, k int) []int64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int64, 0, k)
+	g.Nearest(p, func(e Entry, _ float64) bool {
+		out = append(out, e.ID)
+		return len(out) < k
+	})
+	return out
+}

@@ -1,0 +1,269 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"jackpine/internal/geom"
+)
+
+type pseudoRand struct{ state uint64 }
+
+func (r *pseudoRand) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 17
+}
+
+func (r *pseudoRand) float(max float64) float64 {
+	return float64(r.next()%1e9) / 1e9 * max
+}
+
+func randomEntries(n int, seed uint64) []Entry {
+	r := &pseudoRand{state: seed}
+	es := make([]Entry, n)
+	for i := range es {
+		x, y := r.float(1000), r.float(1000)
+		es[i] = Entry{Rect: geom.Rect{MinX: x, MinY: y, MaxX: x + r.float(20), MaxY: y + r.float(20)}, ID: int64(i)}
+	}
+	return es
+}
+
+func bruteSearch(es []Entry, q geom.Rect) []int64 {
+	var out []int64
+	for _, e := range es {
+		if e.Rect.Intersects(q) {
+			out = append(out, e.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedIDs(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func extent() geom.Rect { return geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000} }
+
+func TestGridSearchMatchesBrute(t *testing.T) {
+	es := randomEntries(500, 17)
+	g := New(extent(), 20, 20)
+	for _, e := range es {
+		g.Insert(e.Rect, e.ID)
+	}
+	if g.Len() != 500 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	queries := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50},
+		{MinX: 400, MinY: 400, MaxX: 600, MaxY: 600},
+		{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		{MinX: 999, MinY: 999, MaxX: 1100, MaxY: 1100},
+		{MinX: -100, MinY: -100, MaxX: -50, MaxY: -50},
+	}
+	for _, q := range queries {
+		got := sortedIDs(g.SearchAll(q))
+		want := bruteSearch(es, q)
+		if !equalIDs(got, want) {
+			t.Errorf("query %+v: got %d, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestGridEntriesOutsideExtent(t *testing.T) {
+	g := New(extent(), 10, 10)
+	// Entirely outside the extent.
+	far := geom.Rect{MinX: 2000, MinY: 2000, MaxX: 2010, MaxY: 2010}
+	g.Insert(far, 1)
+	// Straddling the boundary.
+	edge := geom.Rect{MinX: 990, MinY: 500, MaxX: 1010, MaxY: 510}
+	g.Insert(edge, 2)
+	if ids := g.SearchAll(geom.Rect{MinX: 1995, MinY: 1995, MaxX: 2020, MaxY: 2020}); len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("outside entry not found: %v", ids)
+	}
+	// A query entirely outside the extent must still see the straddler.
+	if ids := g.SearchAll(geom.Rect{MinX: 1005, MinY: 500, MaxX: 1008, MaxY: 505}); len(ids) != 1 || ids[0] != 2 {
+		t.Errorf("straddling entry not found from outside: %v", ids)
+	}
+	// And from inside, without duplicates.
+	if ids := g.SearchAll(geom.Rect{MinX: 980, MinY: 495, MaxX: 1000, MaxY: 515}); len(ids) != 1 || ids[0] != 2 {
+		t.Errorf("straddling entry duplicated or missing from inside: %v", ids)
+	}
+}
+
+func TestGridNoDuplicatesAcrossCells(t *testing.T) {
+	g := New(extent(), 10, 10)
+	// Spans many cells.
+	big := geom.Rect{MinX: 100, MinY: 100, MaxX: 900, MaxY: 900}
+	g.Insert(big, 42)
+	ids := g.SearchAll(geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000})
+	if len(ids) != 1 || ids[0] != 42 {
+		t.Errorf("spanning entry reported %v times", len(ids))
+	}
+}
+
+func TestGridDelete(t *testing.T) {
+	es := randomEntries(200, 23)
+	g := New(extent(), 16, 16)
+	for _, e := range es {
+		g.Insert(e.Rect, e.ID)
+	}
+	var kept []Entry
+	for i, e := range es {
+		if i%2 == 0 {
+			if !g.Delete(e.Rect, e.ID) {
+				t.Fatalf("Delete(%d) failed", e.ID)
+			}
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	if g.Len() != len(kept) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(kept))
+	}
+	q := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	if !equalIDs(sortedIDs(g.SearchAll(q)), bruteSearch(kept, q)) {
+		t.Error("post-delete search mismatch")
+	}
+	if g.Delete(geom.Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, 12345) {
+		t.Error("delete of missing entry returned true")
+	}
+}
+
+func TestGridNearest(t *testing.T) {
+	es := randomEntries(300, 29)
+	g := New(extent(), 20, 20)
+	for _, e := range es {
+		g.Insert(e.Rect, e.ID)
+	}
+	p := geom.Coord{X: 500, Y: 500}
+	got := g.KNearest(p, 5)
+	if len(got) != 5 {
+		t.Fatalf("KNearest returned %d", len(got))
+	}
+	// The first result must be the true nearest (ring search guarantees
+	// at least that much for points within the extent).
+	bestID, bestD := int64(-1), 1e18
+	for _, e := range es {
+		if d := e.Rect.DistanceToCoord(p); d < bestD {
+			bestD, bestID = d, e.ID
+		}
+	}
+	if got[0] != bestID {
+		// The ring expansion can deliver near-ties out of order; verify
+		// the returned first is within one cell diagonal of optimal.
+		var gotD float64
+		for _, e := range es {
+			if e.ID == got[0] {
+				gotD = e.Rect.DistanceToCoord(p)
+			}
+		}
+		cellDiag := 1000.0 / 20 * 1.4143
+		if gotD > bestD+cellDiag {
+			t.Errorf("first nearest id %d at %v, optimal %d at %v", got[0], gotD, bestID, bestD)
+		}
+	}
+}
+
+func TestGridNearestEmptyAndSmall(t *testing.T) {
+	g := New(extent(), 4, 4)
+	if ids := g.KNearest(geom.Coord{X: 1, Y: 1}, 3); len(ids) != 0 {
+		t.Error("empty grid KNearest should return nothing")
+	}
+	g.Insert(geom.Rect{MinX: 900, MinY: 900, MaxX: 910, MaxY: 910}, 5)
+	if ids := g.KNearest(geom.Coord{X: 1, Y: 1}, 3); len(ids) != 1 || ids[0] != 5 {
+		t.Errorf("single-entry KNearest = %v", ids)
+	}
+	if ids := g.KNearest(geom.Coord{X: 1, Y: 1}, 0); ids != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestGridDegenerateExtent(t *testing.T) {
+	g := New(geom.EmptyRect(), 8, 8)
+	g.Insert(geom.Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, 1)
+	g.Insert(geom.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}, 2)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	ids := sortedIDs(g.SearchAll(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}))
+	if !equalIDs(ids, []int64{1, 2}) {
+		t.Errorf("degenerate-extent search = %v", ids)
+	}
+	if ids := g.KNearest(geom.Coord{X: 1, Y: 1}, 1); len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("degenerate-extent nearest = %v", ids)
+	}
+}
+
+// BenchmarkGridResolution sweeps the grid dimension: too coarse means
+// long candidate lists per cell, too fine means many cells per query
+// (and per multi-cell entry).
+func BenchmarkGridResolution(b *testing.B) {
+	es := randomEntries(20000, 77)
+	for _, dim := range []int{8, 32, 128, 512} {
+		g := New(geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, dim, dim)
+		for _, e := range es {
+			g.Insert(e.Rect, e.ID)
+		}
+		name := "dim-" + itoaBench(dim)
+		b.Run(name, func(b *testing.B) {
+			r := &pseudoRand{state: 5}
+			found := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x, y := r.float(1000), r.float(1000)
+				q := geom.Rect{MinX: x, MinY: y, MaxX: x + 50, MaxY: y + 50}
+				g.Search(q, func(Entry) bool { found++; return true })
+			}
+			if found == 0 {
+				b.Fatal("no results")
+			}
+		})
+	}
+}
+
+func itoaBench(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestGridPropertyMatchesBrute(t *testing.T) {
+	prop := func(seed uint64, qx, qy uint16) bool {
+		es := randomEntries(150, seed|1)
+		g := New(extent(), 12, 12)
+		for _, e := range es {
+			g.Insert(e.Rect, e.ID)
+		}
+		x := float64(qx) / 65535 * 1000
+		y := float64(qy) / 65535 * 1000
+		q := geom.Rect{MinX: x, MinY: y, MaxX: x + 90, MaxY: y + 90}
+		return equalIDs(sortedIDs(g.SearchAll(q)), bruteSearch(es, q))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package rtree
+
+import (
+	"testing"
+
+	"jackpine/internal/geom"
+)
+
+// The ablation DESIGN.md calls out: STR bulk loading versus building the
+// tree by repeated insertion, and the query quality of the resulting
+// trees.
+
+func benchEntries(n int) []Entry {
+	r := &pseudoRand{state: 99}
+	es := make([]Entry, n)
+	for i := range es {
+		x, y := r.float(10000), r.float(10000)
+		es[i] = Entry{Rect: geom.Rect{MinX: x, MinY: y, MaxX: x + r.float(20), MaxY: y + r.float(20)}, ID: int64(i)}
+	}
+	return es
+}
+
+func BenchmarkBuildSTRBulkLoad(b *testing.B) {
+	es := benchEntries(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := BulkLoad(es, 16)
+		if t.Len() != len(es) {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+func BenchmarkBuildRepeatedInsert(b *testing.B) {
+	es := benchEntries(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New(16)
+		for _, e := range es {
+			t.Insert(e.Rect, e.ID)
+		}
+		if t.Len() != len(es) {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+func benchmarkSearch(b *testing.B, t *Tree) {
+	r := &pseudoRand{state: 7}
+	b.ResetTimer()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		x, y := r.float(10000), r.float(10000)
+		q := geom.Rect{MinX: x, MinY: y, MaxX: x + 200, MaxY: y + 200}
+		t.Search(q, func(Entry) bool { found++; return true })
+	}
+	if found == 0 {
+		b.Fatal("no results at all")
+	}
+}
+
+func BenchmarkSearchAfterBulkLoad(b *testing.B) {
+	benchmarkSearch(b, BulkLoad(benchEntries(20000), 16))
+}
+
+func BenchmarkSearchAfterRepeatedInsert(b *testing.B) {
+	t := New(16)
+	for _, e := range benchEntries(20000) {
+		t.Insert(e.Rect, e.ID)
+	}
+	benchmarkSearch(b, t)
+}
+
+// BenchmarkNodeSize sweeps the R-tree fanout: small nodes mean deeper
+// trees (more hops), large nodes mean more per-node scanning.
+func BenchmarkNodeSize(b *testing.B) {
+	es := benchEntries(20000)
+	for _, capacity := range []int{4, 8, 16, 32, 64} {
+		t := BulkLoad(es, capacity)
+		b.Run(itoa(capacity), func(b *testing.B) {
+			benchmarkSearch(b, t)
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkKNearest(b *testing.B) {
+	t := BulkLoad(benchEntries(20000), 16)
+	r := &pseudoRand{state: 13}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Coord{X: r.float(10000), Y: r.float(10000)}
+		if ids := t.KNearest(p, 10); len(ids) != 10 {
+			b.Fatal("short knn result")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package overlay
+
+import (
+	"math"
+
+	"jackpine/internal/geom"
+)
+
+// DefaultQuadSegs is the default number of segments used to approximate
+// a quarter circle in buffer output, matching the PostGIS default.
+const DefaultQuadSegs = 8
+
+// Buffer returns the region within distance d of the geometry, as a
+// polygonal approximation with quadSegs segments per quarter circle
+// (DefaultQuadSegs if quadSegs <= 0). Negative distances are not
+// supported and return an empty geometry, as do empty inputs and d == 0
+// on points/lines.
+func Buffer(g geom.Geometry, d float64, quadSegs int) geom.Geometry {
+	if quadSegs <= 0 {
+		quadSegs = DefaultQuadSegs
+	}
+	if g == nil || g.IsEmpty() || d < 0 || math.IsNaN(d) {
+		return geom.Collection{}
+	}
+	if d == 0 {
+		if g.Dimension() == 2 {
+			return g.Clone()
+		}
+		return geom.Collection{}
+	}
+	var pieces []geom.Geometry
+	addCapsules := func(cs []geom.Coord) {
+		for i := 0; i < len(cs)-1; i++ {
+			pieces = append(pieces, capsule(cs[i], cs[i+1], d, quadSegs))
+		}
+	}
+	var walk func(geom.Geometry)
+	walk = func(g geom.Geometry) {
+		switch t := g.(type) {
+		case geom.Point:
+			if !t.Empty {
+				pieces = append(pieces, circle(t.Coord, d, quadSegs))
+			}
+		case geom.MultiPoint:
+			for _, p := range t {
+				walk(p)
+			}
+		case geom.LineString:
+			if len(t) == 1 {
+				pieces = append(pieces, circle(t[0], d, quadSegs))
+			} else {
+				addCapsules(t)
+			}
+		case geom.MultiLineString:
+			for _, l := range t {
+				walk(l)
+			}
+		case geom.Polygon:
+			if !t.IsEmpty() {
+				pieces = append(pieces, geom.MultiPolygon{t.Clone().(geom.Polygon)})
+				for _, r := range t {
+					addCapsules(r)
+				}
+			}
+		case geom.MultiPolygon:
+			for _, p := range t {
+				walk(p)
+			}
+		case geom.Collection:
+			for _, sub := range t {
+				walk(sub)
+			}
+		}
+	}
+	walk(g)
+	return UnionAll(pieces)
+}
+
+// circle builds a closed counter-clockwise polygon approximating the
+// disc of radius r around c. All circles sample the same global angle
+// grid (2πk / 4·quadSegs), so arcs of equal circles produced by adjacent
+// capsules coincide bit-for-bit, which keeps the union overlay exact.
+func circle(c geom.Coord, r float64, quadSegs int) geom.Polygon {
+	n := 4 * quadSegs
+	ring := make(geom.Ring, 0, n+1)
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		ring = append(ring, geom.Coord{X: c.X + r*math.Cos(ang), Y: c.Y + r*math.Sin(ang)})
+	}
+	ring = append(ring, ring[0])
+	return geom.Polygon{ring}
+}
+
+// capsule builds the "stadium" shape covering all points within r of the
+// segment a-b, as the convex hull of the two endpoint circles. Because
+// both circles sample the shared global angle grid, capsules that share
+// an endpoint have exactly coincident cap arcs.
+func capsule(a, b geom.Coord, r float64, quadSegs int) geom.Polygon {
+	if a.Equal(b) {
+		return circle(a, r, quadSegs)
+	}
+	ca, cb := circle(a, r, quadSegs), circle(b, r, quadSegs)
+	pts := make(geom.MultiPoint, 0, len(ca[0])+len(cb[0]))
+	for _, c := range ca[0][:len(ca[0])-1] {
+		pts = append(pts, geom.Point{Coord: c})
+	}
+	for _, c := range cb[0][:len(cb[0])-1] {
+		pts = append(pts, geom.Point{Coord: c})
+	}
+	hull := ConvexHull(pts)
+	if p, ok := hull.(geom.Polygon); ok {
+		return p
+	}
+	return circle(a, r, quadSegs) // degenerate fallback (r == 0)
+}

@@ -1,0 +1,156 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"jackpine/internal/geom"
+	"jackpine/internal/topo"
+)
+
+func TestBufferPoint(t *testing.T) {
+	b := Buffer(geom.Pt(0, 0), 2, 8)
+	if err := geom.Validate(b); err != nil {
+		t.Fatalf("invalid buffer: %v", err)
+	}
+	got := geom.Area(b)
+	want := math.Pi * 4
+	// An inscribed 32-gon underestimates the circle slightly.
+	if got > want || got < want*0.98 {
+		t.Errorf("point buffer area = %v, want slightly under %v", got, want)
+	}
+	env := b.Envelope()
+	if math.Abs(env.Width()-4) > 1e-9 || math.Abs(env.Height()-4) > 1e-9 {
+		t.Errorf("point buffer envelope = %+v", env)
+	}
+}
+
+func TestBufferLine(t *testing.T) {
+	line := geom.LineString{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	b := Buffer(line, 1, 8)
+	got := geom.Area(b)
+	want := 20 + math.Pi // rectangle 10x2 plus two semicircle caps
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("line buffer area = %v, want ~%v", got, want)
+	}
+	// Every vertex of the source must be inside the buffer.
+	for _, c := range line {
+		if !topo.Intersects(geom.Point{Coord: c}, b) {
+			t.Errorf("source vertex %v not covered by buffer", c)
+		}
+	}
+}
+
+func TestBufferPolyline(t *testing.T) {
+	line := geom.LineString{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}}
+	b := Buffer(line, 0.5, 8)
+	if err := geom.Validate(b); err != nil {
+		t.Fatalf("invalid polyline buffer: %v", err)
+	}
+	got := geom.Area(b)
+	// Two 4x1 rectangles overlapping in a rounded corner region plus caps:
+	// bounded between the hull pieces.
+	if got < 7.5 || got > 9.5 {
+		t.Errorf("polyline buffer area = %v, expected around 8.5", got)
+	}
+	if mid := geom.Pt(4, 0); !topo.Intersects(mid, b) {
+		t.Error("corner vertex not covered")
+	}
+	if far := geom.Pt(6, 0); topo.Intersects(far, b) {
+		t.Error("point beyond buffer distance covered")
+	}
+}
+
+func TestBufferPolygon(t *testing.T) {
+	p := sq(0, 0, 4)
+	b := Buffer(p, 1, 8)
+	got := geom.Area(b)
+	// Square grown by 1: 16 + 4 sides x 4x1 + ~π corner area.
+	want := 16 + 16 + math.Pi
+	if math.Abs(got-want) > 0.2 {
+		t.Errorf("polygon buffer area = %v, want ~%v", got, want)
+	}
+	// The original polygon is covered by its buffer.
+	if !topo.Covers(b, p) {
+		t.Error("buffer does not cover its source polygon")
+	}
+}
+
+func TestBufferZeroAndNegative(t *testing.T) {
+	if b := Buffer(geom.Pt(0, 0), 0, 8); !b.IsEmpty() {
+		t.Error("zero-distance buffer of a point should be empty")
+	}
+	p := sq(0, 0, 2)
+	if b := Buffer(p, 0, 8); math.Abs(geom.Area(b)-4) > 1e-9 {
+		t.Error("zero-distance buffer of a polygon should be the polygon")
+	}
+	if b := Buffer(p, -1, 8); !b.IsEmpty() {
+		t.Error("negative buffers are unsupported and should be empty")
+	}
+	if b := Buffer(geom.Polygon{}, 1, 8); !b.IsEmpty() {
+		t.Error("buffer of empty should be empty")
+	}
+	if b := Buffer(nil, 1, 8); !b.IsEmpty() {
+		t.Error("buffer of nil should be empty")
+	}
+}
+
+func TestBufferDefaultQuadSegs(t *testing.T) {
+	b := Buffer(geom.Pt(0, 0), 1, 0) // 0 → DefaultQuadSegs
+	poly, ok := b.(geom.Polygon)
+	if !ok {
+		t.Fatalf("expected Polygon, got %T", b)
+	}
+	if len(poly[0]) != 4*DefaultQuadSegs+1 {
+		t.Errorf("ring has %d coords, want %d", len(poly[0]), 4*DefaultQuadSegs+1)
+	}
+}
+
+func TestConvexHullCases(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "GEOMETRYCOLLECTION EMPTY", "GEOMETRYCOLLECTION EMPTY"},
+		{"single point", "POINT (1 2)", "POINT (1 2)"},
+		{"two points", "MULTIPOINT ((0 0), (1 1))", "LINESTRING (0 0, 1 1)"},
+		{"collinear", "MULTIPOINT ((0 0), (1 1), (2 2), (3 3))", "LINESTRING (0 0, 3 3)"},
+		{"square corners", "MULTIPOINT ((0 0), (4 0), (4 4), (0 4), (2 2))",
+			"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ConvexHull(g(tc.in))
+			if geom.WKT(got) != tc.want {
+				t.Errorf("ConvexHull = %s, want %s", geom.WKT(got), tc.want)
+			}
+		})
+	}
+}
+
+func TestConvexHullOfConcavePolygon(t *testing.T) {
+	concave := g("POLYGON ((0 0, 6 0, 6 2, 2 2, 2 4, 6 4, 6 6, 0 6, 0 0))")
+	hull := ConvexHull(concave)
+	if got := geom.Area(hull); math.Abs(got-36) > 1e-9 {
+		t.Errorf("hull area = %v, want 36", got)
+	}
+	// Hull must cover the source.
+	if !topo.Covers(hull, concave) {
+		t.Error("hull does not cover its source")
+	}
+	// Hull must be convex: every vertex turn counter-clockwise.
+	ring := hull.(geom.Polygon)[0]
+	for i := 0; i+2 < len(ring); i++ {
+		if geom.Orient(ring[i], ring[i+1], ring[i+2]) == geom.Clockwise {
+			t.Fatalf("hull has a clockwise turn at %d", i)
+		}
+	}
+}
+
+func TestConvexHullDuplicatePoints(t *testing.T) {
+	hull := ConvexHull(g("MULTIPOINT ((1 1), (1 1), (1 1))"))
+	if geom.WKT(hull) != "POINT (1 1)" {
+		t.Errorf("hull of identical points = %s", geom.WKT(hull))
+	}
+}

@@ -1,0 +1,112 @@
+package overlay
+
+import (
+	"sort"
+
+	"jackpine/internal/geom"
+)
+
+// ConvexHull returns the convex hull of the geometry's coordinates using
+// Andrew's monotone chain. The result is a Polygon for three or more
+// non-collinear points, a LineString for collinear inputs with at least
+// two distinct points, a Point for a single distinct coordinate, and an
+// empty Collection for empty input.
+func ConvexHull(g geom.Geometry) geom.Geometry {
+	coords := collectCoords(g)
+	if len(coords) == 0 {
+		return geom.Collection{}
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].X != coords[j].X {
+			return coords[i].X < coords[j].X
+		}
+		return coords[i].Y < coords[j].Y
+	})
+	// Deduplicate.
+	uniq := coords[:1]
+	for _, c := range coords[1:] {
+		if !c.Equal(uniq[len(uniq)-1]) {
+			uniq = append(uniq, c)
+		}
+	}
+	coords = uniq
+
+	switch len(coords) {
+	case 1:
+		return geom.Point{Coord: coords[0]}
+	case 2:
+		return geom.LineString{coords[0], coords[1]}
+	}
+
+	hull := monotoneChain(coords)
+	if len(hull) == 2 {
+		return geom.LineString{hull[0], hull[1]}
+	}
+	ring := make(geom.Ring, 0, len(hull)+1)
+	ring = append(ring, hull...)
+	ring = append(ring, hull[0])
+	return geom.Polygon{ring}
+}
+
+// monotoneChain computes the hull vertices in counter-clockwise order.
+// Collinear inputs collapse to the two extreme points.
+func monotoneChain(pts []geom.Coord) []geom.Coord {
+	n := len(pts)
+	hull := make([]geom.Coord, 0, 2*n)
+	// Lower hull.
+	for _, p := range pts {
+		for len(hull) >= 2 && geom.Orient(hull[len(hull)-2], hull[len(hull)-1], p) != geom.CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := pts[i]
+		for len(hull) >= lower && geom.Orient(hull[len(hull)-2], hull[len(hull)-1], p) != geom.CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1] // last point repeats the first
+}
+
+func collectCoords(g geom.Geometry) []geom.Coord {
+	var out []geom.Coord
+	var walk func(geom.Geometry)
+	walk = func(g geom.Geometry) {
+		switch t := g.(type) {
+		case geom.Point:
+			if !t.Empty {
+				out = append(out, t.Coord)
+			}
+		case geom.MultiPoint:
+			for _, p := range t {
+				walk(p)
+			}
+		case geom.LineString:
+			out = append(out, t...)
+		case geom.MultiLineString:
+			for _, l := range t {
+				out = append(out, l...)
+			}
+		case geom.Polygon:
+			for _, r := range t {
+				out = append(out, r...)
+			}
+		case geom.MultiPolygon:
+			for _, p := range t {
+				walk(p)
+			}
+		case geom.Collection:
+			for _, sub := range t {
+				walk(sub)
+			}
+		}
+	}
+	if g != nil {
+		walk(g)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"jackpine/internal/geom"
+)
+
+func benchBlob(cx, cy float64, n int) geom.Polygon {
+	ring := make(geom.Ring, 0, n+1)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		r := 10 + 3*math.Cos(3*a)
+		ring = append(ring, geom.Coord{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)})
+	}
+	ring = append(ring, ring[0])
+	return geom.Polygon{ring}
+}
+
+func BenchmarkPolygonUnionOverlapping(b *testing.B) {
+	p1 := benchBlob(0, 0, 48)
+	p2 := benchBlob(9, 4, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(PolygonOp(p1, p2, OpUnion)) == 0 {
+			b.Fatal("empty union")
+		}
+	}
+}
+
+func BenchmarkPolygonIntersectionOverlapping(b *testing.B) {
+	p1 := benchBlob(0, 0, 48)
+	p2 := benchBlob(9, 4, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(PolygonOp(p1, p2, OpIntersection)) == 0 {
+			b.Fatal("empty intersection")
+		}
+	}
+}
+
+func BenchmarkBufferLineString(b *testing.B) {
+	line := make(geom.LineString, 12)
+	for i := range line {
+		line[i] = geom.Coord{X: float64(i) * 10, Y: math.Sin(float64(i)) * 8}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Buffer(line, 3, 8).IsEmpty() {
+			b.Fatal("empty buffer")
+		}
+	}
+}
+
+func BenchmarkBufferPoint(b *testing.B) {
+	p := geom.Pt(3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Buffer(p, 5, 8).IsEmpty() {
+			b.Fatal("empty buffer")
+		}
+	}
+}
+
+func BenchmarkConvexHull(b *testing.B) {
+	pts := make(geom.MultiPoint, 500)
+	r := uint64(1)
+	for i := range pts {
+		r = r*6364136223846793005 + 1442695040888963407
+		pts[i] = geom.Point{Coord: geom.Coord{
+			X: float64(r>>40) / float64(1<<24) * 1000,
+			Y: float64((r>>16)&0xFFFFFF) / float64(1<<24) * 1000,
+		}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ConvexHull(pts).IsEmpty() {
+			b.Fatal("empty hull")
+		}
+	}
+}
+
+func BenchmarkClipLineAgainstPolygon(b *testing.B) {
+	poly := benchBlob(0, 0, 64)
+	line := geom.LineString{{X: -20, Y: -5}, {X: 0, Y: 5}, {X: 20, Y: -5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ClipLines(line, poly, true)
+	}
+}

@@ -1,0 +1,281 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jackpine/internal/geom"
+)
+
+func g(wkt string) geom.Geometry { return geom.MustParseWKT(wkt) }
+
+func sq(x, y, side float64) geom.Polygon {
+	return geom.Polygon{geom.Ring{
+		{X: x, Y: y}, {X: x + side, Y: y}, {X: x + side, Y: y + side}, {X: x, Y: y + side}, {X: x, Y: y},
+	}}
+}
+
+func areaOf(g geom.Geometry) float64 { return geom.Area(g) }
+
+func TestPolygonOpOverlappingSquares(t *testing.T) {
+	a, b := sq(0, 0, 4), sq(2, 2, 4)
+	inter := PolygonOp(a, b, OpIntersection)
+	if got := areaOf(inter); math.Abs(got-4) > 1e-9 {
+		t.Errorf("intersection area = %v, want 4", got)
+	}
+	union := PolygonOp(a, b, OpUnion)
+	if got := areaOf(union); math.Abs(got-28) > 1e-9 {
+		t.Errorf("union area = %v, want 28", got)
+	}
+	diff := PolygonOp(a, b, OpDifference)
+	if got := areaOf(diff); math.Abs(got-12) > 1e-9 {
+		t.Errorf("difference area = %v, want 12", got)
+	}
+	// Validity of outputs.
+	for _, res := range []geom.MultiPolygon{inter, union, diff} {
+		if err := geom.Validate(res); err != nil {
+			t.Errorf("invalid overlay output %s: %v", geom.WKT(res), err)
+		}
+	}
+}
+
+func TestPolygonOpDisjoint(t *testing.T) {
+	a, b := sq(0, 0, 1), sq(5, 5, 1)
+	if got := PolygonOp(a, b, OpIntersection); len(got) != 0 {
+		t.Errorf("disjoint intersection = %s", geom.WKT(got))
+	}
+	if got := areaOf(PolygonOp(a, b, OpUnion)); math.Abs(got-2) > 1e-9 {
+		t.Errorf("disjoint union area = %v, want 2", got)
+	}
+	if got := areaOf(PolygonOp(a, b, OpDifference)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("disjoint difference area = %v, want 1", got)
+	}
+}
+
+func TestPolygonOpContainment(t *testing.T) {
+	outer, inner := sq(0, 0, 10), sq(3, 3, 2)
+	if got := areaOf(PolygonOp(outer, inner, OpIntersection)); math.Abs(got-4) > 1e-9 {
+		t.Errorf("contained intersection area = %v, want 4", got)
+	}
+	if got := areaOf(PolygonOp(outer, inner, OpUnion)); math.Abs(got-100) > 1e-9 {
+		t.Errorf("containment union area = %v, want 100", got)
+	}
+	diff := PolygonOp(outer, inner, OpDifference)
+	if got := areaOf(diff); math.Abs(got-96) > 1e-9 {
+		t.Errorf("containment difference area = %v, want 96", got)
+	}
+	// The difference must be a polygon with a hole.
+	if len(diff) != 1 || len(diff[0]) != 2 {
+		t.Errorf("difference should be one polygon with one hole, got %s", geom.WKT(diff))
+	}
+}
+
+func TestPolygonOpIdentical(t *testing.T) {
+	a := sq(0, 0, 3)
+	if got := areaOf(PolygonOp(a, a, OpIntersection)); math.Abs(got-9) > 1e-9 {
+		t.Errorf("self intersection area = %v, want 9", got)
+	}
+	if got := areaOf(PolygonOp(a, a, OpUnion)); math.Abs(got-9) > 1e-9 {
+		t.Errorf("self union area = %v, want 9", got)
+	}
+	if got := areaOf(PolygonOp(a, a, OpDifference)); got != 0 {
+		t.Errorf("self difference area = %v, want 0", got)
+	}
+}
+
+func TestPolygonOpEdgeAdjacent(t *testing.T) {
+	a, b := sq(0, 0, 2), sq(2, 0, 2)
+	union := PolygonOp(a, b, OpUnion)
+	if got := areaOf(union); math.Abs(got-8) > 1e-9 {
+		t.Errorf("adjacent union area = %v, want 8", got)
+	}
+	// Union of edge-adjacent squares should be a single polygon.
+	if len(union) != 1 {
+		t.Errorf("adjacent union has %d polygons, want 1: %s", len(union), geom.WKT(union))
+	}
+	if got := areaOf(PolygonOp(a, b, OpIntersection)); got != 0 {
+		t.Errorf("adjacent intersection area = %v, want 0", got)
+	}
+	if got := areaOf(PolygonOp(a, b, OpDifference)); math.Abs(got-4) > 1e-9 {
+		t.Errorf("adjacent difference area = %v, want 4", got)
+	}
+}
+
+func TestPolygonOpCornerTouch(t *testing.T) {
+	a, b := sq(0, 0, 2), sq(2, 2, 2)
+	union := PolygonOp(a, b, OpUnion)
+	if got := areaOf(union); math.Abs(got-8) > 1e-9 {
+		t.Errorf("corner union area = %v, want 8", got)
+	}
+	if got := areaOf(PolygonOp(a, b, OpIntersection)); got != 0 {
+		t.Errorf("corner intersection area = %v, want 0", got)
+	}
+}
+
+func TestPolygonOpWithHoles(t *testing.T) {
+	donut := geom.Polygon{
+		geom.Ring{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}, {X: 0, Y: 0}},
+		geom.Ring{{X: 4, Y: 4}, {X: 4, Y: 6}, {X: 6, Y: 6}, {X: 6, Y: 4}, {X: 4, Y: 4}}, // CW hole
+	}
+	plug := sq(4, 4, 2)
+	union := PolygonOp(donut, plug, OpUnion)
+	if got := areaOf(union); math.Abs(got-100) > 1e-9 {
+		t.Errorf("donut+plug union area = %v, want 100", got)
+	}
+	// Intersection of the donut with a square straddling the hole.
+	straddle := sq(3, 3, 4)
+	inter := PolygonOp(donut, straddle, OpIntersection)
+	if got := areaOf(inter); math.Abs(got-(16-4)) > 1e-9 {
+		t.Errorf("straddle intersection area = %v, want 12", got)
+	}
+	// Difference that carves a bite out of the donut.
+	bite := sq(-1, -1, 3)
+	diff := PolygonOp(donut, bite, OpDifference)
+	if got := areaOf(diff); math.Abs(got-(96-4)) > 1e-9 {
+		t.Errorf("bitten donut area = %v, want 92", got)
+	}
+}
+
+func TestPolygonOpPartialEdgeOverlap(t *testing.T) {
+	// B shares part of A's right edge, offset vertically.
+	a := sq(0, 0, 4)
+	b := geom.Polygon{geom.Ring{{X: 4, Y: 1}, {X: 7, Y: 1}, {X: 7, Y: 3}, {X: 4, Y: 3}, {X: 4, Y: 1}}}
+	union := PolygonOp(a, b, OpUnion)
+	if got := areaOf(union); math.Abs(got-22) > 1e-9 {
+		t.Errorf("partial-edge union area = %v, want 22", got)
+	}
+	if len(union) != 1 {
+		t.Errorf("partial-edge union should be a single polygon, got %s", geom.WKT(union))
+	}
+}
+
+func TestPolygonOpMultiPolygonOperands(t *testing.T) {
+	a := geom.MultiPolygon{sq(0, 0, 2), sq(10, 0, 2)}
+	b := sq(1, 1, 2)
+	union := PolygonOp(a, b, OpUnion)
+	if got := areaOf(union); math.Abs(got-(4+4+4-1)) > 1e-9 {
+		t.Errorf("multi union area = %v, want 11", got)
+	}
+	inter := PolygonOp(a, b, OpIntersection)
+	if got := areaOf(inter); math.Abs(got-1) > 1e-9 {
+		t.Errorf("multi intersection area = %v, want 1", got)
+	}
+}
+
+func TestPolygonOpEmptyOperands(t *testing.T) {
+	a := sq(0, 0, 2)
+	if got := PolygonOp(a, geom.Polygon{}, OpIntersection); len(got) != 0 {
+		t.Error("intersection with empty should be empty")
+	}
+	if got := areaOf(PolygonOp(a, geom.Polygon{}, OpUnion)); math.Abs(got-4) > 1e-9 {
+		t.Error("union with empty should be the original")
+	}
+	if got := areaOf(PolygonOp(geom.Polygon{}, a, OpUnion)); math.Abs(got-4) > 1e-9 {
+		t.Error("union with empty (reversed) should be the original")
+	}
+	if got := PolygonOp(geom.Polygon{}, a, OpDifference); len(got) != 0 {
+		t.Error("empty minus polygon should be empty")
+	}
+	if got := areaOf(PolygonOp(a, geom.Polygon{}, OpDifference)); math.Abs(got-4) > 1e-9 {
+		t.Error("polygon minus empty should be the original")
+	}
+}
+
+func TestOverlayAreaInvariant(t *testing.T) {
+	// area(A) + area(B) == area(A∪B) + area(A∩B) across a family of
+	// generated square pairs (inclusion-exclusion).
+	prop := func(seed uint32) bool {
+		x := float64(seed % 7)
+		y := float64((seed / 7) % 7)
+		s := 1 + float64((seed/49)%4)
+		a := sq(0, 0, 5)
+		b := sq(x, y, s)
+		lhs := areaOf(a) + areaOf(b)
+		rhs := areaOf(PolygonOp(a, b, OpUnion)) + areaOf(PolygonOp(a, b, OpIntersection))
+		return math.Abs(lhs-rhs) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlayDifferenceInvariant(t *testing.T) {
+	// area(A−B) == area(A) − area(A∩B).
+	prop := func(seed uint32) bool {
+		x := float64(seed%11) - 3
+		y := float64((seed/11)%11) - 3
+		s := 1 + float64((seed/121)%5)
+		a := sq(0, 0, 6)
+		b := sq(x, y, s)
+		lhs := areaOf(PolygonOp(a, b, OpDifference))
+		rhs := areaOf(a) - areaOf(PolygonOp(a, b, OpIntersection))
+		return math.Abs(lhs-rhs) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlayStarPolygonProperty(t *testing.T) {
+	// Inclusion-exclusion over randomly generated star polygons — no
+	// axis alignment, irrational coordinates, varying vertex counts.
+	star := func(seed uint64, cx, cy float64) geom.Polygon {
+		r := seed
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64(r>>40) / float64(1<<24)
+		}
+		n := 5 + int(seed%11)
+		ring := make(geom.Ring, 0, n+1)
+		for i := 0; i < n; i++ {
+			ang := 2*math.Pi*float64(i)/float64(n) + next()*0.2
+			rad := 3 + next()*4
+			ring = append(ring, geom.Coord{X: cx + rad*math.Cos(ang), Y: cy + rad*math.Sin(ang)})
+		}
+		ring = append(ring, ring[0])
+		return geom.Polygon{ring}
+	}
+	prop := func(seed uint64) bool {
+		a := star(seed|1, 0, 0)
+		b := star(seed>>7|1, float64(seed%9), float64((seed>>4)%9))
+		if geom.Validate(a) != nil || geom.Validate(b) != nil {
+			return true // generator occasionally self-intersects; skip
+		}
+		union := PolygonOp(a, b, OpUnion)
+		inter := PolygonOp(a, b, OpIntersection)
+		diffAB := PolygonOp(a, b, OpDifference)
+		diffBA := PolygonOp(b, a, OpDifference)
+		areaA, areaB := areaOf(a), areaOf(b)
+		tol := 1e-6 * (areaA + areaB)
+		// Inclusion-exclusion.
+		if math.Abs(areaA+areaB-areaOf(union)-areaOf(inter)) > tol {
+			return false
+		}
+		// Partition: union = (A−B) ⊎ (B−A) ⊎ (A∩B).
+		if math.Abs(areaOf(union)-areaOf(diffAB)-areaOf(diffBA)-areaOf(inter)) > tol {
+			return false
+		}
+		// Differences are bounded by their minuends.
+		return areaOf(diffAB) <= areaA+tol && areaOf(diffBA) <= areaB+tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlayTriangleRotations(t *testing.T) {
+	// Non-axis-aligned operands: two triangles overlapping.
+	a := geom.Polygon{geom.Ring{{X: 0, Y: 0}, {X: 6, Y: 0}, {X: 3, Y: 6}, {X: 0, Y: 0}}}
+	b := geom.Polygon{geom.Ring{{X: 0, Y: 4}, {X: 3, Y: -2}, {X: 6, Y: 4}, {X: 0, Y: 4}}}
+	union := PolygonOp(a, b, OpUnion)
+	inter := PolygonOp(a, b, OpIntersection)
+	lhs := areaOf(a) + areaOf(b)
+	rhs := areaOf(union) + areaOf(inter)
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("inclusion-exclusion broken: %v vs %v", lhs, rhs)
+	}
+	if areaOf(inter) <= 0 || areaOf(inter) >= math.Min(areaOf(a), areaOf(b)) {
+		t.Errorf("triangle intersection area out of range: %v", areaOf(inter))
+	}
+}

@@ -1,0 +1,184 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"jackpine/internal/geom"
+)
+
+func TestIntersectionArealAreal(t *testing.T) {
+	res := Intersection(sq(0, 0, 4), sq(2, 2, 4))
+	if got := geom.Area(res); math.Abs(got-4) > 1e-9 {
+		t.Errorf("areal intersection area = %v, want 4", got)
+	}
+	if _, ok := res.(geom.Polygon); !ok {
+		t.Errorf("single-part result should simplify to Polygon, got %T", res)
+	}
+}
+
+func TestIntersectionLinePolygon(t *testing.T) {
+	line := g("LINESTRING (-2 2, 6 2)")
+	poly := sq(0, 0, 4)
+	res := Intersection(line, poly)
+	ls, ok := res.(geom.LineString)
+	if !ok {
+		t.Fatalf("expected LineString, got %T (%s)", res, geom.WKT(res))
+	}
+	if got := geom.Length(ls); math.Abs(got-4) > 1e-9 {
+		t.Errorf("clipped length = %v, want 4", got)
+	}
+	// Order of arguments must not matter.
+	res2 := Intersection(poly, line)
+	if got := geom.Length(res2); math.Abs(got-4) > 1e-9 {
+		t.Errorf("reversed clip length = %v, want 4", got)
+	}
+}
+
+func TestIntersectionLineCrossingHole(t *testing.T) {
+	donut := geom.Polygon{
+		geom.Ring{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}, {X: 0, Y: 0}},
+		geom.Ring{{X: 4, Y: 4}, {X: 4, Y: 6}, {X: 6, Y: 6}, {X: 6, Y: 4}, {X: 4, Y: 4}},
+	}
+	line := g("LINESTRING (-1 5, 11 5)")
+	res := Intersection(line, donut)
+	ml, ok := res.(geom.MultiLineString)
+	if !ok {
+		t.Fatalf("expected MultiLineString, got %T (%s)", res, geom.WKT(res))
+	}
+	if len(ml) != 2 {
+		t.Fatalf("expected 2 pieces, got %d: %s", len(ml), geom.WKT(res))
+	}
+	if got := geom.Length(res); math.Abs(got-8) > 1e-9 {
+		t.Errorf("total clipped length = %v, want 8 (10 across minus 2 in hole)", got)
+	}
+}
+
+func TestIntersectionPointCases(t *testing.T) {
+	poly := sq(0, 0, 4)
+	if res := Intersection(g("POINT (2 2)"), poly); geom.WKT(res) != "POINT (2 2)" {
+		t.Errorf("point-in-polygon intersection = %s", geom.WKT(res))
+	}
+	if res := Intersection(g("POINT (9 9)"), poly); !res.IsEmpty() {
+		t.Errorf("outside point intersection = %s", geom.WKT(res))
+	}
+	res := Intersection(g("MULTIPOINT ((1 1), (9 9), (3 3))"), poly)
+	mp, ok := res.(geom.MultiPoint)
+	if !ok || len(mp) != 2 {
+		t.Errorf("multipoint intersection = %s", geom.WKT(res))
+	}
+}
+
+func TestIntersectionLineLine(t *testing.T) {
+	res := Intersection(g("LINESTRING (0 0, 4 4)"), g("LINESTRING (0 4, 4 0)"))
+	if geom.WKT(res) != "POINT (2 2)" {
+		t.Errorf("crossing lines intersection = %s", geom.WKT(res))
+	}
+	res = Intersection(g("LINESTRING (0 0, 4 0)"), g("LINESTRING (2 0, 6 0)"))
+	ls, ok := res.(geom.LineString)
+	if !ok || math.Abs(geom.Length(ls)-2) > 1e-9 {
+		t.Errorf("overlapping lines intersection = %s", geom.WKT(res))
+	}
+	res = Intersection(g("LINESTRING (0 0, 1 0)"), g("LINESTRING (5 5, 6 6)"))
+	if !res.IsEmpty() {
+		t.Errorf("disjoint lines intersection = %s", geom.WKT(res))
+	}
+}
+
+func TestIntersectionEmpty(t *testing.T) {
+	if res := Intersection(geom.Polygon{}, sq(0, 0, 1)); !res.IsEmpty() {
+		t.Error("empty ∩ polygon should be empty")
+	}
+	if res := Intersection(nil, sq(0, 0, 1)); !res.IsEmpty() {
+		t.Error("nil ∩ polygon should be empty")
+	}
+}
+
+func TestUnionMixedAndEmpty(t *testing.T) {
+	u := Union(sq(0, 0, 2), sq(1, 1, 2))
+	if got := geom.Area(u); math.Abs(got-7) > 1e-9 {
+		t.Errorf("union area = %v, want 7", got)
+	}
+	u = Union(geom.Polygon{}, sq(0, 0, 2))
+	if got := geom.Area(u); math.Abs(got-4) > 1e-9 {
+		t.Errorf("union with empty = %v, want 4", got)
+	}
+	u = Union(g("POINT (1 1)"), g("LINESTRING (0 0, 1 0)"))
+	if _, ok := u.(geom.Collection); !ok {
+		t.Errorf("mixed-dimension union should be a Collection, got %T", u)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	var squares []geom.Geometry
+	for i := 0; i < 8; i++ {
+		squares = append(squares, sq(float64(i), 0, 1.5))
+	}
+	u := UnionAll(squares)
+	// Total footprint is a 1.5-tall strip from x=0 to x=8.5.
+	if got := geom.Area(u); math.Abs(got-8.5*1.5) > 1e-6 {
+		t.Errorf("UnionAll area = %v, want %v", got, 8.5*1.5)
+	}
+	if got := UnionAll(nil); !got.IsEmpty() {
+		t.Error("UnionAll of nothing should be empty")
+	}
+	one := UnionAll([]geom.Geometry{sq(0, 0, 2)})
+	if got := geom.Area(one); math.Abs(got-4) > 1e-9 {
+		t.Errorf("UnionAll of one = %v, want 4", got)
+	}
+}
+
+func TestDifferenceCases(t *testing.T) {
+	// Areal minus areal.
+	d := Difference(sq(0, 0, 4), sq(2, 0, 4))
+	if got := geom.Area(d); math.Abs(got-8) > 1e-9 {
+		t.Errorf("areal difference area = %v, want 8", got)
+	}
+	// Areal minus line: unchanged.
+	d = Difference(sq(0, 0, 4), g("LINESTRING (-1 2, 5 2)"))
+	if got := geom.Area(d); math.Abs(got-16) > 1e-9 {
+		t.Errorf("areal minus line = %v, want 16", got)
+	}
+	// Line minus areal: outside pieces.
+	d = Difference(g("LINESTRING (-2 2, 6 2)"), sq(0, 0, 4))
+	if got := geom.Length(d); math.Abs(got-4) > 1e-9 {
+		t.Errorf("line minus polygon length = %v, want 4", got)
+	}
+	// Point minus areal.
+	d = Difference(g("MULTIPOINT ((1 1), (9 9))"), sq(0, 0, 4))
+	if mp, ok := d.(geom.MultiPoint); !ok || len(mp) != 1 || !mp[0].Equal(geom.Coord{X: 9, Y: 9}) {
+		t.Errorf("point difference = %s", geom.WKT(d))
+	}
+	// Minus empty.
+	d = Difference(sq(0, 0, 2), geom.Polygon{})
+	if got := geom.Area(d); math.Abs(got-4) > 1e-9 {
+		t.Errorf("minus empty = %v, want 4", got)
+	}
+	// Empty minus anything.
+	if d := Difference(geom.Polygon{}, sq(0, 0, 2)); !d.IsEmpty() {
+		t.Error("empty minus polygon should be empty")
+	}
+}
+
+func TestSymDifference(t *testing.T) {
+	d := SymDifference(sq(0, 0, 4), sq(2, 0, 4))
+	if got := geom.Area(d); math.Abs(got-16) > 1e-9 {
+		t.Errorf("sym difference area = %v, want 16", got)
+	}
+	d = SymDifference(sq(0, 0, 2), sq(0, 0, 2))
+	if got := geom.Area(d); got != 0 {
+		t.Errorf("self sym difference area = %v, want 0", got)
+	}
+}
+
+func TestClipLinesBoundaryPieces(t *testing.T) {
+	// A line running along the polygon's edge counts as inside.
+	res := ClipLines(g("LINESTRING (1 0, 3 0)"), sq(0, 0, 4), true)
+	if got := geom.Length(res); math.Abs(got-2) > 1e-9 {
+		t.Errorf("edge-aligned clip length = %v, want 2", got)
+	}
+	res = ClipLines(g("LINESTRING (1 0, 3 0)"), sq(0, 0, 4), false)
+	if !res.IsEmpty() {
+		t.Errorf("outside pieces of an edge-aligned line = %s", geom.WKT(res))
+	}
+}

@@ -1,0 +1,99 @@
+package sql
+
+import (
+	"jackpine/internal/geom"
+	"jackpine/internal/storage"
+)
+
+// RowID is the executor-facing identifier of a stored row, equal to the
+// heap RecordID packed as (page << 16 | slot).
+type RowID int64
+
+// PackRowID converts a heap record id to a RowID.
+func PackRowID(rid storage.RecordID) RowID {
+	return RowID(int64(rid.Page)<<16 | int64(rid.Slot))
+}
+
+// Unpack converts the RowID back to a heap record id.
+func (r RowID) Unpack() storage.RecordID {
+	return storage.RecordID{Page: uint32(r >> 16), Slot: uint16(r & 0xFFFF)}
+}
+
+// SpatialIndex is the access-path abstraction over the engine's spatial
+// indexes (R-tree or grid).
+type SpatialIndex interface {
+	// Search invokes fn for every row whose indexed envelope intersects
+	// the query window, stopping when fn returns false.
+	Search(window geom.Rect, fn func(RowID) bool)
+	// Nearest visits rows in increasing envelope distance from p.
+	Nearest(p geom.Coord, fn func(id RowID, envDist float64) bool)
+	// Len returns the number of indexed entries.
+	Len() int
+}
+
+// AttrIndex is the access-path abstraction over attribute B+tree indexes.
+type AttrIndex interface {
+	// Seek invokes fn for every row with the exact encoded key.
+	Seek(key []byte, fn func(RowID) bool)
+	// Range scans keys in [lo, hi] (nil = unbounded, bounds per loInc/hiInc).
+	Range(lo, hi []byte, loInc, hiInc bool, fn func(RowID) bool)
+}
+
+// AttrIndexDef describes one attribute index: its ordered column list
+// and the index itself. Keys are the concatenated component encodings
+// (btree.AppendInt/AppendFloat/AppendText) of the columns in order.
+type AttrIndexDef struct {
+	Columns []string
+	Index   AttrIndex
+}
+
+// Table is the executor's view of a stored table.
+type Table interface {
+	// Name returns the table name.
+	Name() string
+	// Columns returns the schema.
+	Columns() []Column
+	// Scan iterates all rows, stopping when fn returns false.
+	Scan(fn func(id RowID, row []storage.Value) bool) error
+	// Fetch returns the row with the given id.
+	Fetch(id RowID) ([]storage.Value, error)
+	// Insert appends a row and maintains indexes.
+	Insert(row []storage.Value) (RowID, error)
+	// Delete removes a row and maintains indexes.
+	Delete(id RowID) error
+	// Update replaces the row at id (the id may change).
+	Update(id RowID, row []storage.Value) (RowID, error)
+	// SpatialIndexOn returns the spatial index on the named column, or
+	// nil when there is none.
+	SpatialIndexOn(column string) SpatialIndex
+	// AttrIndexes returns the attribute indexes on this table.
+	AttrIndexes() []AttrIndexDef
+	// RowCount returns the current number of rows.
+	RowCount() int
+}
+
+// Catalog resolves table names and applies DDL. The engine implements it.
+type Catalog interface {
+	// Table returns the named table.
+	Table(name string) (Table, bool)
+	// CreateTable registers a new table.
+	CreateTable(name string, cols []Column) error
+	// CreateIndex builds an index on an existing table. Spatial indexes
+	// take exactly one geometry column; attribute indexes take one or
+	// more non-geometry columns.
+	CreateIndex(name, table string, columns []string, spatial bool) error
+	// Vacuum rewrites a table's storage and rebuilds its indexes.
+	Vacuum(table string) error
+	// DropTable removes a table. Missing tables error unless ifExists.
+	DropTable(table string, ifExists bool) error
+}
+
+// ColumnIndexByName returns the offset of the named column, or -1.
+func ColumnIndexByName(cols []Column, name string) int {
+	for i, c := range cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}

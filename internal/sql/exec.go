@@ -1,0 +1,1190 @@
+package sql
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"jackpine/internal/geom"
+	"jackpine/internal/index/btree"
+	"jackpine/internal/overlay"
+	"jackpine/internal/storage"
+)
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	// Columns names the output columns (queries only).
+	Columns []string
+	// Rows holds the materialized result rows (queries only).
+	Rows [][]storage.Value
+	// Affected counts modified rows (DML) or is 0 for DDL.
+	Affected int
+	// Access describes the chosen access paths per table binding, for
+	// inspection by tests and the benchmark reporter.
+	Access []string
+}
+
+// Runner binds a catalog and function registry into a statement executor.
+type Runner struct {
+	cat Catalog
+	reg *Registry
+}
+
+// NewRunner creates an executor over the catalog using the registry's
+// function semantics.
+func NewRunner(cat Catalog, reg *Registry) *Runner {
+	return &Runner{cat: cat, reg: reg}
+}
+
+// Registry returns the function registry (engine feature inspection).
+func (r *Runner) Registry() *Registry { return r.reg }
+
+// Run parses and executes one SQL statement.
+func (r *Runner) Run(query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return r.Execute(stmt)
+}
+
+// Execute runs a parsed statement.
+func (r *Runner) Execute(stmt Statement) (*Result, error) {
+	switch t := stmt.(type) {
+	case *CreateTable:
+		if err := r.cat.CreateTable(t.Name, t.Columns); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndex:
+		if err := r.cat.CreateIndex(t.Name, t.Table, t.Columns, t.Spatial); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *Insert:
+		return r.execInsert(t)
+	case *Select:
+		return r.execSelect(t, false)
+	case *Explain:
+		return r.execSelect(t.Query, true)
+	case *Vacuum:
+		if err := r.cat.Vacuum(t.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *DropTable:
+		if err := r.cat.DropTable(t.Table, t.IfExists); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *Update:
+		return r.execUpdate(t)
+	case *Delete:
+		return r.execDelete(t)
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+}
+
+func (r *Runner) table(name string) (Table, error) {
+	tbl, ok := r.cat.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", name)
+	}
+	return tbl, nil
+}
+
+// --- INSERT -------------------------------------------------------------
+
+func (r *Runner) execInsert(ins *Insert) (*Result, error) {
+	tbl, err := r.table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := tbl.Columns()
+	emptyScope := NewScope()
+	n := 0
+	for _, rowExprs := range ins.Rows {
+		if len(rowExprs) != len(cols) {
+			return nil, fmt.Errorf("sql: INSERT into %s needs %d values, got %d",
+				ins.Table, len(cols), len(rowExprs))
+		}
+		row := make([]storage.Value, len(cols))
+		for i, e := range rowExprs {
+			if err := Bind(e, emptyScope, r.reg, false); err != nil {
+				return nil, err
+			}
+			v, err := Eval(e, nil, r.reg)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, cols[i])
+			if err != nil {
+				return nil, err
+			}
+			row[i] = cv
+		}
+		if _, err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// coerce adapts a value to a column type where a lossless conversion
+// exists.
+func coerce(v storage.Value, col Column) (storage.Value, error) {
+	if v.IsNull() || v.Type == col.Type {
+		return v, nil
+	}
+	switch {
+	case col.Type == storage.TypeFloat && v.Type == storage.TypeInt:
+		return storage.NewFloat(float64(v.Int)), nil
+	case col.Type == storage.TypeInt && v.Type == storage.TypeFloat && v.Float == float64(int64(v.Float)):
+		return storage.NewInt(int64(v.Float)), nil
+	case col.Type == storage.TypeGeom && v.Type == storage.TypeText:
+		g, err := geom.ParseWKT(v.Text)
+		if err != nil {
+			return storage.Null(), fmt.Errorf("sql: column %s: %w", col.Name, err)
+		}
+		return storage.NewGeom(g), nil
+	}
+	return storage.Null(), fmt.Errorf("sql: cannot store %s in %s column %s", v.Type, col.Type, col.Name)
+}
+
+// --- SELECT -------------------------------------------------------------
+
+// emitFn receives rows; returning false stops production.
+type emitFn func(row []storage.Value) (bool, error)
+
+func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
+	// Build the scope over FROM + JOIN tables.
+	type boundTable struct {
+		tbl     Table
+		binding string
+		lo, hi  int
+	}
+	scope := NewScope()
+	var tables []boundTable
+	addTable := func(ref *TableRef) error {
+		tbl, err := r.table(ref.Table)
+		if err != nil {
+			return err
+		}
+		lo := scope.Len()
+		scope.AddTable(ref.Name(), tbl.Columns())
+		tables = append(tables, boundTable{tbl: tbl, binding: ref.Name(), lo: lo, hi: scope.Len()})
+		return nil
+	}
+	if sel.From == nil {
+		return nil, fmt.Errorf("sql: SELECT requires FROM")
+	}
+	if err := addTable(sel.From); err != nil {
+		return nil, err
+	}
+	for _, j := range sel.Joins {
+		if err := addTable(j.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bind expressions.
+	hasAgg := len(sel.GroupBy) > 0
+	for i := range sel.Exprs {
+		if sel.Exprs[i].Star {
+			continue
+		}
+		if err := Bind(sel.Exprs[i].Expr, scope, r.reg, true); err != nil {
+			return nil, err
+		}
+		if HasAggregate(sel.Exprs[i].Expr) {
+			hasAgg = true
+		}
+	}
+	var conjuncts []Expr
+	if sel.Where != nil {
+		if err := Bind(sel.Where, scope, r.reg, false); err != nil {
+			return nil, err
+		}
+		conjuncts = splitConjuncts(sel.Where)
+	}
+	for i := range sel.Joins {
+		if err := Bind(sel.Joins[i].On, scope, r.reg, false); err != nil {
+			return nil, err
+		}
+		conjuncts = append(conjuncts, splitConjuncts(sel.Joins[i].On)...)
+	}
+	for _, g := range sel.GroupBy {
+		if err := Bind(g, scope, r.reg, false); err != nil {
+			return nil, err
+		}
+	}
+	if !hasAgg {
+		for i := range sel.OrderBy {
+			if err := Bind(sel.OrderBy[i].Expr, scope, r.reg, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Choose access paths: each conjunct is attached to the earliest
+	// pipeline stage at which all of its references are available.
+	stageFilters := make([][]Expr, len(tables))
+	paths := make([]accessPath, len(tables))
+	for i, bt := range tables {
+		paths[i] = pickAccess(bt.tbl, bt.lo, bt.hi, scope, conjuncts)
+	}
+	// kNN upgrade for the single-table pattern.
+	knn := false
+	if !hasAgg && len(tables) == 1 && paths[0].kind == accessFullScan {
+		if err := bindOrderByEarly(sel, scope, r.reg); err == nil {
+			if p, ok := tryKNN(sel, tables[0].tbl, scope); ok {
+				paths[0] = p
+				knn = true
+			}
+		}
+	}
+	for _, c := range conjuncts {
+		m := maxRef(c)
+		stage := 0
+		for i, bt := range tables {
+			if m < bt.hi {
+				stage = i
+				break
+			}
+		}
+		stageFilters[stage] = append(stageFilters[stage], c)
+	}
+
+	// Pipeline: scan stage 0, then for each join stage either index
+	// probe, hash probe or nested loop, applying stage filters.
+	hashBuilt := make([]map[string][][]storage.Value, len(tables))
+	var produce func(stage int, prefix []storage.Value, emit emitFn) (bool, error)
+	produce = func(stage int, prefix []storage.Value, emit emitFn) (bool, error) {
+		bt := tables[stage]
+		emitRow := func(row []storage.Value) (bool, error) {
+			for _, f := range stageFilters[stage] {
+				v, err := Eval(f, row, r.reg)
+				if err != nil {
+					return false, err
+				}
+				if v.IsNull() || !truthy(v) {
+					return true, nil
+				}
+			}
+			if stage == len(tables)-1 {
+				return emit(row)
+			}
+			return produce(stage+1, row, emit)
+		}
+		if paths[stage].kind == accessHashJoin {
+			return r.scanHashJoin(bt.tbl, paths[stage], prefix, scope.Len(), bt.lo,
+				&hashBuilt[stage], emitRow)
+		}
+		return r.scanTable(bt.tbl, paths[stage], prefix, scope.Len(), bt.lo, emitRow)
+	}
+
+	// Sinks: aggregation, ordering, limit, projection.
+	res := &Result{}
+	for i, bt := range tables {
+		res.Access = append(res.Access, bt.binding+":"+paths[i].kind.String())
+	}
+	if explainOnly {
+		res.Columns = []string{"table", "access", "rows"}
+		for i, bt := range tables {
+			res.Rows = append(res.Rows, []storage.Value{
+				storage.NewText(bt.binding),
+				storage.NewText(paths[i].kind.String()),
+				storage.NewInt(int64(bt.tbl.RowCount())),
+			})
+		}
+		return res, nil
+	}
+
+	// Output column names.
+	outNames := func() []string {
+		var names []string
+		for _, se := range sel.Exprs {
+			switch {
+			case se.Star:
+				for i := 0; i < scope.Len(); i++ {
+					names = append(names, scope.Column(i).Name)
+				}
+			case se.Alias != "":
+				names = append(names, se.Alias)
+			default:
+				names = append(names, strings.ToLower(se.Expr.String()))
+			}
+		}
+		return names
+	}
+	res.Columns = outNames()
+
+	project := func(row []storage.Value) ([]storage.Value, error) {
+		var out []storage.Value
+		for _, se := range sel.Exprs {
+			if se.Star {
+				out = append(out, row...)
+				continue
+			}
+			v, err := Eval(se.Expr, row, r.reg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+
+	switch {
+	case hasAgg:
+		rows, err := r.runAggregate(sel, scope, produce)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel.OrderBy) > 0 {
+			if err := sortAggregateRows(sel, res.Columns, rows); err != nil {
+				return nil, err
+			}
+		}
+		if sel.Offset > 0 || sel.Limit >= 0 {
+			start := sel.Offset
+			if start > len(rows) {
+				start = len(rows)
+			}
+			end := len(rows)
+			if sel.Limit >= 0 && start+sel.Limit < end {
+				end = start + sel.Limit
+			}
+			rows = rows[start:end]
+		}
+		res.Rows = rows
+	case knn:
+		// The kNN scan already orders and limits.
+		limit := sel.Limit
+		offset := sel.Offset
+		skipped := 0
+		_, err := produce(0, nil, func(row []storage.Value) (bool, error) {
+			if skipped < offset {
+				skipped++
+				return true, nil
+			}
+			out, err := project(row)
+			if err != nil {
+				return false, err
+			}
+			res.Rows = append(res.Rows, out)
+			return limit < 0 || len(res.Rows) < limit, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	case len(sel.OrderBy) > 0:
+		// Materialize with sort keys, sort, then project.
+		type keyedRow struct {
+			row  []storage.Value
+			keys []storage.Value
+		}
+		var all []keyedRow
+		_, err := produce(0, nil, func(row []storage.Value) (bool, error) {
+			kr := keyedRow{row: append([]storage.Value(nil), row...)}
+			for _, ok := range sel.OrderBy {
+				v, err := Eval(ok.Expr, row, r.reg)
+				if err != nil {
+					return false, err
+				}
+				kr.keys = append(kr.keys, v)
+			}
+			all = append(all, kr)
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			for k := range sel.OrderBy {
+				c, _ := storage.Compare(all[i].keys[k], all[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if sel.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		start := sel.Offset
+		if start > len(all) {
+			start = len(all)
+		}
+		end := len(all)
+		if sel.Limit >= 0 && start+sel.Limit < end {
+			end = start + sel.Limit
+		}
+		for _, kr := range all[start:end] {
+			out, err := project(kr.row)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	default:
+		limit := sel.Limit
+		offset := sel.Offset
+		skipped := 0
+		_, err := produce(0, nil, func(row []storage.Value) (bool, error) {
+			if skipped < offset {
+				skipped++
+				return true, nil
+			}
+			out, err := project(row)
+			if err != nil {
+				return false, err
+			}
+			res.Rows = append(res.Rows, out)
+			return limit < 0 || len(res.Rows) < limit, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if res.Rows == nil {
+		res.Rows = [][]storage.Value{}
+	}
+	return res, nil
+}
+
+// sortAggregateRows orders grouped output rows. After aggregation,
+// ORDER BY keys must name output columns: by alias or column name, by
+// 1-based ordinal, or by textually matching a select expression.
+func sortAggregateRows(sel *Select, outCols []string, rows [][]storage.Value) error {
+	keyIdx := make([]int, len(sel.OrderBy))
+	for i, ok := range sel.OrderBy {
+		idx := -1
+		switch t := ok.Expr.(type) {
+		case *Literal:
+			if t.Value.Type == storage.TypeInt && t.Value.Int >= 1 && int(t.Value.Int) <= len(outCols) {
+				idx = int(t.Value.Int) - 1
+			}
+		case *ColumnRef:
+			for j, name := range outCols {
+				if name == strings.ToLower(t.Column) {
+					idx = j
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			want := strings.ToLower(ok.Expr.String())
+			for j, name := range outCols {
+				if name == want {
+					idx = j
+					break
+				}
+			}
+			// Fall back to matching the un-aliased select expressions.
+			for j, se := range sel.Exprs {
+				if !se.Star && se.Expr != nil && strings.ToLower(se.Expr.String()) == want {
+					idx = j
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("sql: ORDER BY %s must name an output column when grouping", ok.Expr)
+		}
+		keyIdx[i] = idx
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for k, idx := range keyIdx {
+			c, _ := storage.Compare(rows[a][idx], rows[b][idx])
+			if c == 0 {
+				continue
+			}
+			if sel.OrderBy[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// bindOrderByEarly binds ORDER BY expressions for the non-aggregate path
+// so that kNN detection can inspect resolved column offsets.
+func bindOrderByEarly(sel *Select, scope *Scope, reg *Registry) error {
+	for i := range sel.OrderBy {
+		if err := Bind(sel.OrderBy[i].Expr, scope, reg, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanTable drives one table's access path, emitting full-width rows
+// (prefix + this table's columns + NULL padding to width).
+func (r *Runner) scanTable(tbl Table, path accessPath, prefix []storage.Value,
+	width, lo int, emit emitFn) (bool, error) {
+
+	pad := func(row []storage.Value) []storage.Value {
+		full := make([]storage.Value, width)
+		copy(full, prefix)
+		copy(full[lo:], row)
+		return full
+	}
+
+	switch path.kind {
+	case accessFullScan:
+		cont := true
+		var emitErr error
+		err := tbl.Scan(func(_ RowID, row []storage.Value) bool {
+			c, err := emit(pad(row))
+			if err != nil {
+				emitErr = err
+				return false
+			}
+			cont = c
+			return c
+		})
+		if emitErr != nil {
+			return false, emitErr
+		}
+		return cont, err
+
+	case accessSpatialWindow:
+		window, err := path.evalWindow(prefix, r.reg)
+		if err != nil {
+			return false, err
+		}
+		if window.IsEmpty() {
+			return true, nil
+		}
+		cont := true
+		var innerErr error
+		path.spatial.Search(window, func(id RowID) bool {
+			row, err := tbl.Fetch(id)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			c, err := emit(pad(row))
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			cont = c
+			return c
+		})
+		return cont, innerErr
+
+	case accessAttrSeek:
+		key, ok, err := r.buildAttrKeyPrefix(path, prefix)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		cont := true
+		var innerErr error
+		path.attr.Seek(key, func(id RowID) bool {
+			row, err := tbl.Fetch(id)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			c, err := emit(pad(row))
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			cont = c
+			return c
+		})
+		return cont, innerErr
+
+	case accessAttrRange:
+		keyPrefix, ok, err := r.buildAttrKeyPrefix(path, prefix)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		loKey := keyPrefix
+		if path.rangeLo != nil {
+			v, err := Eval(path.rangeLo, prefix, r.reg)
+			if err != nil {
+				return false, err
+			}
+			if k, ok := appendKeyComponent(append([]byte(nil), keyPrefix...), v, path.rangeType); ok {
+				loKey = k
+			}
+		}
+		var hiKey []byte
+		hiInc := false
+		if path.rangeHi != nil && path.rangeLast {
+			v, err := Eval(path.rangeHi, prefix, r.reg)
+			if err != nil {
+				return false, err
+			}
+			if k, ok := appendKeyComponent(append([]byte(nil), keyPrefix...), v, path.rangeType); ok {
+				hiKey = k
+				hiInc = true
+			}
+		}
+		if hiKey == nil {
+			hiKey = btree.PrefixSuccessor(keyPrefix)
+		}
+		if len(loKey) == 0 {
+			loKey = nil
+		}
+		cont := true
+		var innerErr error
+		path.attr.Range(loKey, hiKey, true, hiInc, func(id RowID) bool {
+			row, err := tbl.Fetch(id)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			c, err := emit(pad(row))
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			cont = c
+			return c
+		})
+		return cont, innerErr
+
+	case accessKNN:
+		return r.scanKNN(tbl, path, prefix, width, lo, emit)
+	}
+	return false, fmt.Errorf("sql: unknown access path")
+}
+
+// hashJoinKey builds a bucket key that collides for numerically equal
+// values; the original equality conjunct remains in the stage's residual
+// filter, so over-wide buckets are re-checked exactly.
+func hashJoinKey(v storage.Value) (string, bool) {
+	if v.IsNull() {
+		return "", false // SQL equality never matches NULL
+	}
+	if f, ok := v.AsFloat(); ok {
+		var b [9]byte
+		b[0] = 'n'
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			b[1+i] = byte(bits >> (8 * i))
+		}
+		return string(b[:]), true
+	}
+	return string(storage.EncodeTuple([]storage.Value{v})), true
+}
+
+// scanHashJoin probes the build table (materialized once per query) with
+// the outer row's key.
+func (r *Runner) scanHashJoin(tbl Table, path accessPath, prefix []storage.Value,
+	width, lo int, built *map[string][][]storage.Value, emit emitFn) (bool, error) {
+
+	if *built == nil {
+		table := make(map[string][][]storage.Value)
+		err := tbl.Scan(func(_ RowID, row []storage.Value) bool {
+			if key, ok := hashJoinKey(row[path.hashCol]); ok {
+				table[key] = append(table[key], append([]storage.Value(nil), row...))
+			}
+			return true
+		})
+		if err != nil {
+			return false, err
+		}
+		*built = table
+	}
+	probe, err := Eval(path.hashExpr, prefix, r.reg)
+	if err != nil {
+		return false, err
+	}
+	key, ok := hashJoinKey(probe)
+	if !ok {
+		return true, nil
+	}
+	for _, row := range (*built)[key] {
+		full := make([]storage.Value, width)
+		copy(full, prefix)
+		copy(full[lo:], row)
+		cont, err := emit(full)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// knnCand is a heap element for the kNN re-ranking scan.
+type knnCand struct {
+	row  []storage.Value
+	dist float64
+}
+
+type knnHeap []knnCand // max-heap by dist
+
+func (h knnHeap) Len() int           { return len(h) }
+func (h knnHeap) Less(i, j int) bool { return h[i].dist > h[j].dist }
+func (h knnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x any)        { *h = append(*h, x.(knnCand)) }
+func (h *knnHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// scanKNN performs an exact k-nearest-neighbour scan: candidates arrive
+// in increasing envelope distance (a lower bound of true distance), are
+// re-ranked by exact distance in a bounded heap, and the stream stops
+// once the envelope bound passes the kth exact distance.
+func (r *Runner) scanKNN(tbl Table, path accessPath, prefix []storage.Value,
+	width, lo int, emit emitFn) (bool, error) {
+
+	pv, err := Eval(path.knnPointExpr, prefix, r.reg)
+	if err != nil {
+		return false, err
+	}
+	if pv.IsNull() || pv.Type != storage.TypeGeom {
+		return true, nil
+	}
+	probe := pv.Geom
+	centre, ok := geom.Centroid(probe)
+	if !ok {
+		return true, nil
+	}
+	k := path.knnK
+	if k <= 0 {
+		return true, nil
+	}
+	h := &knnHeap{}
+	var innerErr error
+	path.spatial.Nearest(centre, func(id RowID, envDist float64) bool {
+		if h.Len() == k && envDist > (*h)[0].dist {
+			return false // no closer candidate can appear
+		}
+		row, err := tbl.Fetch(id)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		full := make([]storage.Value, width)
+		copy(full, prefix)
+		copy(full[lo:], row)
+		gv := full[path.knnDistCol]
+		if gv.IsNull() || gv.Type != storage.TypeGeom {
+			return true
+		}
+		d := geom.Distance(gv.Geom, probe)
+		if h.Len() < k {
+			heap.Push(h, knnCand{row: full, dist: d})
+		} else if d < (*h)[0].dist {
+			(*h)[0] = knnCand{row: full, dist: d}
+			heap.Fix(h, 0)
+		}
+		return true
+	})
+	if innerErr != nil {
+		return false, innerErr
+	}
+	// Emit in increasing distance order.
+	cands := make([]knnCand, h.Len())
+	for i := len(cands) - 1; i >= 0; i-- {
+		cands[i] = heap.Pop(h).(knnCand)
+	}
+	for _, c := range cands {
+		cont, err := emit(c.row)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// buildAttrKeyPrefix evaluates an access path's equality probes into a
+// composite key prefix. ok is false when any probe is NULL or cannot be
+// represented in the column's key encoding (such probes can never match).
+func (r *Runner) buildAttrKeyPrefix(path accessPath, row []storage.Value) ([]byte, bool, error) {
+	var key []byte
+	for i, e := range path.eqExprs {
+		v, err := Eval(e, row, r.reg)
+		if err != nil {
+			return nil, false, err
+		}
+		k, ok := appendKeyComponent(key, v, path.eqTypes[i])
+		if !ok {
+			return nil, false, nil
+		}
+		key = k
+	}
+	return key, true, nil
+}
+
+// appendKeyComponent appends one probe value in the index key encoding
+// of the column type (matching the engine's index maintenance encoding).
+func appendKeyComponent(dst []byte, v storage.Value, colType storage.ValueType) ([]byte, bool) {
+	if v.IsNull() {
+		return nil, false
+	}
+	switch colType {
+	case storage.TypeInt, storage.TypeBool:
+		switch v.Type {
+		case storage.TypeInt, storage.TypeBool:
+			return btree.AppendInt(dst, v.Int), true
+		case storage.TypeFloat:
+			if v.Float == float64(int64(v.Float)) {
+				return btree.AppendInt(dst, int64(v.Float)), true
+			}
+		}
+	case storage.TypeFloat:
+		if f, ok := v.AsFloat(); ok {
+			return btree.AppendFloat(dst, f), true
+		}
+	case storage.TypeText:
+		if v.Type == storage.TypeText {
+			return btree.AppendText(dst, v.Text), true
+		}
+	}
+	return nil, false
+}
+
+// --- aggregation// --- aggregation ---------------------------------------------------------
+
+type aggState struct {
+	count   int64
+	sum     float64
+	sumInt  int64
+	intOnly bool
+	min     storage.Value
+	max     storage.Value
+	seen    bool
+	geoms   []geom.Geometry // ST_UNION accumulator
+	extent  geom.Rect       // ST_EXTENT accumulator
+}
+
+func (r *Runner) runAggregate(sel *Select, scope *Scope,
+	produce func(stage int, prefix []storage.Value, emit emitFn) (bool, error)) ([][]storage.Value, error) {
+
+	// Collect distinct aggregate calls across the select list.
+	var aggs []*FuncCall
+	for _, se := range sel.Exprs {
+		if se.Star {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregates")
+		}
+		walkExpr(se.Expr, func(e Expr) {
+			if fc, ok := e.(*FuncCall); ok && IsAggregateCall(fc) {
+				aggs = append(aggs, fc)
+			}
+		})
+	}
+
+	type group struct {
+		firstRow []storage.Value
+		states   []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	_, err := produce(0, nil, func(row []storage.Value) (bool, error) {
+		var keyVals []storage.Value
+		for _, g := range sel.GroupBy {
+			v, err := Eval(g, row, r.reg)
+			if err != nil {
+				return false, err
+			}
+			keyVals = append(keyVals, v)
+		}
+		key := string(storage.EncodeTuple(keyVals))
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{
+				firstRow: append([]storage.Value(nil), row...),
+				states:   make([]aggState, len(aggs)),
+			}
+			for i := range grp.states {
+				grp.states[i].intOnly = true
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, fc := range aggs {
+			if err := accumulate(&grp.states[i], fc, row, r.reg); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A global aggregate over zero rows still yields one output row.
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		key := ""
+		groups[key] = &group{firstRow: make([]storage.Value, scope.Len()), states: make([]aggState, len(aggs))}
+		order = append(order, key)
+	}
+
+	var out [][]storage.Value
+	for _, key := range order {
+		grp := groups[key]
+		aggVals := make(map[*FuncCall]storage.Value, len(aggs))
+		for i, fc := range aggs {
+			aggVals[fc] = finalize(&grp.states[i], fc)
+		}
+		var row []storage.Value
+		for _, se := range sel.Exprs {
+			v, err := evalWithAggs(se.Expr, grp.firstRow, r.reg, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func accumulate(st *aggState, fc *FuncCall, row []storage.Value, reg *Registry) error {
+	if fc.Star { // COUNT(*)
+		st.count++
+		return nil
+	}
+	v, err := Eval(fc.Args[0], row, reg)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	st.count++
+	switch fc.Name {
+	case "ST_UNION":
+		if v.Type != storage.TypeGeom {
+			return fmt.Errorf("sql: ST_UNION over %s", v.Type)
+		}
+		st.geoms = append(st.geoms, v.Geom)
+	case "ST_EXTENT":
+		if v.Type != storage.TypeGeom {
+			return fmt.Errorf("sql: ST_EXTENT over %s", v.Type)
+		}
+		if !st.seen {
+			st.extent = geom.EmptyRect()
+		}
+		st.extent = st.extent.Union(v.Geom.Envelope())
+	case "SUM", "AVG":
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("sql: %s over %s", fc.Name, v.Type)
+		}
+		st.sum += f
+		if v.Type == storage.TypeInt {
+			st.sumInt += v.Int
+		} else {
+			st.intOnly = false
+		}
+	case "MIN":
+		if !st.seen {
+			st.min = v
+		} else if c, _ := storage.Compare(v, st.min); c < 0 {
+			st.min = v
+		}
+	case "MAX":
+		if !st.seen {
+			st.max = v
+		} else if c, _ := storage.Compare(v, st.max); c > 0 {
+			st.max = v
+		}
+	}
+	st.seen = true
+	return nil
+}
+
+func finalize(st *aggState, fc *FuncCall) storage.Value {
+	switch fc.Name {
+	case "COUNT":
+		return storage.NewInt(st.count)
+	case "SUM":
+		if st.count == 0 {
+			return storage.Null()
+		}
+		if st.intOnly {
+			return storage.NewInt(st.sumInt)
+		}
+		return storage.NewFloat(st.sum)
+	case "AVG":
+		if st.count == 0 {
+			return storage.Null()
+		}
+		return storage.NewFloat(st.sum / float64(st.count))
+	case "MIN":
+		if !st.seen {
+			return storage.Null()
+		}
+		return st.min
+	case "MAX":
+		if !st.seen {
+			return storage.Null()
+		}
+		return st.max
+	case "ST_UNION":
+		if len(st.geoms) == 0 {
+			return storage.Null()
+		}
+		return storage.NewGeom(overlay.UnionAll(st.geoms))
+	case "ST_EXTENT":
+		if !st.seen {
+			return storage.Null()
+		}
+		return storage.NewGeom(st.extent.ToPolygon())
+	}
+	return storage.Null()
+}
+
+// evalWithAggs evaluates an expression substituting pre-computed
+// aggregate results.
+func evalWithAggs(e Expr, row []storage.Value, reg *Registry, aggVals map[*FuncCall]storage.Value) (storage.Value, error) {
+	if fc, ok := e.(*FuncCall); ok {
+		if v, hit := aggVals[fc]; hit {
+			return v, nil
+		}
+	}
+	switch t := e.(type) {
+	case *BinaryExpr:
+		cp := *t
+		l, err := evalWithAggs(t.Left, row, reg, aggVals)
+		if err != nil {
+			return storage.Null(), err
+		}
+		rr, err := evalWithAggs(t.Right, row, reg, aggVals)
+		if err != nil {
+			return storage.Null(), err
+		}
+		cp.Left = &Literal{Value: l}
+		cp.Right = &Literal{Value: rr}
+		return Eval(&cp, row, reg)
+	case *UnaryExpr:
+		v, err := evalWithAggs(t.Expr, row, reg, aggVals)
+		if err != nil {
+			return storage.Null(), err
+		}
+		return Eval(&UnaryExpr{Op: t.Op, Expr: &Literal{Value: v}}, row, reg)
+	case *FuncCall:
+		args := make([]storage.Value, len(t.Args))
+		for i, a := range t.Args {
+			v, err := evalWithAggs(a, row, reg, aggVals)
+			if err != nil {
+				return storage.Null(), err
+			}
+			args[i] = v
+		}
+		return reg.Call(t.Name, args)
+	default:
+		return Eval(e, row, reg)
+	}
+}
+
+// --- UPDATE / DELETE ------------------------------------------------------
+
+// matchRows collects the row ids satisfying the WHERE clause of a
+// single-table DML statement.
+func (r *Runner) matchRows(tbl Table, binding string, where Expr) ([]RowID, error) {
+	scope := NewScope()
+	scope.AddTable(binding, tbl.Columns())
+	if where != nil {
+		if err := Bind(where, scope, r.reg, false); err != nil {
+			return nil, err
+		}
+	}
+	var ids []RowID
+	var evalErr error
+	err := tbl.Scan(func(id RowID, row []storage.Value) bool {
+		if where != nil {
+			v, err := Eval(where, row, r.reg)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if v.IsNull() || !truthy(v) {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return ids, err
+}
+
+func (r *Runner) execUpdate(upd *Update) (*Result, error) {
+	tbl, err := r.table(upd.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := tbl.Columns()
+	scope := NewScope()
+	scope.AddTable(upd.Table, cols)
+	type setOp struct {
+		idx int
+		e   Expr
+	}
+	var sets []setOp
+	for _, a := range upd.Set {
+		idx := ColumnIndexByName(cols, a.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q in UPDATE", a.Column)
+		}
+		if err := Bind(a.Expr, scope, r.reg, false); err != nil {
+			return nil, err
+		}
+		sets = append(sets, setOp{idx: idx, e: a.Expr})
+	}
+	ids, err := r.matchRows(tbl, upd.Table, upd.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		row, err := tbl.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		newRow := append([]storage.Value(nil), row...)
+		for _, s := range sets {
+			v, err := Eval(s.e, row, r.reg)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, cols[s.idx])
+			if err != nil {
+				return nil, err
+			}
+			newRow[s.idx] = cv
+		}
+		if _, err := tbl.Update(id, newRow); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(ids)}, nil
+}
+
+func (r *Runner) execDelete(del *Delete) (*Result, error) {
+	tbl, err := r.table(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := r.matchRows(tbl, del.Table, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := tbl.Delete(id); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(ids)}, nil
+}

@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers upper-cased except quoted; ops verbatim
+	raw  string // original text (for strings: unescaped content)
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: lex error at offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		raw := l.src[start:l.pos]
+		return token{kind: tokIdent, text: strings.ToUpper(raw), raw: raw, pos: start}, nil
+
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+			l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			((l.src[l.pos] == '+' || l.src[l.pos] == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		raw := l.src[start:l.pos]
+		return token{kind: tokNumber, text: raw, raw: raw, pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokString, text: sb.String(), raw: sb.String(), pos: start}, nil
+
+	case c == '"':
+		// Quoted identifier: preserved case.
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '"')
+		if end < 0 {
+			return token{}, l.errorf("unterminated quoted identifier")
+		}
+		raw := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIdent, text: raw, raw: raw, pos: start}, nil
+
+	default:
+		// Multi-character operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "||":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return token{kind: tokOp, text: two, raw: two, pos: start}, nil
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';', '.':
+			l.pos++
+			s := string(c)
+			return token{kind: tokOp, text: s, raw: s, pos: start}, nil
+		}
+		return token{}, l.errorf("unexpected character %q", string(c))
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,255 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"jackpine/internal/storage"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE Roads (id BIGINT, name VARCHAR(64), len DOUBLE, geo GEOMETRY, open BOOLEAN)`)
+	ct := stmt.(*CreateTable)
+	if ct.Name != "roads" || len(ct.Columns) != 5 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	wantTypes := []storage.ValueType{storage.TypeInt, storage.TypeText, storage.TypeFloat, storage.TypeGeom, storage.TypeBool}
+	for i, w := range wantTypes {
+		if ct.Columns[i].Type != w {
+			t.Errorf("column %d type = %v, want %v", i, ct.Columns[i].Type, w)
+		}
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	ci := mustParse(t, "CREATE SPATIAL INDEX gidx ON roads (geo)").(*CreateIndex)
+	if !ci.Spatial || ci.Table != "roads" || len(ci.Columns) != 1 || ci.Columns[0] != "geo" {
+		t.Errorf("parsed %+v", ci)
+	}
+	ci = mustParse(t, "CREATE INDEX nidx ON roads (name)").(*CreateIndex)
+	if ci.Spatial {
+		t.Error("plain index parsed as spatial")
+	}
+	// Composite column lists.
+	ci = mustParse(t, "CREATE INDEX addr ON roads (name, fromaddr, toaddr)").(*CreateIndex)
+	if len(ci.Columns) != 3 || ci.Columns[1] != "fromaddr" {
+		t.Errorf("composite parsed %+v", ci)
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t VALUES (1, 'a'), (2, 'it''s')").(*Insert)
+	if len(ins.Rows) != 2 || len(ins.Rows[0]) != 2 {
+		t.Fatalf("rows %+v", ins.Rows)
+	}
+	lit := ins.Rows[1][1].(*Literal)
+	if lit.Value.Text != "it's" {
+		t.Errorf("escaped string = %q", lit.Value.Text)
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	sel := mustParse(t, `SELECT a.id, COUNT(*) AS n FROM roads a JOIN parcels AS p ON ST_Intersects(a.geo, p.geo) WHERE a.len > 10 AND p.id <> 3 GROUP BY a.id ORDER BY n DESC, a.id LIMIT 5 OFFSET 2`).(*Select)
+	if len(sel.Exprs) != 2 || sel.Exprs[1].Alias != "n" {
+		t.Errorf("exprs %+v", sel.Exprs)
+	}
+	if sel.From.Table != "roads" || sel.From.Alias != "a" {
+		t.Errorf("from %+v", sel.From)
+	}
+	if len(sel.Joins) != 1 || sel.Joins[0].Table.Alias != "p" {
+		t.Errorf("joins %+v", sel.Joins)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || len(sel.OrderBy) != 2 {
+		t.Error("clauses missing")
+	}
+	if !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Error("order directions wrong")
+	}
+	if sel.Limit != 5 || sel.Offset != 2 {
+		t.Errorf("limit %d offset %d", sel.Limit, sel.Offset)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 + 2 * 3 FROM t").(*Select)
+	if got := sel.Exprs[0].Expr.String(); got != "(1 + (2 * 3))" {
+		t.Errorf("precedence tree = %s", got)
+	}
+	sel = mustParse(t, "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").(*Select)
+	b := sel.Where.(*BinaryExpr)
+	if b.Op != "OR" {
+		t.Errorf("OR should be outermost, got %s", b.Op)
+	}
+	sel = mustParse(t, "SELECT a FROM t WHERE NOT x = 1").(*Select)
+	if _, ok := sel.Where.(*UnaryExpr); !ok {
+		t.Error("NOT should wrap comparison")
+	}
+}
+
+func TestParseSpecialPredicates(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL AND c BETWEEN 1 AND 5 AND d LIKE 'x%'").(*Select)
+	conj := splitConjuncts(sel.Where)
+	if len(conj) != 4 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if n, ok := conj[0].(*IsNull); !ok || n.Negate {
+		t.Error("IS NULL parse")
+	}
+	if n, ok := conj[1].(*IsNull); !ok || !n.Negate {
+		t.Error("IS NOT NULL parse")
+	}
+	if _, ok := conj[2].(*Between); !ok {
+		t.Error("BETWEEN parse")
+	}
+	if b, ok := conj[3].(*BinaryExpr); !ok || b.Op != "LIKE" {
+		t.Error("LIKE parse")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	upd := mustParse(t, "UPDATE t SET a = 1, b = b + 1 WHERE id = 3").(*Update)
+	if len(upd.Set) != 2 || upd.Set[1].Column != "b" || upd.Where == nil {
+		t.Errorf("update %+v", upd)
+	}
+	del := mustParse(t, "DELETE FROM t").(*Delete)
+	if del.Where != nil {
+		t.Error("bare delete should have nil where")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC 1",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a WIBBLE)",
+		"INSERT INTO t (1)",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t extra junk (",
+		"SELECT 'unterminated FROM t",
+		"UPDATE t SET WHERE x = 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseNegativeNumbersAndCase(t *testing.T) {
+	sel := mustParse(t, "select ID from T where X = -4.5e2").(*Select)
+	cmp := sel.Where.(*BinaryExpr)
+	lit := cmp.Right.(*Literal)
+	if lit.Value.Float != -450 {
+		t.Errorf("literal = %v", lit.Value)
+	}
+	if sel.From.Table != "t" {
+		t.Error("table names should be lower-cased")
+	}
+	if sel.Exprs[0].Expr.(*ColumnRef).Column != "id" {
+		t.Error("column names should be lower-cased")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := mustParse(t, "SELECT a -- trailing comment\nFROM t -- another\n").(*Select)
+	if sel.From.Table != "t" {
+		t.Error("comment handling broken")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"main street", "main%", true},
+		{"main street", "%street", true},
+		{"main street", "%str%", true},
+		{"main street", "m__n street", true},
+		{"main street", "x%", false},
+		{"", "%", true},
+		{"", "", true},
+		{"a", "_", true},
+		{"ab", "_", false},
+		{"100 oak ave", "% oak %", true},
+	}
+	for _, tc := range cases {
+		if got := likeMatch(tc.s, tc.p); got != tc.want {
+			t.Errorf("likeMatch(%q, %q) = %v", tc.s, tc.p, got)
+		}
+	}
+}
+
+func TestRegistryDisabledAndMBR(t *testing.T) {
+	full := NewRegistry(RegistryOptions{})
+	if !full.Has("ST_BUFFER") || !full.Has("ST_RELATE") || full.MBRPredicates() {
+		t.Error("full registry misconfigured")
+	}
+	limited := NewRegistry(RegistryOptions{MBRPredicates: true, Disabled: []string{"ST_Buffer", "st_relate"}})
+	if limited.Has("ST_BUFFER") || limited.Has("ST_RELATE") {
+		t.Error("disabled functions still present")
+	}
+	if !limited.MBRPredicates() {
+		t.Error("MBR flag lost")
+	}
+	if _, err := limited.Call("ST_BUFFER", nil); err == nil ||
+		!strings.Contains(err.Error(), "not supported") {
+		t.Errorf("call of disabled function: %v", err)
+	}
+	names := full.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+func TestScopeResolution(t *testing.T) {
+	s := NewScope()
+	s.AddTable("a", []Column{{Name: "id", Type: storage.TypeInt}, {Name: "geo", Type: storage.TypeGeom}})
+	s.AddTable("b", []Column{{Name: "id", Type: storage.TypeInt}})
+	if _, err := s.Resolve("", "id"); err == nil {
+		t.Error("ambiguous column resolved")
+	}
+	idx, err := s.Resolve("b", "id")
+	if err != nil || idx != 2 {
+		t.Errorf("b.id = %d, %v", idx, err)
+	}
+	idx, err = s.Resolve("", "geo")
+	if err != nil || idx != 1 {
+		t.Errorf("geo = %d, %v", idx, err)
+	}
+	if _, err := s.Resolve("", "nope"); err == nil {
+		t.Error("missing column resolved")
+	}
+	if _, err := s.Resolve("c", "id"); err == nil {
+		t.Error("missing table resolved")
+	}
+}
+
+func TestRowIDPacking(t *testing.T) {
+	rids := []storage.RecordID{
+		{Page: 0, Slot: 0},
+		{Page: 1, Slot: 2},
+		{Page: 0xFFFFFFFF, Slot: 0xFFFF},
+		{Page: 123456, Slot: 789},
+	}
+	for _, rid := range rids {
+		if got := PackRowID(rid).Unpack(); got != rid {
+			t.Errorf("round trip %v -> %v", rid, got)
+		}
+	}
+}

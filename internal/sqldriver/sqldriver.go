@@ -1,0 +1,259 @@
+// Package sqldriver adapts the spatial engines to Go's standard
+// database/sql interface — the role JDBC plays for the original
+// Jackpine. Any tool written against database/sql can talk to the
+// engines:
+//
+//	// Local engine (one engine shared by the pool's connections):
+//	eng := engine.Open(engine.GaiaDB())
+//	db := sql.OpenDB(sqldriver.NewConnector(eng))
+//
+//	// Remote engine over the wire protocol:
+//	db, err := sql.Open("jackpine", "tcp://127.0.0.1:7676")
+//
+// Placeholders: statements may use '?' parameters, which the driver
+// interpolates client-side with proper quoting (ints, floats, strings,
+// booleans, nil, []byte as hex WKB via ST_GeomFromWKB).
+//
+// Value mapping: INTEGER→int64, DOUBLE→float64, TEXT→string,
+// BOOLEAN→bool, GEOMETRY→[]byte (WKB), NULL→nil.
+package sqldriver
+
+import (
+	"context"
+	gosql "database/sql"
+	"database/sql/driver"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	jdriver "jackpine/internal/driver"
+	"jackpine/internal/engine"
+	"jackpine/internal/geom"
+	"jackpine/internal/storage"
+	"jackpine/internal/wire"
+)
+
+func init() {
+	gosql.Register("jackpine", Driver{})
+}
+
+// Driver implements database/sql/driver.Driver for DSN-based opens.
+// Supported DSNs: "tcp://host:port" (wire protocol).
+type Driver struct{}
+
+// Open implements driver.Driver.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	addr, ok := strings.CutPrefix(dsn, "tcp://")
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: unsupported DSN %q (use tcp://host:port, or sql.OpenDB with NewConnector for local engines)", dsn)
+	}
+	inner, err := wire.NewClient(addr, "jackpine").Connect()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{inner: inner}, nil
+}
+
+// Connector binds a local engine into a database/sql pool: every pooled
+// connection shares the one engine.
+type Connector struct {
+	eng *engine.Engine
+}
+
+// NewConnector wraps an engine for sql.OpenDB.
+func NewConnector(eng *engine.Engine) *Connector { return &Connector{eng: eng} }
+
+// Connect implements driver.Connector. The supplied context is ignored:
+// session creation is in-process and does not block.
+func (c *Connector) Connect(context.Context) (driver.Conn, error) {
+	inner, err := jdriver.NewInProc(c.eng).Connect()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{inner: inner}, nil
+}
+
+// Driver implements driver.Connector.
+func (c *Connector) Driver() driver.Driver { return Driver{} }
+
+// conn implements driver.Conn over a jackpine driver connection.
+type conn struct {
+	inner jdriver.Conn
+}
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{conn: c, query: query, numInput: countPlaceholders(query)}, nil
+}
+
+// Close implements driver.Conn.
+func (c *conn) Close() error { return c.inner.Close() }
+
+// Begin implements driver.Conn. The engines execute statements
+// atomically but provide no multi-statement transactions.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("sqldriver: transactions are not supported")
+}
+
+type stmt struct {
+	conn     *conn
+	query    string
+	numInput int
+}
+
+// Close implements driver.Stmt.
+func (s *stmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt.
+func (s *stmt) NumInput() int { return s.numInput }
+
+// Exec implements driver.Stmt.
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	q, err := interpolate(s.query, args)
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.conn.inner.Exec(q)
+	if err != nil {
+		return nil, err
+	}
+	return result{affected: int64(n)}, nil
+}
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	q, err := interpolate(s.query, args)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := s.conn.inner.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{rs: rs}, nil
+}
+
+type result struct{ affected int64 }
+
+// LastInsertId implements driver.Result.
+func (result) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("sqldriver: last-insert-id is not supported")
+}
+
+// RowsAffected implements driver.Result.
+func (r result) RowsAffected() (int64, error) { return r.affected, nil }
+
+type rows struct {
+	rs  *jdriver.ResultSet
+	pos int
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string { return r.rs.Columns }
+
+// Close implements driver.Rows.
+func (r *rows) Close() error { return nil }
+
+// Next implements driver.Rows.
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rs.Rows) {
+		return io.EOF
+	}
+	row := r.rs.Rows[r.pos]
+	r.pos++
+	for i, v := range row {
+		switch v.Type {
+		case storage.TypeNull:
+			dest[i] = nil
+		case storage.TypeInt:
+			dest[i] = v.Int
+		case storage.TypeFloat:
+			dest[i] = v.Float
+		case storage.TypeText:
+			dest[i] = v.Text
+		case storage.TypeBool:
+			dest[i] = v.Int != 0
+		case storage.TypeGeom:
+			dest[i] = geom.MarshalWKB(v.Geom)
+		default:
+			return fmt.Errorf("sqldriver: cannot map %s to a driver value", v.Type)
+		}
+	}
+	return nil
+}
+
+// countPlaceholders counts '?' outside string literals.
+func countPlaceholders(query string) int {
+	n := 0
+	inString := false
+	for i := 0; i < len(query); i++ {
+		switch {
+		case query[i] == '\'':
+			inString = !inString
+		case query[i] == '?' && !inString:
+			n++
+		}
+	}
+	return n
+}
+
+// interpolate substitutes '?' placeholders with quoted values.
+func interpolate(query string, args []driver.Value) (string, error) {
+	if countPlaceholders(query) != len(args) {
+		return "", fmt.Errorf("sqldriver: statement has %d placeholders, got %d arguments",
+			countPlaceholders(query), len(args))
+	}
+	if len(args) == 0 {
+		return query, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(query) + 16*len(args))
+	arg := 0
+	inString := false
+	for i := 0; i < len(query); i++ {
+		c := query[i]
+		switch {
+		case c == '\'':
+			inString = !inString
+			sb.WriteByte(c)
+		case c == '?' && !inString:
+			if err := writeValue(&sb, args[arg]); err != nil {
+				return "", err
+			}
+			arg++
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String(), nil
+}
+
+func writeValue(sb *strings.Builder, v driver.Value) error {
+	switch t := v.(type) {
+	case nil:
+		sb.WriteString("NULL")
+	case int64:
+		fmt.Fprintf(sb, "%d", t)
+	case float64:
+		fmt.Fprintf(sb, "%g", t)
+	case bool:
+		if t {
+			sb.WriteString("TRUE")
+		} else {
+			sb.WriteString("FALSE")
+		}
+	case string:
+		sb.WriteByte('\'')
+		sb.WriteString(strings.ReplaceAll(t, "'", "''"))
+		sb.WriteByte('\'')
+	case []byte:
+		// WKB bytes become a geometry via the hex interchange function.
+		sb.WriteString("ST_GeomFromWKB('")
+		sb.WriteString(hex.EncodeToString(t))
+		sb.WriteString("')")
+	default:
+		return fmt.Errorf("sqldriver: unsupported argument type %T", v)
+	}
+	return nil
+}

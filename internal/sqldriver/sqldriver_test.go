@@ -1,0 +1,180 @@
+package sqldriver
+
+import (
+	gosql "database/sql"
+	"strings"
+	"testing"
+
+	"jackpine/internal/engine"
+	"jackpine/internal/geom"
+	"jackpine/internal/wire"
+)
+
+func openLocal(t *testing.T) *gosql.DB {
+	t.Helper()
+	eng := engine.Open(engine.GaiaDB())
+	db := gosql.OpenDB(NewConnector(eng))
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestDatabaseSQLBasics(t *testing.T) {
+	db := openLocal(t)
+	if _, err := db.Exec("CREATE TABLE pois (id INTEGER, name TEXT, score DOUBLE, active BOOLEAN, loc GEOMETRY)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("INSERT INTO pois VALUES (1, 'park', 2.5, TRUE, ST_MakePoint(1, 2)), (2, NULL, NULL, FALSE, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Fatalf("affected = %d", n)
+	}
+
+	rows, err := db.Query("SELECT id, name, score, active, loc FROM pois ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, _ := rows.Columns()
+	if len(cols) != 5 || cols[0] != "id" {
+		t.Fatalf("columns = %v", cols)
+	}
+
+	var (
+		id     int64
+		name   gosql.NullString
+		score  gosql.NullFloat64
+		active bool
+		wkb    []byte
+	)
+	if !rows.Next() {
+		t.Fatal("no first row")
+	}
+	if err := rows.Scan(&id, &name, &score, &active, &wkb); err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || !name.Valid || name.String != "park" || score.Float64 != 2.5 || !active {
+		t.Errorf("row 1 = %v %v %v %v", id, name, score, active)
+	}
+	g, err := geom.UnmarshalWKB(wkb)
+	if err != nil || geom.WKT(g) != "POINT (1 2)" {
+		t.Errorf("geometry = %v, %v", g, err)
+	}
+	if !rows.Next() {
+		t.Fatal("no second row")
+	}
+	var wkb2 []byte
+	if err := rows.Scan(&id, &name, &score, &active, &wkb2); err != nil {
+		t.Fatal(err)
+	}
+	if name.Valid || score.Valid || wkb2 != nil {
+		t.Errorf("NULLs not mapped: %v %v %v", name, score, wkb2)
+	}
+	if rows.Next() {
+		t.Fatal("too many rows")
+	}
+}
+
+func TestPlaceholders(t *testing.T) {
+	db := openLocal(t)
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER, name TEXT, g GEOMETRY)"); err != nil {
+		t.Fatal(err)
+	}
+	wkb := geom.MarshalWKB(geom.Pt(3, 4))
+	if _, err := db.Exec("INSERT INTO t VALUES (?, ?, ?)", int64(7), "o'hare", wkb); err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	var x float64
+	err := db.QueryRow("SELECT name, ST_X(g) FROM t WHERE id = ?", int64(7)).Scan(&name, &x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "o'hare" || x != 3 {
+		t.Errorf("got %q, %v", name, x)
+	}
+	// A '?' inside a string literal is not a placeholder.
+	var s string
+	if err := db.QueryRow("SELECT '?' FROM t").Scan(&s); err != nil || s != "?" {
+		t.Errorf("literal question mark: %q, %v", s, err)
+	}
+	// Arity mismatch errors.
+	if _, err := db.Exec("INSERT INTO t VALUES (?, ?, ?)", int64(1)); err == nil {
+		t.Error("placeholder arity mismatch accepted")
+	}
+}
+
+func TestPreparedStatementReuse(t *testing.T) {
+	db := openLocal(t)
+	db.Exec("CREATE TABLE t (id INTEGER)")
+	stmt, err := db.Prepare("INSERT INTO t VALUES (?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := int64(0); i < 10; i++ {
+		if _, err := stmt.Exec(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM t").Scan(&n); err != nil || n != 10 {
+		t.Errorf("count = %d, %v", n, err)
+	}
+}
+
+func TestTransactionsRejected(t *testing.T) {
+	db := openLocal(t)
+	if _, err := db.Begin(); err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("Begin: %v", err)
+	}
+}
+
+func TestDSNRemote(t *testing.T) {
+	eng := engine.Open(engine.MySpatial())
+	srv := wire.NewServer(eng)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	db, err := gosql.Open("jackpine", "tcp://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (?), (?)", int64(1), int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	if err := db.QueryRow("SELECT SUM(a) FROM t").Scan(&sum); err != nil || sum != 3 {
+		t.Errorf("sum = %d, %v", sum, err)
+	}
+}
+
+func TestDSNErrors(t *testing.T) {
+	db, err := gosql.Open("jackpine", "mem://nope")
+	if err != nil {
+		t.Fatal(err) // Open defers dialing
+	}
+	if err := db.Ping(); err == nil || !strings.Contains(err.Error(), "unsupported DSN") {
+		t.Errorf("ping of bad DSN: %v", err)
+	}
+	db.Close()
+}
+
+func TestQueryErrorsPropagate(t *testing.T) {
+	db := openLocal(t)
+	if _, err := db.Query("SELECT x FROM missing"); err == nil {
+		t.Error("query error not propagated")
+	}
+	if _, err := db.Exec("CREATE TABLE t (a WIBBLE)"); err == nil {
+		t.Error("exec error not propagated")
+	}
+}

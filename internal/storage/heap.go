@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// overflowMarker is the first byte of an inline record that points to an
+// overflow chain. Tuple encodings always begin with a ValueType byte
+// (< 0x80), so the marker cannot collide.
+const overflowMarker = 0xFF
+
+// Overflow chain page layout: next page id (u32), data length (u16),
+// then data.
+const (
+	ovfHeaderSize = 6
+	ovfDataCap    = PageSize - ovfHeaderSize
+	ovfNoNext     = 0xFFFFFFFF
+)
+
+// HeapFile stores tuples in slotted pages obtained from a buffer pool.
+// Tuples larger than MaxInlineTuple spill to overflow page chains.
+// Safe for concurrent use.
+type HeapFile struct {
+	pool *BufferPool
+
+	mu       sync.RWMutex
+	pages    []uint32 // data pages, in allocation order
+	lastPage int      // index into pages with likely free space
+	count    int
+}
+
+// NewHeapFile creates an empty heap over the pool.
+func NewHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool, lastPage: -1}
+}
+
+// Count returns the number of live tuples.
+func (h *HeapFile) Count() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.count
+}
+
+// NumPages returns the number of data pages (excluding overflow pages).
+func (h *HeapFile) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
+
+// Insert stores a tuple and returns its record id.
+func (h *HeapFile) Insert(tuple []byte) (RecordID, error) {
+	inline := tuple
+	if len(tuple) > MaxInlineTuple {
+		ptr, err := h.writeOverflow(tuple)
+		if err != nil {
+			return RecordID{}, err
+		}
+		inline = ptr
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	try := func(pageIdx int) (RecordID, bool, error) {
+		pid := h.pages[pageIdx]
+		buf, err := h.pool.Pin(pid)
+		if err != nil {
+			return RecordID{}, false, err
+		}
+		slot := page{buf}.insert(inline)
+		h.pool.Unpin(pid, slot >= 0)
+		if slot < 0 {
+			return RecordID{}, false, nil
+		}
+		h.lastPage = pageIdx
+		h.count++
+		return RecordID{Page: pid, Slot: uint16(slot)}, true, nil
+	}
+
+	if h.lastPage >= 0 && h.lastPage < len(h.pages) {
+		if rid, ok, err := try(h.lastPage); err != nil || ok {
+			return rid, err
+		}
+	}
+	// Allocate a fresh page.
+	pid, err := h.pool.Allocate()
+	if err != nil {
+		return RecordID{}, err
+	}
+	buf, err := h.pool.Pin(pid)
+	if err != nil {
+		return RecordID{}, err
+	}
+	initPage(buf)
+	slot := page{buf}.insert(inline)
+	h.pool.Unpin(pid, true)
+	if slot < 0 {
+		return RecordID{}, fmt.Errorf("storage: tuple of %d bytes does not fit a fresh page", len(inline))
+	}
+	h.pages = append(h.pages, pid)
+	h.lastPage = len(h.pages) - 1
+	h.count++
+	return RecordID{Page: pid, Slot: uint16(slot)}, nil
+}
+
+// writeOverflow stores data across a chain of overflow pages and returns
+// the inline pointer record.
+func (h *HeapFile) writeOverflow(data []byte) ([]byte, error) {
+	// Allocate the chain first so each page can point to the next.
+	n := (len(data) + ovfDataCap - 1) / ovfDataCap
+	ids := make([]uint32, n)
+	for i := range ids {
+		id, err := h.pool.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	rest := data
+	for i, id := range ids {
+		chunk := rest
+		if len(chunk) > ovfDataCap {
+			chunk = chunk[:ovfDataCap]
+		}
+		rest = rest[len(chunk):]
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		next := uint32(ovfNoNext)
+		if i+1 < len(ids) {
+			next = ids[i+1]
+		}
+		binary.LittleEndian.PutUint32(buf[0:], next)
+		binary.LittleEndian.PutUint16(buf[4:], uint16(len(chunk)))
+		copy(buf[ovfHeaderSize:], chunk)
+		h.pool.Unpin(id, true)
+	}
+	ptr := make([]byte, 1+4+4)
+	ptr[0] = overflowMarker
+	binary.LittleEndian.PutUint32(ptr[1:], ids[0])
+	binary.LittleEndian.PutUint32(ptr[5:], uint32(len(data)))
+	return ptr, nil
+}
+
+// readOverflow follows an overflow chain.
+func (h *HeapFile) readOverflow(ptr []byte) ([]byte, error) {
+	if len(ptr) != 9 {
+		return nil, fmt.Errorf("storage: bad overflow pointer length %d", len(ptr))
+	}
+	id := binary.LittleEndian.Uint32(ptr[1:])
+	total := int(binary.LittleEndian.Uint32(ptr[5:]))
+	out := make([]byte, 0, total)
+	for id != ovfNoNext {
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		next := binary.LittleEndian.Uint32(buf[0:])
+		l := int(binary.LittleEndian.Uint16(buf[4:]))
+		out = append(out, buf[ovfHeaderSize:ovfHeaderSize+l]...)
+		h.pool.Unpin(id, false)
+		id = next
+		if len(out) > total {
+			return nil, fmt.Errorf("storage: overflow chain longer than declared %d bytes", total)
+		}
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("storage: overflow chain has %d bytes, declared %d", len(out), total)
+	}
+	return out, nil
+}
+
+// Get returns a copy of the tuple at rid, or an error if the slot is
+// empty or out of range.
+func (h *HeapFile) Get(rid RecordID) ([]byte, error) {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	raw := page{buf}.read(int(rid.Slot))
+	if raw == nil {
+		h.pool.Unpin(rid.Page, false)
+		return nil, fmt.Errorf("storage: no tuple at %s", rid)
+	}
+	if raw[0] == overflowMarker {
+		ptr := append([]byte(nil), raw...)
+		h.pool.Unpin(rid.Page, false)
+		return h.readOverflow(ptr)
+	}
+	out := append([]byte(nil), raw...)
+	h.pool.Unpin(rid.Page, false)
+	return out, nil
+}
+
+// Delete removes the tuple at rid. Overflow pages are abandoned (they
+// are reclaimed only by rebuilding the table).
+func (h *HeapFile) Delete(rid RecordID) error {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	ok := page{buf}.delete(int(rid.Slot))
+	h.pool.Unpin(rid.Page, ok)
+	if !ok {
+		return fmt.Errorf("storage: no tuple at %s", rid)
+	}
+	h.mu.Lock()
+	h.count--
+	h.mu.Unlock()
+	return nil
+}
+
+// Scan calls fn for every live tuple in heap order, stopping early when
+// fn returns false. The tuple slice passed to fn is only valid during
+// the call.
+func (h *HeapFile) Scan(fn func(rid RecordID, tuple []byte) bool) error {
+	h.mu.RLock()
+	pages := append([]uint32(nil), h.pages...)
+	h.mu.RUnlock()
+	for _, pid := range pages {
+		buf, err := h.pool.Pin(pid)
+		if err != nil {
+			return err
+		}
+		p := page{buf}
+		n := p.numSlots()
+		for s := 0; s < n; s++ {
+			raw := p.read(s)
+			if raw == nil {
+				continue
+			}
+			rid := RecordID{Page: pid, Slot: uint16(s)}
+			if raw[0] == overflowMarker {
+				ptr := append([]byte(nil), raw...)
+				h.pool.Unpin(pid, false)
+				full, err := h.readOverflow(ptr)
+				if err != nil {
+					return err
+				}
+				if !fn(rid, full) {
+					return nil
+				}
+				if buf, err = h.pool.Pin(pid); err != nil {
+					return err
+				}
+				p = page{buf}
+				continue
+			}
+			if !fn(rid, raw) {
+				h.pool.Unpin(pid, false)
+				return nil
+			}
+		}
+		h.pool.Unpin(pid, false)
+	}
+	return nil
+}

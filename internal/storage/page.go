@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page.
+const PageSize = 8192
+
+// Slotted-page layout constants.
+const (
+	pageHeaderSize = 8 // numSlots u16, freeEnd u16, reserved u32
+	slotSize       = 4 // offset u16, length u16
+	// MaxInlineTuple is the largest tuple stored directly in a page;
+	// larger tuples go to overflow chains.
+	MaxInlineTuple = PageSize - pageHeaderSize - slotSize
+)
+
+// tombstoneOffset marks a deleted slot.
+const tombstoneOffset = 0xFFFF
+
+// page provides slotted-tuple access over a raw page buffer. It does not
+// own the buffer.
+type page struct {
+	buf []byte
+}
+
+func (p page) numSlots() int { return int(binary.LittleEndian.Uint16(p.buf[0:])) }
+
+func (p page) setNumSlots(n int) { binary.LittleEndian.PutUint16(p.buf[0:], uint16(n)) }
+
+func (p page) freeEnd() int { return int(binary.LittleEndian.Uint16(p.buf[2:])) }
+
+func (p page) setFreeEnd(v int) { binary.LittleEndian.PutUint16(p.buf[2:], uint16(v)) }
+
+// initPage formats an empty page.
+func initPage(buf []byte) {
+	for i := range buf[:pageHeaderSize] {
+		buf[i] = 0
+	}
+	p := page{buf}
+	p.setNumSlots(0)
+	// freeEnd == 0 encodes PageSize (the u16 cannot hold 8192 directly
+	// when PageSize is 65536; with 8 KiB pages it fits, but the zero
+	// encoding keeps freshly zeroed buffers valid).
+	p.setFreeEnd(0)
+}
+
+func (p page) freeEndValue() int {
+	v := p.freeEnd()
+	if v == 0 {
+		return PageSize
+	}
+	return v
+}
+
+func (p page) slot(i int) (offset, length int) {
+	base := pageHeaderSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.buf[base:])),
+		int(binary.LittleEndian.Uint16(p.buf[base+2:]))
+}
+
+func (p page) setSlot(i, offset, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:], uint16(offset))
+	binary.LittleEndian.PutUint16(p.buf[base+2:], uint16(length))
+}
+
+// freeSpace returns the bytes available for a new tuple plus its slot.
+func (p page) freeSpace() int {
+	return p.freeEndValue() - (pageHeaderSize + p.numSlots()*slotSize)
+}
+
+// insert places data in the page, returning the slot number, or -1 when
+// it does not fit.
+func (p page) insert(data []byte) int {
+	if len(data)+slotSize > p.freeSpace() {
+		return -1
+	}
+	slotNo := p.numSlots()
+	newEnd := p.freeEndValue() - len(data)
+	copy(p.buf[newEnd:], data)
+	p.setSlot(slotNo, newEnd, len(data))
+	p.setNumSlots(slotNo + 1)
+	p.setFreeEnd(newEnd)
+	return slotNo
+}
+
+// read returns the tuple bytes in slot i (aliasing the page buffer), or
+// nil when the slot is a tombstone or out of range.
+func (p page) read(i int) []byte {
+	if i < 0 || i >= p.numSlots() {
+		return nil
+	}
+	off, length := p.slot(i)
+	if off == tombstoneOffset {
+		return nil
+	}
+	return p.buf[off : off+length]
+}
+
+// delete tombstones slot i, reporting whether it held a tuple.
+func (p page) delete(i int) bool {
+	if i < 0 || i >= p.numSlots() {
+		return false
+	}
+	off, _ := p.slot(i)
+	if off == tombstoneOffset {
+		return false
+	}
+	p.setSlot(i, tombstoneOffset, 0)
+	return true
+}
+
+// RecordID addresses a tuple in a heap file.
+type RecordID struct {
+	Page uint32
+	Slot uint16
+}
+
+// String renders the record id as page:slot.
+func (r RecordID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }

@@ -1,0 +1,266 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PoolStats reports buffer-pool activity counters.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 when idle.
+func (s PoolStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// poolShards is the number of independently locked shards. Sharding by
+// page id keeps concurrent readers of different pages off each other's
+// locks, which dominates multi-client throughput.
+const poolShards = 16
+
+// BufferPool caches pages of a PageStore in a fixed number of frames
+// with per-shard LRU replacement. Pages are pinned while in use;
+// unpinned pages are eviction candidates. Safe for concurrent use.
+type BufferPool struct {
+	store PageStore
+
+	// MissPenalty, when non-zero, adds a simulated I/O delay to every
+	// page miss. The cold/warm cache experiment uses it to model the
+	// rotational-disk latencies of the paper's testbed; it is zero by
+	// default. Set it before issuing queries.
+	MissPenalty time.Duration
+
+	shards [poolShards]poolShard
+}
+
+type poolShard struct {
+	mu     sync.Mutex
+	frames int
+	table  map[uint32]*frame
+	lru    *list.List // of *frame, front = most recently used
+	stats  PoolStats
+}
+
+type frame struct {
+	id    uint32
+	buf   []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// NewBufferPool creates a pool of the given total number of frames
+// (minimum 4 per shard) over the store.
+func NewBufferPool(store PageStore, frames int) *BufferPool {
+	perShard := frames / poolShards
+	if perShard < 4 {
+		perShard = 4
+	}
+	bp := &BufferPool{store: store}
+	for i := range bp.shards {
+		bp.shards[i].frames = perShard
+		bp.shards[i].table = make(map[uint32]*frame)
+		bp.shards[i].lru = list.New()
+	}
+	return bp
+}
+
+func (bp *BufferPool) shard(id uint32) *poolShard {
+	return &bp.shards[id%poolShards]
+}
+
+// Store returns the underlying page store.
+func (bp *BufferPool) Store() PageStore { return bp.store }
+
+// Stats returns a snapshot of the aggregated activity counters.
+func (bp *BufferPool) Stats() PoolStats {
+	var out PoolStats
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		out.Hits += s.stats.Hits
+		out.Misses += s.stats.Misses
+		out.Evictions += s.stats.Evictions
+		out.Flushes += s.stats.Flushes
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ResetStats zeroes the activity counters.
+func (bp *BufferPool) ResetStats() {
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		s.stats = PoolStats{}
+		s.mu.Unlock()
+	}
+}
+
+// Allocate creates a new page in the store and returns its id.
+func (bp *BufferPool) Allocate() (uint32, error) {
+	return bp.store.Allocate()
+}
+
+// Pin fetches a page into the pool and pins it. The returned buffer
+// aliases the frame; callers must Unpin when done and must not retain
+// the buffer afterwards.
+func (bp *BufferPool) Pin(id uint32) ([]byte, error) {
+	s := bp.shard(id)
+	s.mu.Lock()
+	if f, ok := s.table[id]; ok {
+		f.pins++
+		s.stats.Hits++
+		s.lru.MoveToFront(f.elem)
+		s.mu.Unlock()
+		return f.buf, nil
+	}
+	s.stats.Misses++
+	f, err := s.allocFrameLocked(bp.store, id)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	penalty := bp.MissPenalty
+	s.mu.Unlock()
+
+	// Read outside the lock; the frame is already pinned so it cannot be
+	// evicted concurrently.
+	if err := bp.store.ReadPage(id, f.buf); err != nil {
+		s.mu.Lock()
+		delete(s.table, id)
+		s.lru.Remove(f.elem)
+		s.mu.Unlock()
+		return nil, err
+	}
+	if penalty > 0 {
+		time.Sleep(penalty)
+	}
+	return f.buf, nil
+}
+
+// allocFrameLocked finds or evicts a frame for page id and registers it
+// pinned. Caller holds s.mu.
+func (s *poolShard) allocFrameLocked(store PageStore, id uint32) (*frame, error) {
+	var f *frame
+	if len(s.table) >= s.frames {
+		// Evict the least recently used unpinned frame.
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
+			cand := e.Value.(*frame)
+			if cand.pins == 0 {
+				if cand.dirty {
+					if err := store.WritePage(cand.id, cand.buf); err != nil {
+						return nil, err
+					}
+					s.stats.Flushes++
+				}
+				delete(s.table, cand.id)
+				s.lru.Remove(e)
+				s.stats.Evictions++
+				f = cand
+				f.elem = nil
+				break
+			}
+		}
+		if f == nil && len(s.table) >= s.frames {
+			return nil, fmt.Errorf("storage: buffer pool shard exhausted (%d frames, all pinned)", s.frames)
+		}
+	}
+	if f == nil {
+		f = &frame{buf: make([]byte, PageSize)}
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.elem = s.lru.PushFront(f)
+	s.table[id] = f
+	return f, nil
+}
+
+// Unpin releases a pin taken by Pin. Set dirty when the page buffer was
+// modified.
+func (bp *BufferPool) Unpin(id uint32, dirty bool) {
+	s := bp.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.table[id]
+	if !ok || f.pins == 0 {
+		return
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FlushAll writes every dirty cached page back to the store.
+func (bp *BufferPool) FlushAll() error {
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		for _, f := range s.table {
+			if f.dirty {
+				if err := bp.store.WritePage(f.id, f.buf); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				f.dirty = false
+				s.stats.Flushes++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// DropAll flushes dirty pages and empties the cache, simulating a cold
+// restart. Fails if any page is pinned.
+func (bp *BufferPool) DropAll() error {
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		for _, f := range s.table {
+			if f.pins > 0 {
+				id := f.id
+				s.mu.Unlock()
+				return fmt.Errorf("storage: cannot drop cache: page %d is pinned", id)
+			}
+		}
+		for id, f := range s.table {
+			if f.dirty {
+				if err := bp.store.WritePage(f.id, f.buf); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				s.stats.Flushes++
+			}
+			delete(s.table, id)
+		}
+		s.lru.Init()
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// CachedPages returns the number of pages currently in the pool.
+func (bp *BufferPool) CachedPages() int {
+	n := 0
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		n += len(s.table)
+		s.mu.Unlock()
+	}
+	return n
+}

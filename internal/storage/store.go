@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageStore is the backing store beneath the buffer pool: a flat,
+// append-only array of fixed-size pages.
+type PageStore interface {
+	// Allocate appends a zeroed page and returns its id.
+	Allocate() (uint32, error)
+	// ReadPage copies page id into buf (len(buf) == PageSize).
+	ReadPage(id uint32, buf []byte) error
+	// WritePage copies buf into page id.
+	WritePage(id uint32, buf []byte) error
+	// NumPages returns the number of allocated pages.
+	NumPages() uint32
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore keeps pages in memory, simulating a disk whose reads and
+// writes are byte copies. Safe for concurrent use.
+type MemStore struct {
+	mu    sync.RWMutex
+	pages [][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Allocate implements PageStore.
+func (s *MemStore) Allocate() (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = append(s.pages, make([]byte, PageSize))
+	return uint32(len(s.pages) - 1), nil
+}
+
+// ReadPage implements PageStore.
+func (s *MemStore) ReadPage(id uint32, buf []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf, s.pages[id])
+	return nil
+}
+
+// WritePage implements PageStore.
+func (s *MemStore) WritePage(id uint32, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(s.pages[id], buf)
+	return nil
+}
+
+// NumPages implements PageStore.
+func (s *MemStore) NumPages() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint32(len(s.pages))
+}
+
+// Close implements PageStore.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore keeps pages in a single file. Safe for concurrent use.
+type FileStore struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages uint32
+}
+
+// NewFileStore opens (or creates) a page file at path. An existing file
+// must contain a whole number of pages.
+func NewFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open page file: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat page file: %w", err)
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: page file %s has partial page (size %d)", path, info.Size())
+	}
+	return &FileStore{f: f, pages: uint32(info.Size() / PageSize)}, nil
+}
+
+// Allocate implements PageStore.
+func (s *FileStore) Allocate() (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.pages
+	zero := make([]byte, PageSize)
+	if _, err := s.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		return 0, fmt.Errorf("storage: allocate page %d: %w", id, err)
+	}
+	s.pages++
+	return id, nil
+}
+
+// ReadPage implements PageStore.
+func (s *FileStore) ReadPage(id uint32, buf []byte) error {
+	s.mu.Lock()
+	pages := s.pages
+	s.mu.Unlock()
+	if id >= pages {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	if _, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements PageStore.
+func (s *FileStore) WritePage(id uint32, buf []byte) error {
+	s.mu.Lock()
+	pages := s.pages
+	s.mu.Unlock()
+	if id >= pages {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	if _, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// NumPages implements PageStore.
+func (s *FileStore) NumPages() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages
+}
+
+// Close implements PageStore.
+func (s *FileStore) Close() error { return s.f.Close() }

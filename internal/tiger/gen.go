@@ -1,0 +1,359 @@
+// Package tiger generates the synthetic TIGER/Line-like spatial dataset
+// the Jackpine workloads run on, and loads it into engines.
+//
+// The real benchmark used US Census TIGER/Line shapefiles (road edges
+// with address ranges, area water, area landmarks, point landmarks).
+// Those files are not redistributable here, so this package synthesizes
+// a city with the same schema and spatial statistics: a perturbed street
+// grid with block-level address ranges, lakes and a river, clustered
+// polygonal and point landmarks, and a parcel fabric whose neighbours
+// share edges exactly (so topological predicates like Touches behave as
+// they do on cadastral data). Generation is deterministic per seed.
+package tiger
+
+import (
+	"fmt"
+	"math"
+
+	"jackpine/internal/geom"
+)
+
+// Scale selects a dataset size.
+type Scale int
+
+// The three dataset scales.
+const (
+	Small Scale = iota
+	Medium
+	Large
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return "unknown"
+}
+
+// params maps a scale to generator knobs.
+type params struct {
+	blocks      int // city grid is blocks × blocks
+	lakes       int
+	arealm      int
+	pointlm     int
+	parcelFrac  int // 1/parcelFrac of blocks get a parcel fabric
+	parcelsPerB int // parcels per subdivided block (per axis: n×n)
+}
+
+// Feature densities are constant per block across scales (as in real
+// TIGER data, where a bigger state has more features at similar
+// density), so windowed queries cost the same at every scale while full
+// scans grow linearly — the scale-up experiment's key contrast.
+func (s Scale) params() params {
+	scaleTo := func(blocks int) params {
+		area := blocks * blocks
+		return params{
+			blocks:      blocks,
+			lakes:       area * 15 / 400,
+			arealm:      area * 150 / 400,
+			pointlm:     area * 600 / 400,
+			parcelFrac:  2,
+			parcelsPerB: 3,
+		}
+	}
+	switch s {
+	case Medium:
+		return scaleTo(48)
+	case Large:
+		return scaleTo(96)
+	default:
+		return scaleTo(20)
+	}
+}
+
+// BlockSize is the edge length of one city block in dataset units.
+const BlockSize = 100.0
+
+// Edge is one road segment (a block face) with a left-side address range.
+type Edge struct {
+	ID       int64
+	Name     string
+	Class    string // "residential", "primary", "motorway"
+	FromAddr int64
+	ToAddr   int64
+	Geom     geom.LineString
+}
+
+// Area is a polygonal feature (water, landmark or parcel).
+type Area struct {
+	ID       int64
+	Name     string
+	Category string
+	Geom     geom.Polygon
+}
+
+// Point is a point feature.
+type Point struct {
+	ID       int64
+	Name     string
+	Category string
+	Geom     geom.Point
+}
+
+// Dataset is a complete generated dataset.
+type Dataset struct {
+	Scale          Scale
+	Seed           int64
+	Extent         geom.Rect
+	Edges          []Edge
+	AreaWater      []Area
+	AreaLandmarks  []Area
+	PointLandmarks []Point
+	Parcels        []Area
+}
+
+// rng is a splitmix64 generator: deterministic across platforms and Go
+// versions (unlike math/rand's algorithms, which are version-dependent).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// rangeF returns a uniform value in [lo, hi).
+func (r *rng) rangeF(lo, hi float64) float64 { return lo + r.float()*(hi-lo) }
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var streetNames = []string{
+	"Oak", "Main", "Pine", "Cedar", "Maple", "Elm", "Washington", "Lake",
+	"Hill", "Park", "River", "Spring", "Church", "Mill", "Walnut", "Union",
+	"High", "Center", "Franklin", "Jackson", "Birch", "Spruce", "Sunset",
+	"Ridge", "Meadow", "Forest", "Highland", "Willow", "Juniper", "Aspen",
+}
+
+var landmarkCategories = []string{"park", "school", "cemetery", "golf course", "airport", "stadium"}
+
+var pointCategories = []string{"school", "hospital", "church", "fire station", "library", "post office"}
+
+var landuseCodes = []string{"residential", "commercial", "industrial", "agricultural", "public"}
+
+// Generate builds the dataset for a scale and seed.
+func Generate(scale Scale, seed int64) *Dataset {
+	p := scale.params()
+	r := &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 1}
+	side := float64(p.blocks) * BlockSize
+	ds := &Dataset{
+		Scale:  scale,
+		Seed:   seed,
+		Extent: geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side},
+	}
+
+	// Street intersections: a grid perturbed by up to 12% of a block, so
+	// predicates meet non-axis-aligned segments. Boundary nodes stay
+	// put so the city has a clean rectangular frame.
+	n := p.blocks + 1
+	nodes := make([][]geom.Coord, n)
+	for j := 0; j < n; j++ {
+		nodes[j] = make([]geom.Coord, n)
+		for i := 0; i < n; i++ {
+			x := float64(i) * BlockSize
+			y := float64(j) * BlockSize
+			if i > 0 && i < n-1 && j > 0 && j < n-1 {
+				x += r.rangeF(-0.12, 0.12) * BlockSize
+				y += r.rangeF(-0.12, 0.12) * BlockSize
+			}
+			nodes[j][i] = geom.Coord{X: x, Y: y}
+		}
+	}
+
+	// Horizontal streets ("... St") and vertical avenues ("... Ave").
+	var id int64
+	addEdge := func(name, class string, block int, a, b geom.Coord) {
+		id++
+		ds.Edges = append(ds.Edges, Edge{
+			ID:       id,
+			Name:     name,
+			Class:    class,
+			FromAddr: int64(block)*100 + 1,
+			ToAddr:   int64(block)*100 + 99,
+			Geom:     geom.LineString{a, b},
+		})
+	}
+	class := func(idx int) string {
+		switch {
+		case idx%10 == 0:
+			return "motorway"
+		case idx%3 == 0:
+			return "primary"
+		default:
+			return "residential"
+		}
+	}
+	for j := 0; j < n; j++ {
+		name := fmt.Sprintf("%s St", streetNames[j%len(streetNames)])
+		if j >= len(streetNames) {
+			name = fmt.Sprintf("%s St %d", streetNames[j%len(streetNames)], j/len(streetNames)+1)
+		}
+		for i := 0; i < n-1; i++ {
+			addEdge(name, class(j), i, nodes[j][i], nodes[j][i+1])
+		}
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s Ave", streetNames[(i*7+3)%len(streetNames)])
+		if i >= len(streetNames) {
+			name = fmt.Sprintf("%s Ave %d", streetNames[(i*7+3)%len(streetNames)], i/len(streetNames)+1)
+		}
+		for j := 0; j < n-1; j++ {
+			addEdge(name, class(i), j, nodes[j][i], nodes[j+1][i])
+		}
+	}
+
+	// Water: one river band across the city plus lakes.
+	ds.AreaWater = append(ds.AreaWater, river(side, r))
+	for k := 0; k < p.lakes; k++ {
+		cx := r.rangeF(0.05*side, 0.95*side)
+		cy := r.rangeF(0.05*side, 0.95*side)
+		radius := r.rangeF(0.3, 1.6) * BlockSize
+		ds.AreaWater = append(ds.AreaWater, Area{
+			ID:       int64(k + 2),
+			Name:     fmt.Sprintf("%s Lake", streetNames[r.intn(len(streetNames))]),
+			Category: "lake",
+			Geom:     blob(geom.Coord{X: cx, Y: cy}, radius, 8+r.intn(8), r),
+		})
+	}
+
+	// Area landmarks: clustered blobs around a handful of centres.
+	centres := make([]geom.Coord, 5)
+	for i := range centres {
+		centres[i] = geom.Coord{X: r.rangeF(0.15, 0.85) * side, Y: r.rangeF(0.15, 0.85) * side}
+	}
+	for k := 0; k < p.arealm; k++ {
+		c := centres[r.intn(len(centres))]
+		pos := geom.Coord{
+			X: clampF(c.X+r.rangeF(-0.25, 0.25)*side, 10, side-10),
+			Y: clampF(c.Y+r.rangeF(-0.25, 0.25)*side, 10, side-10),
+		}
+		cat := landmarkCategories[r.intn(len(landmarkCategories))]
+		ds.AreaLandmarks = append(ds.AreaLandmarks, Area{
+			ID:       int64(k + 1),
+			Name:     fmt.Sprintf("%s %s %d", streetNames[r.intn(len(streetNames))], cat, k),
+			Category: cat,
+			Geom:     blob(pos, r.rangeF(0.2, 1.0)*BlockSize, 6+r.intn(10), r),
+		})
+	}
+
+	// Point landmarks: clustered points.
+	for k := 0; k < p.pointlm; k++ {
+		c := centres[r.intn(len(centres))]
+		pos := geom.Coord{
+			X: clampF(c.X+r.rangeF(-0.3, 0.3)*side, 0, side),
+			Y: clampF(c.Y+r.rangeF(-0.3, 0.3)*side, 0, side),
+		}
+		cat := pointCategories[r.intn(len(pointCategories))]
+		ds.PointLandmarks = append(ds.PointLandmarks, Point{
+			ID:       int64(k + 1),
+			Name:     fmt.Sprintf("%s %s", streetNames[r.intn(len(streetNames))], cat),
+			Category: cat,
+			Geom:     geom.Point{Coord: pos},
+		})
+	}
+
+	// Parcels: subdivide every parcelFrac-th block into an m×m fabric of
+	// rectangles sharing edges exactly.
+	var pid int64
+	for bj := 0; bj < p.blocks; bj++ {
+		for bi := 0; bi < p.blocks; bi++ {
+			if (bi+bj)%p.parcelFrac != 0 {
+				continue
+			}
+			m := p.parcelsPerB
+			x0 := float64(bi)*BlockSize + 10
+			y0 := float64(bj)*BlockSize + 10
+			w := (BlockSize - 20) / float64(m)
+			// Precompute the grid lines so neighbouring parcels share
+			// corner coordinates bit-for-bit (x0+i*w+w differs from
+			// x0+(i+1)*w by rounding).
+			xs := make([]float64, m+1)
+			ys := make([]float64, m+1)
+			for k := 0; k <= m; k++ {
+				xs[k] = x0 + float64(k)*w
+				ys[k] = y0 + float64(k)*w
+			}
+			for pj := 0; pj < m; pj++ {
+				for piX := 0; piX < m; piX++ {
+					pid++
+					ds.Parcels = append(ds.Parcels, Area{
+						ID:       pid,
+						Name:     fmt.Sprintf("owner-%04d", r.intn(10000)),
+						Category: landuseCodes[r.intn(len(landuseCodes))],
+						Geom: geom.Polygon{geom.Ring{
+							{X: xs[piX], Y: ys[pj]}, {X: xs[piX+1], Y: ys[pj]},
+							{X: xs[piX+1], Y: ys[pj+1]}, {X: xs[piX], Y: ys[pj+1]},
+							{X: xs[piX], Y: ys[pj]},
+						}},
+					})
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// river builds a thin polygon meandering across the extent.
+func river(side float64, r *rng) Area {
+	const steps = 40
+	halfWidth := side / 120
+	var top, bottom []geom.Coord
+	y := side * r.rangeF(0.3, 0.7)
+	for i := 0; i <= steps; i++ {
+		x := side * float64(i) / steps
+		y += r.rangeF(-1, 1) * side / 60
+		y = clampF(y, side*0.1, side*0.9)
+		top = append(top, geom.Coord{X: x, Y: y + halfWidth})
+		bottom = append(bottom, geom.Coord{X: x, Y: y - halfWidth})
+	}
+	ring := make(geom.Ring, 0, 2*len(top)+1)
+	ring = append(ring, bottom...)
+	for i := len(top) - 1; i >= 0; i-- {
+		ring = append(ring, top[i])
+	}
+	ring = append(ring, ring[0])
+	return Area{ID: 1, Name: "Big River", Category: "river", Geom: geom.Polygon{ring}}
+}
+
+// blob builds a star-convex polygon with k vertices around centre c.
+func blob(c geom.Coord, radius float64, k int, r *rng) geom.Polygon {
+	ring := make(geom.Ring, 0, k+1)
+	for i := 0; i < k; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(k)
+		rad := radius * r.rangeF(0.6, 1.0)
+		ring = append(ring, geom.Coord{X: c.X + rad*math.Cos(ang), Y: c.Y + rad*math.Sin(ang)})
+	}
+	ring = append(ring, ring[0])
+	return geom.Polygon{ring}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,215 @@
+package tiger
+
+import (
+	"fmt"
+
+	"jackpine/internal/geom"
+)
+
+// Execer runs one SQL statement; both local engines and remote driver
+// connections satisfy it.
+type Execer interface {
+	Exec(query string) error
+}
+
+// Schema returns the DDL for the TIGER-like tables.
+func Schema() []string {
+	return []string{
+		"CREATE TABLE edges (id INTEGER, name TEXT, class TEXT, fromaddr INTEGER, toaddr INTEGER, geo GEOMETRY)",
+		"CREATE TABLE areawater (id INTEGER, name TEXT, category TEXT, geo GEOMETRY)",
+		"CREATE TABLE arealm (id INTEGER, name TEXT, category TEXT, geo GEOMETRY)",
+		"CREATE TABLE pointlm (id INTEGER, name TEXT, category TEXT, geo GEOMETRY)",
+		"CREATE TABLE parcels (id INTEGER, owner TEXT, landuse TEXT, geo GEOMETRY)",
+	}
+}
+
+// IndexDDL returns the index statements: spatial indexes on every layer
+// plus the attribute indexes the geocoding workload relies on.
+func IndexDDL() []string {
+	return []string{
+		"CREATE SPATIAL INDEX edges_geo ON edges (geo)",
+		"CREATE SPATIAL INDEX areawater_geo ON areawater (geo)",
+		"CREATE SPATIAL INDEX arealm_geo ON arealm (geo)",
+		"CREATE SPATIAL INDEX pointlm_geo ON pointlm (geo)",
+		"CREATE SPATIAL INDEX parcels_geo ON parcels (geo)",
+		// Composite: geocoding probes name = ? AND fromaddr <= ?, so the
+		// index range stops at the house number instead of fanning out
+		// over every segment of every street with that name.
+		"CREATE INDEX edges_addr ON edges (name, fromaddr)",
+		"CREATE INDEX parcels_landuse ON parcels (landuse)",
+		"CREATE INDEX pointlm_category ON pointlm (category)",
+	}
+}
+
+// insertBatch is the number of rows per INSERT statement during loading.
+const insertBatch = 200
+
+// Load creates the schema, bulk-inserts the dataset through SQL, and
+// builds the indexes. Set withIndexes false to leave all tables unindexed
+// (the index-effect experiment loads that way and indexes selectively).
+func Load(db Execer, ds *Dataset, withIndexes bool) error {
+	for _, ddl := range Schema() {
+		if err := db.Exec(ddl); err != nil {
+			return fmt.Errorf("tiger: schema: %w", err)
+		}
+	}
+	quote := func(s string) string {
+		out := make([]byte, 0, len(s)+2)
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\'' {
+				out = append(out, '\'')
+			}
+			out = append(out, s[i])
+		}
+		return string(out)
+	}
+	wkt := func(g geom.Geometry) string {
+		return "ST_GeomFromText('" + geom.WKT(g) + "')"
+	}
+
+	var batch []string
+	flush := func(table string) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		stmt := "INSERT INTO " + table + " VALUES "
+		for i, row := range batch {
+			if i > 0 {
+				stmt += ", "
+			}
+			stmt += row
+		}
+		batch = batch[:0]
+		return db.Exec(stmt)
+	}
+	add := func(table, row string) error {
+		batch = append(batch, row)
+		if len(batch) >= insertBatch {
+			return flush(table)
+		}
+		return nil
+	}
+
+	for _, e := range ds.Edges {
+		row := fmt.Sprintf("(%d, '%s', '%s', %d, %d, %s)",
+			e.ID, quote(e.Name), e.Class, e.FromAddr, e.ToAddr, wkt(e.Geom))
+		if err := add("edges", row); err != nil {
+			return err
+		}
+	}
+	if err := flush("edges"); err != nil {
+		return err
+	}
+	areaTables := []struct {
+		name string
+		rows []Area
+	}{
+		{"areawater", ds.AreaWater},
+		{"arealm", ds.AreaLandmarks},
+		{"parcels", ds.Parcels},
+	}
+	for _, at := range areaTables {
+		for _, a := range at.rows {
+			row := fmt.Sprintf("(%d, '%s', '%s', %s)", a.ID, quote(a.Name), quote(a.Category), wkt(a.Geom))
+			if err := add(at.name, row); err != nil {
+				return err
+			}
+		}
+		if err := flush(at.name); err != nil {
+			return err
+		}
+	}
+	for _, p := range ds.PointLandmarks {
+		row := fmt.Sprintf("(%d, '%s', '%s', %s)", p.ID, quote(p.Name), quote(p.Category), wkt(p.Geom))
+		if err := add("pointlm", row); err != nil {
+			return err
+		}
+	}
+	if err := flush("pointlm"); err != nil {
+		return err
+	}
+
+	if withIndexes {
+		for _, ddl := range IndexDDL() {
+			if err := db.Exec(ddl); err != nil {
+				return fmt.Errorf("tiger: index: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// LayerStats summarizes one table of a dataset.
+type LayerStats struct {
+	Layer    string
+	Features int
+	Coords   int
+	WKBBytes int
+}
+
+// Stats computes the dataset-statistics rows (experiment E1's table).
+func (ds *Dataset) Stats() []LayerStats {
+	var out []LayerStats
+	addAreas := func(name string, rows []Area) {
+		s := LayerStats{Layer: name, Features: len(rows)}
+		for _, a := range rows {
+			s.Coords += a.Geom.NumCoords()
+			s.WKBBytes += len(geom.MarshalWKB(a.Geom))
+		}
+		out = append(out, s)
+	}
+	edgeStats := LayerStats{Layer: "edges", Features: len(ds.Edges)}
+	for _, e := range ds.Edges {
+		edgeStats.Coords += e.Geom.NumCoords()
+		edgeStats.WKBBytes += len(geom.MarshalWKB(e.Geom))
+	}
+	out = append(out, edgeStats)
+	addAreas("areawater", ds.AreaWater)
+	addAreas("arealm", ds.AreaLandmarks)
+	ptStats := LayerStats{Layer: "pointlm", Features: len(ds.PointLandmarks)}
+	for _, p := range ds.PointLandmarks {
+		ptStats.Coords += p.Geom.NumCoords()
+		ptStats.WKBBytes += len(geom.MarshalWKB(p.Geom))
+	}
+	out = append(out, ptStats)
+	addAreas("parcels", ds.Parcels)
+	return out
+}
+
+// Validate checks every generated geometry, returning the first error.
+func (ds *Dataset) Validate() error {
+	for _, e := range ds.Edges {
+		if err := geom.Validate(e.Geom); err != nil {
+			return fmt.Errorf("edge %d: %w", e.ID, err)
+		}
+	}
+	check := func(kind string, rows []Area) error {
+		for _, a := range rows {
+			if err := geom.Validate(a.Geom); err != nil {
+				return fmt.Errorf("%s %d: %w", kind, a.ID, err)
+			}
+		}
+		return nil
+	}
+	if err := check("water", ds.AreaWater); err != nil {
+		return err
+	}
+	if err := check("landmark", ds.AreaLandmarks); err != nil {
+		return err
+	}
+	if err := check("parcel", ds.Parcels); err != nil {
+		return err
+	}
+	for _, p := range ds.PointLandmarks {
+		if err := geom.Validate(p.Geom); err != nil {
+			return fmt.Errorf("point %d: %w", p.ID, err)
+		}
+	}
+	return nil
+}
+
+// TotalFeatures returns the feature count across all layers.
+func (ds *Dataset) TotalFeatures() int {
+	return len(ds.Edges) + len(ds.AreaWater) + len(ds.AreaLandmarks) +
+		len(ds.PointLandmarks) + len(ds.Parcels)
+}

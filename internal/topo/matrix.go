@@ -1,0 +1,123 @@
+// Package topo implements the Dimensionally Extended 9-Intersection Model
+// (DE-9IM) of topological relations between planar geometries, the named
+// predicates derived from it (Equals, Disjoint, Intersects, Touches,
+// Crosses, Within, Contains, Overlaps, Covers, CoveredBy), and an
+// MBR-only approximate evaluator that reproduces the semantics of systems
+// (such as MySQL 5.x) whose spatial predicates operate on minimum
+// bounding rectangles rather than exact geometry.
+package topo
+
+import "fmt"
+
+// Location identifies one of the three point sets of a geometry.
+type Location int
+
+// The three topological point sets.
+const (
+	Interior Location = 0
+	Boundary Location = 1
+	Exterior Location = 2
+)
+
+// DimF marks an empty intersection in a DE-9IM matrix cell.
+const DimF int8 = -1
+
+// Matrix is a DE-9IM intersection matrix. Cell (r, c) holds the dimension
+// (-1 = F, 0, 1, 2) of the intersection between point set r of geometry A
+// and point set c of geometry B, with rows and columns ordered Interior,
+// Boundary, Exterior.
+type Matrix [9]int8
+
+// NewMatrix returns a matrix with every cell set to F.
+func NewMatrix() Matrix {
+	var m Matrix
+	for i := range m {
+		m[i] = DimF
+	}
+	return m
+}
+
+// Get returns the dimension stored for (row, col).
+func (m *Matrix) Get(row, col Location) int8 { return m[int(row)*3+int(col)] }
+
+// Set stores dim for (row, col).
+func (m *Matrix) Set(row, col Location, dim int8) { m[int(row)*3+int(col)] = dim }
+
+// Upgrade raises (row, col) to dim if dim is larger than the current value.
+func (m *Matrix) Upgrade(row, col Location, dim int8) {
+	if dim > m[int(row)*3+int(col)] {
+		m[int(row)*3+int(col)] = dim
+	}
+}
+
+// Transpose returns the matrix of the reversed relation (B relate A).
+func (m Matrix) Transpose() Matrix {
+	var out Matrix
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			out[c*3+r] = m[r*3+c]
+		}
+	}
+	return out
+}
+
+// String renders the matrix in the standard nine-character form, e.g.
+// "212101212", using 'F' for empty cells.
+func (m Matrix) String() string {
+	var b [9]byte
+	for i, d := range m {
+		switch d {
+		case DimF:
+			b[i] = 'F'
+		default:
+			b[i] = byte('0' + d)
+		}
+	}
+	return string(b[:])
+}
+
+// Matches reports whether the matrix satisfies the nine-character DE-9IM
+// pattern. Pattern characters: 'T' any non-empty intersection, 'F' empty,
+// '*' anything, '0'/'1'/'2' the exact dimension. Matches panics on
+// malformed patterns; use ValidPattern to check user input first.
+func (m Matrix) Matches(pattern string) bool {
+	if len(pattern) != 9 {
+		panic(fmt.Sprintf("topo: DE-9IM pattern %q must have 9 characters", pattern))
+	}
+	for i := 0; i < 9; i++ {
+		switch pattern[i] {
+		case '*':
+		case 'T', 't':
+			if m[i] < 0 {
+				return false
+			}
+		case 'F', 'f':
+			if m[i] >= 0 {
+				return false
+			}
+		case '0', '1', '2':
+			if m[i] != int8(pattern[i]-'0') {
+				return false
+			}
+		default:
+			panic(fmt.Sprintf("topo: bad DE-9IM pattern character %q", pattern[i]))
+		}
+	}
+	return true
+}
+
+// ValidPattern reports whether s is a well-formed nine-character DE-9IM
+// pattern.
+func ValidPattern(s string) bool {
+	if len(s) != 9 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '*', 'T', 't', 'F', 'f', '0', '1', '2':
+		default:
+			return false
+		}
+	}
+	return true
+}

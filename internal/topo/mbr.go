@@ -1,0 +1,49 @@
+package topo
+
+import "jackpine/internal/geom"
+
+// MBREval evaluates the named predicate on the minimum bounding
+// rectangles of the geometries instead of their exact shapes. This
+// reproduces the semantics of spatial systems whose topological
+// predicates operate on MBRs only (notably MySQL before 5.6): results
+// are fast but approximate — a superset of the exact answer for
+// Intersects-like predicates, and generally incomparable for Touches,
+// Crosses and Equals.
+func MBREval(p Predicate, a, b geom.Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	ra, rb := a.Envelope(), b.Envelope()
+	switch p {
+	case PredEquals:
+		return ra == rb
+	case PredDisjoint:
+		return !ra.Intersects(rb)
+	case PredIntersects:
+		return ra.Intersects(rb)
+	case PredTouches:
+		return mbrTouches(ra, rb)
+	case PredCrosses, PredOverlaps:
+		// MBR semantics collapse Crosses onto Overlaps: proper overlap
+		// where neither rectangle contains the other.
+		return ra.Intersects(rb) && !ra.ContainsRect(rb) && !rb.ContainsRect(ra) &&
+			!mbrTouches(ra, rb)
+	case PredWithin, PredCoveredBy:
+		return rb.ContainsRect(ra)
+	case PredContains, PredCovers:
+		return ra.ContainsRect(rb)
+	default:
+		return false
+	}
+}
+
+// mbrTouches reports boundary-only contact between two rectangles: they
+// intersect, but their interiors do not.
+func mbrTouches(a, b geom.Rect) bool {
+	if !a.Intersects(b) {
+		return false
+	}
+	// Interiors intersect iff the overlap has positive width and height.
+	i := a.Intersect(b)
+	return i.Width() == 0 || i.Height() == 0
+}

@@ -1,0 +1,180 @@
+package topo
+
+import "jackpine/internal/geom"
+
+// Predicate identifies one of the named DE-9IM topological predicates.
+type Predicate int
+
+// The named topological predicates.
+const (
+	PredEquals Predicate = iota
+	PredDisjoint
+	PredIntersects
+	PredTouches
+	PredCrosses
+	PredWithin
+	PredContains
+	PredOverlaps
+	PredCovers
+	PredCoveredBy
+)
+
+var predicateNames = [...]string{
+	"Equals", "Disjoint", "Intersects", "Touches", "Crosses",
+	"Within", "Contains", "Overlaps", "Covers", "CoveredBy",
+}
+
+// String returns the predicate's conventional name.
+func (p Predicate) String() string {
+	if int(p) < len(predicateNames) {
+		return predicateNames[p]
+	}
+	return "Unknown"
+}
+
+// Eval evaluates the predicate exactly on the two geometries.
+func (p Predicate) Eval(a, b geom.Geometry) bool {
+	switch p {
+	case PredEquals:
+		return Equals(a, b)
+	case PredDisjoint:
+		return Disjoint(a, b)
+	case PredIntersects:
+		return Intersects(a, b)
+	case PredTouches:
+		return Touches(a, b)
+	case PredCrosses:
+		return Crosses(a, b)
+	case PredWithin:
+		return Within(a, b)
+	case PredContains:
+		return Contains(a, b)
+	case PredOverlaps:
+		return Overlaps(a, b)
+	case PredCovers:
+		return Covers(a, b)
+	case PredCoveredBy:
+		return CoveredBy(a, b)
+	default:
+		return false
+	}
+}
+
+// Equals reports topological equality: the geometries occupy the same
+// point set (orientation and vertex order are irrelevant).
+func Equals(a, b geom.Geometry) bool {
+	if !envHit(a, b) {
+		return false
+	}
+	return Relate(a, b).Matches("T*F**FFF*")
+}
+
+// Disjoint reports whether the geometries share no point.
+func Disjoint(a, b geom.Geometry) bool { return !Intersects(a, b) }
+
+// Intersects reports whether the geometries share at least one point.
+func Intersects(a, b geom.Geometry) bool {
+	if !envHit(a, b) {
+		return false
+	}
+	m := Relate(a, b)
+	return m.Get(Interior, Interior) >= 0 ||
+		m.Get(Interior, Boundary) >= 0 ||
+		m.Get(Boundary, Interior) >= 0 ||
+		m.Get(Boundary, Boundary) >= 0
+}
+
+// Touches reports whether the geometries intersect only at their
+// boundaries (their interiors are disjoint). It is always false for two
+// points.
+func Touches(a, b geom.Geometry) bool {
+	if !envHit(a, b) {
+		return false
+	}
+	m := Relate(a, b)
+	return m.Matches("FT*******") || m.Matches("F**T*****") || m.Matches("F***T****")
+}
+
+// Crosses reports whether the geometries cross: the intersection has
+// lower dimension than the maximum operand dimension, lies in both
+// interiors, and is not equal to either geometry.
+func Crosses(a, b geom.Geometry) bool {
+	if !envHit(a, b) {
+		return false
+	}
+	da, db := a.Dimension(), b.Dimension()
+	m := Relate(a, b)
+	switch {
+	case da < db:
+		return m.Matches("T*T******")
+	case da > db:
+		return m.Matches("T*****T**")
+	case da == 1 && db == 1:
+		return m.Matches("0********")
+	default:
+		return false
+	}
+}
+
+// Within reports whether a lies within b (every point of a is in b and
+// their interiors intersect).
+func Within(a, b geom.Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	if !b.Envelope().ContainsRect(a.Envelope()) {
+		return false
+	}
+	return Relate(a, b).Matches("T*F**F***")
+}
+
+// Contains reports whether a contains b: Within(b, a).
+func Contains(a, b geom.Geometry) bool { return Within(b, a) }
+
+// Overlaps reports whether the geometries overlap: same dimension,
+// interiors intersect, and each has interior points outside the other.
+func Overlaps(a, b geom.Geometry) bool {
+	if !envHit(a, b) {
+		return false
+	}
+	da, db := a.Dimension(), b.Dimension()
+	if da != db {
+		return false
+	}
+	m := Relate(a, b)
+	if da == 1 {
+		return m.Matches("1*T***T**")
+	}
+	return m.Matches("T*T***T**")
+}
+
+// Covers reports whether every point of b lies in a. Unlike Contains it
+// holds when b lies entirely on a's boundary.
+func Covers(a, b geom.Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	if !a.Envelope().ContainsRect(b.Envelope()) {
+		return false
+	}
+	m := Relate(a, b)
+	return m.Matches("T*****FF*") || m.Matches("*T****FF*") ||
+		m.Matches("***T**FF*") || m.Matches("****T*FF*")
+}
+
+// CoveredBy reports Covers(b, a).
+func CoveredBy(a, b geom.Geometry) bool { return Covers(b, a) }
+
+// RelatePattern reports whether the DE-9IM matrix of (a, b) matches the
+// given pattern. The pattern must be valid per ValidPattern.
+func RelatePattern(a, b geom.Geometry, pattern string) bool {
+	return Relate(a, b).Matches(pattern)
+}
+
+// envHit screens out nil/empty operands and disjoint envelopes.
+func envHit(a, b geom.Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	return a.Envelope().Intersects(b.Envelope())
+}

@@ -1,0 +1,234 @@
+package topo
+
+import (
+	"testing"
+
+	"jackpine/internal/geom"
+)
+
+// Fixture geometries reused across predicate tests.
+var (
+	sqA      = "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))" // base square
+	sqB      = "POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))" // overlaps sqA
+	sqInner  = "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))" // inside sqA
+	sqRight  = "POLYGON ((4 0, 8 0, 8 4, 4 4, 4 0))" // edge-adjacent to sqA
+	sqFar    = "POLYGON ((10 10, 11 10, 11 11, 10 11, 10 10))"
+	lineX    = "LINESTRING (-1 2, 5 2)" // crosses sqA
+	lineIn   = "LINESTRING (1 1, 3 3)"  // inside sqA
+	lineEdge = "LINESTRING (1 0, 3 0)"  // along sqA's bottom edge
+	ptIn     = "POINT (2 2)"
+	ptEdge   = "POINT (4 2)"
+	ptOut    = "POINT (9 9)"
+)
+
+func TestNamedPredicates(t *testing.T) {
+	tests := []struct {
+		pred Predicate
+		a, b string
+		want bool
+	}{
+		{PredEquals, sqA, sqA, true},
+		{PredEquals, sqA, "POLYGON ((4 4, 0 4, 0 0, 4 0, 4 4))", true},
+		{PredEquals, sqA, sqB, false},
+		{PredEquals, "LINESTRING (0 0, 2 2)", "LINESTRING (2 2, 0 0)", true},
+		{PredEquals, "LINESTRING (0 0, 2 2)", "LINESTRING (0 0, 1 1, 2 2)", true},
+
+		{PredDisjoint, sqA, sqFar, true},
+		{PredDisjoint, sqA, sqB, false},
+		{PredDisjoint, ptOut, sqA, true},
+
+		{PredIntersects, sqA, sqB, true},
+		{PredIntersects, sqA, sqRight, true},
+		{PredIntersects, ptEdge, sqA, true},
+		{PredIntersects, sqA, sqFar, false},
+		{PredIntersects, lineX, sqA, true},
+
+		{PredTouches, sqA, sqRight, true},
+		{PredTouches, sqA, sqB, false},
+		{PredTouches, ptEdge, sqA, true},
+		{PredTouches, ptIn, sqA, false},
+		{PredTouches, lineEdge, sqA, true},
+		{PredTouches, ptIn, ptIn, false}, // two points never touch
+
+		{PredCrosses, lineX, sqA, true},
+		{PredCrosses, lineIn, sqA, false},
+		{PredCrosses, "LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)", true},
+		{PredCrosses, "LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)", false}, // overlap, not cross
+		{PredCrosses, sqA, lineX, true},                                        // higher-dim against lower
+
+		{PredWithin, sqInner, sqA, true},
+		{PredWithin, sqA, sqInner, false},
+		{PredWithin, ptIn, sqA, true},
+		{PredWithin, ptEdge, sqA, false}, // boundary point is not within
+		{PredWithin, lineIn, sqA, true},
+		{PredWithin, lineEdge, sqA, false}, // on boundary only
+
+		{PredContains, sqA, sqInner, true},
+		{PredContains, sqA, ptIn, true},
+		{PredContains, sqA, ptEdge, false},
+		{PredContains, sqA, lineEdge, false},
+
+		{PredOverlaps, sqA, sqB, true},
+		{PredOverlaps, sqA, sqInner, false},
+		{PredOverlaps, sqA, sqRight, false},
+		{PredOverlaps, "LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)", true},
+		{PredOverlaps, lineX, sqA, false}, // different dimensions never overlap
+
+		{PredCovers, sqA, ptEdge, true}, // covers includes the boundary
+		{PredCovers, sqA, lineEdge, true},
+		{PredCovers, sqA, sqInner, true},
+		{PredCovers, sqA, sqB, false},
+		{PredCoveredBy, ptEdge, sqA, true},
+		{PredCoveredBy, sqB, sqA, false},
+	}
+	for _, tc := range tests {
+		name := tc.pred.String() + "(" + tc.a + ", " + tc.b + ")"
+		if got := tc.pred.Eval(g(tc.a), g(tc.b)); got != tc.want {
+			t.Errorf("%s = %v, want %v", name, got, tc.want)
+		}
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	if PredTouches.String() != "Touches" || PredCoveredBy.String() != "CoveredBy" {
+		t.Error("predicate names wrong")
+	}
+	if Predicate(99).String() != "Unknown" {
+		t.Error("out-of-range predicate name")
+	}
+	if Predicate(99).Eval(g(ptIn), g(ptIn)) {
+		t.Error("unknown predicate must evaluate false")
+	}
+}
+
+func TestPredicatesWithEmptyAndNil(t *testing.T) {
+	e := geom.Polygon{}
+	p := g(sqA)
+	if Intersects(e, p) || Intersects(p, e) || Intersects(nil, p) {
+		t.Error("empty/nil must not intersect")
+	}
+	if !Disjoint(e, p) {
+		t.Error("empty is disjoint from everything")
+	}
+	if Within(e, p) || Contains(p, e) || Covers(p, e) || Equals(e, p) {
+		t.Error("containment predicates with empty operand must be false")
+	}
+}
+
+func TestRelatePattern(t *testing.T) {
+	if !RelatePattern(g(sqInner), g(sqA), "T*F**F***") {
+		t.Error("within pattern should match")
+	}
+	if RelatePattern(g(sqB), g(sqA), "T*F**F***") {
+		t.Error("within pattern must not match overlap")
+	}
+}
+
+func TestPredicateDuality(t *testing.T) {
+	// Within(a,b) == Contains(b,a) and CoveredBy(a,b) == Covers(b,a)
+	// across a grid of fixture pairs; Intersects == !Disjoint.
+	fixtures := []string{sqA, sqB, sqInner, sqRight, sqFar, lineX, lineIn, lineEdge, ptIn, ptEdge, ptOut}
+	for _, aw := range fixtures {
+		for _, bw := range fixtures {
+			a, b := g(aw), g(bw)
+			if Within(a, b) != Contains(b, a) {
+				t.Errorf("Within/Contains duality broken for %s vs %s", aw, bw)
+			}
+			if CoveredBy(a, b) != Covers(b, a) {
+				t.Errorf("CoveredBy/Covers duality broken for %s vs %s", aw, bw)
+			}
+			if Intersects(a, b) != !Disjoint(a, b) {
+				t.Errorf("Intersects/Disjoint complement broken for %s vs %s", aw, bw)
+			}
+			if Intersects(a, b) != Intersects(b, a) {
+				t.Errorf("Intersects symmetry broken for %s vs %s", aw, bw)
+			}
+			if Touches(a, b) != Touches(b, a) {
+				t.Errorf("Touches symmetry broken for %s vs %s", aw, bw)
+			}
+			if Equals(a, b) != Equals(b, a) {
+				t.Errorf("Equals symmetry broken for %s vs %s", aw, bw)
+			}
+			if Within(a, b) && !Intersects(a, b) {
+				t.Errorf("Within implies Intersects broken for %s vs %s", aw, bw)
+			}
+			if Within(a, b) && !CoveredBy(a, b) {
+				t.Errorf("Within implies CoveredBy broken for %s vs %s", aw, bw)
+			}
+			if Overlaps(a, b) != Overlaps(b, a) {
+				t.Errorf("Overlaps symmetry broken for %s vs %s", aw, bw)
+			}
+		}
+	}
+}
+
+func TestMBREval(t *testing.T) {
+	// Diamond inside square: exact says within; MBRs are equal.
+	diamond := g("POLYGON ((2 0, 4 2, 2 4, 0 2, 2 0))")
+	square := g(sqA)
+	if !MBREval(PredEquals, diamond, square) {
+		t.Error("MBR equals should hold for same-envelope geometries")
+	}
+	if Equals(diamond, square) {
+		t.Error("exact equals must reject different shapes")
+	}
+
+	// Two diamonds whose MBRs overlap but shapes are disjoint.
+	d1 := g("POLYGON ((2 0, 4 2, 2 4, 0 2, 2 0))")
+	d2 := g("POLYGON ((5 3, 7 5, 5 7, 3 5, 5 3))")
+	if !MBREval(PredIntersects, d1, d2) {
+		t.Error("MBRs overlap so MBR intersects should be true")
+	}
+	if Intersects(d1, d2) {
+		t.Error("shapes are disjoint so exact intersects should be false")
+	}
+	if MBREval(PredDisjoint, d1, d2) {
+		t.Error("MBR disjoint should be false when MBRs overlap")
+	}
+
+	// Containment.
+	if !MBREval(PredContains, square, g(sqInner)) || !MBREval(PredWithin, g(sqInner), square) {
+		t.Error("MBR containment on nested squares")
+	}
+
+	// Touches on MBRs: edge-adjacent squares.
+	if !MBREval(PredTouches, g(sqA), g(sqRight)) {
+		t.Error("MBR touches for edge-adjacent squares")
+	}
+	if MBREval(PredTouches, g(sqA), g(sqB)) {
+		t.Error("MBR touches must reject interior overlap")
+	}
+
+	// Overlaps/Crosses on MBRs.
+	if !MBREval(PredOverlaps, g(sqA), g(sqB)) {
+		t.Error("MBR overlaps for overlapping squares")
+	}
+	if MBREval(PredOverlaps, g(sqA), g(sqInner)) {
+		t.Error("MBR overlaps must reject containment")
+	}
+
+	// Empty operands.
+	if MBREval(PredIntersects, geom.Polygon{}, square) || MBREval(PredIntersects, nil, square) {
+		t.Error("MBR predicates with empty operand must be false")
+	}
+	if MBREval(Predicate(99), square, square) {
+		t.Error("unknown predicate must be false")
+	}
+}
+
+func TestMBRSupersetProperty(t *testing.T) {
+	// For Intersects, the MBR answer is always a superset of the exact
+	// answer: exact true implies MBR true.
+	fixtures := []string{sqA, sqB, sqInner, sqRight, sqFar, lineX, lineIn, lineEdge, ptIn, ptEdge, ptOut}
+	for _, aw := range fixtures {
+		for _, bw := range fixtures {
+			a, b := g(aw), g(bw)
+			if Intersects(a, b) && !MBREval(PredIntersects, a, b) {
+				t.Errorf("exact intersects but MBR does not: %s vs %s", aw, bw)
+			}
+			if Within(a, b) && !MBREval(PredWithin, a, b) {
+				t.Errorf("exact within but MBR does not: %s vs %s", aw, bw)
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package topo
+
+import "jackpine/internal/geom"
+
+// Relate computes the DE-9IM intersection matrix of two geometries.
+//
+// The algorithm decomposes both geometries into point, segment and
+// polygon parts, gathers all pairwise segment intersections, classifies
+// the resulting event points and split sub-segments against both
+// geometries, and then derives the areal (dimension 2) cells from
+// neighbourhood arguments: a boundary piece of an areal geometry lying in
+// the interior (or exterior) of the other implies a two-dimensional
+// overlap of the adjacent region.
+func Relate(a, b geom.Geometry) Matrix {
+	sa, sb := decompose(a), decompose(b)
+	return relateShapes(sa, sb)
+}
+
+func relateShapes(sa, sb *shape) Matrix {
+	m := NewMatrix()
+	m.Set(Exterior, Exterior, 2)
+
+	if !sa.nonEmpty || !sb.nonEmpty {
+		// Empty operands: only exterior rows/columns can be non-empty.
+		if sa.nonEmpty {
+			m.Set(Interior, Exterior, int8(sa.dim))
+			m.Set(Boundary, Exterior, sa.boundaryDim())
+		}
+		if sb.nonEmpty {
+			m.Set(Exterior, Interior, int8(sb.dim))
+			m.Set(Exterior, Boundary, sb.boundaryDim())
+		}
+		return m
+	}
+
+	if !sa.env.Intersects(sb.env) {
+		return disjointMatrix(sa, sb)
+	}
+
+	// --- 0D contributions: event points -------------------------------
+	for _, p := range gatherEventPoints(sa, sb) {
+		m.Upgrade(sa.locate(p), sb.locate(p), 0)
+	}
+
+	// --- 1D contributions: classified sub-segments --------------------
+	classifySubSegments(&m, sa, sb, false)
+	classifySubSegments(&m, sa, sb, true)
+
+	// --- 2D contributions ---------------------------------------------
+	if sa.hasArea() {
+		if !sb.hasArea() {
+			// Removing a 0/1-dimensional set from a non-empty open 2D
+			// interior leaves a 2D set.
+			m.Upgrade(Interior, Exterior, 2)
+		}
+		for i := range sa.polys {
+			if ip, ok := geom.InteriorPoint(sa.polys[i]); ok {
+				switch sb.locate(ip) {
+				case Interior:
+					if sb.hasArea() {
+						m.Upgrade(Interior, Interior, 2)
+					}
+				case Exterior:
+					m.Upgrade(Interior, Exterior, 2)
+				case Boundary:
+					// A 2D neighbourhood inside A straddles B's boundary.
+					if sb.hasArea() {
+						m.Upgrade(Interior, Interior, 2)
+						m.Upgrade(Interior, Exterior, 2)
+						// The neighbourhood meets B's 1D ring in a curve.
+						m.Upgrade(Interior, Boundary, 1)
+					} else {
+						m.Upgrade(Interior, Boundary, 0)
+					}
+				}
+			}
+		}
+	}
+	if sb.hasArea() {
+		if !sa.hasArea() {
+			m.Upgrade(Exterior, Interior, 2)
+		}
+		for i := range sb.polys {
+			if ip, ok := geom.InteriorPoint(sb.polys[i]); ok {
+				switch sa.locate(ip) {
+				case Interior:
+					if sa.hasArea() {
+						m.Upgrade(Interior, Interior, 2)
+					}
+				case Exterior:
+					m.Upgrade(Exterior, Interior, 2)
+				case Boundary:
+					if sa.hasArea() {
+						m.Upgrade(Interior, Interior, 2)
+						m.Upgrade(Exterior, Interior, 2)
+						m.Upgrade(Boundary, Interior, 1)
+					} else {
+						m.Upgrade(Boundary, Interior, 0)
+					}
+				}
+			}
+		}
+	}
+
+	return m
+}
+
+// disjointMatrix builds the matrix for geometries with disjoint envelopes.
+func disjointMatrix(sa, sb *shape) Matrix {
+	m := NewMatrix()
+	m.Set(Interior, Exterior, int8(sa.dim))
+	m.Set(Boundary, Exterior, sa.boundaryDim())
+	m.Set(Exterior, Interior, int8(sb.dim))
+	m.Set(Exterior, Boundary, sb.boundaryDim())
+	m.Set(Exterior, Exterior, 2)
+	return m
+}
+
+// gatherEventPoints collects every point where the classification of one
+// geometry against the other can change: all pairwise segment
+// intersections, the 1D boundary points of both, and the 0D parts of both.
+func gatherEventPoints(sa, sb *shape) []geom.Coord {
+	var events []geom.Coord
+	for i := range sa.segs {
+		ga := &sa.segs[i]
+		if !ga.env.Intersects(sb.env) {
+			continue
+		}
+		for j := range sb.segs {
+			gb := &sb.segs[j]
+			if !ga.env.Intersects(gb.env) {
+				continue
+			}
+			kind, p0, p1 := geom.SegSegIntersection(ga.a, ga.b, gb.a, gb.b)
+			switch kind {
+			case geom.SegPoint:
+				events = append(events, p0)
+			case geom.SegOverlap:
+				events = append(events, p0, p1)
+			}
+		}
+	}
+	for p := range sa.lineBoundary {
+		events = append(events, p)
+	}
+	for p := range sb.lineBoundary {
+		events = append(events, p)
+	}
+	events = append(events, sa.points...)
+	events = append(events, sb.points...)
+	return events
+}
+
+// classifySubSegments splits the segments of one shape at all crossings
+// with the other shape's segments and classifies each piece's midpoint.
+// When swap is false it processes A's segments (matrix rows); when true,
+// B's segments (matrix columns).
+func classifySubSegments(m *Matrix, sa, sb *shape, swap bool) {
+	src, other := sa, sb
+	if swap {
+		src, other = sb, sa
+	}
+	cuts := make([]float64, 0, 8)
+	for i := range src.segs {
+		sg := &src.segs[i]
+		cuts = cuts[:0]
+		if sg.env.Intersects(other.env) {
+			for j := range other.segs {
+				og := &other.segs[j]
+				if !sg.env.Intersects(og.env) {
+					continue
+				}
+				kind, p0, p1 := geom.SegSegIntersection(sg.a, sg.b, og.a, og.b)
+				switch kind {
+				case geom.SegPoint:
+					cuts = append(cuts, segParam(sg, p0))
+				case geom.SegOverlap:
+					cuts = append(cuts, segParam(sg, p0), segParam(sg, p1))
+				}
+			}
+			// The other shape's isolated points also change the
+			// classification at a single parameter value.
+			for _, p := range other.points {
+				if sg.env.ContainsCoord(p) && geom.OnSegment(p, sg.a, sg.b) {
+					cuts = append(cuts, segParam(sg, p))
+				}
+			}
+		}
+		cuts = append(cuts, 0, 1)
+		sortCuts(cuts)
+
+		rowLoc := Interior
+		if sg.ring {
+			rowLoc = Boundary
+		}
+		for k := 0; k+1 < len(cuts); k++ {
+			t0, t1 := cuts[k], cuts[k+1]
+			if t1-t0 < 1e-12 {
+				continue
+			}
+			tm := (t0 + t1) / 2
+			mid := geom.Coord{
+				X: sg.a.X + tm*(sg.b.X-sg.a.X),
+				Y: sg.a.Y + tm*(sg.b.Y-sg.a.Y),
+			}
+			loc := other.locate(mid)
+			if swap {
+				m.Upgrade(loc, rowLoc, 1)
+			} else {
+				m.Upgrade(rowLoc, loc, 1)
+			}
+			if sg.ring {
+				// Neighbourhood deduction: the areal interior adjacent to
+				// this boundary piece lies in the same region of the
+				// other geometry, as does the adjacent exterior.
+				deduceArealCells(m, other, loc, swap)
+			}
+		}
+	}
+}
+
+// deduceArealCells upgrades 2D cells implied by a ring sub-segment of an
+// areal geometry classified at loc in the other geometry.
+func deduceArealCells(m *Matrix, other *shape, loc Location, swap bool) {
+	up := func(row, col Location, dim int8) {
+		if swap {
+			m.Upgrade(col, row, dim)
+		} else {
+			m.Upgrade(row, col, dim)
+		}
+	}
+	switch loc {
+	case Exterior:
+		// Both sides of the boundary piece (the areal interior and the
+		// areal exterior) lie in the other geometry's exterior.
+		up(Interior, Exterior, 2)
+	case Interior:
+		if other.hasArea() {
+			// The other geometry is areal, so its interior is open: both
+			// sides of this boundary piece are inside it.
+			up(Interior, Interior, 2)
+			up(Exterior, Interior, 2)
+		}
+	case Boundary:
+		// Coincident boundaries: no side information.
+	}
+}
+
+// segParam returns the parameter of p along segment sg (0 at a, 1 at b).
+func segParam(sg *seg, p geom.Coord) float64 {
+	dx, dy := sg.b.X-sg.a.X, sg.b.Y-sg.a.Y
+	if absf(dx) >= absf(dy) {
+		if dx == 0 {
+			return 0
+		}
+		return (p.X - sg.a.X) / dx
+	}
+	return (p.Y - sg.a.Y) / dy
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sortCuts(cuts []float64) {
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+}

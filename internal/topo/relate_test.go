@@ -1,0 +1,190 @@
+package topo
+
+import (
+	"testing"
+
+	"jackpine/internal/geom"
+)
+
+func g(wkt string) geom.Geometry { return geom.MustParseWKT(wkt) }
+
+func TestRelateMatrices(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want string
+	}{
+		// --- point / point ---
+		{"equal points", "POINT (1 1)", "POINT (1 1)", "0FFFFFFF2"},
+		{"distinct points", "POINT (1 1)", "POINT (2 2)", "FF0FFF0F2"},
+		{"point in multipoint", "POINT (1 1)", "MULTIPOINT ((1 1), (2 2))", "0FFFFF0F2"},
+
+		// --- point / line ---
+		{"point on line interior", "POINT (1 0)", "LINESTRING (0 0, 2 0)", "0FFFFF102"},
+		{"point on line endpoint", "POINT (0 0)", "LINESTRING (0 0, 2 0)", "F0FFFF102"},
+		{"point off line", "POINT (5 5)", "LINESTRING (0 0, 2 0)", "FF0FFF102"},
+
+		// --- point / polygon ---
+		{"point in polygon", "POINT (2 2)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", "0FFFFF212"},
+		{"point on polygon boundary", "POINT (4 2)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", "F0FFFF212"},
+		{"point outside polygon", "POINT (9 9)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", "FF0FFF212"},
+		{"point in polygon hole",
+			"POINT (5 5)",
+			"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+			"FF0FFF212"},
+
+		// --- line / line ---
+		{"crossing lines", "LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)", "0F1FF0102"},
+		{"identical lines", "LINESTRING (0 0, 2 2)", "LINESTRING (0 0, 2 2)", "1FFF0FFF2"},
+		{"reversed identical lines", "LINESTRING (0 0, 2 2)", "LINESTRING (2 2, 0 0)", "1FFF0FFF2"},
+		{"disjoint lines", "LINESTRING (0 0, 1 1)", "LINESTRING (5 5, 6 6)", "FF1FF0102"},
+		{"endpoint-to-endpoint touch", "LINESTRING (0 0, 1 1)", "LINESTRING (1 1, 2 0)", "FF1F00102"},
+		{"T touch: endpoint on interior", "LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 1 5)", "F01FF0102"},
+		{"partial overlap", "LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)", "1010F0102"},
+		{"line within line", "LINESTRING (1 0, 2 0)", "LINESTRING (0 0, 3 0)", "1FF0FF102"},
+
+		// --- line / polygon ---
+		{"line crosses polygon",
+			"LINESTRING (-1 2, 5 2)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"101FF0212"},
+		{"line within polygon",
+			"LINESTRING (1 1, 3 3)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"1FF0FF212"},
+		{"line outside polygon",
+			"LINESTRING (5 5, 7 7)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"FF1FF0212"},
+		{"line along polygon edge",
+			"LINESTRING (1 0, 3 0)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"F1FF0F212"},
+		{"line touches polygon at point",
+			"LINESTRING (4 2, 8 2)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"FF1F00212"},
+		{"line enters and exits through same edge",
+			"LINESTRING (1 -1, 2 1, 3 -1)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"101FF0212"},
+		{"line ends on boundary from inside",
+			"LINESTRING (2 2, 4 2)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"1FF00F212"},
+
+		// --- polygon / polygon ---
+		{"equal polygons",
+			"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"2FFF1FFF2"},
+		{"equal polygons different start vertex",
+			"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", "POLYGON ((4 4, 0 4, 0 0, 4 0, 4 4))",
+			"2FFF1FFF2"},
+		{"disjoint polygons",
+			"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))",
+			"FF2FF1212"},
+		{"overlapping polygons",
+			"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", "POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))",
+			"212101212"},
+		{"polygon strictly within",
+			"POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+			"2FF1FF212"},
+		{"polygon contains strictly",
+			"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))",
+			"212FF1FF2"},
+		{"edge-adjacent polygons",
+			"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))",
+			"FF2F11212"},
+		{"corner-touching polygons",
+			"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))",
+			"FF2F01212"},
+		{"within sharing an edge",
+			"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "POLYGON ((0 0, 4 0, 4 2, 0 2, 0 0))",
+			"2FF11F212"},
+		{"polygon fills other's hole exactly",
+			"POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))",
+			"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+			"FF2F1F212"},
+		{"polygon inside other's hole with gap",
+			"POLYGON ((4.5 4.5, 5.5 4.5, 5.5 5.5, 4.5 5.5, 4.5 4.5))",
+			"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+			"FF2FF1212"},
+		{"donut contains small square (not in hole)",
+			"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+			"POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))",
+			"212FF1FF2"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Relate(g(tc.a), g(tc.b)).String()
+			if got != tc.want {
+				t.Errorf("Relate(%s, %s) = %s, want %s", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRelateEmptyOperands(t *testing.T) {
+	poly := g("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	m := Relate(g("POLYGON EMPTY"), poly)
+	// Empty vs polygon: only the exterior row is populated.
+	if m.Get(Interior, Interior) != DimF || m.Get(Exterior, Interior) != 2 ||
+		m.Get(Exterior, Boundary) != 1 || m.Get(Exterior, Exterior) != 2 {
+		t.Errorf("empty vs polygon matrix = %s", m)
+	}
+	m = Relate(poly, g("POINT EMPTY"))
+	if m.Get(Interior, Exterior) != 2 || m.Get(Boundary, Exterior) != 1 ||
+		m.Get(Interior, Interior) != DimF {
+		t.Errorf("polygon vs empty matrix = %s", m)
+	}
+}
+
+func TestRelateTransposeSymmetry(t *testing.T) {
+	pairs := [][2]string{
+		{"POINT (2 2)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"},
+		{"LINESTRING (-1 2, 5 2)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"},
+		{"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", "POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))"},
+		{"LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)"},
+		{"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))"},
+	}
+	for _, pair := range pairs {
+		a, b := g(pair[0]), g(pair[1])
+		ab := Relate(a, b)
+		ba := Relate(b, a)
+		if ab.Transpose() != ba {
+			t.Errorf("Relate(%s,%s)=%s is not the transpose of %s", pair[0], pair[1], ab, ba)
+		}
+	}
+}
+
+func TestMatrixPatternMatching(t *testing.T) {
+	m := Relate(g("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"), g("POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))"))
+	if !m.Matches("T*T***T**") {
+		t.Error("overlap pattern should match")
+	}
+	if !m.Matches("212101212") {
+		t.Error("exact pattern should match")
+	}
+	if m.Matches("FF*FF****") {
+		t.Error("disjoint pattern must not match")
+	}
+	if !m.Matches("*********") {
+		t.Error("wildcard pattern should match anything")
+	}
+}
+
+func TestMatrixPatternPanics(t *testing.T) {
+	var m Matrix // all cells 0, so 'T' matches and the bad character is reached
+	for _, bad := range []string{"", "TTTT", "TTTTTTTTX"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Matches(%q) should panic", bad)
+				}
+			}()
+			m.Matches(bad)
+		}()
+	}
+}
+
+func TestValidPattern(t *testing.T) {
+	if !ValidPattern("T*F**FFF*") || !ValidPattern("012TFtf**") {
+		t.Error("valid patterns rejected")
+	}
+	if ValidPattern("T*F**FFF") || ValidPattern("T*F**FFFX") {
+		t.Error("invalid patterns accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package topo
+
+import "jackpine/internal/geom"
+
+// seg is a single 1D element of a decomposed geometry.
+type seg struct {
+	a, b geom.Coord
+	ring bool // true when the segment comes from a polygon ring
+	env  geom.Rect
+}
+
+// shape is a geometry decomposed into 0D, 1D and 2D parts, preprocessed
+// for point location and pairwise intersection.
+type shape struct {
+	points []geom.Coord   // 0D parts
+	segs   []seg          // 1D elements: line segments and ring segments
+	polys  []geom.Polygon // 2D parts (for interior membership)
+
+	// lineBoundary holds the mod-2 boundary endpoints of the 1D parts
+	// (OGC combinatorial boundary of (multi)linestrings).
+	lineBoundary map[geom.Coord]bool
+
+	env      geom.Rect
+	dim      int  // topological dimension of the geometry (-1 if empty)
+	nonEmpty bool // any coordinates at all
+}
+
+// decompose flattens g into a shape.
+func decompose(g geom.Geometry) *shape {
+	s := &shape{env: geom.EmptyRect(), dim: -1}
+	endpointCount := make(map[geom.Coord]int)
+	s.addGeometry(g, endpointCount)
+	s.lineBoundary = make(map[geom.Coord]bool)
+	for c, n := range endpointCount {
+		if n%2 == 1 {
+			s.lineBoundary[c] = true
+		}
+	}
+	return s
+}
+
+func (s *shape) addGeometry(g geom.Geometry, endpoints map[geom.Coord]int) {
+	if g == nil {
+		return
+	}
+	switch t := g.(type) {
+	case geom.Point:
+		if !t.Empty {
+			s.points = append(s.points, t.Coord)
+			s.markDim(0)
+		}
+	case geom.MultiPoint:
+		for _, p := range t {
+			s.addGeometry(p, endpoints)
+		}
+	case geom.LineString:
+		s.addLine(t, endpoints)
+	case geom.MultiLineString:
+		for _, l := range t {
+			s.addLine(l, endpoints)
+		}
+	case geom.Polygon:
+		s.addPolygon(t)
+	case geom.MultiPolygon:
+		for _, p := range t {
+			s.addPolygon(p)
+		}
+	case geom.Collection:
+		for _, sub := range t {
+			s.addGeometry(sub, endpoints)
+		}
+	}
+}
+
+func (s *shape) addLine(l geom.LineString, endpoints map[geom.Coord]int) {
+	if len(l) < 2 {
+		return
+	}
+	s.markDim(1)
+	for i := 0; i < len(l)-1; i++ {
+		s.addSeg(l[i], l[i+1], false)
+	}
+	if !l.IsClosed() {
+		endpoints[l[0]]++
+		endpoints[l[len(l)-1]]++
+	}
+}
+
+func (s *shape) addPolygon(p geom.Polygon) {
+	if p.IsEmpty() {
+		return
+	}
+	s.markDim(2)
+	s.polys = append(s.polys, p)
+	for _, r := range p {
+		for i := 0; i < len(r)-1; i++ {
+			s.addSeg(r[i], r[i+1], true)
+		}
+	}
+}
+
+func (s *shape) addSeg(a, b geom.Coord, ring bool) {
+	if a.Equal(b) {
+		return
+	}
+	e := geom.RectFromPoints(a, b)
+	s.segs = append(s.segs, seg{a: a, b: b, ring: ring, env: e})
+	s.env = s.env.Union(e)
+}
+
+func (s *shape) markDim(d int) {
+	s.nonEmpty = true
+	if d > s.dim {
+		s.dim = d
+	}
+	if d == 0 {
+		// Points extend the envelope too.
+		if n := len(s.points); n > 0 {
+			s.env = s.env.ExpandCoord(s.points[n-1])
+		}
+	}
+}
+
+// boundaryDim returns the dimension of the geometry's boundary:
+// 1 for areal geometries, 0 for curves with non-empty mod-2 boundary,
+// F otherwise (points, closed curves, empty).
+func (s *shape) boundaryDim() int8 {
+	if len(s.polys) > 0 {
+		return 1
+	}
+	if len(s.lineBoundary) > 0 {
+		return 0
+	}
+	return DimF
+}
+
+// hasArea reports whether the shape has 2D parts.
+func (s *shape) hasArea() bool { return len(s.polys) > 0 }
+
+// locate classifies a point against the shape's point set using union
+// semantics: Interior if the point is interior to any part, otherwise
+// Boundary if on any part's boundary, otherwise Exterior.
+func (s *shape) locate(p geom.Coord) Location {
+	loc := Exterior
+
+	// 2D parts.
+	for i := range s.polys {
+		switch locatePolygon(p, s.polys[i]) {
+		case Interior:
+			return Interior
+		case Boundary:
+			loc = Boundary
+		}
+	}
+
+	// 1D parts (non-ring segments).
+	for i := range s.segs {
+		sg := &s.segs[i]
+		if sg.ring {
+			continue // ring segments belong to polygon boundaries, handled above
+		}
+		if !sg.env.ContainsCoord(p) {
+			continue
+		}
+		if geom.OnSegment(p, sg.a, sg.b) {
+			if s.lineBoundary[p] {
+				if loc == Exterior {
+					loc = Boundary
+				}
+			} else {
+				return Interior
+			}
+		}
+	}
+
+	// 0D parts: points are all interior (their boundary is empty).
+	for _, q := range s.points {
+		if q.Equal(p) {
+			return Interior
+		}
+	}
+	return loc
+}
+
+// locatePolygon classifies p against a single polygon.
+func locatePolygon(p geom.Coord, poly geom.Polygon) Location {
+	if len(poly) == 0 {
+		return Exterior
+	}
+	switch geom.PointInRing(p, poly[0]) {
+	case geom.RingExterior:
+		return Exterior
+	case geom.RingBoundary:
+		return Boundary
+	}
+	for _, hole := range poly[1:] {
+		switch geom.PointInRing(p, hole) {
+		case geom.RingInterior:
+			return Exterior
+		case geom.RingBoundary:
+			return Boundary
+		}
+	}
+	return Interior
+}

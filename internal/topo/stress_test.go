@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jackpine/internal/geom"
+	"jackpine/internal/tiger"
+)
+
+// disc builds a regular 24-gon approximating a disc.
+func disc(cx, cy, r float64) geom.Polygon {
+	const n = 24
+	ring := make(geom.Ring, 0, n+1)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / n
+		ring = append(ring, geom.Coord{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)})
+	}
+	ring = append(ring, ring[0])
+	return geom.Polygon{ring}
+}
+
+// TestDiscGroundTruth checks predicates against analytic truth for
+// pairs of discs: centre distance fully determines the relation (with a
+// guard band for the polygonal approximation).
+func TestDiscGroundTruth(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := seed
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64(r>>40) / float64(1<<24)
+		}
+		r1 := 1 + next()*3
+		r2 := 1 + next()*3
+		d := next() * (r1 + r2) * 1.5
+		a := disc(0, 0, r1)
+		b := disc(d, 0, r2)
+
+		// The 24-gon's inradius is r·cos(π/24) ≈ 0.9914·r: stay outside
+		// the approximation band.
+		const band = 0.02
+		switch {
+		case d > (r1+r2)*(1+band):
+			return Disjoint(a, b) && !Intersects(a, b) && !Overlaps(a, b)
+		case d < (r1+r2)*(1-band) && d > math.Abs(r1-r2)*(1+band):
+			return Intersects(a, b) && Overlaps(a, b) && !Within(a, b) && !Contains(a, b)
+		case d < math.Abs(r1-r2)*(1-band) && math.Abs(r1-r2) > band:
+			if r1 > r2 {
+				return Contains(a, b) && Covers(a, b) && !Overlaps(a, b)
+			}
+			return Within(a, b) && CoveredBy(a, b) && !Overlaps(a, b)
+		default:
+			return true // inside the approximation band: no claim
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParcelFabricGroundTruth uses the generator's parcel fabric, whose
+// topology is known by construction: within one subdivided block,
+// side-neighbours share an edge (Touches), diagonal neighbours share a
+// corner (Touches), and all parcels are interior-disjoint.
+func TestParcelFabricGroundTruth(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	// The generator subdivides each chosen block into m×m parcels
+	// emitted row-major; recover m from the first block's parcels.
+	m := 3
+	block := ds.Parcels[:m*m]
+	at := func(i, j int) geom.Geometry { return block[j*m+i].Geom }
+
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			a := at(i, j)
+			for jj := 0; jj < m; jj++ {
+				for ii := 0; ii < m; ii++ {
+					if i == ii && j == jj {
+						continue
+					}
+					b := at(ii, jj)
+					di, dj := abs(i-ii), abs(j-jj)
+					adjacent := di+dj == 1
+					diagonal := di == 1 && dj == 1
+					switch {
+					case adjacent || diagonal:
+						if !Touches(a, b) {
+							t.Fatalf("parcels (%d,%d) and (%d,%d) should touch", i, j, ii, jj)
+						}
+						if Overlaps(a, b) {
+							t.Fatalf("parcels (%d,%d) and (%d,%d) must not overlap", i, j, ii, jj)
+						}
+					default:
+						if !Disjoint(a, b) {
+							t.Fatalf("parcels (%d,%d) and (%d,%d) should be disjoint", i, j, ii, jj)
+						}
+					}
+					// Interior disjointness always holds in the fabric.
+					mtrx := Relate(a, b)
+					if mtrx.Get(Interior, Interior) >= 0 {
+						t.Fatalf("parcels (%d,%d)/(%d,%d): interiors intersect: %s", i, j, ii, jj, mtrx)
+					}
+				}
+			}
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestStreetNetworkGroundTruth exercises line-line relations on the road
+// grid: consecutive edges of one street share exactly one endpoint
+// (Touches), and edges of the same street two blocks apart are disjoint.
+func TestStreetNetworkGroundTruth(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 2)
+	// Collect the first horizontal street's edges in block order.
+	name := ds.Edges[0].Name
+	var street []geom.LineString
+	for _, e := range ds.Edges {
+		if e.Name == name {
+			street = append(street, e.Geom)
+		}
+		if len(street) == 6 {
+			break
+		}
+	}
+	if len(street) < 4 {
+		t.Fatal("street too short")
+	}
+	for i := 0; i+1 < len(street); i++ {
+		if !Touches(street[i], street[i+1]) {
+			t.Errorf("consecutive edges %d,%d should touch", i, i+1)
+		}
+		if Crosses(street[i], street[i+1]) {
+			t.Errorf("consecutive edges %d,%d must not cross", i, i+1)
+		}
+	}
+	for i := 0; i+2 < len(street); i++ {
+		if !Disjoint(street[i], street[i+2]) {
+			t.Errorf("edges %d,%d two blocks apart should be disjoint", i, i+2)
+		}
+	}
+}
+
+// TestPointsAgainstLandmarks cross-checks point-in-polygon predicates
+// against the raw geometry primitive for generated data.
+func TestPointsAgainstLandmarks(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 4)
+	checked := 0
+	for _, p := range ds.PointLandmarks[:200] {
+		for _, lm := range ds.AreaLandmarks[:50] {
+			if !lm.Geom.Envelope().ContainsCoord(p.Geom.Coord) {
+				continue
+			}
+			checked++
+			inRing := geom.PointInRing(p.Geom.Coord, lm.Geom[0])
+			within := Within(p.Geom, lm.Geom)
+			if (inRing == geom.RingInterior) != within {
+				t.Fatalf("point %v vs landmark %d: ring=%v within=%v",
+					p.Geom.Coord, lm.ID, inRing, within)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d point/landmark pairs checked", checked)
+	}
+}

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"jackpine/internal/engine"
+)
+
+// Server exposes an engine over the wire protocol.
+type Server struct {
+	eng *engine.Engine
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps an engine. Call Listen (or Serve with an existing
+// listener) to start accepting connections.
+func NewServer(eng *engine.Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:7676") and serves in background
+// goroutines until Close. It returns the bound address (useful with
+// ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.Logf("wire: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.mu.Lock()
+				closed := s.closed
+				s.mu.Unlock()
+				if !closed {
+					s.Logf("wire: read: %v", err)
+				}
+			}
+			return
+		}
+		query := string(payload)
+		switch op {
+		case opQuery, opExec:
+			res, err := s.eng.Exec(query)
+			if err != nil {
+				if werr := writeFrame(conn, opError, []byte(err.Error())); werr != nil {
+					return
+				}
+				continue
+			}
+			if op == opExec {
+				var buf [4]byte
+				binary.LittleEndian.PutUint32(buf[:], uint32(res.Affected))
+				if err := writeFrame(conn, opAck, buf[:]); err != nil {
+					return
+				}
+				continue
+			}
+			if err := writeFrame(conn, opRows, encodeRows(res.Columns, res.Rows)); err != nil {
+				return
+			}
+		default:
+			if err := writeFrame(conn, opError, []byte("wire: unknown op")); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting, closes active connections, and waits for
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"jackpine/internal/driver"
+	"jackpine/internal/engine"
+	"jackpine/internal/storage"
+)
+
+// startServer boots a server on a random port and returns a connected
+// client connector.
+func startServer(t *testing.T) (*engine.Engine, *Client, func()) {
+	t.Helper()
+	eng := engine.Open(engine.GaiaDB())
+	srv := NewServer(eng)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, NewClient(addr, "remote-gaiadb"), func() { srv.Close() }
+}
+
+func TestRemoteExecAndQuery(t *testing.T) {
+	_, client, stop := startServer(t)
+	defer stop()
+
+	conn, err := client.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Exec("CREATE TABLE pts (id INTEGER, loc GEOMETRY)"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Exec("INSERT INTO pts VALUES (1, ST_MakePoint(1, 2)), (2, ST_MakePoint(3, 4))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("affected = %d", n)
+	}
+	rs, err := conn.Query("SELECT id, ST_AsText(loc) FROM pts ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Columns) != 2 || len(rs.Rows) != 2 {
+		t.Fatalf("result shape: %v, %d rows", rs.Columns, len(rs.Rows))
+	}
+	if rs.Rows[0][0].Int != 1 || rs.Rows[0][1].Text != "POINT (1 2)" {
+		t.Errorf("row 0 = %v", rs.Rows[0])
+	}
+	// Geometry values survive the wire encoding natively too.
+	rs, err = conn.Query("SELECT loc FROM pts WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Type != storage.TypeGeom {
+		t.Errorf("geometry column came back as %v", rs.Rows[0][0].Type)
+	}
+}
+
+func TestRemoteErrorPropagation(t *testing.T) {
+	_, client, stop := startServer(t)
+	defer stop()
+	conn, _ := client.Connect()
+	defer conn.Close()
+
+	if _, err := conn.Query("SELECT broken FROM nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("expected unknown-table error, got %v", err)
+	}
+	// The connection stays usable after an error.
+	if _, err := conn.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Errorf("connection unusable after error: %v", err)
+	}
+}
+
+func TestRemoteConcurrentClients(t *testing.T) {
+	_, client, stop := startServer(t)
+	defer stop()
+
+	setup, _ := client.Connect()
+	if _, err := setup.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec("INSERT INTO t VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := client.Connect()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < 30; i++ {
+				rs, err := conn.Query("SELECT COUNT(*) FROM t")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rs.Rows[0][0].Int != 3 {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClientClosedConn(t *testing.T) {
+	_, client, stop := startServer(t)
+	defer stop()
+	conn, _ := client.Connect()
+	conn.Close()
+	if _, err := conn.Exec("SELECT 1 FROM t"); err == nil {
+		t.Error("exec on closed connection should fail")
+	}
+	if err := conn.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	_, client, stop := startServer(t)
+	conn, err := client.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if _, err := conn.Query("SELECT 1 FROM t"); err == nil {
+		t.Error("query against closed server should fail")
+	}
+	conn.Close()
+}
+
+func TestDriverInterfaceCompliance(t *testing.T) {
+	var _ driver.Connector = (*Client)(nil)
+	var _ driver.Conn = (*clientConn)(nil)
+	eng := engine.Open(engine.MySpatial())
+	var _ driver.Connector = driver.NewInProc(eng)
+	if driver.NewInProc(eng).Name() != "myspatial" {
+		t.Error("in-proc connector name")
+	}
+}
+
+func TestLargeResultSet(t *testing.T) {
+	_, client, stop := startServer(t)
+	defer stop()
+	conn, err := client.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Exec("CREATE TABLE big (id INTEGER, payload TEXT, g GEOMETRY)"); err != nil {
+		t.Fatal(err)
+	}
+	// ~20k rows with text and geometry columns (several MB on the wire).
+	filler := strings.Repeat("x", 100)
+	for batch := 0; batch < 20; batch++ {
+		stmt := "INSERT INTO big VALUES "
+		for j := 0; j < 1000; j++ {
+			if j > 0 {
+				stmt += ", "
+			}
+			id := batch*1000 + j
+			stmt += "(" + itoa(id) + ", '" + filler + "', ST_MakePoint(" + itoa(id%100) + ", " + itoa(id/100) + "))"
+		}
+		if _, err := conn.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := conn.Query("SELECT id, payload, g FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 20000 {
+		t.Fatalf("rows = %d", len(rs.Rows))
+	}
+	seen := make(map[int64]bool, 20000)
+	for _, row := range rs.Rows {
+		if row[1].Text != filler || row[2].Type != storage.TypeGeom {
+			t.Fatal("row corrupted in transit")
+		}
+		seen[row[0].Int] = true
+	}
+	if len(seen) != 20000 {
+		t.Fatalf("distinct ids = %d", len(seen))
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestDecodeRowsCorrupt(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{1},
+		{1, 0, 5, 0},                // column name longer than payload
+		{0, 0, 1, 0, 0, 0},          // truncated row count payload
+		{0, 0, 1, 0, 0, 0, 9, 9, 9}, // garbage row length
+	}
+	for i, payload := range bad {
+		if _, _, err := decodeRows(payload); err == nil {
+			t.Errorf("case %d: corrupt payload decoded", i)
+		}
+	}
+}

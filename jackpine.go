@@ -1,0 +1,193 @@
+// Package jackpine is a from-scratch Go reproduction of "Jackpine: A
+// benchmark to evaluate spatial database performance" (Ray, Simion,
+// Demke Brown — ICDE 2011), together with everything the benchmark needs
+// to run: three complete spatial database engines (geometry model,
+// DE-9IM topology, overlay operations, R-tree/grid/B+tree indexes,
+// slotted-page storage with a buffer pool, a SQL layer with spatial
+// functions and index-aware planning), a deterministic TIGER-like data
+// generator, and a driver abstraction with in-process and TCP transports.
+//
+// This package is the public facade: it re-exports the pieces a
+// downstream user needs. Quick start:
+//
+//	eng := jackpine.OpenEngine(jackpine.GaiaDB())
+//	ds := jackpine.GenerateDataset(jackpine.ScaleSmall, 1)
+//	if err := jackpine.LoadDataset(eng, ds, true); err != nil { ... }
+//	res, err := eng.Exec("SELECT COUNT(*) FROM edges WHERE ST_Intersects(geo, ST_MakeEnvelope(0,0,500,500))")
+//
+// To benchmark:
+//
+//	ctx := jackpine.NewQueryContext(ds)
+//	results, err := jackpine.RunMicro(jackpine.Connect(eng), jackpine.MicroSuite(), ctx, jackpine.DefaultOptions())
+//	jackpine.WriteMicroTable(os.Stdout, results)
+package jackpine
+
+import (
+	sqldrv "database/sql/driver"
+	"io"
+
+	"jackpine/internal/core"
+	"jackpine/internal/driver"
+	"jackpine/internal/engine"
+	"jackpine/internal/sqldriver"
+	"jackpine/internal/tiger"
+	"jackpine/internal/wire"
+)
+
+// Engine aliases the spatial database engine type.
+type Engine = engine.Engine
+
+// Profile aliases an engine profile (semantics + architecture).
+type Profile = engine.Profile
+
+// Dataset aliases the generated TIGER-like dataset.
+type Dataset = tiger.Dataset
+
+// Scale aliases the dataset scale selector.
+type Scale = tiger.Scale
+
+// Dataset scales.
+const (
+	ScaleSmall  = tiger.Small
+	ScaleMedium = tiger.Medium
+	ScaleLarge  = tiger.Large
+)
+
+// Connector aliases the database-access abstraction the benchmark runs
+// against.
+type Connector = driver.Connector
+
+// Conn aliases one database session.
+type Conn = driver.Conn
+
+// ResultSet aliases a fully-retrieved query result.
+type ResultSet = driver.ResultSet
+
+// QueryContext aliases the deterministic workload-probe generator.
+type QueryContext = core.QueryContext
+
+// MicroQuery aliases one micro benchmark query.
+type MicroQuery = core.MicroQuery
+
+// MacroScenario aliases one macro workload scenario.
+type MacroScenario = core.MacroScenario
+
+// Options aliases the workload-runner options.
+type Options = core.Options
+
+// MicroResult aliases a micro query measurement.
+type MicroResult = core.MicroResult
+
+// MacroResult aliases a macro scenario measurement.
+type MacroResult = core.MacroResult
+
+// GaiaDB returns the PostGIS-like engine profile (exact DE-9IM topology,
+// R-tree index, full function set).
+func GaiaDB() Profile { return engine.GaiaDB() }
+
+// MySpatial returns the MySQL-5.x-like profile (MBR-only topological
+// predicates, reduced function set).
+func MySpatial() Profile { return engine.MySpatial() }
+
+// CommerceDB returns the anonymized commercial profile (exact topology,
+// fixed-grid index).
+func CommerceDB() Profile { return engine.CommerceDB() }
+
+// AllProfiles returns the three built-in profiles.
+func AllProfiles() []Profile { return engine.AllProfiles() }
+
+// OpenEngine creates an engine with the given profile.
+func OpenEngine(p Profile, opts ...engine.Option) *Engine { return engine.Open(p, opts...) }
+
+// Connect wraps a local engine in an in-process Connector.
+func Connect(eng *Engine) Connector { return driver.NewInProc(eng) }
+
+// ConnectRemote returns a Connector that dials a wire server (see
+// cmd/spatialdbd) at addr.
+func ConnectRemote(addr, name string) Connector { return wire.NewClient(addr, name) }
+
+// SQLConnector adapts a local engine to Go's database/sql:
+//
+//	db := sql.OpenDB(jackpine.SQLConnector(eng))
+//
+// Remote engines are reachable with sql.Open("jackpine",
+// "tcp://host:port") — importing this package registers the driver.
+// Geometry columns scan as WKB []byte; '?' placeholders are supported.
+func SQLConnector(eng *Engine) sqldrv.Connector { return sqldriver.NewConnector(eng) }
+
+// GenerateDataset builds the deterministic TIGER-like dataset.
+func GenerateDataset(scale Scale, seed int64) *Dataset { return tiger.Generate(scale, seed) }
+
+// LoadDataset creates the benchmark schema in the engine and loads the
+// dataset, optionally building all indexes.
+func LoadDataset(eng *Engine, ds *Dataset, withIndexes bool) error {
+	return tiger.Load(engineExecer{eng}, ds, withIndexes)
+}
+
+// LoadDatasetConn loads the dataset through any driver connection (for
+// remote engines).
+func LoadDatasetConn(conn Conn, ds *Dataset, withIndexes bool) error {
+	return tiger.Load(connExecer{conn}, ds, withIndexes)
+}
+
+type engineExecer struct{ e *Engine }
+
+// Exec implements tiger.Execer.
+func (a engineExecer) Exec(q string) error {
+	_, err := a.e.Exec(q)
+	return err
+}
+
+type connExecer struct{ c Conn }
+
+// Exec implements tiger.Execer.
+func (a connExecer) Exec(q string) error {
+	_, err := a.c.Exec(q)
+	return err
+}
+
+// NewQueryContext builds the deterministic probe generator for a dataset.
+func NewQueryContext(ds *Dataset) *QueryContext { return core.NewQueryContext(ds) }
+
+// TopologicalSuite returns the DE-9IM micro benchmark queries (MT1–MT15).
+func TopologicalSuite() []MicroQuery { return core.TopologicalSuite() }
+
+// AnalysisSuite returns the spatial-analysis micro benchmark queries
+// (MA1–MA12).
+func AnalysisSuite() []MicroQuery { return core.AnalysisSuite() }
+
+// MicroSuite returns both micro suites.
+func MicroSuite() []MicroQuery { return core.MicroSuite() }
+
+// MacroSuite returns the six macro workload scenarios (MS1–MS6).
+func MacroSuite() []MacroScenario { return core.MacroSuite() }
+
+// DefaultOptions returns the workload-runner defaults.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// RunMicro measures a micro suite against a connector.
+func RunMicro(c Connector, suite []MicroQuery, ctx *QueryContext, opts Options) ([]MicroResult, error) {
+	return core.RunMicro(c, suite, ctx, opts)
+}
+
+// RunMacro measures one macro scenario.
+func RunMacro(c Connector, sc MacroScenario, ctx *QueryContext, opts Options) MacroResult {
+	return core.RunMacro(c, sc, ctx, opts)
+}
+
+// RunMacroSuite measures all macro scenarios.
+func RunMacroSuite(c Connector, ctx *QueryContext, opts Options) []MacroResult {
+	return core.RunMacroSuite(c, ctx, opts)
+}
+
+// WriteMicroTable renders micro results as an aligned comparison table.
+func WriteMicroTable(w io.Writer, results []MicroResult) { core.WriteMicroTable(w, results) }
+
+// WriteMicroCSV renders micro results as CSV.
+func WriteMicroCSV(w io.Writer, results []MicroResult) { core.WriteMicroCSV(w, results) }
+
+// WriteMacroTable renders macro results as an aligned comparison table.
+func WriteMacroTable(w io.Writer, results []MacroResult) { core.WriteMacroTable(w, results) }
+
+// WriteMacroCSV renders macro results as CSV.
+func WriteMacroCSV(w io.Writer, results []MacroResult) { core.WriteMacroCSV(w, results) }
