@@ -9,9 +9,9 @@
 // Suites (-suite): all, dataset (E1), queries (the query-definition
 // catalog), micro-topo (E2), micro-analysis (E3), macro (E4),
 // index-effect (E5), scaleup (E6), mbr (E7), features (E8), cache (E9),
-// concurrency (E10), selectivity (E11), join-ablation (E12). Add
-// -full-joins to run the micro joins over the whole extent as the paper
-// did.
+// concurrency (E10), selectivity (E11), join-ablation (E12),
+// parallelism (E13). Add -full-joins to run the micro joins over the
+// whole extent as the paper did.
 package main
 
 import (
@@ -132,6 +132,7 @@ func run() error {
 		{"concurrency", func() error { return experiments.RunE10(out, env, []int{1, 2, 4, 8}) }},
 		{"selectivity", func() error { return experiments.RunE11(out, env) }},
 		{"join-ablation", func() error { return experiments.RunE12(out, cfg) }},
+		{"parallelism", func() error { return experiments.RunE13(out, cfg, []int{1, 2, 4, 8}) }},
 	}
 	ran := false
 	for _, s := range steps {

@@ -50,14 +50,14 @@ func WriteMicroTable(w io.Writer, results []MicroResult) {
 
 // WriteMicroCSV renders micro results as CSV.
 func WriteMicroCSV(w io.Writer, results []MicroResult) {
-	fmt.Fprintln(w, "id,name,category,engine,runs,mean_us,median_us,p95_us,min_us,max_us,rows,unsupported,error")
+	fmt.Fprintln(w, "id,name,category,engine,runs,parallelism,mean_us,median_us,p95_us,min_us,max_us,rows,unsupported,error")
 	for _, r := range results {
 		errMsg := ""
 		if r.Err != nil {
 			errMsg = strings.ReplaceAll(r.Err.Error(), ",", ";")
 		}
-		fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%v,%s\n",
-			r.ID, csvQuote(r.Name), r.Category, r.Engine, r.Runs,
+		fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%v,%s\n",
+			r.ID, csvQuote(r.Name), r.Category, r.Engine, r.Runs, r.Parallelism,
 			r.Mean.Microseconds(), r.Median.Microseconds(), r.P95.Microseconds(),
 			r.Min.Microseconds(), r.Max.Microseconds(), r.Rows, r.Unsupported, errMsg)
 	}
@@ -104,14 +104,14 @@ func WriteMacroTable(w io.Writer, results []MacroResult) {
 
 // WriteMacroCSV renders macro results as CSV.
 func WriteMacroCSV(w io.Writer, results []MacroResult) {
-	fmt.Fprintln(w, "id,name,engine,clients,ops,elapsed_ms,ops_per_sec,mean_latency_us,rows_per_op,unsupported,error")
+	fmt.Fprintln(w, "id,name,engine,clients,parallelism,ops,elapsed_ms,ops_per_sec,mean_latency_us,rows_per_op,unsupported,error")
 	for _, r := range results {
 		errMsg := ""
 		if r.Err != nil {
 			errMsg = strings.ReplaceAll(r.Err.Error(), ",", ";")
 		}
-		fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%.3f,%d,%.1f,%v,%s\n",
-			r.ID, csvQuote(r.Name), r.Engine, r.Clients, r.Ops,
+		fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%.3f,%d,%.1f,%v,%s\n",
+			r.ID, csvQuote(r.Name), r.Engine, r.Clients, r.Parallelism, r.Ops,
 			r.Elapsed.Milliseconds(), r.Throughput, r.MeanLatency.Microseconds(),
 			r.RowsPerOp, r.Unsupported, errMsg)
 	}

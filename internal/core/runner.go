@@ -20,6 +20,11 @@ type Options struct {
 	// throughput measurement (micro queries always run single-stream,
 	// as in the paper).
 	Clients int
+	// Parallelism records the engine's intra-query worker pool size for
+	// this run (0 = engine default). The runner does not configure the
+	// engine — callers set the knob (engine.SetParallelism) and report
+	// the value here so results carry the dimension.
+	Parallelism int
 }
 
 // DefaultOptions returns the runner defaults: 2 warmup iterations, 5
@@ -52,6 +57,7 @@ type MicroResult struct {
 	Min         time.Duration
 	Max         time.Duration
 	Rows        int // rows returned by the last measured run
+	Parallelism int // engine worker pool size during the run (0 = default)
 	Unsupported bool
 	Err         error
 }
@@ -62,6 +68,7 @@ type MacroResult struct {
 	Name        string
 	Engine      string
 	Clients     int
+	Parallelism int // engine worker pool size during the run (0 = default)
 	Ops         int
 	Elapsed     time.Duration
 	Throughput  float64 // operations per second
@@ -92,6 +99,7 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 		res := MicroResult{
 			ID: q.ID, Name: q.Name, Category: q.Category,
 			Engine: connector.Name(), Runs: opts.Runs,
+			Parallelism: opts.Parallelism,
 		}
 		// Warmup (also surfaces unsupported functions cheaply).
 		aborted := false
@@ -154,6 +162,7 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 	opts = opts.normalized()
 	res := MacroResult{
 		ID: sc.ID, Name: sc.Name, Engine: connector.Name(), Clients: opts.Clients,
+		Parallelism: opts.Parallelism,
 	}
 
 	// Feature probe: run one operation; an unsupported error marks the

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// salesEngine builds a small grouped-aggregation fixture.
+func salesEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := Open(GaiaDB())
+	e.MustExec("CREATE TABLE sales (region TEXT, amount INTEGER)")
+	e.MustExec("INSERT INTO sales VALUES " +
+		"('west', 10), ('west', 20), ('west', 5), " +
+		"('east', 100), ('east', 1), " +
+		"('north', 7)")
+	return e
+}
+
+// TestAggregateOrderByOrdinal covers sortAggregateRows' 1-based ordinal
+// keys (ORDER BY 2 DESC).
+func TestAggregateOrderByOrdinal(t *testing.T) {
+	e := salesEngine(t)
+	res := e.MustExec("SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY 2 DESC, region")
+	want := [][2]any{{"west", int64(3)}, {"east", int64(2)}, {"north", int64(1)}}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, w := range want {
+		if res.Rows[i][0].Text != w[0] || res.Rows[i][1].Int != w[1] {
+			t.Errorf("row %d = %v %v, want %v", i, res.Rows[i][0], res.Rows[i][1], w)
+		}
+	}
+}
+
+// TestAggregateOrderByAlias covers alias and textual-expression key
+// resolution after grouping.
+func TestAggregateOrderByAlias(t *testing.T) {
+	e := salesEngine(t)
+	res := e.MustExec("SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY total DESC")
+	if res.Rows[0][0].Text != "east" || res.Rows[0][1].Int != 101 {
+		t.Errorf("top row = %v", res.Rows[0])
+	}
+	if res.Rows[2][0].Text != "north" {
+		t.Errorf("bottom row = %v", res.Rows[2])
+	}
+
+	// The same key referenced by its expression text, without an alias.
+	res = e.MustExec("SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY SUM(amount)")
+	if res.Rows[0][0].Text != "north" || res.Rows[2][0].Text != "east" {
+		t.Errorf("expr-keyed order = %v", res.Rows)
+	}
+}
+
+// TestAggregateOrderByErrors rejects keys that are not output columns.
+func TestAggregateOrderByErrors(t *testing.T) {
+	e := salesEngine(t)
+	if _, err := e.Exec("SELECT region FROM sales GROUP BY region ORDER BY amount"); err == nil ||
+		!strings.Contains(err.Error(), "output column") {
+		t.Errorf("non-output column accepted: %v", err)
+	}
+	if _, err := e.Exec("SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY 3"); err == nil {
+		t.Error("out-of-range ordinal accepted")
+	}
+}

@@ -30,8 +30,10 @@ type Engine struct {
 type Option func(*options)
 
 type options struct {
-	store     storage.PageStore
-	poolPages int
+	store       storage.PageStore
+	poolPages   int
+	parallelism int
+	parSet      bool
 }
 
 // WithStore backs the engine with a custom page store (e.g. a FileStore).
@@ -42,6 +44,13 @@ func WithStore(s storage.PageStore) Option {
 // WithPoolPages overrides the buffer pool size in pages.
 func WithPoolPages(n int) Option {
 	return func(o *options) { o.poolPages = n }
+}
+
+// WithParallelism sizes the worker pool used for parallel-eligible
+// query plans. n <= 0 means GOMAXPROCS; 1 forces serial execution.
+// Overrides the profile's Parallelism.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n; o.parSet = true }
 }
 
 // Open creates an engine with the given profile.
@@ -67,7 +76,27 @@ func Open(profile Profile, opts ...Option) *Engine {
 		reg:     sql.NewRegistry(profile.registryOptions()),
 	}
 	e.runner = sql.NewRunner(e, e.reg)
+	par := profile.Parallelism
+	if o.parSet {
+		par = o.parallelism
+	}
+	e.runner.SetParallelism(par)
 	return e
+}
+
+// SetParallelism resizes the intra-query worker pool at runtime.
+// n <= 0 resets to GOMAXPROCS; 1 forces serial execution.
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runner.SetParallelism(n)
+}
+
+// Parallelism reports the configured worker pool size.
+func (e *Engine) Parallelism() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.runner.Parallelism()
 }
 
 // Profile returns the engine's profile.
@@ -91,10 +120,13 @@ func (e *Engine) Exec(query string) (*sql.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, isSelect := stmt.(*sql.Select); isSelect {
+	switch stmt.(type) {
+	case *sql.Select, *sql.Explain:
+		// Read-only statements share the read lock: EXPLAIN plans a
+		// query without executing it and must not serialize readers.
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-	} else {
+	default:
 		e.mu.Lock()
 		defer e.mu.Unlock()
 	}

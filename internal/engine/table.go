@@ -152,6 +152,24 @@ func (t *table) Scan(fn func(sql.RowID, []storage.Value) bool) error {
 	return err
 }
 
+// ScanShard implements sql.Table: like Scan, restricted to the shard'th
+// of nshards contiguous page partitions of the heap.
+func (t *table) ScanShard(shard, nshards int, fn func(sql.RowID, []storage.Value) bool) error {
+	var decodeErr error
+	err := t.heap.ScanShard(shard, nshards, func(rid storage.RecordID, tuple []byte) bool {
+		row, err := storage.DecodeTuple(tuple, len(t.cols))
+		if err != nil {
+			decodeErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+			return false
+		}
+		return fn(sql.PackRowID(rid), row)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
 // Fetch implements sql.Table.
 func (t *table) Fetch(id sql.RowID) ([]storage.Value, error) {
 	tuple, err := t.heap.Get(id.Unpack())

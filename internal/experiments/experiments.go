@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"jackpine/internal/core"
@@ -506,5 +507,58 @@ func RunE12(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "%-24s %14s\n", "index nested loop", withIdx[0].Mean.Round(time.Microsecond))
 	fmt.Fprintf(w, "%-24s %14s\n", "block nested loop", withoutIdx[0].Mean.Round(time.Microsecond))
 	fmt.Fprintf(w, "index speedup: %.1fx\n", float64(withoutIdx[0].Mean)/float64(withIdx[0].Mean))
+	return nil
+}
+
+// RunE13 regenerates the intra-query parallelism scaling figure: a
+// scan-heavy aggregate (MA2, full scan over edges) and a
+// refinement-heavy spatial window (MA6, R-tree candidates + exact
+// distance refinement over pointlm) at increasing worker counts on
+// GaiaDB. Results are identical at every parallelism level; only the
+// response time moves. (Tables below the 256-row parallel threshold
+// keep the serial plan regardless of the knob.)
+func RunE13(w io.Writer, cfg Config, workers []int) error {
+	header(w, "E13", "intra-query parallelism scaling", cfg)
+	ds := tiger.Generate(cfg.Scale, cfg.Seed)
+	ctx := core.NewQueryContext(ds)
+	keep := map[string]bool{"MA2": true, "MA6": true}
+	var queries []core.MicroQuery
+	for _, q := range core.MicroSuite() {
+		if keep[q.ID] {
+			queries = append(queries, q)
+		}
+	}
+	eng := engine.Open(engine.GaiaDB())
+	if err := tiger.Load(engineExecer{eng}, ds, true); err != nil {
+		return err
+	}
+	conn := driver.NewInProc(eng)
+
+	fmt.Fprintf(w, "machine: %d CPUs (GOMAXPROCS %d)\n\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-9s", "workers")
+	for _, q := range queries {
+		fmt.Fprintf(w, " %12s %9s", q.ID, "speedup")
+	}
+	fmt.Fprintln(w)
+	base := make([]time.Duration, len(queries))
+	for _, n := range workers {
+		eng.SetParallelism(n)
+		opts := cfg.Opts
+		opts.Parallelism = n
+		res, err := core.RunMicro(conn, queries, ctx, opts)
+		if err != nil {
+			eng.SetParallelism(0)
+			return err
+		}
+		fmt.Fprintf(w, "%-9d", n)
+		for i, r := range res {
+			if base[i] == 0 {
+				base[i] = r.Mean
+			}
+			fmt.Fprintf(w, " %12s %8.2fx", r.Mean.Round(time.Microsecond), float64(base[i])/float64(r.Mean))
+		}
+		fmt.Fprintln(w)
+	}
+	eng.SetParallelism(0)
 	return nil
 }

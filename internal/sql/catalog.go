@@ -55,6 +55,12 @@ type Table interface {
 	Columns() []Column
 	// Scan iterates all rows, stopping when fn returns false.
 	Scan(fn func(id RowID, row []storage.Value) bool) error
+	// ScanShard iterates the shard'th of nshards page partitions.
+	// Partitions are disjoint and contiguous: visiting shards
+	// 0..nshards-1 in order reproduces exactly the rows (and order)
+	// of Scan, which lets parallel scans merge deterministically.
+	// Shards may be scanned concurrently.
+	ScanShard(shard, nshards int, fn func(id RowID, row []storage.Value) bool) error
 	// Fetch returns the row with the given id.
 	Fetch(id RowID) ([]storage.Value, error)
 	// Insert appends a row and maintains indexes.

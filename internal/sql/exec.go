@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"math/big"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -30,16 +32,32 @@ type Result struct {
 type Runner struct {
 	cat Catalog
 	reg *Registry
+	par int // worker pool size for parallel-eligible queries (>= 1)
 }
 
 // NewRunner creates an executor over the catalog using the registry's
-// function semantics.
+// function semantics. Parallelism defaults to GOMAXPROCS.
 func NewRunner(cat Catalog, reg *Registry) *Runner {
-	return &Runner{cat: cat, reg: reg}
+	r := &Runner{cat: cat, reg: reg}
+	r.SetParallelism(0)
+	return r
 }
 
 // Registry returns the function registry (engine feature inspection).
 func (r *Runner) Registry() *Registry { return r.reg }
+
+// SetParallelism sets the worker pool size used by parallel-eligible
+// query plans. n <= 0 resets to runtime.GOMAXPROCS(0); 1 forces serial
+// execution. Not safe to call concurrently with running queries.
+func (r *Runner) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	r.par = n
+}
+
+// Parallelism reports the configured worker pool size.
+func (r *Runner) Parallelism() int { return r.par }
 
 // Run parses and executes one SQL statement.
 func (r *Runner) Run(query string) (*Result, error) {
@@ -262,9 +280,10 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 	// probe, hash probe or nested loop, applying stage filters.
 	hashBuilt := make([]map[string][][]storage.Value, len(tables))
 	var produce func(stage int, prefix []storage.Value, emit emitFn) (bool, error)
-	produce = func(stage int, prefix []storage.Value, emit emitFn) (bool, error) {
-		bt := tables[stage]
-		emitRow := func(row []storage.Value) (bool, error) {
+	// stageEmit wraps a downstream emit with this stage's residual
+	// filters and the chain into the next pipeline stage.
+	stageEmit := func(stage int, emit emitFn) emitFn {
+		return func(row []storage.Value) (bool, error) {
 			for _, f := range stageFilters[stage] {
 				v, err := Eval(f, row, r.reg)
 				if err != nil {
@@ -279,6 +298,10 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 			}
 			return produce(stage+1, row, emit)
 		}
+	}
+	produce = func(stage int, prefix []storage.Value, emit emitFn) (bool, error) {
+		bt := tables[stage]
+		emitRow := stageEmit(stage, emit)
 		if paths[stage].kind == accessHashJoin {
 			return r.scanHashJoin(bt.tbl, paths[stage], prefix, scope.Len(), bt.lo,
 				&hashBuilt[stage], emitRow)
@@ -286,21 +309,55 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		return r.scanTable(bt.tbl, paths[stage], prefix, scope.Len(), bt.lo, emitRow)
 	}
 
+	// Intra-query parallelism: when the plan qualifies, stage 0 fans
+	// out across a worker pool (join stages run inside each worker) and
+	// shard results merge deterministically in shard order.
+	workers := r.parallelWorkers(sel, tables[0].tbl, paths[0].kind, hasAgg, knn)
+
 	// Sinks: aggregation, ordering, limit, projection.
 	res := &Result{}
+	labels := make([]string, len(tables))
+	for i := range tables {
+		labels[i] = paths[i].kind.String()
+		if i == 0 && workers > 1 {
+			labels[i] = fmt.Sprintf("parallel %s (%d workers)", labels[i], workers)
+		}
+	}
 	for i, bt := range tables {
-		res.Access = append(res.Access, bt.binding+":"+paths[i].kind.String())
+		res.Access = append(res.Access, bt.binding+":"+labels[i])
 	}
 	if explainOnly {
 		res.Columns = []string{"table", "access", "rows"}
 		for i, bt := range tables {
 			res.Rows = append(res.Rows, []storage.Value{
 				storage.NewText(bt.binding),
-				storage.NewText(paths[i].kind.String()),
+				storage.NewText(labels[i]),
 				storage.NewInt(int64(bt.tbl.RowCount())),
 			})
 		}
 		return res, nil
+	}
+
+	// Build the per-shard stage-0 runner for parallel plans. Hash-join
+	// build sides are materialized up front: the lazy build inside
+	// scanHashJoin would race once workers share it.
+	var runShard shardFn
+	if workers > 1 {
+		for i := range tables {
+			if paths[i].kind == accessHashJoin {
+				built, err := r.buildHashTable(tables[i].tbl, paths[i])
+				if err != nil {
+					return nil, err
+				}
+				hashBuilt[i] = built
+			}
+		}
+		var err error
+		runShard, err = r.makeShardRunner(tables[0].tbl, paths[0], scope.Len(), tables[0].lo,
+			workers, func(emit emitFn) emitFn { return stageEmit(0, emit) })
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Output column names.
@@ -338,9 +395,35 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		return out, nil
 	}
 
+	// For non-aggregate parallel plans the shards are gathered up front
+	// (these sinks materialize anyway) and replayed in shard order, so
+	// downstream logic is identical to the serial path.
+	prod := produce
+	if workers > 1 && !hasAgg {
+		merged, err := gatherShards(workers, runShard)
+		if err != nil {
+			return nil, err
+		}
+		prod = func(_ int, _ []storage.Value, emit emitFn) (bool, error) {
+			for _, row := range merged {
+				cont, err := emit(row)
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+			return true, nil
+		}
+	}
+
 	switch {
 	case hasAgg:
-		rows, err := r.runAggregate(sel, scope, produce)
+		var rows [][]storage.Value
+		var err error
+		if workers > 1 {
+			rows, err = r.runAggregateParallel(sel, scope, workers, runShard)
+		} else {
+			rows, err = r.runAggregate(sel, scope, produce)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -388,7 +471,7 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 			keys []storage.Value
 		}
 		var all []keyedRow
-		_, err := produce(0, nil, func(row []storage.Value) (bool, error) {
+		_, err := prod(0, nil, func(row []storage.Value) (bool, error) {
 			kr := keyedRow{row: append([]storage.Value(nil), row...)}
 			for _, ok := range sel.OrderBy {
 				v, err := Eval(ok.Expr, row, r.reg)
@@ -435,7 +518,7 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		limit := sel.Limit
 		offset := sel.Offset
 		skipped := 0
-		_, err := produce(0, nil, func(row []storage.Value) (bool, error) {
+		_, err := prod(0, nil, func(row []storage.Value) (bool, error) {
 			if skipped < offset {
 				skipped++
 				return true, nil
@@ -686,19 +769,29 @@ func hashJoinKey(v storage.Value) (string, bool) {
 	return string(storage.EncodeTuple([]storage.Value{v})), true
 }
 
+// buildHashTable materializes a hash join's build side, bucketed by the
+// join key of the build column.
+func (r *Runner) buildHashTable(tbl Table, path accessPath) (map[string][][]storage.Value, error) {
+	table := make(map[string][][]storage.Value)
+	err := tbl.Scan(func(_ RowID, row []storage.Value) bool {
+		if key, ok := hashJoinKey(row[path.hashCol]); ok {
+			table[key] = append(table[key], append([]storage.Value(nil), row...))
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
 // scanHashJoin probes the build table (materialized once per query) with
 // the outer row's key.
 func (r *Runner) scanHashJoin(tbl Table, path accessPath, prefix []storage.Value,
 	width, lo int, built *map[string][][]storage.Value, emit emitFn) (bool, error) {
 
 	if *built == nil {
-		table := make(map[string][][]storage.Value)
-		err := tbl.Scan(func(_ RowID, row []storage.Value) bool {
-			if key, ok := hashJoinKey(row[path.hashCol]); ok {
-				table[key] = append(table[key], append([]storage.Value(nil), row...))
-			}
-			return true
-		})
+		table, err := r.buildHashTable(tbl, path)
 		if err != nil {
 			return false, err
 		}
@@ -852,11 +945,13 @@ func appendKeyComponent(dst []byte, v storage.Value, colType storage.ValueType) 
 	return nil, false
 }
 
-// --- aggregation// --- aggregation ---------------------------------------------------------
+// --- aggregation ---------------------------------------------------------
 
 type aggState struct {
 	count   int64
-	sum     float64
+	sum     *big.Float // exact SUM/AVG accumulator, lazily allocated
+	sumBad  float64    // non-finite inputs, kept outside the exact sum
+	hasBad  bool
 	sumInt  int64
 	intOnly bool
 	min     storage.Value
@@ -866,10 +961,39 @@ type aggState struct {
 	extent  geom.Rect       // ST_EXTENT accumulator
 }
 
-func (r *Runner) runAggregate(sel *Select, scope *Scope,
-	produce func(stage int, prefix []storage.Value, emit emitFn) (bool, error)) ([][]storage.Value, error) {
+// sumPrec makes big.Float addition of float64 terms exact: the full
+// double exponent range (~2098 bits) plus headroom for carries, so the
+// sum is independent of accumulation order and serial and parallel
+// plans produce bit-identical SUM/AVG results.
+const sumPrec = 2304
 
-	// Collect distinct aggregate calls across the select list.
+// addSum folds one finite or non-finite term into the accumulator.
+func (st *aggState) addSum(f float64) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		st.sumBad += f
+		st.hasBad = true
+		return
+	}
+	if st.sum == nil {
+		st.sum = new(big.Float).SetPrec(sumPrec)
+	}
+	st.sum.Add(st.sum, new(big.Float).SetPrec(sumPrec).SetFloat64(f))
+}
+
+// sumFloat rounds the exact accumulator to float64.
+func (st *aggState) sumFloat() float64 {
+	var f float64
+	if st.sum != nil {
+		f, _ = st.sum.Float64()
+	}
+	if st.hasBad {
+		f += st.sumBad
+	}
+	return f
+}
+
+// collectAggregates gathers the aggregate calls of the select list.
+func collectAggregates(sel *Select) ([]*FuncCall, error) {
 	var aggs []*FuncCall
 	for _, se := range sel.Exprs {
 		if se.Star {
@@ -881,63 +1005,131 @@ func (r *Runner) runAggregate(sel *Select, scope *Scope,
 			}
 		})
 	}
+	return aggs, nil
+}
 
-	type group struct {
-		firstRow []storage.Value
-		states   []aggState
-	}
-	groups := make(map[string]*group)
-	var order []string
+// aggGroup holds one group's representative row and aggregate states.
+type aggGroup struct {
+	firstRow []storage.Value
+	states   []aggState
+}
 
-	_, err := produce(0, nil, func(row []storage.Value) (bool, error) {
-		var keyVals []storage.Value
-		for _, g := range sel.GroupBy {
-			v, err := Eval(g, row, r.reg)
-			if err != nil {
-				return false, err
-			}
-			keyVals = append(keyVals, v)
+// aggregator folds rows into grouped aggregate states. Each worker of a
+// parallel plan owns one; partials merge in shard order, which keeps
+// group order and tie-breaks identical to a serial run.
+type aggregator struct {
+	sel    *Select
+	reg    *Registry
+	aggs   []*FuncCall
+	groups map[string]*aggGroup
+	order  []string // group keys in first-seen order
+}
+
+func newAggregator(sel *Select, reg *Registry, aggs []*FuncCall) *aggregator {
+	return &aggregator{sel: sel, reg: reg, aggs: aggs, groups: make(map[string]*aggGroup)}
+}
+
+// add is the aggregation sink (an emitFn).
+func (a *aggregator) add(row []storage.Value) (bool, error) {
+	var keyVals []storage.Value
+	for _, g := range a.sel.GroupBy {
+		v, err := Eval(g, row, a.reg)
+		if err != nil {
+			return false, err
 		}
-		key := string(storage.EncodeTuple(keyVals))
-		grp, ok := groups[key]
+		keyVals = append(keyVals, v)
+	}
+	key := string(storage.EncodeTuple(keyVals))
+	grp, ok := a.groups[key]
+	if !ok {
+		grp = &aggGroup{
+			firstRow: append([]storage.Value(nil), row...),
+			states:   make([]aggState, len(a.aggs)),
+		}
+		for i := range grp.states {
+			grp.states[i].intOnly = true
+		}
+		a.groups[key] = grp
+		a.order = append(a.order, key)
+	}
+	for i, fc := range a.aggs {
+		if err := accumulate(&grp.states[i], fc, row, a.reg); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// merge folds src (a later shard) into a. Groups unseen by a keep their
+// src state; shared groups merge state-wise with a (the earlier shard)
+// winning ties, matching serial first-seen semantics.
+func (a *aggregator) merge(src *aggregator) {
+	for _, key := range src.order {
+		sg := src.groups[key]
+		dg, ok := a.groups[key]
 		if !ok {
-			grp = &group{
-				firstRow: append([]storage.Value(nil), row...),
-				states:   make([]aggState, len(aggs)),
-			}
-			for i := range grp.states {
-				grp.states[i].intOnly = true
-			}
-			groups[key] = grp
-			order = append(order, key)
+			a.groups[key] = sg
+			a.order = append(a.order, key)
+			continue
 		}
-		for i, fc := range aggs {
-			if err := accumulate(&grp.states[i], fc, row, r.reg); err != nil {
-				return false, err
-			}
+		for i := range dg.states {
+			mergeState(&dg.states[i], &sg.states[i])
 		}
-		return true, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	// A global aggregate over zero rows still yields one output row.
-	if len(sel.GroupBy) == 0 && len(groups) == 0 {
-		key := ""
-		groups[key] = &group{firstRow: make([]storage.Value, scope.Len()), states: make([]aggState, len(aggs))}
-		order = append(order, key)
-	}
+}
 
+// mergeState folds a later shard's partial state into dst.
+func mergeState(dst, src *aggState) {
+	dst.count += src.count
+	if src.sum != nil {
+		if dst.sum == nil {
+			dst.sum = src.sum
+		} else {
+			dst.sum.Add(dst.sum, src.sum)
+		}
+	}
+	if src.hasBad {
+		dst.sumBad += src.sumBad
+		dst.hasBad = true
+	}
+	dst.sumInt += src.sumInt
+	dst.intOnly = dst.intOnly && src.intOnly
+	if src.seen {
+		if !dst.seen {
+			dst.min = src.min
+			dst.max = src.max
+			dst.extent = src.extent
+		} else {
+			if c, _ := storage.Compare(src.min, dst.min); c < 0 {
+				dst.min = src.min
+			}
+			if c, _ := storage.Compare(src.max, dst.max); c > 0 {
+				dst.max = src.max
+			}
+			dst.extent = dst.extent.Union(src.extent)
+		}
+	}
+	dst.seen = dst.seen || src.seen
+	dst.geoms = append(dst.geoms, src.geoms...)
+}
+
+// rows finalizes every group (in first-seen order) into output rows.
+func (a *aggregator) rows(scopeLen int) ([][]storage.Value, error) {
+	// A global aggregate over zero rows still yields one output row.
+	if len(a.sel.GroupBy) == 0 && len(a.groups) == 0 {
+		a.groups[""] = &aggGroup{firstRow: make([]storage.Value, scopeLen), states: make([]aggState, len(a.aggs))}
+		a.order = append(a.order, "")
+	}
 	var out [][]storage.Value
-	for _, key := range order {
-		grp := groups[key]
-		aggVals := make(map[*FuncCall]storage.Value, len(aggs))
-		for i, fc := range aggs {
+	for _, key := range a.order {
+		grp := a.groups[key]
+		aggVals := make(map[*FuncCall]storage.Value, len(a.aggs))
+		for i, fc := range a.aggs {
 			aggVals[fc] = finalize(&grp.states[i], fc)
 		}
 		var row []storage.Value
-		for _, se := range sel.Exprs {
-			v, err := evalWithAggs(se.Expr, grp.firstRow, r.reg, aggVals)
+		for _, se := range a.sel.Exprs {
+			v, err := evalWithAggs(se.Expr, grp.firstRow, a.reg, aggVals)
 			if err != nil {
 				return nil, err
 			}
@@ -946,6 +1138,20 @@ func (r *Runner) runAggregate(sel *Select, scope *Scope,
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+func (r *Runner) runAggregate(sel *Select, scope *Scope,
+	produce func(stage int, prefix []storage.Value, emit emitFn) (bool, error)) ([][]storage.Value, error) {
+
+	aggs, err := collectAggregates(sel)
+	if err != nil {
+		return nil, err
+	}
+	agg := newAggregator(sel, r.reg, aggs)
+	if _, err := produce(0, nil, agg.add); err != nil {
+		return nil, err
+	}
+	return agg.rows(scope.Len())
 }
 
 func accumulate(st *aggState, fc *FuncCall, row []storage.Value, reg *Registry) error {
@@ -980,7 +1186,7 @@ func accumulate(st *aggState, fc *FuncCall, row []storage.Value, reg *Registry) 
 		if !ok {
 			return fmt.Errorf("sql: %s over %s", fc.Name, v.Type)
 		}
-		st.sum += f
+		st.addSum(f)
 		if v.Type == storage.TypeInt {
 			st.sumInt += v.Int
 		} else {
@@ -1014,12 +1220,12 @@ func finalize(st *aggState, fc *FuncCall) storage.Value {
 		if st.intOnly {
 			return storage.NewInt(st.sumInt)
 		}
-		return storage.NewFloat(st.sum)
+		return storage.NewFloat(st.sumFloat())
 	case "AVG":
 		if st.count == 0 {
 			return storage.Null()
 		}
-		return storage.NewFloat(st.sum / float64(st.count))
+		return storage.NewFloat(st.sumFloat() / float64(st.count))
 	case "MIN":
 		if !st.seen {
 			return storage.Null()

@@ -220,6 +220,27 @@ func (h *HeapFile) Scan(fn func(rid RecordID, tuple []byte) bool) error {
 	h.mu.RLock()
 	pages := append([]uint32(nil), h.pages...)
 	h.mu.RUnlock()
+	return h.scanPages(pages, fn)
+}
+
+// ScanShard calls fn for every live tuple in the shard'th of nshards
+// page partitions. Partitions are contiguous page ranges, so visiting
+// shards 0..nshards-1 in order reproduces exactly the tuples (and
+// order) of Scan. Shards are disjoint; safe for concurrent use.
+func (h *HeapFile) ScanShard(shard, nshards int, fn func(rid RecordID, tuple []byte) bool) error {
+	if nshards < 1 || shard < 0 || shard >= nshards {
+		return fmt.Errorf("storage: shard %d of %d out of range", shard, nshards)
+	}
+	h.mu.RLock()
+	pages := append([]uint32(nil), h.pages...)
+	h.mu.RUnlock()
+	lo := shard * len(pages) / nshards
+	hi := (shard + 1) * len(pages) / nshards
+	return h.scanPages(pages[lo:hi], fn)
+}
+
+// scanPages drives Scan/ScanShard over the given data pages.
+func (h *HeapFile) scanPages(pages []uint32, fn func(rid RecordID, tuple []byte) bool) error {
 	for _, pid := range pages {
 		buf, err := h.pool.Pin(pid)
 		if err != nil {

@@ -492,3 +492,72 @@ func TestHeapWithSmallPoolThrashes(t *testing.T) {
 		t.Error("expected evictions with a tiny pool")
 	}
 }
+
+func TestHeapScanShard(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(), 32)
+	h := NewHeapFile(pool)
+	// Mix in one overflow tuple so shard scans cross the overflow path.
+	big := strings.Repeat("jackpine ", 4000)
+	for i := 0; i < 500; i++ {
+		val := NewText(fmt.Sprintf("row %d", i))
+		if i == 123 {
+			val = NewText(big)
+		}
+		if _, err := h.Insert(EncodeTuple([]Value{NewInt(int64(i)), val})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := func(scan func(fn func(RecordID, []byte) bool) error) []int64 {
+		var ids []int64
+		if err := scan(func(_ RecordID, tuple []byte) bool {
+			vals, err := DecodeTuple(tuple, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, vals[0].Int)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+	want := full(h.Scan)
+	if len(want) != 500 {
+		t.Fatalf("scan saw %d", len(want))
+	}
+	// Concatenating shards 0..n-1 reproduces the Scan order exactly, for
+	// any shard count (including more shards than pages).
+	for _, nshards := range []int{1, 2, 3, 7, 64, 10000} {
+		var got []int64
+		for s := 0; s < nshards; s++ {
+			got = append(got, full(func(fn func(RecordID, []byte) bool) error {
+				return h.ScanShard(s, nshards, fn)
+			})...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("nshards=%d: %d tuples, want %d", nshards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("nshards=%d: order diverges at %d: %d vs %d", nshards, i, got[i], want[i])
+			}
+		}
+	}
+	// Early stop applies within a shard (a shard may own zero pages, so
+	// walk shards in order until tuples appear).
+	n := 0
+	for s := 0; s < 2 && n < 3; s++ {
+		if err := h.ScanShard(s, 2, func(RecordID, []byte) bool { n++; return n < 3 }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 3 {
+		t.Errorf("early stop saw %d", n)
+	}
+	// Out-of-range shards are rejected.
+	for _, bad := range [][2]int{{-1, 4}, {4, 4}, {0, 0}} {
+		if err := h.ScanShard(bad[0], bad[1], func(RecordID, []byte) bool { return true }); err == nil {
+			t.Errorf("ScanShard(%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+}

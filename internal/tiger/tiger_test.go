@@ -2,6 +2,7 @@ package tiger
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"jackpine/internal/engine"
@@ -151,9 +152,10 @@ func TestLoadIntoEngine(t *testing.T) {
 	if res.Access[0] != "edges:btree-range" || res.Rows[0][0].Int != 1 {
 		t.Errorf("address lookup: %v rows (%v)", res.Rows[0][0], res.Access)
 	}
-	// Window query drives the spatial index.
+	// Window query drives the spatial index (fanned out across workers
+	// on multi-core machines, hence the prefix/substring check).
 	res = e.MustExec("SELECT COUNT(*) FROM pointlm WHERE ST_Intersects(geo, ST_MakeEnvelope(0, 0, 500, 500))")
-	if res.Access[0] != "pointlm:spatial-index" {
+	if !strings.HasPrefix(res.Access[0], "pointlm:") || !strings.Contains(res.Access[0], "spatial-index") {
 		t.Errorf("window access = %v", res.Access)
 	}
 	// Geometries round-tripped through WKT/WKB intact.
@@ -170,7 +172,7 @@ func TestLoadWithoutIndexes(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := e.MustExec("SELECT COUNT(*) FROM pointlm WHERE ST_Intersects(geo, ST_MakeEnvelope(0, 0, 500, 500))")
-	if res.Access[0] != "pointlm:seqscan" {
+	if !strings.HasPrefix(res.Access[0], "pointlm:") || !strings.Contains(res.Access[0], "seqscan") {
 		t.Errorf("unindexed access = %v", res.Access)
 	}
 }

@@ -99,6 +99,10 @@ func AllProfiles() []Profile { return engine.AllProfiles() }
 // OpenEngine creates an engine with the given profile.
 func OpenEngine(p Profile, opts ...engine.Option) *Engine { return engine.Open(p, opts...) }
 
+// WithParallelism sets the engine's intra-query worker pool size
+// (0 = GOMAXPROCS, 1 = serial). See also Engine.SetParallelism.
+func WithParallelism(n int) engine.Option { return engine.WithParallelism(n) }
+
 // Connect wraps a local engine in an in-process Connector.
 func Connect(eng *Engine) Connector { return driver.NewInProc(eng) }
 
