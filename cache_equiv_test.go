@@ -1,0 +1,81 @@
+package jackpine
+
+import (
+	"testing"
+)
+
+// TestCacheEquivalence runs the entire micro suite (MT1–MT15, MA1–MA12)
+// on two engines — decode-layer caches disabled versus enabled — at
+// parallelism 1 and 8, executing every query twice on each so the
+// second pass on the cached engine is served from the geometry and plan
+// caches. Every execution must be byte-identical to the uncached
+// baseline: same columns, same rows, same order, same float rendering.
+// The caches sit below result construction, so a divergence means a
+// cached decode or cached plan changed semantics.
+func TestCacheEquivalence(t *testing.T) {
+	ds := GenerateDataset(ScaleSmall, 1)
+
+	plain := OpenEngine(GaiaDB(), WithGeomCache(0), WithPlanCache(0))
+	cached := OpenEngine(GaiaDB())
+	for _, eng := range []*Engine{plain, cached} {
+		if err := LoadDataset(eng, ds, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plain.GeomCache() != nil {
+		t.Fatal("WithGeomCache(0) did not disable the geometry cache")
+	}
+	if cached.GeomCache() == nil {
+		t.Fatal("default engine has no geometry cache")
+	}
+
+	ctx := NewQueryContext(ds)
+	plainConn, err := Connect(plain).Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainConn.Close()
+	cachedConn, err := Connect(cached).Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cachedConn.Close()
+
+	for _, par := range []int{1, 8} {
+		plain.SetParallelism(par)
+		cached.SetParallelism(par)
+		for _, q := range MicroSuite() {
+			sql := q.SQL(ctx, 0)
+			rs, err := plainConn.Query(sql)
+			if err != nil {
+				t.Fatalf("%s uncached at parallelism %d: %v", q.ID, par, err)
+			}
+			want := canonRows(rs)
+			// Twice: the first pass fills the caches, the second hits them.
+			for pass := 0; pass < 2; pass++ {
+				rs, err := cachedConn.Query(sql)
+				if err != nil {
+					t.Fatalf("%s cached pass %d at parallelism %d: %v", q.ID, pass, par, err)
+				}
+				if got := canonRows(rs); got != want {
+					t.Errorf("%s: cached pass %d at parallelism %d diverges\nuncached:\n%s\ncached:\n%s",
+						q.ID, pass, par, want, got)
+				}
+			}
+		}
+	}
+
+	// The sweep must actually exercise both caches on the cached engine.
+	cc := cached.CacheCounters()
+	if cc.GeomHits == 0 {
+		t.Errorf("geometry cache saw no hits over the sweep (misses=%d)", cc.GeomMisses)
+	}
+	if cc.PlanHits == 0 {
+		t.Errorf("plan cache saw no hits over the sweep (misses=%d)", cc.PlanMisses)
+	}
+	// And the uncached engine's counters must stay silent.
+	pc := plain.CacheCounters()
+	if pc.GeomHits+pc.GeomMisses != 0 || pc.PlanHits+pc.PlanMisses != 0 {
+		t.Errorf("disabled caches recorded traffic: %+v", pc)
+	}
+}

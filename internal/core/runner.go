@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"jackpine/internal/driver"
+	"jackpine/internal/engine"
 )
 
 // Options configure a benchmark run.
@@ -60,6 +61,14 @@ type MicroResult struct {
 	Parallelism int // engine worker pool size during the run (0 = default)
 	Unsupported bool
 	Err         error
+
+	// Cache hit ratios over the measured iterations (buffer pool,
+	// decoded-geometry cache, plan cache). -1 means unknown: the
+	// connection does not expose counters (remote engines) or the cache
+	// saw no traffic during the run.
+	PoolHitRatio      float64
+	GeomCacheHitRatio float64
+	PlanCacheHitRatio float64
 }
 
 // MacroResult is the measurement of one macro scenario on one engine.
@@ -76,6 +85,26 @@ type MacroResult struct {
 	RowsPerOp   float64
 	Unsupported bool
 	Err         error
+
+	// Cache hit ratios over the measured phase; -1 means unknown (see
+	// MicroResult).
+	PoolHitRatio      float64
+	GeomCacheHitRatio float64
+	PlanCacheHitRatio float64
+}
+
+// cacheCounterConn is implemented by in-process connections that can
+// report engine cache counters; remote connections simply lack it.
+type cacheCounterConn interface {
+	CacheCounters() engine.CacheCounters
+}
+
+// cacheRatio converts a counter delta to a ratio, -1 when no traffic.
+func cacheRatio(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return -1
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // isUnsupported recognises the engine's feature-gap errors.
@@ -99,7 +128,8 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 		res := MicroResult{
 			ID: q.ID, Name: q.Name, Category: q.Category,
 			Engine: connector.Name(), Runs: opts.Runs,
-			Parallelism: opts.Parallelism,
+			Parallelism:  opts.Parallelism,
+			PoolHitRatio: -1, GeomCacheHitRatio: -1, PlanCacheHitRatio: -1,
 		}
 		// Warmup (also surfaces unsupported functions cheaply).
 		aborted := false
@@ -114,6 +144,11 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			}
 		}
 		if !aborted {
+			cc, hasCC := conn.(cacheCounterConn)
+			var before engine.CacheCounters
+			if hasCC {
+				before = cc.CacheCounters()
+			}
 			durations := make([]time.Duration, 0, opts.Runs)
 			for i := 0; i < opts.Runs; i++ {
 				query := q.SQL(ctx, opts.Warmup+i)
@@ -133,6 +168,12 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			}
 			if len(durations) > 0 {
 				fillStats(&res, durations)
+			}
+			if hasCC && len(durations) > 0 {
+				after := cc.CacheCounters()
+				res.PoolHitRatio = cacheRatio(after.PoolHits-before.PoolHits, after.PoolMisses-before.PoolMisses)
+				res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
+				res.PlanCacheHitRatio = cacheRatio(after.PlanHits-before.PlanHits, after.PlanMisses-before.PlanMisses)
 			}
 		}
 		results = append(results, res)
@@ -162,7 +203,8 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 	opts = opts.normalized()
 	res := MacroResult{
 		ID: sc.ID, Name: sc.Name, Engine: connector.Name(), Clients: opts.Clients,
-		Parallelism: opts.Parallelism,
+		Parallelism:  opts.Parallelism,
+		PoolHitRatio: -1, GeomCacheHitRatio: -1, PlanCacheHitRatio: -1,
 	}
 
 	// Feature probe: run one operation; an unsupported error marks the
@@ -189,6 +231,21 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		err  error
 	}
 	outs := make([]clientOut, opts.Clients)
+
+	// Snapshot the engine's cache counters around the measured phase via
+	// a dedicated connection (the counters are engine-global).
+	var before engine.CacheCounters
+	var statsCC cacheCounterConn
+	if statsConn, err := connector.Connect(); err == nil {
+		if cc, ok := statsConn.(cacheCounterConn); ok {
+			statsCC = cc
+			before = cc.CacheCounters()
+			defer statsConn.Close()
+		} else {
+			statsConn.Close()
+		}
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < opts.Clients; c++ {
@@ -233,6 +290,12 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
 		res.MeanLatency = res.Elapsed / time.Duration(res.Ops) * time.Duration(opts.Clients)
 		res.RowsPerOp = float64(totalRows) / float64(res.Ops)
+	}
+	if statsCC != nil {
+		after := statsCC.CacheCounters()
+		res.PoolHitRatio = cacheRatio(after.PoolHits-before.PoolHits, after.PoolMisses-before.PoolMisses)
+		res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
+		res.PlanCacheHitRatio = cacheRatio(after.PlanHits-before.PlanHits, after.PlanMisses-before.PlanMisses)
 	}
 	return res
 }

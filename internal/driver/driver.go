@@ -102,6 +102,14 @@ func (c *inProcConn) Query(query string) (*ResultSet, error) {
 	return FromSQLResult(res), nil
 }
 
+// CacheCounters snapshots the engine's cache-layer hit/miss counters
+// (buffer pool, geometry cache, plan cache). The benchmark core detects
+// this method to report per-run hit ratios; remote connections simply
+// lack it.
+func (c *inProcConn) CacheCounters() engine.CacheCounters {
+	return c.eng.CacheCounters()
+}
+
 // Close implements Conn.
 func (c *inProcConn) Close() error {
 	c.mu.Lock()

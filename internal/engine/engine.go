@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"jackpine/internal/sql"
 	"jackpine/internal/storage"
@@ -14,13 +15,26 @@ import (
 // (4096 pages = 32 MiB).
 const defaultPoolPages = 4096
 
+// defaultGeomCacheBytes budgets the decoded-geometry cache (16 MiB).
+const defaultGeomCacheBytes = 16 << 20
+
+// defaultPlanCacheEntries bounds the prepared-statement cache.
+const defaultPlanCacheEntries = 256
+
 // Engine is a complete spatial database instance.
 type Engine struct {
-	profile Profile
-	store   storage.PageStore
-	pool    *storage.BufferPool
-	runner  *sql.Runner
-	reg     *sql.Registry
+	profile   Profile
+	store     storage.PageStore
+	pool      *storage.BufferPool
+	geomCache *storage.GeomCache // nil when disabled
+	plans     *planCache         // nil when disabled
+	runner    *sql.Runner
+	reg       *sql.Registry
+
+	// ddlEpoch versions the schema: every CREATE/DROP of a table or
+	// index bumps it, invalidating cached plans parsed under an older
+	// epoch.
+	ddlEpoch atomic.Uint64
 
 	mu     sync.RWMutex
 	tables map[string]*table
@@ -34,6 +48,10 @@ type options struct {
 	poolPages   int
 	parallelism int
 	parSet      bool
+	geomBytes   int
+	geomSet     bool
+	planEntries int
+	planSet     bool
 }
 
 // WithStore backs the engine with a custom page store (e.g. a FileStore).
@@ -53,6 +71,18 @@ func WithParallelism(n int) Option {
 	return func(o *options) { o.parallelism = n; o.parSet = true }
 }
 
+// WithGeomCache budgets the decoded-geometry cache in bytes. bytes <= 0
+// disables it. Default: 16 MiB.
+func WithGeomCache(bytes int) Option {
+	return func(o *options) { o.geomBytes = bytes; o.geomSet = true }
+}
+
+// WithPlanCache bounds the prepared-statement (plan) cache in entries.
+// entries <= 0 disables it. Default: 256.
+func WithPlanCache(entries int) Option {
+	return func(o *options) { o.planEntries = entries; o.planSet = true }
+}
+
 // Open creates an engine with the given profile.
 func Open(profile Profile, opts ...Option) *Engine {
 	var o options
@@ -68,12 +98,20 @@ func Open(profile Profile, opts ...Option) *Engine {
 	if o.poolPages == 0 {
 		o.poolPages = defaultPoolPages
 	}
+	if !o.geomSet {
+		o.geomBytes = defaultGeomCacheBytes
+	}
+	if !o.planSet {
+		o.planEntries = defaultPlanCacheEntries
+	}
 	e := &Engine{
-		profile: profile,
-		store:   o.store,
-		pool:    storage.NewBufferPool(o.store, o.poolPages),
-		tables:  make(map[string]*table),
-		reg:     sql.NewRegistry(profile.registryOptions()),
+		profile:   profile,
+		store:     o.store,
+		pool:      storage.NewBufferPool(o.store, o.poolPages),
+		geomCache: storage.NewGeomCache(o.geomBytes),
+		plans:     newPlanCache(o.planEntries),
+		tables:    make(map[string]*table),
+		reg:       sql.NewRegistry(profile.registryOptions()),
 	}
 	e.runner = sql.NewRunner(e, e.reg)
 	par := profile.Parallelism
@@ -105,6 +143,45 @@ func (e *Engine) Profile() Profile { return e.profile }
 // Pool exposes the buffer pool (cache experiments).
 func (e *Engine) Pool() *storage.BufferPool { return e.pool }
 
+// GeomCache exposes the decoded-geometry cache; nil when disabled.
+func (e *Engine) GeomCache() *storage.GeomCache { return e.geomCache }
+
+// PlanCacheStats snapshots the prepared-statement cache counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats { return e.plans.snapshot() }
+
+// PlanCacheLen reports the number of cached statements.
+func (e *Engine) PlanCacheLen() int { return e.plans.len() }
+
+// CacheCounters bundles the raw hit/miss counters of every cache layer:
+// buffer pool (pages), geometry cache (decoded WKB), plan cache
+// (parsed statements). Reports sample it before and after a timed
+// region and difference the snapshots.
+type CacheCounters struct {
+	PoolHits, PoolMisses uint64
+	GeomHits, GeomMisses uint64
+	PlanHits, PlanMisses uint64
+}
+
+// CacheCounters snapshots all cache layers at once.
+func (e *Engine) CacheCounters() CacheCounters {
+	ps := e.pool.Stats()
+	gs := e.geomCache.Stats()
+	cs := e.plans.snapshot()
+	return CacheCounters{
+		PoolHits: ps.Hits, PoolMisses: ps.Misses,
+		GeomHits: gs.Hits, GeomMisses: gs.Misses,
+		PlanHits: cs.Hits, PlanMisses: cs.Misses,
+	}
+}
+
+// ResetCacheStats zeroes the activity counters of every cache layer
+// (contents are kept), so timed runs measure only their own traffic.
+func (e *Engine) ResetCacheStats() {
+	e.pool.ResetStats()
+	e.geomCache.ResetStats()
+	e.plans.resetStats()
+}
+
 // Close releases the backing store.
 func (e *Engine) Close() error {
 	if err := e.pool.FlushAll(); err != nil {
@@ -114,16 +191,58 @@ func (e *Engine) Close() error {
 }
 
 // Exec parses and executes one SQL statement. Reads run concurrently;
-// DDL and DML serialize against everything else.
+// DDL and DML serialize against everything else. Parses of repeated
+// SELECT/EXPLAIN texts are served from the plan cache.
 func (e *Engine) Exec(query string) (*sql.Result, error) {
+	stmt, err := e.parseCached(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStatement(stmt)
+}
+
+// parseCached returns a statement tree private to this execution,
+// consulting the plan cache for SELECT/EXPLAIN texts. Cached templates
+// stay pristine: the caller always receives a clone, because execution
+// binds column offsets into the tree in place and concurrent readers
+// may hold clones of the same entry. DDL and DML bypass the cache
+// entirely so they don't pollute its miss counters.
+func (e *Engine) parseCached(query string) (sql.Statement, error) {
+	if e.plans == nil || !cacheableSQL(query) {
+		return sql.Parse(query)
+	}
+	epoch := e.ddlEpoch.Load()
+	if stmt, ok := e.plans.get(query, epoch); ok {
+		return stmt, nil
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	switch stmt.(type) {
 	case *sql.Select, *sql.Explain:
-		// Read-only statements share the read lock: EXPLAIN plans a
-		// query without executing it and must not serialize readers.
+		e.plans.put(query, stmt, epoch)
+		return sql.CloneStatement(stmt), nil
+	}
+	return stmt, nil
+}
+
+// cacheableSQL cheaply screens for statements the plan cache stores
+// (SELECT/EXPLAIN) without parsing, so write statements never touch
+// the cache or its hit/miss statistics.
+func cacheableSQL(query string) bool {
+	s := strings.TrimLeft(query, " \t\r\n")
+	return len(s) >= 6 && (strings.EqualFold(s[:6], "SELECT") ||
+		(len(s) >= 7 && strings.EqualFold(s[:7], "EXPLAIN")))
+}
+
+// execStatement runs a parsed statement under the engine's lock
+// discipline: read-only statements share the read lock (EXPLAIN plans
+// without executing and must not serialize readers), everything else
+// takes the write lock.
+func (e *Engine) execStatement(stmt sql.Statement) (*sql.Result, error) {
+	switch stmt.(type) {
+	case *sql.Select, *sql.Explain:
 		e.mu.RLock()
 		defer e.mu.RUnlock()
 	default:
@@ -172,7 +291,8 @@ func (e *Engine) CreateTable(name string, cols []sql.Column) error {
 		}
 		seen[c.Name] = true
 	}
-	e.tables[key] = newTable(key, cols, e.pool)
+	e.tables[key] = newTable(key, cols, e.pool, e.geomCache)
+	e.ddlEpoch.Add(1)
 	return nil
 }
 
@@ -182,6 +302,7 @@ func (e *Engine) CreateIndex(_, tableName string, columns []string, spatial bool
 	if !ok {
 		return fmt.Errorf("engine: unknown table %q", tableName)
 	}
+	defer e.ddlEpoch.Add(1)
 	if spatial {
 		if len(columns) != 1 {
 			return fmt.Errorf("engine: spatial indexes take exactly one column")
@@ -200,6 +321,7 @@ func (e *Engine) Vacuum(tableName string) error {
 	if !ok {
 		return fmt.Errorf("engine: unknown table %q", tableName)
 	}
+	e.ddlEpoch.Add(1)
 	return t.rebuild(e.pool, e.profile.SpatialIndex, e.profile.GridDim)
 }
 
@@ -215,6 +337,10 @@ func (e *Engine) DropTable(tableName string, ifExists bool) error {
 		return fmt.Errorf("engine: unknown table %q", tableName)
 	}
 	delete(e.tables, key)
+	// A later table of the same name would reuse record ids, so cached
+	// geometries must not outlive the definition.
+	e.geomCache.InvalidateTable(key)
+	e.ddlEpoch.Add(1)
 	return nil
 }
 
@@ -227,7 +353,11 @@ func (e *Engine) DropSpatialIndex(tableName, column string) bool {
 	if !ok {
 		return false
 	}
-	return t.dropSpatialIndex(column)
+	dropped := t.dropSpatialIndex(column)
+	if dropped {
+		e.ddlEpoch.Add(1)
+	}
+	return dropped
 }
 
 // TableNames returns the sorted table names.

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestPlanCacheHitsOnRepeat: repeated executions of the same SELECT text
+// are served from the plan cache, and results stay identical.
+func TestPlanCacheHitsOnRepeat(t *testing.T) {
+	e := newTestEngine(t)
+	e.MustExec("INSERT INTO cities VALUES (1, 'a', 10, ST_GeomFromText('POINT (1 1)'))")
+	const q = "SELECT name, pop FROM cities WHERE id = 1"
+
+	base := e.PlanCacheStats()
+	first := e.MustExec(q)
+	for i := 0; i < 3; i++ {
+		res := e.MustExec(q)
+		if len(res.Rows) != 1 || res.Rows[0][0].Text != first.Rows[0][0].Text {
+			t.Fatalf("repeat %d: rows = %v", i, res.Rows)
+		}
+	}
+	s := e.PlanCacheStats()
+	if got := s.Misses - base.Misses; got != 1 {
+		t.Errorf("misses = %d, want 1 (first parse only)", got)
+	}
+	if got := s.Hits - base.Hits; got != 3 {
+		t.Errorf("hits = %d, want 3", got)
+	}
+	if e.PlanCacheLen() == 0 {
+		t.Error("plan cache is empty after cached executions")
+	}
+}
+
+// TestPlanCacheDisabled: WithPlanCache(0) turns the cache off entirely.
+func TestPlanCacheDisabled(t *testing.T) {
+	e := Open(GaiaDB(), WithPlanCache(0))
+	e.MustExec("CREATE TABLE t (id INTEGER)")
+	e.MustExec("INSERT INTO t VALUES (1)")
+	e.MustExec("SELECT id FROM t")
+	e.MustExec("SELECT id FROM t")
+	if s := e.PlanCacheStats(); s.Hits+s.Misses != 0 {
+		t.Errorf("disabled plan cache recorded traffic: %+v", s)
+	}
+	if e.PlanCacheLen() != 0 {
+		t.Errorf("disabled plan cache holds %d entries", e.PlanCacheLen())
+	}
+}
+
+// TestPlanCacheDropTableInvalidation: a cached plan must not survive
+// DROP TABLE — re-creating the table with a different shape must not
+// resurrect the old statement's view of the schema.
+func TestPlanCacheDropTableInvalidation(t *testing.T) {
+	e := newTestEngine(t)
+	e.MustExec("INSERT INTO cities VALUES (1, 'old', 10, NULL)")
+	const q = "SELECT name FROM cities"
+	if res := e.MustExec(q); res.Rows[0][0].Text != "old" {
+		t.Fatalf("seed row = %v", res.Rows)
+	}
+	e.MustExec(q) // cached now
+
+	before := e.PlanCacheStats()
+	e.MustExec("DROP TABLE cities")
+	// Same column name at a different position: a stale bound plan would
+	// read the wrong column.
+	e.MustExec("CREATE TABLE cities (name TEXT, id INTEGER)")
+	e.MustExec("INSERT INTO cities VALUES ('new', 2)")
+	res := e.MustExec(q)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text != "new" {
+		t.Errorf("after recreate: rows = %v", res.Rows)
+	}
+	after := e.PlanCacheStats()
+	if after.Invalidations == before.Invalidations {
+		t.Errorf("DROP TABLE did not invalidate the cached plan: %+v", after)
+	}
+}
+
+// TestPlanCacheIndexInvalidation: EXPLAIN output (which is cached like
+// any SELECT) must reflect a newly created spatial index on the next
+// execution, and revert when the index is dropped.
+func TestPlanCacheIndexInvalidation(t *testing.T) {
+	e := newTestEngine(t)
+	loadGrid(t, e, 6)
+	const q = "EXPLAIN SELECT id FROM landmarks WHERE ST_Intersects(geo, ST_MakeEnvelope(0,0,5,5))"
+
+	access := func() string {
+		res := e.MustExec(q)
+		return res.Rows[0][1].Text
+	}
+	if got := access(); got != "seqscan" {
+		t.Fatalf("pre-index access = %q", got)
+	}
+	access() // cached now
+
+	e.MustExec("CREATE SPATIAL INDEX lidx ON landmarks (geo)")
+	if got := access(); got != "spatial-index" {
+		t.Errorf("post-CREATE INDEX access = %q, want spatial-index", got)
+	}
+
+	if !e.DropSpatialIndex("landmarks", "geo") {
+		t.Fatal("DropSpatialIndex reported no index")
+	}
+	if got := access(); got != "seqscan" {
+		t.Errorf("post-DropSpatialIndex access = %q, want seqscan", got)
+	}
+
+	// Attribute indexes bump the epoch the same way.
+	e.MustExec("INSERT INTO cities VALUES (1, 'a', 10, NULL)")
+	const cq = "EXPLAIN SELECT id FROM cities WHERE name = 'a'"
+	if res := e.MustExec(cq); res.Rows[0][1].Text != "seqscan" {
+		t.Fatalf("pre-index cities access = %v", res.Rows)
+	}
+	e.MustExec("CREATE INDEX cidx ON cities (name)")
+	if res := e.MustExec(cq); res.Rows[0][1].Text != "btree-seek" {
+		t.Errorf("post-CREATE INDEX cities access = %v, want btree-seek", res.Rows)
+	}
+}
+
+// TestPreparedStatement: the explicit Prepare API reuses one parse and
+// transparently re-parses after DDL moves the schema epoch.
+func TestPreparedStatement(t *testing.T) {
+	e := newTestEngine(t)
+	e.MustExec("INSERT INTO cities VALUES (1, 'a', 10, NULL), (2, 'b', 20, NULL)")
+
+	stmt, err := e.Prepare("SELECT COUNT(*) FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.SQL() != "SELECT COUNT(*) FROM cities" {
+		t.Errorf("SQL() = %q", stmt.SQL())
+	}
+	for i := 0; i < 3; i++ {
+		res, err := stmt.Exec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int != 2 {
+			t.Fatalf("exec %d: count = %v", i, res.Rows[0][0])
+		}
+	}
+
+	// DDL between executions: the statement must re-parse, not reuse a
+	// tree bound against the old schema.
+	e.MustExec("CREATE INDEX cidx ON cities (name)")
+	if res, err := stmt.Exec(); err != nil || res.Rows[0][0].Int != 2 {
+		t.Fatalf("post-DDL exec: %v %v", res, err)
+	}
+	e.MustExec("DROP TABLE cities")
+	e.MustExec("CREATE TABLE cities (id INTEGER, name TEXT, pop INTEGER, loc GEOMETRY)")
+	e.MustExec("INSERT INTO cities VALUES (1, 'only', 1, NULL)")
+	res, err := stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("post-recreate count = %v", res.Rows[0][0])
+	}
+
+	// Preparing an invalid statement fails eagerly.
+	if _, err := e.Prepare("SELEC nonsense"); err == nil {
+		t.Error("Prepare accepted garbage SQL")
+	}
+}

@@ -17,6 +17,7 @@ type table struct {
 	name string
 	cols []sql.Column
 	heap *storage.HeapFile
+	gc   *storage.GeomCache // shared decoded-geometry cache; nil disables
 
 	mu       sync.RWMutex
 	spatial  map[string]spatialIndex // column -> index
@@ -110,11 +111,12 @@ func (x attrIndex) Range(lo, hi []byte, loInc, hiInc bool, fn func(sql.RowID) bo
 	x.t.Range(lo, hi, loInc, hiInc, func(_ []byte, rowid int64) bool { return fn(sql.RowID(rowid)) })
 }
 
-func newTable(name string, cols []sql.Column, pool *storage.BufferPool) *table {
+func newTable(name string, cols []sql.Column, pool *storage.BufferPool, gc *storage.GeomCache) *table {
 	t := &table{
 		name:     name,
 		cols:     cols,
 		heap:     storage.NewHeapFile(pool),
+		gc:       gc,
 		spatial:  make(map[string]spatialIndex),
 		geomCols: make(map[string]int),
 	}
@@ -137,46 +139,107 @@ func (t *table) RowCount() int { return t.heap.Count() }
 
 // Scan implements sql.Table.
 func (t *table) Scan(fn func(sql.RowID, []storage.Value) bool) error {
-	var decodeErr error
-	err := t.heap.Scan(func(rid storage.RecordID, tuple []byte) bool {
-		row, err := storage.DecodeTuple(tuple, len(t.cols))
-		if err != nil {
-			decodeErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
-			return false
-		}
-		return fn(sql.PackRowID(rid), row)
-	})
-	if decodeErr != nil {
-		return decodeErr
-	}
-	return err
+	return t.ScanProject(0, 1, sql.AllColumns(), fn)
 }
 
 // ScanShard implements sql.Table: like Scan, restricted to the shard'th
 // of nshards contiguous page partitions of the heap.
 func (t *table) ScanShard(shard, nshards int, fn func(sql.RowID, []storage.Value) bool) error {
-	var decodeErr error
-	err := t.heap.ScanShard(shard, nshards, func(rid storage.RecordID, tuple []byte) bool {
-		row, err := storage.DecodeTuple(tuple, len(t.cols))
+	return t.ScanProject(shard, nshards, sql.AllColumns(), fn)
+}
+
+// ScanProject implements sql.Table: a lazily-decoded scan that
+// materializes only projected columns, optionally skipping rows whose
+// prefiltered geometry envelope (read straight from the WKB header,
+// no decode) misses the query window.
+func (t *table) ScanProject(shard, nshards int, proj sql.Projection,
+	fn func(sql.RowID, []storage.Value) bool) error {
+
+	var lt storage.LazyTuple
+	var innerErr error
+	visit := func(rid storage.RecordID, tuple []byte) bool {
+		if err := lt.Reset(tuple, len(t.cols)); err != nil {
+			innerErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+			return false
+		}
+		if proj.MBRCol >= 0 {
+			env, ok, err := lt.GeomEnvelope(proj.MBRCol)
+			if err != nil {
+				innerErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+				return false
+			}
+			if !ok || !env.Intersects(proj.Window) {
+				return true
+			}
+		}
+		row, err := t.materializeRow(rid, &lt, proj.Need)
 		if err != nil {
-			decodeErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+			innerErr = err
 			return false
 		}
 		return fn(sql.PackRowID(rid), row)
-	})
-	if decodeErr != nil {
-		return decodeErr
+	}
+	var err error
+	if nshards <= 1 {
+		err = t.heap.Scan(visit)
+	} else {
+		err = t.heap.ScanShard(shard, nshards, visit)
+	}
+	if innerErr != nil {
+		return innerErr
 	}
 	return err
 }
 
+// materializeRow decodes the projected columns of the current lazy
+// tuple. Unprojected columns stay NULL — the plan never reads them.
+// Geometry columns go through the decoded-geometry cache when enabled.
+func (t *table) materializeRow(rid storage.RecordID, lt *storage.LazyTuple, need []bool) ([]storage.Value, error) {
+	row := make([]storage.Value, lt.Len())
+	for i := range row {
+		if need != nil && !need[i] {
+			continue
+		}
+		if t.gc != nil && lt.ColType(i) == storage.TypeGeom {
+			if g, ok := t.gc.Get(t.name, rid, i); ok {
+				row[i] = storage.NewGeom(g)
+				continue
+			}
+			v, err := lt.Col(i)
+			if err != nil {
+				return nil, fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+			}
+			t.gc.Put(t.name, rid, i, v.Geom, len(lt.GeomWKB(i)))
+			row[i] = v
+			continue
+		}
+		v, err := lt.Col(i)
+		if err != nil {
+			return nil, fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
 // Fetch implements sql.Table.
 func (t *table) Fetch(id sql.RowID) ([]storage.Value, error) {
-	tuple, err := t.heap.Get(id.Unpack())
+	return t.FetchProject(id, nil)
+}
+
+// FetchProject implements sql.Table: Fetch materializing only the
+// columns marked in need (nil means all).
+func (t *table) FetchProject(id sql.RowID, need []bool) ([]storage.Value, error) {
+	rid := id.Unpack()
+	tuple, err := t.heap.Get(rid)
 	if err != nil {
 		return nil, err
 	}
-	return storage.DecodeTuple(tuple, len(t.cols))
+	var lt storage.LazyTuple
+	if err := lt.Reset(tuple, len(t.cols)); err != nil {
+		return nil, fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+	}
+	return t.materializeRow(rid, &lt, need)
 }
 
 // Insert implements sql.Table.
@@ -188,11 +251,25 @@ func (t *table) Insert(row []storage.Value) (sql.RowID, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Defensive: heap record ids are currently never reused, but if the
+	// storage layer ever recycles a slot, a stale cached geometry must
+	// not survive the new row.
+	t.invalidateGeomCache(rid)
 	id := sql.PackRowID(rid)
 	t.mu.Lock()
 	t.indexRowLocked(id, row, true)
 	t.mu.Unlock()
 	return id, nil
+}
+
+// invalidateGeomCache drops the cached geometries of one record.
+func (t *table) invalidateGeomCache(rid storage.RecordID) {
+	if t.gc == nil {
+		return
+	}
+	for _, off := range t.geomCols {
+		t.gc.Invalidate(t.name, rid, off)
+	}
 }
 
 // indexRowLocked adds (add=true) or removes the row from all indexes.
@@ -231,6 +308,7 @@ func (t *table) Delete(id sql.RowID) error {
 	if err := t.heap.Delete(id.Unpack()); err != nil {
 		return err
 	}
+	t.invalidateGeomCache(id.Unpack())
 	t.mu.Lock()
 	t.indexRowLocked(id, row, false)
 	t.mu.Unlock()
@@ -273,19 +351,33 @@ func (t *table) buildSpatialIndex(column string, typ IndexType, gridDim int) err
 	if !ok {
 		return fmt.Errorf("engine: column %s.%s is not GEOMETRY", t.name, column)
 	}
-	// Gather entries first (bulk load beats repeated insertion).
+	// Gather entries first (bulk load beats repeated insertion). Only
+	// envelopes are needed, and those read straight off the WKB bytes —
+	// the build never materializes a geometry.
 	var entries []rtree.Entry
 	extent := geom.EmptyRect()
-	err := t.Scan(func(id sql.RowID, row []storage.Value) bool {
-		v := row[off]
-		if v.IsNull() || v.Type != storage.TypeGeom || v.Geom.IsEmpty() {
+	var lt storage.LazyTuple
+	var innerErr error
+	err := t.heap.Scan(func(rid storage.RecordID, tuple []byte) bool {
+		if err := lt.Reset(tuple, len(t.cols)); err != nil {
+			innerErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+			return false
+		}
+		env, ok, err := lt.GeomEnvelope(off)
+		if err != nil {
+			innerErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+			return false
+		}
+		if !ok || env.IsEmpty() {
 			return true
 		}
-		env := v.Geom.Envelope()
 		extent = extent.Union(env)
-		entries = append(entries, rtree.Entry{Rect: env, ID: int64(id)})
+		entries = append(entries, rtree.Entry{Rect: env, ID: int64(sql.PackRowID(rid))})
 		return true
 	})
+	if innerErr != nil {
+		return innerErr
+	}
 	if err != nil {
 		return err
 	}
@@ -322,8 +414,10 @@ func (t *table) dropSpatialIndex(column string) bool {
 }
 
 // rebuild rewrites the heap, dropping tombstones and abandoned overflow
-// pages, and rebuilds every index. Row ids change.
+// pages, and rebuilds every index. Row ids change, so every cached
+// geometry of this table is invalidated.
 func (t *table) rebuild(pool *storage.BufferPool, idxType IndexType, gridDim int) error {
+	t.gc.InvalidateTable(t.name)
 	fresh := storage.NewHeapFile(pool)
 	err := t.heap.Scan(func(_ storage.RecordID, tuple []byte) bool {
 		// Tuples are copied verbatim; decode errors would have surfaced
@@ -380,7 +474,12 @@ func (t *table) buildAttrIndex(columns []string) error {
 		ix.offs = append(ix.offs, off)
 		ix.types = append(ix.types, t.cols[off].Type)
 	}
-	err := t.Scan(func(id sql.RowID, row []storage.Value) bool {
+	// Only the indexed columns are decoded; the rest stay NULL.
+	need := make([]bool, len(t.cols))
+	for _, off := range ix.offs {
+		need[off] = true
+	}
+	err := t.ScanProject(0, 1, sql.Projection{Need: need, MBRCol: -1}, func(id sql.RowID, row []storage.Value) bool {
 		if key, ok := ix.key(row); ok {
 			ix.tree.Insert(key, int64(id))
 		}

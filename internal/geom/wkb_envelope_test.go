@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEnvelopeWKBMatchesDecoded asserts the WKB envelope fast path is
+// bit-identical to decoding and calling Envelope(), across every
+// geometry kind including the tricky cases: empty points (NaN
+// ordinates), polygons with holes (outer-ring-only envelope), and
+// nested collections.
+func TestEnvelopeWKBMatchesDecoded(t *testing.T) {
+	cases := []Geometry{
+		Point{Coord: Coord{3, -7}},
+		Point{Empty: true},
+		LineString{{0, 0}, {10, 5}, {-2, 8}},
+		LineString{},
+		Polygon{
+			Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}},
+			// Hole ring deliberately outside the outer envelope's span
+			// on purpose-built coordinates: the decoded Envelope() uses
+			// only ring 0, and the fast path must match that choice.
+			Ring{{2, 2}, {30, 2}, {30, 3}, {2, 3}, {2, 2}},
+		},
+		Polygon{},
+		MultiPoint{{Coord: Coord{1, 1}}, {Coord: Coord{-5, 9}}, {Empty: true}},
+		MultiPoint{},
+		MultiLineString{{{0, 0}, {1, 1}}, {{5, -5}, {6, 6}}},
+		MultiPolygon{
+			{Ring{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}}},
+			{Ring{{10, 10}, {12, 10}, {12, 12}, {10, 12}, {10, 10}}},
+		},
+		Collection{
+			Point{Coord: Coord{100, 100}},
+			LineString{{-50, 0}, {0, -50}},
+			Collection{Point{Empty: true}},
+		},
+		Collection{},
+	}
+	for _, g := range cases {
+		wkb := MarshalWKB(g)
+		got, err := EnvelopeWKB(wkb)
+		if err != nil {
+			t.Errorf("%s: EnvelopeWKB error: %v", WKT(g), err)
+			continue
+		}
+		want := g.Envelope()
+		if !rectIdentical(got, want) {
+			t.Errorf("%s: EnvelopeWKB = %+v, Envelope() = %+v", WKT(g), got, want)
+		}
+	}
+}
+
+// rectIdentical compares rects bit-for-bit (so ±Inf empty bounds and
+// NaN propagation are distinguished, unlike ==).
+func rectIdentical(a, b Rect) bool {
+	same := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y)
+	}
+	return same(a.MinX, b.MinX) && same(a.MinY, b.MinY) &&
+		same(a.MaxX, b.MaxX) && same(a.MaxY, b.MaxY)
+}
+
+func TestEnvelopeWKBRejectsCorruptInput(t *testing.T) {
+	valid := MarshalWKB(LineString{{0, 0}, {1, 1}})
+	bad := [][]byte{
+		nil,
+		{},
+		valid[:len(valid)-3],          // truncated coordinates
+		append(valid[:0:0], valid...), // mutated below
+	}
+	bad[3] = append([]byte{}, valid...)
+	bad[3][0] = 7 // bogus byte-order marker
+	for i, data := range bad {
+		if _, err := EnvelopeWKB(data); err == nil {
+			t.Errorf("case %d: corrupt WKB accepted", i)
+		}
+	}
+	if _, err := EnvelopeWKB(append(valid, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -47,6 +47,25 @@ type AttrIndexDef struct {
 	Index   AttrIndex
 }
 
+// Projection tells a scan which columns the plan actually references
+// and, optionally, which geometry column to MBR-prefilter. Tables use
+// it to decode lazily: unneeded columns surface as NULL (they are never
+// read by the plan), and rows whose prefiltered geometry envelope does
+// not intersect Window are skipped before any full decode.
+type Projection struct {
+	// Need[i] marks column i as referenced; nil means all columns.
+	Need []bool
+	// MBRCol is the table-relative offset of the geometry column to
+	// prefilter, or -1 to disable prefiltering.
+	MBRCol int
+	// Window is the query envelope the prefilter tests against (only
+	// meaningful when MBRCol >= 0).
+	Window geom.Rect
+}
+
+// AllColumns is the trivial projection: decode everything, no prefilter.
+func AllColumns() Projection { return Projection{MBRCol: -1} }
+
 // Table is the executor's view of a stored table.
 type Table interface {
 	// Name returns the table name.
@@ -61,8 +80,17 @@ type Table interface {
 	// of Scan, which lets parallel scans merge deterministically.
 	// Shards may be scanned concurrently.
 	ScanShard(shard, nshards int, fn func(id RowID, row []storage.Value) bool) error
+	// ScanProject is ScanShard with lazy decoding: only columns marked
+	// in proj.Need are materialized (others are NULL), and when
+	// proj.MBRCol >= 0 rows whose geometry envelope does not intersect
+	// proj.Window are skipped without decoding. Use shard=0, nshards=1
+	// for a serial scan.
+	ScanProject(shard, nshards int, proj Projection, fn func(id RowID, row []storage.Value) bool) error
 	// Fetch returns the row with the given id.
 	Fetch(id RowID) ([]storage.Value, error)
+	// FetchProject returns the row with the given id, materializing only
+	// the columns marked in need (nil need means all).
+	FetchProject(id RowID, need []bool) ([]storage.Value, error)
 	// Insert appends a row and maintains indexes.
 	Insert(row []storage.Value) (RowID, error)
 	// Delete removes a row and maintains indexes.

@@ -276,6 +276,43 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		stageFilters[stage] = append(stageFilters[stage], c)
 	}
 
+	// Column pruning: mark every scope column the plan references so
+	// scans and fetches can skip decoding the rest. ORDER BY only reads
+	// scope columns on the non-aggregate path (grouped ORDER BY keys
+	// name output columns).
+	need := make([]bool, scope.Len())
+	markRefs := func(e Expr) {
+		walkExpr(e, func(x Expr) {
+			if c, ok := x.(*ColumnRef); ok && c.Index >= 0 && c.Index < len(need) {
+				need[c.Index] = true
+			}
+		})
+	}
+	allCols := false
+	for _, se := range sel.Exprs {
+		if se.Star {
+			allCols = true
+			continue
+		}
+		markRefs(se.Expr)
+	}
+	for _, c := range conjuncts {
+		markRefs(c)
+	}
+	for _, g := range sel.GroupBy {
+		markRefs(g)
+	}
+	if !hasAgg {
+		for i := range sel.OrderBy {
+			markRefs(sel.OrderBy[i].Expr)
+		}
+	}
+	if !allCols {
+		for i, bt := range tables {
+			paths[i].need = need[bt.lo:bt.hi]
+		}
+	}
+
 	// Pipeline: scan stage 0, then for each join stage either index
 	// probe, hash probe or nested loop, applying stage filters.
 	hashBuilt := make([]map[string][][]storage.Value, len(tables))
@@ -622,9 +659,16 @@ func (r *Runner) scanTable(tbl Table, path accessPath, prefix []storage.Value,
 
 	switch path.kind {
 	case accessFullScan:
+		proj, skip, err := path.scanProjection(prefix, r.reg)
+		if err != nil {
+			return false, err
+		}
+		if skip {
+			return true, nil
+		}
 		cont := true
 		var emitErr error
-		err := tbl.Scan(func(_ RowID, row []storage.Value) bool {
+		err = tbl.ScanProject(0, 1, proj, func(_ RowID, row []storage.Value) bool {
 			c, err := emit(pad(row))
 			if err != nil {
 				emitErr = err
@@ -649,7 +693,7 @@ func (r *Runner) scanTable(tbl Table, path accessPath, prefix []storage.Value,
 		cont := true
 		var innerErr error
 		path.spatial.Search(window, func(id RowID) bool {
-			row, err := tbl.Fetch(id)
+			row, err := tbl.FetchProject(id, path.need)
 			if err != nil {
 				innerErr = err
 				return false
@@ -675,7 +719,7 @@ func (r *Runner) scanTable(tbl Table, path accessPath, prefix []storage.Value,
 		cont := true
 		var innerErr error
 		path.attr.Seek(key, func(id RowID) bool {
-			row, err := tbl.Fetch(id)
+			row, err := tbl.FetchProject(id, path.need)
 			if err != nil {
 				innerErr = err
 				return false
@@ -729,7 +773,7 @@ func (r *Runner) scanTable(tbl Table, path accessPath, prefix []storage.Value,
 		cont := true
 		var innerErr error
 		path.attr.Range(loKey, hiKey, true, hiInc, func(id RowID) bool {
-			row, err := tbl.Fetch(id)
+			row, err := tbl.FetchProject(id, path.need)
 			if err != nil {
 				innerErr = err
 				return false
@@ -773,7 +817,7 @@ func hashJoinKey(v storage.Value) (string, bool) {
 // join key of the build column.
 func (r *Runner) buildHashTable(tbl Table, path accessPath) (map[string][][]storage.Value, error) {
 	table := make(map[string][][]storage.Value)
-	err := tbl.Scan(func(_ RowID, row []storage.Value) bool {
+	err := tbl.ScanProject(0, 1, Projection{Need: path.need, MBRCol: -1}, func(_ RowID, row []storage.Value) bool {
 		if key, ok := hashJoinKey(row[path.hashCol]); ok {
 			table[key] = append(table[key], append([]storage.Value(nil), row...))
 		}
@@ -860,7 +904,7 @@ func (r *Runner) scanKNN(tbl Table, path accessPath, prefix []storage.Value,
 		if h.Len() == k && envDist > (*h)[0].dist {
 			return false // no closer candidate can appear
 		}
-		row, err := tbl.Fetch(id)
+		row, err := tbl.FetchProject(id, path.need)
 		if err != nil {
 			innerErr = err
 			return false

@@ -60,10 +60,19 @@ func (r *Runner) makeShardRunner(tbl Table, path accessPath, width, lo, workers 
 
 	switch path.kind {
 	case accessFullScan:
+		// Stage-0 scans never see outer rows, so the projection (and any
+		// MBR prefilter window) is computed once, up front.
+		proj, skip, err := path.scanProjection(nil, r.reg)
+		if err != nil {
+			return nil, err
+		}
 		return func(shard int, emit emitFn) error {
+			if skip {
+				return nil
+			}
 			emitRow := chain(emit)
 			var emitErr error
-			err := tbl.ScanShard(shard, workers, func(_ RowID, row []storage.Value) bool {
+			err := tbl.ScanProject(shard, workers, proj, func(_ RowID, row []storage.Value) bool {
 				c, err := emitRow(pad(row))
 				if err != nil {
 					emitErr = err
@@ -94,7 +103,7 @@ func (r *Runner) makeShardRunner(tbl Table, path accessPath, width, lo, workers 
 			clo := shard * len(cands) / workers
 			chi := (shard + 1) * len(cands) / workers
 			for _, id := range cands[clo:chi] {
-				row, err := tbl.Fetch(id)
+				row, err := tbl.FetchProject(id, path.need)
 				if err != nil {
 					return err
 				}

@@ -70,6 +70,20 @@ type accessPath struct {
 	// the outer probe expression.
 	hashCol  int
 	hashExpr Expr
+
+	// need marks which table-relative columns the plan references; it is
+	// passed to ScanProject/FetchProject so unreferenced columns are
+	// never decoded. nil means all columns.
+	need []bool
+
+	// MBR prefilter for unindexed sargable spatial predicates: full
+	// scans skip rows whose geometry envelope (read straight from WKB)
+	// does not intersect the probe's envelope. The exact predicate stays
+	// in the residual filter, so results are unchanged — only the decode
+	// work for envelope-disjoint rows is avoided.
+	mbrPrefilter bool
+	mbrCol       int // table-relative offset of the geometry column
+	// windowExpr/expandExpr above are shared with spatial-window paths.
 }
 
 // splitConjuncts flattens nested ANDs.
@@ -166,7 +180,69 @@ func pickAccess(tbl Table, lo, hi int, scope *Scope, conjuncts []Expr) accessPat
 			}
 		}
 	}
+	// No index available: a sargable spatial predicate can still prune
+	// full-scan rows by envelope before decoding them.
+	for _, c := range conjuncts {
+		if !refsInRange(c, 0, hi) {
+			continue
+		}
+		if p, ok := tryMBRPrefilter(lo, hi, scope, c); ok {
+			return p
+		}
+	}
 	return accessPath{kind: accessFullScan}
+}
+
+// tryMBRPrefilter recognises the same pred(geomcol, probe) patterns as
+// trySpatialWindow but without requiring a spatial index: a full scan
+// can test each row's envelope (read from WKB without decoding) against
+// the probe's envelope. Sound because sargableSpatial predicates are
+// only true for envelope-intersecting geometries, and the exact
+// predicate remains in the residual filter.
+func tryMBRPrefilter(lo, hi int, scope *Scope, c Expr) (accessPath, bool) {
+	fc, ok := c.(*FuncCall)
+	if !ok {
+		return accessPath{}, false
+	}
+	name := strings.ToUpper(fc.Name)
+	isDWithin := name == "ST_DWITHIN"
+	if !sargableSpatial[name] && !isDWithin {
+		return accessPath{}, false
+	}
+	wantArgs := 2
+	if isDWithin {
+		wantArgs = 3
+	}
+	if len(fc.Args) != wantArgs {
+		return accessPath{}, false
+	}
+	for i := 0; i < 2; i++ {
+		col, isCol := fc.Args[i].(*ColumnRef)
+		if !isCol || col.Index < lo || col.Index >= hi {
+			continue
+		}
+		if scope.Column(col.Index).Type != storage.TypeGeom {
+			continue
+		}
+		probe := fc.Args[1-i]
+		if !refsInRange(probe, 0, lo) {
+			continue
+		}
+		p := accessPath{
+			kind:         accessFullScan,
+			mbrPrefilter: true,
+			mbrCol:       col.Index - lo,
+			windowExpr:   probe,
+		}
+		if isDWithin {
+			if !refsInRange(fc.Args[2], 0, lo) {
+				continue
+			}
+			p.expandExpr = fc.Args[2]
+		}
+		return p, true
+	}
+	return accessPath{}, false
 }
 
 // trySpatialWindow recognises pred(geomcol, probe) patterns.
@@ -393,6 +469,27 @@ func tryKNN(sel *Select, tbl Table, scope *Scope) (accessPath, bool) {
 		}, true
 	}
 	return accessPath{}, false
+}
+
+// scanProjection builds the Projection for a full scan of this path
+// against the current outer row. skip is true when an MBR prefilter's
+// window is empty (NULL probe): the residual spatial conjunct is then
+// NULL or false for every row, so the whole scan can be elided.
+func (p *accessPath) scanProjection(prefix []storage.Value, reg *Registry) (Projection, bool, error) {
+	proj := Projection{Need: p.need, MBRCol: -1}
+	if !p.mbrPrefilter {
+		return proj, false, nil
+	}
+	window, err := p.evalWindow(prefix, reg)
+	if err != nil {
+		return proj, false, err
+	}
+	if window.IsEmpty() {
+		return proj, true, nil
+	}
+	proj.MBRCol = p.mbrCol
+	proj.Window = window
+	return proj, false, nil
 }
 
 // evalWindow computes the query window for a spatial access path against

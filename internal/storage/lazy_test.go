@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"testing"
+
+	"jackpine/internal/geom"
+)
+
+func lazyTestRow() []Value {
+	return []Value{
+		NewInt(-42),
+		Null(),
+		NewFloat(3.5),
+		NewText("spatial"),
+		NewGeom(geom.LineString{{0, 0}, {10, 4}, {-3, 7}}),
+		NewBool(true),
+		NewGeom(geom.Point{Empty: true}),
+	}
+}
+
+// TestLazyTupleMatchesDecodeTuple: materializing every column through
+// the lazy view must reproduce DecodeTuple exactly.
+func TestLazyTupleMatchesDecodeTuple(t *testing.T) {
+	row := lazyTestRow()
+	data := EncodeTuple(row)
+	want, err := DecodeTuple(data, len(row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lt LazyTuple
+	if err := lt.Reset(data, len(row)); err != nil {
+		t.Fatal(err)
+	}
+	if lt.Len() != len(row) {
+		t.Fatalf("Len = %d, want %d", lt.Len(), len(row))
+	}
+	for i := range row {
+		got, err := lt.Col(i)
+		if err != nil {
+			t.Fatalf("Col(%d): %v", i, err)
+		}
+		if got.Type != want[i].Type {
+			t.Errorf("col %d: type %v, want %v", i, got.Type, want[i].Type)
+		}
+		if c, _ := Compare(got, want[i]); c != 0 {
+			t.Errorf("col %d: value %s, want %s", i, got, want[i])
+		}
+		if lt.ColType(i) != want[i].Type {
+			t.Errorf("col %d: ColType %v, want %v", i, lt.ColType(i), want[i].Type)
+		}
+	}
+}
+
+// TestLazyTupleGeomEnvelope: envelopes read from WKB must match the
+// decoded geometry's Envelope, NULL geometry reports ok=false, and an
+// empty geometry reports ok=true with an empty rect.
+func TestLazyTupleGeomEnvelope(t *testing.T) {
+	row := lazyTestRow()
+	data := EncodeTuple(row)
+	var lt LazyTuple
+	if err := lt.Reset(data, len(row)); err != nil {
+		t.Fatal(err)
+	}
+	env, ok, err := lt.GeomEnvelope(4)
+	if err != nil || !ok {
+		t.Fatalf("GeomEnvelope(4) = ok %v err %v", ok, err)
+	}
+	if want := row[4].Geom.Envelope(); env != want {
+		t.Errorf("envelope %+v, want %+v", env, want)
+	}
+	if _, ok, err := lt.GeomEnvelope(1); ok || err != nil {
+		t.Errorf("NULL column: ok %v err %v, want false nil", ok, err)
+	}
+	env, ok, err = lt.GeomEnvelope(6)
+	if err != nil || !ok {
+		t.Fatalf("empty point: ok %v err %v", ok, err)
+	}
+	if !env.IsEmpty() {
+		t.Errorf("empty point envelope %+v not empty", env)
+	}
+}
+
+// TestLazyTupleReuse: a LazyTuple Reset across tuples of different
+// widths must not leak offsets between rows.
+func TestLazyTupleReuse(t *testing.T) {
+	var lt LazyTuple
+	wide := EncodeTuple(lazyTestRow())
+	if err := lt.Reset(wide, 7); err != nil {
+		t.Fatal(err)
+	}
+	narrow := EncodeTuple([]Value{NewText("x")})
+	if err := lt.Reset(narrow, 1); err != nil {
+		t.Fatal(err)
+	}
+	if lt.Len() != 1 {
+		t.Fatalf("Len after narrow Reset = %d", lt.Len())
+	}
+	v, err := lt.Col(0)
+	if err != nil || v.Text != "x" {
+		t.Fatalf("Col(0) = %v, %v", v, err)
+	}
+}
+
+// TestLazyTupleRejectsCorruptTuples mirrors DecodeTuple's validation.
+func TestLazyTupleRejectsCorruptTuples(t *testing.T) {
+	data := EncodeTuple([]Value{NewInt(7), NewText("ab")})
+	var lt LazyTuple
+	if err := lt.Reset(data, 3); err == nil {
+		t.Error("truncated column count accepted")
+	}
+	if err := lt.Reset(data, 1); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if err := lt.Reset(append(append([]byte(nil), data...), 99), 3); err == nil {
+		t.Error("unknown type tag accepted")
+	}
+}

@@ -103,6 +103,17 @@ func OpenEngine(p Profile, opts ...engine.Option) *Engine { return engine.Open(p
 // (0 = GOMAXPROCS, 1 = serial). See also Engine.SetParallelism.
 func WithParallelism(n int) engine.Option { return engine.WithParallelism(n) }
 
+// WithGeomCache budgets the decoded-geometry cache in bytes (<= 0
+// disables it; default 16 MiB).
+func WithGeomCache(bytes int) engine.Option { return engine.WithGeomCache(bytes) }
+
+// WithPlanCache bounds the prepared-statement (plan) cache in entries
+// (<= 0 disables it; default 256). See also Engine.Prepare.
+func WithPlanCache(entries int) engine.Option { return engine.WithPlanCache(entries) }
+
+// Stmt aliases a prepared statement (see Engine.Prepare).
+type Stmt = engine.Stmt
+
 // Connect wraps a local engine in an in-process Connector.
 func Connect(eng *Engine) Connector { return driver.NewInProc(eng) }
 
