@@ -1,7 +1,7 @@
 package jackpine
 
 // The benches below regenerate every table and figure of the paper's
-// evaluation (experiments E1–E14; see DESIGN.md for the index). Each
+// evaluation (experiments E1–E15; see DESIGN.md for the index). Each
 // benchmark iteration executes one unit of the experiment's workload, so
 // `go test -bench=. -benchmem` reports the per-operation costs the
 // corresponding experiment compares. The cmd/jackpine harness prints the
@@ -615,6 +615,214 @@ func TestWriteDecodeBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote BENCH_decode.json (%d bytes)", len(buf))
+}
+
+// scaleoutShardCounts are the E15 cluster sizes.
+var scaleoutShardCounts = []int{1, 2, 4, 8}
+
+// benchCluster caches one loaded in-process cluster per shard count.
+var benchClusters = map[int]*Cluster{}
+
+func benchClusterN(b *testing.B, n int) *Cluster {
+	b.Helper()
+	ds := benchDataset(b, ScaleSmall)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if cl, ok := benchClusters[n]; ok {
+		return cl
+	}
+	cl, err := OpenCluster(GaiaDB(), ds, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchClusters[n] = cl
+	return cl
+}
+
+// BenchmarkE15ScaleOut regenerates figure E15: macro throughput (MS1 map
+// browsing, MS3 geocoding) and representative micro queries on
+// spatially-sharded clusters of increasing size. All shards of an
+// in-process cluster share this machine, so full-scan work is bounded by
+// the core count; window-driven queries also gain from shard pruning.
+func BenchmarkE15ScaleOut(b *testing.B) {
+	ds := benchDataset(b, ScaleSmall)
+	ctx := NewQueryContext(ds)
+	var macros []MacroScenario
+	for _, sc := range MacroSuite() {
+		if sc.ID == "MS1" || sc.ID == "MS3" {
+			macros = append(macros, sc)
+		}
+	}
+	for _, n := range scaleoutShardCounts {
+		cl := benchClusterN(b, n)
+		for _, sc := range macros {
+			b.Run(fmt.Sprintf("%s/shards-%d", sc.ID, n), func(b *testing.B) {
+				conn, err := cl.Connect()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sc.Run(ctx, conn, i+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		for _, id := range []string{"MA2", "MA6", "MT1"} {
+			q := findMicro(b, id)
+			b.Run(fmt.Sprintf("%s/shards-%d", q.ID, n), func(b *testing.B) {
+				conn, err := cl.Connect()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := conn.Query(q.SQL(ctx, i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWriteScaleoutBench regenerates BENCH_scaleout.json, the committed
+// E15 baseline. Gated behind JACKPINE_WRITE_BENCH=1 like
+// TestWriteParallelBench:
+//
+//	JACKPINE_WRITE_BENCH=1 go test -run TestWriteScaleoutBench .
+func TestWriteScaleoutBench(t *testing.T) {
+	if os.Getenv("JACKPINE_WRITE_BENCH") != "1" {
+		t.Skip("set JACKPINE_WRITE_BENCH=1 to rewrite BENCH_scaleout.json")
+	}
+	ds := GenerateDataset(ScaleSmall, 1)
+	ctx := NewQueryContext(ds)
+
+	type macroOut struct {
+		Shards    int     `json:"shards"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+		Speedup   float64 `json:"speedup"`
+		PruneRate float64 `json:"shard_prune_rate"`
+		RowsPerOp float64 `json:"rows_per_op"`
+		MeanLatUS int64   `json:"mean_latency_us"`
+	}
+	type microOut struct {
+		Shards    int     `json:"shards"`
+		MeanUS    int64   `json:"mean_us"`
+		Speedup   float64 `json:"speedup"`
+		PruneRate float64 `json:"shard_prune_rate"`
+		Rows      int     `json:"rows"`
+	}
+	type queryOut struct {
+		ID    string     `json:"id"`
+		Name  string     `json:"name"`
+		Macro []macroOut `json:"macro,omitempty"`
+		Micro []microOut `json:"micro,omitempty"`
+	}
+	out := struct {
+		Experiment string     `json:"experiment"`
+		Date       string     `json:"date"`
+		CPUs       int        `json:"cpus"`
+		GOMAXPROCS int        `json:"gomaxprocs"`
+		Scale      string     `json:"scale"`
+		Warmup     int        `json:"warmup"`
+		Runs       int        `json:"runs"`
+		Note       string     `json:"note"`
+		Queries    []queryOut `json:"queries"`
+	}{
+		Experiment: "E15 scale-out: spatially-sharded cluster (GaiaDB)",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      ScaleSmall.String(),
+		Warmup:     2,
+		Runs:       9,
+		Note: "Speedup is vs the 1-shard cluster. All shards of an in-process " +
+			"cluster share one machine, so scan-bound scaling is limited by the " +
+			"core count; shard_prune_rate is the fraction of per-shard queries " +
+			"spatial pruning avoided (-1 when nothing was prune-eligible).",
+	}
+	opts := Options{Warmup: 2, Runs: 9, Clients: 1}
+
+	var macros []MacroScenario
+	for _, sc := range MacroSuite() {
+		if sc.ID == "MS1" || sc.ID == "MS3" {
+			macros = append(macros, sc)
+		}
+	}
+	var micros []MicroQuery
+	for _, q := range MicroSuite() {
+		switch q.ID {
+		case "MA2", "MA6", "MT1":
+			micros = append(micros, q)
+		}
+	}
+	queries := make(map[string]*queryOut)
+	var order []string
+	get := func(id, name string) *queryOut {
+		if qo, ok := queries[id]; ok {
+			return qo
+		}
+		qo := &queryOut{ID: id, Name: name}
+		queries[id] = qo
+		order = append(order, id)
+		return qo
+	}
+	for _, n := range scaleoutShardCounts {
+		cl, err := OpenCluster(GaiaDB(), ds, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range macros {
+			res := RunMacro(cl, sc, ctx, opts)
+			if res.Err != nil {
+				t.Fatalf("%s on %d shards: %v", sc.ID, n, res.Err)
+			}
+			qo := get(sc.ID, sc.Name)
+			mo := macroOut{
+				Shards: n, OpsPerSec: res.Throughput, Speedup: 1,
+				PruneRate: res.ShardPruneRate, RowsPerOp: res.RowsPerOp,
+				MeanLatUS: res.MeanLatency.Microseconds(),
+			}
+			if len(qo.Macro) > 0 && qo.Macro[0].OpsPerSec > 0 {
+				mo.Speedup = res.Throughput / qo.Macro[0].OpsPerSec
+			}
+			qo.Macro = append(qo.Macro, mo)
+		}
+		micRes, err := RunMicro(cl, micros, ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range micRes {
+			if r.Err != nil {
+				t.Fatalf("%s on %d shards: %v", r.ID, n, r.Err)
+			}
+			qo := get(r.ID, r.Name)
+			mo := microOut{
+				Shards: n, MeanUS: r.Mean.Microseconds(), Speedup: 1,
+				PruneRate: r.ShardPruneRate, Rows: r.Rows,
+			}
+			if len(qo.Micro) > 0 && mo.MeanUS > 0 {
+				mo.Speedup = float64(qo.Micro[0].MeanUS) / float64(mo.MeanUS)
+			}
+			qo.Micro = append(qo.Micro, mo)
+		}
+	}
+	for _, id := range order {
+		out.Queries = append(out.Queries, *queries[id])
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_scaleout.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_scaleout.json (%d bytes)", len(buf))
 }
 
 // BenchmarkE12JoinAblation regenerates figure E12: the MT2 spatial join

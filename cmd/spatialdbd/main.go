@@ -6,6 +6,10 @@
 // Usage:
 //
 //	spatialdbd [-addr 127.0.0.1:7676] [-profile gaiadb] [-preload small]
+//
+// With -shard I -of N the preload keeps only shard I's grid partition of
+// the dataset (with the hidden _seq column cluster routers expect), so N
+// spatialdbd processes form the shard set of a wire-transport cluster.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 	"syscall"
 
+	"jackpine/internal/cluster"
 	"jackpine/internal/engine"
 	"jackpine/internal/tiger"
 	"jackpine/internal/wire"
@@ -42,6 +47,8 @@ func run() error {
 		profile = flag.String("profile", "gaiadb", "engine profile: gaiadb, myspatial, commercedb")
 		preload = flag.String("preload", "", "optionally preload a dataset: small, medium, large")
 		seed    = flag.Int64("seed", 1, "preload dataset seed")
+		shard   = flag.Int("shard", 0, "with -of: preload only this shard's partition (0-based)")
+		of      = flag.Int("of", 0, "preload as one shard of an N-shard cluster (requires -preload)")
 	)
 	flag.Parse()
 
@@ -70,10 +77,27 @@ func run() error {
 		default:
 			return fmt.Errorf("unknown preload scale %q", *preload)
 		}
-		fmt.Printf("preloading %s dataset (seed %d)...\n", scale, *seed)
-		if err := tiger.Load(engineExecer{eng}, tiger.Generate(scale, *seed), true); err != nil {
-			return err
+		ds := tiger.Generate(scale, *seed)
+		if *of > 0 {
+			if *shard < 0 || *shard >= *of {
+				return fmt.Errorf("-shard %d out of range for -of %d", *shard, *of)
+			}
+			part, err := cluster.NewPartitioner(ds.Extent, *of)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("preloading shard %d of %d, %s dataset (seed %d)...\n", *shard, *of, scale, *seed)
+			if err := tiger.LoadShard(engineExecer{eng}, ds, true, *shard, part.Assign); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("preloading %s dataset (seed %d)...\n", scale, *seed)
+			if err := tiger.Load(engineExecer{eng}, ds, true); err != nil {
+				return err
+			}
 		}
+	} else if *of > 0 {
+		return fmt.Errorf("-of requires -preload")
 	}
 
 	srv := wire.NewServer(eng)

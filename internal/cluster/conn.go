@@ -1,0 +1,864 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"jackpine/internal/driver"
+	"jackpine/internal/geom"
+	"jackpine/internal/sql"
+	"jackpine/internal/storage"
+)
+
+// Conn is one cluster session: a scatter-gather router over one open
+// session per shard. It implements driver.Conn.
+type Conn struct {
+	c     *Cluster
+	conns []driver.Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// res is an internal routed-statement result.
+type res struct {
+	cols     []string
+	rows     [][]storage.Value
+	affected int
+}
+
+func (r *res) resultSet() *driver.ResultSet {
+	return &driver.ResultSet{Columns: r.cols, Rows: r.rows}
+}
+
+// Exec implements driver.Conn.
+func (cn *Conn) Exec(query string) (int, error) {
+	r, err := cn.route(query)
+	if err != nil {
+		return 0, err
+	}
+	return r.affected, nil
+}
+
+// Query implements driver.Conn.
+func (cn *Conn) Query(query string) (*driver.ResultSet, error) {
+	r, err := cn.route(query)
+	if err != nil {
+		return nil, err
+	}
+	return r.resultSet(), nil
+}
+
+// Close implements driver.Conn, closing every shard session.
+func (cn *Conn) Close() error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.closed {
+		return nil
+	}
+	cn.closed = true
+	var first error
+	for _, c := range cn.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardStats exposes the cluster's scatter/prune counters; the
+// benchmark core detects this method by interface assertion.
+func (cn *Conn) ShardStats() driver.ShardStats { return cn.c.ShardStats() }
+
+func (cn *Conn) guard() error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.closed {
+		return fmt.Errorf("cluster: connection is closed")
+	}
+	return nil
+}
+
+// route parses and dispatches one statement.
+func (cn *Conn) route(query string) (*res, error) {
+	if err := cn.guard(); err != nil {
+		return nil, err
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch t := stmt.(type) {
+	case *sql.Select:
+		return cn.routeSelect(t, query)
+	case *sql.Explain:
+		return cn.routeExplain(t)
+	case *sql.Insert:
+		return cn.routeInsert(t, query)
+	case *sql.Update:
+		return cn.routeUpdate(t, query)
+	case *sql.Delete:
+		return cn.routeDelete(t, query)
+	case *sql.CreateTable:
+		return cn.routeCreateTable(t)
+	case *sql.DropTable:
+		r, err := cn.broadcastSame(query)
+		if err == nil {
+			cn.c.mu.Lock()
+			delete(cn.c.tables, t.Table)
+			cn.c.mu.Unlock()
+		}
+		return r, err
+	case *sql.CreateIndex, *sql.Vacuum:
+		return cn.broadcastSame(query)
+	}
+	return nil, fmt.Errorf("cluster: unroutable statement %T", stmt)
+}
+
+// --- fan-out helpers -----------------------------------------------------
+
+// scatter runs per-shard query texts concurrently; queries[i] == ""
+// skips shard i. On error, the first failing shard (in shard order)
+// wins, keeping errors deterministic.
+func (cn *Conn) scatter(queries []string) ([]*driver.ResultSet, error) {
+	results := make([]*driver.ResultSet, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		if q == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			results[i], errs[i] = cn.conns[i].Query(q)
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// broadcastExec runs the same statement on every shard concurrently
+// and returns per-shard affected counts.
+func (cn *Conn) broadcastExec(query string) ([]int, error) {
+	affected := make([]int, len(cn.conns))
+	errs := make([]error, len(cn.conns))
+	var wg sync.WaitGroup
+	for i := range cn.conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			affected[i], errs[i] = cn.conns[i].Exec(query)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return affected, nil
+}
+
+// broadcastSame broadcasts a statement whose per-shard effect is
+// identical (DDL, VACUUM); shard 0's affected count is reported.
+func (cn *Conn) broadcastSame(query string) (*res, error) {
+	affected, err := cn.broadcastExec(query)
+	if err != nil {
+		return nil, err
+	}
+	return &res{affected: affected[0]}, nil
+}
+
+// single routes a statement verbatim to one shard (replicated and
+// unknown tables; the shard engine supplies any error text).
+func (cn *Conn) single(shard int, query string) (*res, error) {
+	rs, err := cn.conns[shard].Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return &res{cols: rs.Columns, rows: rs.Rows}, nil
+}
+
+// --- SELECT routing ------------------------------------------------------
+
+func (cn *Conn) routeSelect(t *sql.Select, orig string) (*res, error) {
+	refs := make([]*sql.TableRef, 0, 1+len(t.Joins))
+	refs = append(refs, t.From)
+	for i := range t.Joins {
+		refs = append(refs, t.Joins[i].Table)
+	}
+	partitioned := 0
+	for _, r := range refs {
+		info := cn.c.lookup(r.Table)
+		if info == nil {
+			return cn.single(0, orig)
+		}
+		if info.partitioned() {
+			partitioned++
+		}
+	}
+	if partitioned == 0 {
+		// Replicated tables only: any one shard holds the full data.
+		return cn.single(0, orig)
+	}
+	if len(refs) > 1 {
+		return cn.gather(t, orig)
+	}
+
+	info := cn.c.lookup(t.From.Table)
+	hasAgg := len(t.GroupBy) > 0
+	for _, se := range t.Exprs {
+		if !se.Star && sql.HasAggregate(se.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		if r, ok, err := cn.aggScan(t, info); ok || err != nil {
+			return r, err
+		}
+		return cn.gather(t, orig)
+	}
+	starOnly := len(t.Exprs) == 1 && t.Exprs[0].Star
+	for _, se := range t.Exprs {
+		if se.Star && !starOnly {
+			// Star mixed with expressions: column bookkeeping is not
+			// worth a fast path.
+			return cn.gather(t, orig)
+		}
+	}
+	if len(t.OrderBy) > 0 {
+		if starOnly {
+			return cn.gather(t, orig)
+		}
+		return cn.orderedScan(t, info)
+	}
+	return cn.plainScan(t, info, starOnly)
+}
+
+// pruneTargets selects the shards whose data MBR can intersect the
+// query's constant spatial window (all shards when no window exists).
+func (cn *Conn) pruneTargets(info *tableInfo, binding string, where sql.Expr) []int {
+	all := make([]int, len(cn.conns))
+	for i := range all {
+		all[i] = i
+	}
+	if where == nil {
+		return all
+	}
+	geoName := info.cols[info.geomCol].Name
+	isGeom := func(table, column string) bool {
+		return (table == "" || table == binding) && column == geoName
+	}
+	win, ok := sql.ExtractSpatialWindow(where, isGeom, cn.c.reg)
+	if !ok {
+		return all
+	}
+	cn.c.mu.Lock()
+	mbrs := append([]geom.Rect(nil), info.mbr...)
+	cn.c.mu.Unlock()
+	targets := make([]int, 0, len(mbrs))
+	for i, m := range mbrs {
+		if m.Intersects(win) {
+			targets = append(targets, i)
+		}
+	}
+	return targets
+}
+
+// seqRef builds an unresolved reference to the hidden sequence column.
+func seqRef() *sql.ColumnRef { return &sql.ColumnRef{Column: SeqColumn, Index: -1} }
+
+// outName mirrors the executor's output naming for one projection item.
+func outName(se sql.SelectExpr) string {
+	if se.Alias != "" {
+		return se.Alias
+	}
+	return strings.ToLower(se.Expr.String())
+}
+
+// selectNames computes result column names without consulting a shard
+// (needed when pruning eliminates every shard).
+func selectNames(exprs []sql.SelectExpr, info *tableInfo) []string {
+	var names []string
+	for _, se := range exprs {
+		if se.Star {
+			names = append(names, info.colNames()...)
+			continue
+		}
+		names = append(names, outName(se))
+	}
+	return names
+}
+
+// plainScan fans an unordered scan out with _seq appended and merges in
+// _seq order, reproducing a single engine's heap-scan order.
+func (cn *Conn) plainScan(t *sql.Select, info *tableInfo, starOnly bool) (*res, error) {
+	targets := cn.pruneTargets(info, t.From.Name(), t.Where)
+	cn.c.countScatter(len(targets), len(cn.conns)-len(targets))
+
+	cl := sql.CloneStatement(t).(*sql.Select)
+	if !starOnly {
+		// A star-only shard query already ends with the physical _seq
+		// column; anything else selects it explicitly.
+		cl.Exprs = append(cl.Exprs, sql.SelectExpr{Expr: seqRef()})
+	}
+	if cl.Limit >= 0 {
+		cl.Limit += cl.Offset
+		cl.Offset = 0
+	}
+	rows, width, err := cn.scatterSelect(cl, targets)
+	if err != nil {
+		return nil, err
+	}
+	seqIdx := width - 1
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i][seqIdx].Int < rows[j][seqIdx].Int
+	})
+	rows = sliceWindow(rows, t.Offset, t.Limit)
+	out := make([][]storage.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r[:seqIdx]
+	}
+	return &res{cols: selectNames(t.Exprs, info), rows: out}, nil
+}
+
+// orderedScan fans a sorted scan out with the sort keys and _seq
+// appended as extra columns, pushes LIMIT+OFFSET to the shards, and
+// re-sorts the union by (keys, _seq). kNN-shaped queries (single
+// ascending ST_Distance key with LIMIT) keep their ORDER BY clause
+// untouched so each shard's planner can still use its kNN index scan.
+func (cn *Conn) orderedScan(t *sql.Select, info *tableInfo) (*res, error) {
+	targets := cn.pruneTargets(info, t.From.Name(), t.Where)
+	cn.c.countScatter(len(targets), len(cn.conns)-len(targets))
+
+	cl := sql.CloneStatement(t).(*sql.Select)
+	keyStart := len(cl.Exprs)
+	for _, k := range t.OrderBy {
+		cl.Exprs = append(cl.Exprs, sql.SelectExpr{Expr: sql.CloneExpr(k.Expr)})
+	}
+	cl.Exprs = append(cl.Exprs, sql.SelectExpr{Expr: seqRef()})
+	if !cn.knnShape(t, info) {
+		// Deterministic shard-side tie-breaking: with LIMIT pushdown,
+		// ties cut at the boundary must be the globally _seq-smallest
+		// ones, or the global merge could drop a row the single engine
+		// would keep.
+		cl.OrderBy = append(cl.OrderBy, sql.OrderKey{Expr: seqRef()})
+	}
+	if cl.Limit >= 0 {
+		cl.Limit += cl.Offset
+		cl.Offset = 0
+	}
+	rows, _, err := cn.scatterSelect(cl, targets)
+	if err != nil {
+		return nil, err
+	}
+	nKeys := len(t.OrderBy)
+	seqIdx := keyStart + nKeys
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := 0; k < nKeys; k++ {
+			c, _ := storage.Compare(rows[i][keyStart+k], rows[j][keyStart+k])
+			if c != 0 {
+				if t.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return rows[i][seqIdx].Int < rows[j][seqIdx].Int
+	})
+	rows = sliceWindow(rows, t.Offset, t.Limit)
+	out := make([][]storage.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r[:keyStart]
+	}
+	return &res{cols: selectNames(t.Exprs, info), rows: out}, nil
+}
+
+// knnShape mirrors the planner's tryKNN precondition.
+func (cn *Conn) knnShape(t *sql.Select, info *tableInfo) bool {
+	if len(t.Joins) > 0 || len(t.GroupBy) > 0 || t.Limit < 0 ||
+		len(t.OrderBy) != 1 || t.OrderBy[0].Desc {
+		return false
+	}
+	fc, ok := t.OrderBy[0].Expr.(*sql.FuncCall)
+	if !ok || strings.ToUpper(fc.Name) != "ST_DISTANCE" || len(fc.Args) != 2 {
+		return false
+	}
+	geoName := info.cols[info.geomCol].Name
+	binding := t.From.Name()
+	for i := 0; i < 2; i++ {
+		col, isCol := fc.Args[i].(*sql.ColumnRef)
+		if isCol && (col.Table == "" || col.Table == binding) && col.Column == geoName &&
+			!sql.HasColumnRef(fc.Args[1-i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// scatterSelect renders a rewritten single-table select, sends it to
+// the targets, and returns the concatenated rows plus the row width.
+// Zero-target scatters yield no rows and the width implied by the
+// rewritten projection.
+func (cn *Conn) scatterSelect(cl *sql.Select, targets []int) ([][]storage.Value, int, error) {
+	text := renderSelect(cl)
+	queries := make([]string, len(cn.conns))
+	for _, s := range targets {
+		queries[s] = text
+	}
+	rss, err := cn.scatter(queries)
+	if err != nil {
+		return nil, 0, err
+	}
+	width := 0
+	var rows [][]storage.Value
+	for _, s := range targets {
+		width = len(rss[s].Columns)
+		rows = append(rows, rss[s].Rows...)
+	}
+	if width == 0 {
+		// No shard consulted: derive the width from the projection.
+		info := cn.c.lookup(cl.From.Table)
+		for _, se := range cl.Exprs {
+			if se.Star {
+				width += len(info.cols) + 1 // physical _seq included
+				continue
+			}
+			width++
+		}
+	}
+	return rows, width, nil
+}
+
+// sliceWindow applies the original query's OFFSET/LIMIT to merged rows.
+func sliceWindow(rows [][]storage.Value, offset, limit int) [][]storage.Value {
+	if offset > 0 {
+		if offset >= len(rows) {
+			return nil
+		}
+		rows = rows[offset:]
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+// --- aggregate fast path -------------------------------------------------
+
+// aggScan handles global aggregates (no GROUP BY) whose projection
+// references columns only inside aggregate arguments: each shard
+// computes partial states — SUM/AVG rewritten to the exact
+// __PARTIAL_SUM carrier — and the router merges and finalizes once,
+// reproducing the single engine's results bit for bit. ok is false
+// when the query shape needs the gather path instead.
+func (cn *Conn) aggScan(t *sql.Select, info *tableInfo) (*res, bool, error) {
+	if len(t.GroupBy) > 0 || len(t.OrderBy) > 0 || t.Limit >= 0 || t.Offset > 0 {
+		return nil, false, nil
+	}
+	var aggs []*sql.FuncCall
+	for _, se := range t.Exprs {
+		if se.Star {
+			return nil, false, nil
+		}
+		if !collectAggs(se.Expr, false, &aggs) {
+			return nil, false, nil
+		}
+	}
+
+	// Shard-side projection: one partial state per aggregate.
+	items := make([]sql.SelectExpr, len(aggs))
+	for i, a := range aggs {
+		switch a.Name {
+		case "SUM", "AVG":
+			items[i] = sql.SelectExpr{Expr: &sql.FuncCall{
+				Name: sql.PartialSumName,
+				Args: []sql.Expr{sql.CloneExpr(a.Args[0])},
+			}}
+		default: // COUNT, MIN, MAX, ST_EXTENT
+			items[i] = sql.SelectExpr{Expr: sql.CloneExpr(a).(*sql.FuncCall)}
+		}
+	}
+	shardSel := &sql.Select{
+		Exprs: items,
+		From:  &sql.TableRef{Table: t.From.Table, Alias: t.From.Alias},
+		Where: sql.CloneExpr(t.Where),
+		Limit: -1,
+	}
+	targets := cn.pruneTargets(info, t.From.Name(), t.Where)
+	cn.c.countScatter(len(targets), len(cn.conns)-len(targets))
+	text := renderSelect(shardSel)
+	queries := make([]string, len(cn.conns))
+	for _, s := range targets {
+		queries[s] = text
+	}
+	rss, err := cn.scatter(queries)
+	if err != nil {
+		return nil, true, err
+	}
+
+	merged, err := mergeAggStates(aggs, rss, targets)
+	if err != nil {
+		return nil, true, err
+	}
+
+	// Finalize by substituting merged values into the original
+	// projection and evaluating the remaining scalar structure.
+	row := make([]storage.Value, len(t.Exprs))
+	for i, se := range t.Exprs {
+		v, err := sql.Eval(substituteAggs(se.Expr, merged), nil, cn.c.reg)
+		if err != nil {
+			return nil, true, err
+		}
+		row[i] = v
+	}
+	return &res{cols: selectNames(t.Exprs, info), rows: [][]storage.Value{row}}, true, nil
+}
+
+// collectAggs gathers top-level aggregate calls in projection order and
+// reports whether the expression is fast-path eligible: no column
+// references outside aggregate arguments, no aggregate ST_UNION (its
+// result is input-order dependent), no nested aggregates.
+func collectAggs(e sql.Expr, inAgg bool, aggs *[]*sql.FuncCall) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *sql.Literal:
+		return true
+	case *sql.ColumnRef:
+		return inAgg
+	case *sql.UnaryExpr:
+		return collectAggs(x.Expr, inAgg, aggs)
+	case *sql.BinaryExpr:
+		return collectAggs(x.Left, inAgg, aggs) && collectAggs(x.Right, inAgg, aggs)
+	case *sql.IsNull:
+		return collectAggs(x.Expr, inAgg, aggs)
+	case *sql.Between:
+		return collectAggs(x.Expr, inAgg, aggs) &&
+			collectAggs(x.Lo, inAgg, aggs) && collectAggs(x.Hi, inAgg, aggs)
+	case *sql.FuncCall:
+		if sql.IsAggregateCall(x) {
+			if inAgg || x.Name == "ST_UNION" {
+				return false
+			}
+			*aggs = append(*aggs, x)
+			for _, a := range x.Args {
+				if !collectAggs(a, true, aggs) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, a := range x.Args {
+			if !collectAggs(a, inAgg, aggs) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// mergeAggStates folds per-shard partial rows into final values, one
+// per aggregate, visiting shards in shard order (MIN/MAX ties resolve
+// to the earlier shard, matching the executor's parallel merge).
+func mergeAggStates(aggs []*sql.FuncCall, rss []*driver.ResultSet, targets []int) (map[*sql.FuncCall]storage.Value, error) {
+	counts := make([]int64, len(aggs))
+	partials := make([]sql.PartialSum, len(aggs))
+	for i := range partials {
+		partials[i] = sql.NewPartialSum()
+	}
+	minmax := make([]storage.Value, len(aggs))
+	seen := make([]bool, len(aggs))
+	extents := make([]geom.Rect, len(aggs))
+	for i := range extents {
+		extents[i] = geom.EmptyRect()
+	}
+
+	for _, s := range targets {
+		if len(rss[s].Rows) != 1 {
+			return nil, fmt.Errorf("cluster: shard %d returned %d aggregate rows", s, len(rss[s].Rows))
+		}
+		row := rss[s].Rows[0]
+		for i, a := range aggs {
+			v := row[i]
+			switch a.Name {
+			case "COUNT":
+				if v.Type == storage.TypeInt {
+					counts[i] += v.Int
+				}
+			case "SUM", "AVG":
+				if v.Type != storage.TypeText {
+					return nil, fmt.Errorf("cluster: shard %d returned %s for partial sum", s, v.Type)
+				}
+				p, err := sql.ParsePartialSum(v.Text)
+				if err != nil {
+					return nil, err
+				}
+				partials[i].Merge(p)
+			case "MIN":
+				if !v.IsNull() {
+					if c, _ := storage.Compare(v, minmax[i]); !seen[i] || c < 0 {
+						minmax[i], seen[i] = v, true
+					}
+				}
+			case "MAX":
+				if !v.IsNull() {
+					if c, _ := storage.Compare(v, minmax[i]); !seen[i] || c > 0 {
+						minmax[i], seen[i] = v, true
+					}
+				}
+			case "ST_EXTENT":
+				if v.Type == storage.TypeGeom && v.Geom != nil {
+					extents[i] = extents[i].Union(v.Geom.Envelope())
+				}
+			}
+		}
+	}
+
+	out := make(map[*sql.FuncCall]storage.Value, len(aggs))
+	for i, a := range aggs {
+		switch a.Name {
+		case "COUNT":
+			out[a] = storage.NewInt(counts[i])
+		case "SUM":
+			out[a] = partials[i].FinalizeSum()
+		case "AVG":
+			out[a] = partials[i].FinalizeAvg()
+		case "MIN", "MAX":
+			if seen[i] {
+				out[a] = minmax[i]
+			} else {
+				out[a] = storage.Null()
+			}
+		case "ST_EXTENT":
+			if extents[i].IsEmpty() {
+				out[a] = storage.Null()
+			} else {
+				out[a] = storage.NewGeom(extents[i].ToPolygon())
+			}
+		}
+	}
+	return out, nil
+}
+
+// substituteAggs clones the expression with aggregate calls replaced by
+// their merged values (keyed by the original tree's node identity, like
+// the executor's own finalization pass).
+func substituteAggs(e sql.Expr, vals map[*sql.FuncCall]storage.Value) sql.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *sql.FuncCall:
+		if v, ok := vals[x]; ok {
+			return &sql.Literal{Value: v}
+		}
+		args := make([]sql.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substituteAggs(a, vals)
+		}
+		return &sql.FuncCall{Name: x.Name, Args: args, Star: x.Star}
+	case *sql.UnaryExpr:
+		return &sql.UnaryExpr{Op: x.Op, Expr: substituteAggs(x.Expr, vals)}
+	case *sql.BinaryExpr:
+		return &sql.BinaryExpr{Op: x.Op,
+			Left:  substituteAggs(x.Left, vals),
+			Right: substituteAggs(x.Right, vals)}
+	case *sql.IsNull:
+		return &sql.IsNull{Expr: substituteAggs(x.Expr, vals), Negate: x.Negate}
+	case *sql.Between:
+		return &sql.Between{Expr: substituteAggs(x.Expr, vals),
+			Lo: substituteAggs(x.Lo, vals), Hi: substituteAggs(x.Hi, vals)}
+	}
+	return sql.CloneExpr(e)
+}
+
+// --- DML routing ---------------------------------------------------------
+
+func (cn *Conn) routeInsert(t *sql.Insert, orig string) (*res, error) {
+	info := cn.c.lookup(t.Table)
+	if info == nil {
+		return cn.single(0, orig)
+	}
+	if !info.partitioned() {
+		affected, err := cn.broadcastExec(orig)
+		if err != nil {
+			return nil, err
+		}
+		return &res{affected: affected[0]}, nil
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(info.cols) {
+			return nil, fmt.Errorf("cluster: INSERT into %s has %d values for %d columns",
+				t.Table, len(row), len(info.cols))
+		}
+	}
+	first := cn.c.allocSeq(info, len(t.Rows))
+	perShard := make([][][]sql.Expr, len(cn.conns))
+	envs := make([]geom.Rect, len(cn.conns))
+	for i := range envs {
+		envs[i] = geom.EmptyRect()
+	}
+	for i, row := range t.Rows {
+		shard := 0
+		g, ok := sql.ConstantGeometry(row[info.geomCol], cn.c.reg)
+		if ok {
+			shard = cn.c.part.Assign(g)
+			envs[shard] = envs[shard].Union(g.Envelope())
+		}
+		withSeq := make([]sql.Expr, 0, len(row)+1)
+		withSeq = append(withSeq, row...)
+		withSeq = append(withSeq, &sql.Literal{Value: storage.NewInt(first + int64(i))})
+		perShard[shard] = append(perShard[shard], withSeq)
+	}
+
+	errs := make([]error, len(cn.conns))
+	var wg sync.WaitGroup
+	for s, rows := range perShard {
+		if len(rows) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, text string) {
+			defer wg.Done()
+			_, errs[s] = cn.conns[s].Exec(text)
+		}(s, renderInsert(t.Table, rows))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for s := range perShard {
+		if len(perShard[s]) > 0 {
+			cn.c.noteInsert(info, s, envs[s], int64(len(perShard[s])))
+		}
+	}
+	return &res{affected: len(t.Rows)}, nil
+}
+
+func (cn *Conn) routeUpdate(t *sql.Update, orig string) (*res, error) {
+	info := cn.c.lookup(t.Table)
+	if info == nil {
+		return cn.single(0, orig)
+	}
+	if info.partitioned() {
+		geoName := info.cols[info.geomCol].Name
+		for _, a := range t.Set {
+			if a.Column == geoName {
+				return nil, fmt.Errorf("cluster: UPDATE of partitioning geometry column %s is not supported", geoName)
+			}
+		}
+	}
+	affected, err := cn.broadcastExec(orig)
+	if err != nil {
+		return nil, err
+	}
+	return &res{affected: sumOrFirst(affected, info.partitioned())}, nil
+}
+
+func (cn *Conn) routeDelete(t *sql.Delete, orig string) (*res, error) {
+	info := cn.c.lookup(t.Table)
+	if info == nil {
+		return cn.single(0, orig)
+	}
+	affected, err := cn.broadcastExec(orig)
+	if err != nil {
+		return nil, err
+	}
+	if info.partitioned() {
+		cn.c.mu.Lock()
+		for s, n := range affected {
+			info.rows[s] -= int64(n)
+			// MBRs are not shrunk: a stale over-estimate only costs
+			// pruning opportunities, never correctness.
+			if info.rows[s] < 0 {
+				info.rows[s] = 0
+			}
+		}
+		cn.c.mu.Unlock()
+	}
+	return &res{affected: sumOrFirst(affected, info.partitioned())}, nil
+}
+
+// sumOrFirst totals per-shard affected counts for partitioned tables
+// (rows are disjoint) and reports one shard's count for replicated
+// tables (every shard did the same work).
+func sumOrFirst(affected []int, partitioned bool) int {
+	if !partitioned {
+		return affected[0]
+	}
+	total := 0
+	for _, n := range affected {
+		total += n
+	}
+	return total
+}
+
+// --- DDL routing ---------------------------------------------------------
+
+func (cn *Conn) routeCreateTable(t *sql.CreateTable) (*res, error) {
+	info := &tableInfo{
+		name:    t.Name,
+		cols:    append([]sql.Column(nil), t.Columns...),
+		geomCol: -1,
+	}
+	for i, col := range t.Columns {
+		if col.Type == storage.TypeGeom {
+			info.geomCol = i
+			break
+		}
+	}
+	if _, err := cn.broadcastExec(shardDDL(info)); err != nil {
+		return nil, err
+	}
+	cn.c.mu.Lock()
+	cn.c.register(t)
+	cn.c.mu.Unlock()
+	return &res{}, nil
+}
+
+// --- EXPLAIN -------------------------------------------------------------
+
+// routeExplain reports a synthetic router-level plan in the same
+// column shape as the engine's EXPLAIN.
+func (cn *Conn) routeExplain(t *sql.Explain) (*res, error) {
+	refs := make([]*sql.TableRef, 0, 1+len(t.Query.Joins))
+	refs = append(refs, t.Query.From)
+	for i := range t.Query.Joins {
+		refs = append(refs, t.Query.Joins[i].Table)
+	}
+	out := &res{cols: []string{"table", "access", "rows"}}
+	for _, r := range refs {
+		info := cn.c.lookup(r.Table)
+		if info == nil {
+			return cn.single(0, "EXPLAIN "+renderSelect(t.Query))
+		}
+		access := "replicated(shard 0)"
+		total := int64(0)
+		if info.partitioned() {
+			targets := cn.pruneTargets(info, r.Name(), t.Query.Where)
+			access = fmt.Sprintf("scatter(%d of %d shards)", len(targets), len(cn.conns))
+			cn.c.mu.Lock()
+			for _, n := range info.rows {
+				total += n
+			}
+			cn.c.mu.Unlock()
+		}
+		out.rows = append(out.rows, []storage.Value{
+			storage.NewText(r.Name()),
+			storage.NewText(access),
+			storage.NewInt(total),
+		})
+	}
+	return out, nil
+}

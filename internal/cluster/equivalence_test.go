@@ -1,0 +1,261 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"jackpine/internal/cluster"
+	"jackpine/internal/core"
+	"jackpine/internal/driver"
+	"jackpine/internal/engine"
+	"jackpine/internal/experiments"
+	"jackpine/internal/storage"
+	"jackpine/internal/tiger"
+	"jackpine/internal/wire"
+)
+
+// The tests below are the cluster's correctness contract: every micro
+// query and every macro scenario must answer byte-identically on a
+// 4-shard cluster and on a single engine, over both the in-process and
+// the wire transport. Queries without ORDER BY are compared as sorted
+// multisets (relational results are unordered); ordered queries must
+// match row for row.
+
+type execer struct{ e *engine.Engine }
+
+// Exec implements tiger.Execer.
+func (a execer) Exec(q string) error {
+	_, err := a.e.Exec(q)
+	return err
+}
+
+func renderRows(rows [][]storage.Value) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+func singleConn(t *testing.T, p engine.Profile, ds *tiger.Dataset) driver.Conn {
+	t.Helper()
+	eng := engine.Open(p)
+	if err := tiger.Load(execer{eng}, ds, true); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := driver.NewInProc(eng).Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func clusterConn(t *testing.T, cl *cluster.Cluster) driver.Conn {
+	t.Helper()
+	conn, err := cl.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// wireCluster builds an n-shard cluster whose shards are wire servers:
+// each shard engine is preloaded out of band with LoadShard (as
+// spatialdbd -shard/-of does) and reached through a TCP client.
+func wireCluster(t *testing.T, p engine.Profile, ds *tiger.Dataset, n int) *cluster.Cluster {
+	t.Helper()
+	part, err := cluster.NewPartitioner(ds.Extent, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]driver.Connector, n)
+	for i := range shards {
+		eng := engine.Open(p)
+		if err := tiger.LoadShard(execer{eng}, ds, true, i, part.Assign); err != nil {
+			t.Fatal(err)
+		}
+		srv := wire.NewServer(eng)
+		srv.Logf = func(string, ...any) {}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		shards[i] = wire.NewClient(addr, fmt.Sprintf("shard%d", i))
+	}
+	cl, err := cluster.Open(shards, part, cluster.Options{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ddl := range tiger.Schema() {
+		if err := cl.Register(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.RefreshStats(); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// compareQuery runs one statement on both connections and fails unless
+// they agree — on the error (including its unsupported classification)
+// or on the result rows.
+func compareQuery(t *testing.T, label, sqlText string, want, got driver.Conn) {
+	t.Helper()
+	wr, werr := want.Query(sqlText)
+	gr, gerr := got.Query(sqlText)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("%s: single err=%v, cluster err=%v\nsql: %s", label, werr, gerr, sqlText)
+	}
+	if werr != nil {
+		wu := strings.Contains(werr.Error(), "not supported")
+		gu := strings.Contains(gerr.Error(), "not supported")
+		if wu != gu {
+			t.Fatalf("%s: unsupported classification differs: single %v, cluster %v", label, werr, gerr)
+		}
+		return
+	}
+	wrows, grows := renderRows(wr.Rows), renderRows(gr.Rows)
+	if !strings.Contains(strings.ToUpper(sqlText), "ORDER BY") {
+		sort.Strings(wrows)
+		sort.Strings(grows)
+	}
+	if len(wrows) != len(grows) {
+		t.Fatalf("%s: single %d rows, cluster %d rows\nsql: %s", label, len(wrows), len(grows), sqlText)
+	}
+	for i := range wrows {
+		if wrows[i] != grows[i] {
+			t.Fatalf("%s row %d differs\n single: %s\ncluster: %s\nsql: %s", label, i, wrows[i], grows[i], sqlText)
+		}
+	}
+}
+
+func compareMicroSuite(t *testing.T, ctx *core.QueryContext, want, got driver.Conn) {
+	t.Helper()
+	for _, q := range core.MicroSuite() {
+		for iter := 0; iter < 2; iter++ {
+			compareQuery(t, fmt.Sprintf("%s iter %d", q.ID, iter), q.SQL(ctx, iter), want, got)
+		}
+	}
+}
+
+func TestMicroEquivalenceInProc(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	ctx := core.NewQueryContext(ds)
+	for _, p := range engine.AllProfiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			single := singleConn(t, p, ds)
+			cl, err := experiments.SetupCluster(p, ds, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareMicroSuite(t, ctx, single, clusterConn(t, cl))
+		})
+	}
+}
+
+func TestMicroEquivalenceWire(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	ctx := core.NewQueryContext(ds)
+	single := singleConn(t, engine.GaiaDB(), ds)
+	cl := wireCluster(t, engine.GaiaDB(), ds, 4)
+	compareMicroSuite(t, ctx, single, clusterConn(t, cl))
+}
+
+// recorder wraps a connection and transcribes every statement with its
+// outcome, normalising unordered result sets, so two transcripts are
+// comparable line by line.
+type recorder struct {
+	conn driver.Conn
+	log  []string
+}
+
+func (r *recorder) Exec(q string) (int, error) {
+	n, err := r.conn.Exec(q)
+	r.log = append(r.log, fmt.Sprintf("exec|%s|affected=%d|err=%v", q, n, err))
+	return n, err
+}
+
+func (r *recorder) Query(q string) (*driver.ResultSet, error) {
+	rs, err := r.conn.Query(q)
+	entry := "query|" + q
+	if err != nil {
+		entry += "|err=" + err.Error()
+	} else {
+		rows := renderRows(rs.Rows)
+		if !strings.Contains(strings.ToUpper(q), "ORDER BY") {
+			sort.Strings(rows)
+		}
+		entry += "|" + strings.Join(rows, ";")
+	}
+	r.log = append(r.log, entry)
+	return rs, err
+}
+
+func (r *recorder) Close() error { return r.conn.Close() }
+
+// TestMacroEquivalence runs all six macro scenarios against a single
+// engine and against 4-shard clusters (both transports), comparing the
+// full statement-by-statement transcripts — results and affected-row
+// counts included. The scenarios' DML (MS5's UPDATE) runs on every
+// target, keeping their states aligned across iterations.
+func TestMacroEquivalence(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	ctx := core.NewQueryContext(ds)
+	single := singleConn(t, engine.GaiaDB(), ds)
+
+	inproc, err := experiments.SetupCluster(engine.GaiaDB(), ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []struct {
+		name string
+		conn driver.Conn
+	}{
+		{"inproc", clusterConn(t, inproc)},
+		{"wire", clusterConn(t, wireCluster(t, engine.GaiaDB(), ds, 4))},
+	}
+	for _, sc := range core.MacroSuite() {
+		for iter := 1; iter <= 2; iter++ {
+			sRec := &recorder{conn: single}
+			if _, err := sc.Run(ctx, sRec, iter); err != nil {
+				t.Fatalf("%s iter %d on single engine: %v", sc.ID, iter, err)
+			}
+			for _, tgt := range targets {
+				cRec := &recorder{conn: tgt.conn}
+				if _, err := sc.Run(ctx, cRec, iter); err != nil {
+					t.Fatalf("%s iter %d on %s cluster: %v", sc.ID, iter, tgt.name, err)
+				}
+				if len(sRec.log) != len(cRec.log) {
+					t.Fatalf("%s iter %d: transcript length differs on %s: single %d, cluster %d",
+						sc.ID, iter, tgt.name, len(sRec.log), len(cRec.log))
+				}
+				for i := range sRec.log {
+					if sRec.log[i] != cRec.log[i] {
+						t.Fatalf("%s iter %d step %d differs on %s\n single: %s\ncluster: %s",
+							sc.ID, iter, i, tgt.name, sRec.log[i], cRec.log[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardSchemaSeqColumn cross-checks the hidden sequence column the
+// tiger shard loader appends against the name the router merges by.
+func TestShardSchemaSeqColumn(t *testing.T) {
+	for _, ddl := range tiger.ShardSchema() {
+		if !strings.HasSuffix(ddl, ", "+cluster.SeqColumn+" INTEGER)") {
+			t.Errorf("shard DDL does not end with the %s column: %s", cluster.SeqColumn, ddl)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+
+	"jackpine/internal/engine"
+	"jackpine/internal/sql"
+	"jackpine/internal/storage"
+)
+
+// gatherBatch bounds the rows per INSERT when loading fragments into
+// the transient gather engine.
+const gatherBatch = 1024
+
+// gather answers a query no fast path covers (joins, GROUP BY, mixed
+// projections, aggregate shapes the partial merge cannot express) by
+// materialising each referenced table's fragment in a transient local
+// engine with the cluster's profile and running the original query
+// there. Fragments are fetched through the plain scatter path — in
+// global _seq order, so the transient heaps reproduce a single engine's
+// insertion order — and conjuncts that touch only one binding are
+// pushed into the fragment fetch, which keeps shard pruning effective
+// and the fragments small.
+func (cn *Conn) gather(t *sql.Select, orig string) (*res, error) {
+	refs := make([]*sql.TableRef, 0, 1+len(t.Joins))
+	refs = append(refs, t.From)
+	for i := range t.Joins {
+		refs = append(refs, t.Joins[i].Table)
+	}
+
+	// Conjuncts eligible for pushdown come from WHERE and the join ON
+	// clauses; a conjunct is pushed when every column it references
+	// belongs to one specific binding of the fragment's table.
+	var conjuncts []sql.Expr
+	conjuncts = append(conjuncts, sql.Conjuncts(t.Where)...)
+	for i := range t.Joins {
+		conjuncts = append(conjuncts, sql.Conjuncts(t.Joins[i].On)...)
+	}
+
+	eng := engine.Open(cn.c.prof)
+	loaded := make(map[string]bool, len(refs))
+	for _, ref := range refs {
+		if loaded[ref.Table] {
+			continue
+		}
+		loaded[ref.Table] = true
+		info := cn.c.lookup(ref.Table) // caller verified every table is known
+		if _, err := eng.ExecParsed(&sql.CreateTable{Name: info.name, Columns: info.cols}); err != nil {
+			return nil, fmt.Errorf("cluster: gather schema for %s: %w", info.name, err)
+		}
+		rows, err := cn.fetchFragment(t, refs, conjuncts, ref, info)
+		if err != nil {
+			return nil, err
+		}
+		if err := loadFragment(eng, info, rows); err != nil {
+			return nil, err
+		}
+		if info.partitioned() {
+			// A spatial index keeps gathered joins on the same access
+			// paths (index nested loop, kNN) a single engine would use.
+			idx := &sql.CreateIndex{
+				Name:    "__gather_" + info.name + "_sidx",
+				Table:   info.name,
+				Columns: []string{info.cols[info.geomCol].Name},
+				Spatial: true,
+			}
+			if _, err := eng.ExecParsed(idx); err != nil {
+				return nil, fmt.Errorf("cluster: gather index for %s: %w", info.name, err)
+			}
+		}
+	}
+
+	result, err := eng.Exec(orig)
+	if err != nil {
+		return nil, err
+	}
+	return &res{cols: result.Columns, rows: result.Rows, affected: result.Affected}, nil
+}
+
+// fetchFragment retrieves one table's rows. Partitioned tables go
+// through the plain scatter path (merged in _seq order, _seq stripped);
+// replicated tables read from shard 0.
+func (cn *Conn) fetchFragment(t *sql.Select, refs []*sql.TableRef, conjuncts []sql.Expr, ref *sql.TableRef, info *tableInfo) ([][]storage.Value, error) {
+	// The table's binding, for qualifier matching; pushdown applies
+	// only when the table is referenced exactly once (a self-join's
+	// conjuncts are ambiguous between its bindings).
+	binding := ref.Name()
+	occurrences := 0
+	for _, r := range refs {
+		if r.Table == ref.Table {
+			occurrences++
+		}
+	}
+	var pushed []sql.Expr
+	if occurrences == 1 {
+		for _, c := range conjuncts {
+			if refsOnlyBinding(c, binding, len(refs) == 1) {
+				pushed = append(pushed, sql.CloneExpr(c))
+			}
+		}
+	}
+	fragSel := &sql.Select{
+		Exprs: []sql.SelectExpr{{Star: true}},
+		From:  &sql.TableRef{Table: ref.Table, Alias: ref.Alias},
+		Where: andAll(pushed),
+		Limit: -1,
+	}
+	if !info.partitioned() {
+		r, err := cn.single(0, renderSelect(fragSel))
+		if err != nil {
+			return nil, err
+		}
+		return r.rows, nil
+	}
+	r, err := cn.plainScan(fragSel, info, true)
+	if err != nil {
+		return nil, err
+	}
+	return r.rows, nil
+}
+
+// refsOnlyBinding reports whether every column reference in the
+// expression names the given binding; unqualified references count
+// only when the query has a single binding (no ambiguity).
+func refsOnlyBinding(e sql.Expr, binding string, single bool) bool {
+	ok := true
+	sql.WalkExpr(e, func(x sql.Expr) {
+		if col, isCol := x.(*sql.ColumnRef); isCol {
+			if col.Table == binding || (col.Table == "" && single) {
+				return
+			}
+			ok = false
+		}
+	})
+	return ok
+}
+
+// loadFragment inserts fetched rows into the gather engine, preserving
+// their (global _seq) order.
+func loadFragment(eng *engine.Engine, info *tableInfo, rows [][]storage.Value) error {
+	for start := 0; start < len(rows); start += gatherBatch {
+		end := start + gatherBatch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		ins := &sql.Insert{Table: info.name, Rows: make([][]sql.Expr, 0, end-start)}
+		for _, row := range rows[start:end] {
+			exprs := make([]sql.Expr, len(row))
+			for i, v := range row {
+				exprs[i] = &sql.Literal{Value: v}
+			}
+			ins.Rows = append(ins.Rows, exprs)
+		}
+		if _, err := eng.ExecParsed(ins); err != nil {
+			return fmt.Errorf("cluster: gather load for %s: %w", info.name, err)
+		}
+	}
+	return nil
+}

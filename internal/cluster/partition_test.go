@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+
+	"jackpine/internal/geom"
+)
+
+func TestNewPartitionerFactorisation(t *testing.T) {
+	ext := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	cases := []struct{ shards, gx, gy int }{
+		{1, 1, 1}, {2, 1, 2}, {3, 1, 3}, {4, 2, 2},
+		{6, 2, 3}, {8, 2, 4}, {9, 3, 3}, {12, 3, 4},
+	}
+	for _, c := range cases {
+		p, err := NewPartitioner(ext, c.shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", c.shards, err)
+		}
+		if p.Gx != c.gx || p.Gy != c.gy {
+			t.Errorf("shards=%d: got %dx%d, want %dx%d", c.shards, p.Gx, p.Gy, c.gx, c.gy)
+		}
+		if p.Shards() != c.shards {
+			t.Errorf("shards=%d: Shards()=%d", c.shards, p.Shards())
+		}
+	}
+	if _, err := NewPartitioner(ext, 0); err == nil {
+		t.Error("shards=0 should fail")
+	}
+}
+
+func TestAssignDisjointAndClamped(t *testing.T) {
+	ext := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	p, err := NewPartitioner(ext, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, y  float64
+		shard int
+	}{
+		{10, 10, 0}, {90, 10, 1}, {10, 90, 2}, {90, 90, 3},
+		// Outside the extent: clamped to the border cells.
+		{-50, -50, 0}, {150, 150, 3}, {-50, 150, 2},
+		// The far edge belongs to the last cell, not a phantom one.
+		{100, 100, 3},
+	}
+	for _, c := range cases {
+		if got := p.AssignPoint(geom.Coord{X: c.x, Y: c.y}); got != c.shard {
+			t.Errorf("AssignPoint(%g,%g) = %d, want %d", c.x, c.y, got, c.shard)
+		}
+	}
+	// Every assignment must be a valid shard index.
+	for x := -20.0; x <= 120; x += 7 {
+		for y := -20.0; y <= 120; y += 7 {
+			s := p.AssignPoint(geom.Coord{X: x, Y: y})
+			if s < 0 || s >= p.Shards() {
+				t.Fatalf("AssignPoint(%g,%g) = %d out of range", x, y, s)
+			}
+		}
+	}
+}
+
+func TestAssignNilAndEmpty(t *testing.T) {
+	ext := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	p, err := NewPartitioner(ext, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Assign(nil); got != 0 {
+		t.Errorf("Assign(nil) = %d, want 0", got)
+	}
+	if got := p.Assign(geom.Point{Empty: true}); got != 0 {
+		t.Errorf("Assign(empty point) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"strconv"
+	"strings"
+
+	"jackpine/internal/sql"
+)
+
+// This file renders rewritten statement trees back to SQL text for the
+// shards. Expression rendering reuses the AST's String methods, whose
+// output the parser round-trips for every expression the router
+// rewrites (binary operators re-parse from their parenthesised form,
+// float literals print in %g which the lexer accepts, text literals
+// ''-escape). Geometry literals do not round-trip as text, but no
+// rewrite path introduces one: geometry constants only ever appear as
+// ST_GeomFromText / ST_Make* calls in the original query, which render
+// as calls.
+
+// renderSelect renders a SELECT tree as SQL text.
+func renderSelect(s *sql.Select) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, se := range s.Exprs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if se.Star {
+			b.WriteByte('*')
+			continue
+		}
+		b.WriteString(se.Expr.String())
+		if se.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(se.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	renderTableRef(&b, s.From)
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN ")
+		renderTableRef(&b, j.Table)
+		b.WriteString(" ON ")
+		b.WriteString(j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, k := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.Expr.String())
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(s.Limit))
+	}
+	if s.Offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.Itoa(s.Offset))
+	}
+	return b.String()
+}
+
+func renderTableRef(b *strings.Builder, t *sql.TableRef) {
+	b.WriteString(t.Table)
+	if t.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(t.Alias)
+	}
+}
+
+// renderInsert renders an INSERT tree as SQL text.
+func renderInsert(table string, rows [][]sql.Expr) string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(table)
+	b.WriteString(" VALUES ")
+	for i, row := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// andAll conjoins expressions (nil for an empty list).
+func andAll(exprs []sql.Expr) sql.Expr {
+	var out sql.Expr
+	for _, e := range exprs {
+		if out == nil {
+			out = e
+		} else {
+			out = &sql.BinaryExpr{Op: "AND", Left: out, Right: e}
+		}
+	}
+	return out
+}

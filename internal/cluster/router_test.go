@@ -1,0 +1,177 @@
+package cluster_test
+
+import (
+	"strings"
+	"testing"
+
+	"jackpine/internal/cluster"
+	"jackpine/internal/driver"
+	"jackpine/internal/engine"
+	"jackpine/internal/geom"
+)
+
+// routerFixture is an empty 4-shard in-process cluster next to an empty
+// single engine; every statement is applied to both so the pair must
+// stay equivalent.
+type routerFixture struct {
+	cluster driver.Conn
+	single  driver.Conn
+	cl      *cluster.Cluster
+}
+
+func newRouterFixture(t *testing.T) *routerFixture {
+	t.Helper()
+	ext := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	part, err := cluster.NewPartitioner(ext, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]driver.Connector, 4)
+	for i := range shards {
+		shards[i] = driver.NewInProc(engine.Open(engine.GaiaDB()))
+	}
+	cl, err := cluster.Open(shards, part, cluster.Options{Profile: engine.GaiaDB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cconn, err := cl.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cconn.Close() })
+	sconn, err := driver.NewInProc(engine.Open(engine.GaiaDB())).Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sconn.Close() })
+	return &routerFixture{cluster: cconn, single: sconn, cl: cl}
+}
+
+// exec applies a statement to both targets and requires identical
+// affected-row counts.
+func (f *routerFixture) exec(t *testing.T, q string) {
+	t.Helper()
+	wn, werr := f.single.Exec(q)
+	gn, gerr := f.cluster.Exec(q)
+	if werr != nil || gerr != nil {
+		t.Fatalf("exec %s: single err=%v, cluster err=%v", q, werr, gerr)
+	}
+	if wn != gn {
+		t.Fatalf("exec %s: single affected %d, cluster affected %d", q, wn, gn)
+	}
+}
+
+func TestRouterDDLAndDML(t *testing.T) {
+	f := newRouterFixture(t)
+	f.exec(t, "CREATE TABLE pois (id INTEGER, name TEXT, loc GEOMETRY)")
+	// Routed inserts: multi-row batches landing on different shards, a
+	// NULL geometry (shard 0 by convention), and single rows.
+	f.exec(t, `INSERT INTO pois VALUES
+		(1, 'sw', ST_MakePoint(10, 10)),
+		(2, 'se', ST_MakePoint(90, 10)),
+		(3, 'nw', ST_MakePoint(10, 90)),
+		(4, 'ne', ST_MakePoint(90, 90)),
+		(5, 'nowhere', NULL)`)
+	f.exec(t, "INSERT INTO pois VALUES (6, 'centre', ST_MakePoint(50, 50))")
+	f.exec(t, "CREATE SPATIAL INDEX pois_loc ON pois (loc)")
+
+	queries := []string{
+		"SELECT id, name FROM pois ORDER BY id",
+		"SELECT id FROM pois WHERE ST_Intersects(loc, ST_MakeEnvelope(0, 0, 49, 49))",
+		"SELECT COUNT(*) FROM pois",
+		"SELECT id FROM pois ORDER BY ST_Distance(loc, ST_MakePoint(80, 80)) LIMIT 2",
+		"SELECT id, name FROM pois ORDER BY id LIMIT 2 OFFSET 1",
+	}
+	for _, q := range queries {
+		compareQuery(t, q, q, f.single, f.cluster)
+	}
+
+	// Non-geometry UPDATE broadcasts; the affected count is the row's
+	// single owning shard.
+	f.exec(t, "UPDATE pois SET name = 'renamed' WHERE id = 4")
+	compareQuery(t, "after update", "SELECT id, name FROM pois ORDER BY id", f.single, f.cluster)
+
+	// Rewriting the partitioning geometry would require moving rows
+	// between shards; the router refuses rather than silently corrupting
+	// placement.
+	if _, err := f.cluster.Exec("UPDATE pois SET loc = ST_MakePoint(1, 1) WHERE id = 4"); err == nil {
+		t.Fatal("UPDATE of the partitioning geometry column should fail")
+	} else if !strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("geometry UPDATE error should read as unsupported, got: %v", err)
+	}
+
+	f.exec(t, "DELETE FROM pois WHERE id = 2")
+	compareQuery(t, "after delete", "SELECT id FROM pois ORDER BY id", f.single, f.cluster)
+
+	// EXPLAIN reports the routing decision.
+	plan, err := f.cluster.Query("EXPLAIN SELECT id FROM pois WHERE ST_Intersects(loc, ST_MakeEnvelope(0, 0, 20, 20))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Rows) != 1 || !strings.Contains(plan.Rows[0][1].String(), "scatter(") {
+		t.Fatalf("EXPLAIN should report a scatter access path, got %v", plan.Rows)
+	}
+
+	f.exec(t, "DROP TABLE pois")
+	if _, err := f.cluster.Query("SELECT id FROM pois"); err == nil {
+		t.Fatal("SELECT from dropped table should fail")
+	}
+}
+
+func TestRouterReplicatedTable(t *testing.T) {
+	f := newRouterFixture(t)
+	// No geometry column: the table is replicated to every shard; reads
+	// go to shard 0 and DML broadcasts with one shard's affected count.
+	f.exec(t, "CREATE TABLE counters (k INTEGER, v INTEGER)")
+	f.exec(t, "INSERT INTO counters VALUES (1, 10), (2, 20), (3, 30)")
+	compareQuery(t, "replicated select", "SELECT k, v FROM counters ORDER BY k", f.single, f.cluster)
+	f.exec(t, "UPDATE counters SET v = 99 WHERE k = 2")
+	compareQuery(t, "replicated after update", "SELECT k, v FROM counters ORDER BY k", f.single, f.cluster)
+	f.exec(t, "DELETE FROM counters WHERE k = 1")
+	compareQuery(t, "replicated after delete", "SELECT k, v FROM counters ORDER BY k", f.single, f.cluster)
+
+	// A replicated read goes to shard 0 only and must not count as a
+	// prune-eligible scatter.
+	before := f.cl.ShardStats()
+	if _, err := f.cluster.Query("SELECT k FROM counters"); err != nil {
+		t.Fatal(err)
+	}
+	after := f.cl.ShardStats()
+	if after.Scatters != before.Scatters {
+		t.Fatalf("replicated read should not count as a scatter: %+v -> %+v", before, after)
+	}
+}
+
+func TestRouterShardStats(t *testing.T) {
+	f := newRouterFixture(t)
+	f.exec(t, "CREATE TABLE pts (id INTEGER, loc GEOMETRY)")
+	f.exec(t, `INSERT INTO pts VALUES
+		(1, ST_MakePoint(10, 10)),
+		(2, ST_MakePoint(90, 10)),
+		(3, ST_MakePoint(10, 90)),
+		(4, ST_MakePoint(90, 90))`)
+	f.cl.ResetShardStats()
+	// A window that only covers the south-west data should prune the
+	// other three shards.
+	if _, err := f.cluster.Query("SELECT id FROM pts WHERE ST_Intersects(loc, ST_MakeEnvelope(5, 5, 15, 15))"); err != nil {
+		t.Fatal(err)
+	}
+	ss := f.cl.ShardStats()
+	if ss.Shards != 4 {
+		t.Errorf("Shards = %d, want 4", ss.Shards)
+	}
+	if ss.Scatters != 1 || ss.ShardQueries != 1 || ss.Pruned != 3 {
+		t.Errorf("window scan stats = %+v, want 1 scatter, 1 shard query, 3 pruned", ss)
+	}
+	// A full scan is prune-eligible but prunes nothing.
+	if _, err := f.cluster.Query("SELECT COUNT(*) FROM pts"); err != nil {
+		t.Fatal(err)
+	}
+	ss = f.cl.ShardStats()
+	if ss.Scatters != 2 || ss.ShardQueries != 5 || ss.Pruned != 3 {
+		t.Errorf("after full scan stats = %+v, want 2 scatters, 5 shard queries, 3 pruned", ss)
+	}
+	if got := ss.PruneRate(); got != 3.0/8.0 {
+		t.Errorf("PruneRate = %v, want 0.375", got)
+	}
+}

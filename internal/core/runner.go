@@ -69,6 +69,15 @@ type MicroResult struct {
 	PoolHitRatio      float64
 	GeomCacheHitRatio float64
 	PlanCacheHitRatio float64
+
+	// Shards and ShardPruneRate describe scatter-gather routing when the
+	// connection is a spatially-sharded cluster (detected by interface,
+	// like the cache counters): the cluster size and the fraction of
+	// per-shard queries spatial pruning avoided over the measured
+	// iterations. 0 / -1 when the target is not a cluster or nothing
+	// was prune-eligible.
+	Shards         int
+	ShardPruneRate float64
 }
 
 // MacroResult is the measurement of one macro scenario on one engine.
@@ -91,12 +100,31 @@ type MacroResult struct {
 	PoolHitRatio      float64
 	GeomCacheHitRatio float64
 	PlanCacheHitRatio float64
+
+	// Shards and ShardPruneRate as in MicroResult, over the measured
+	// phase.
+	Shards         int
+	ShardPruneRate float64
 }
 
 // cacheCounterConn is implemented by in-process connections that can
 // report engine cache counters; remote connections simply lack it.
 type cacheCounterConn interface {
 	CacheCounters() engine.CacheCounters
+}
+
+// shardStatsConn is implemented by cluster connections that report
+// scatter-gather routing counters; single-engine connections lack it.
+type shardStatsConn interface {
+	ShardStats() driver.ShardStats
+}
+
+// pruneDelta is the prune rate between two shard-counter snapshots.
+func pruneDelta(before, after driver.ShardStats) float64 {
+	return driver.ShardStats{
+		ShardQueries: after.ShardQueries - before.ShardQueries,
+		Pruned:       after.Pruned - before.Pruned,
+	}.PruneRate()
 }
 
 // cacheRatio converts a counter delta to a ratio, -1 when no traffic.
@@ -130,6 +158,7 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			Engine: connector.Name(), Runs: opts.Runs,
 			Parallelism:  opts.Parallelism,
 			PoolHitRatio: -1, GeomCacheHitRatio: -1, PlanCacheHitRatio: -1,
+			ShardPruneRate: -1,
 		}
 		// Warmup (also surfaces unsupported functions cheaply).
 		aborted := false
@@ -148,6 +177,11 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			var before engine.CacheCounters
 			if hasCC {
 				before = cc.CacheCounters()
+			}
+			ss, hasSS := conn.(shardStatsConn)
+			var ssBefore driver.ShardStats
+			if hasSS {
+				ssBefore = ss.ShardStats()
 			}
 			durations := make([]time.Duration, 0, opts.Runs)
 			for i := 0; i < opts.Runs; i++ {
@@ -174,6 +208,11 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 				res.PoolHitRatio = cacheRatio(after.PoolHits-before.PoolHits, after.PoolMisses-before.PoolMisses)
 				res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
 				res.PlanCacheHitRatio = cacheRatio(after.PlanHits-before.PlanHits, after.PlanMisses-before.PlanMisses)
+			}
+			if hasSS && len(durations) > 0 {
+				after := ss.ShardStats()
+				res.Shards = after.Shards
+				res.ShardPruneRate = pruneDelta(ssBefore, after)
 			}
 		}
 		results = append(results, res)
@@ -205,6 +244,7 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		ID: sc.ID, Name: sc.Name, Engine: connector.Name(), Clients: opts.Clients,
 		Parallelism:  opts.Parallelism,
 		PoolHitRatio: -1, GeomCacheHitRatio: -1, PlanCacheHitRatio: -1,
+		ShardPruneRate: -1,
 	}
 
 	// Feature probe: run one operation; an unsupported error marks the
@@ -236,10 +276,18 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 	// a dedicated connection (the counters are engine-global).
 	var before engine.CacheCounters
 	var statsCC cacheCounterConn
+	var ssBefore driver.ShardStats
+	var statsSS shardStatsConn
 	if statsConn, err := connector.Connect(); err == nil {
 		if cc, ok := statsConn.(cacheCounterConn); ok {
 			statsCC = cc
 			before = cc.CacheCounters()
+		}
+		if ss, ok := statsConn.(shardStatsConn); ok {
+			statsSS = ss
+			ssBefore = ss.ShardStats()
+		}
+		if statsCC != nil || statsSS != nil {
 			defer statsConn.Close()
 		} else {
 			statsConn.Close()
@@ -288,7 +336,9 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 	}
 	if res.Ops > 0 && res.Elapsed > 0 {
 		res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
-		res.MeanLatency = res.Elapsed / time.Duration(res.Ops) * time.Duration(opts.Clients)
+		// Multiply before dividing: dividing first truncates to the
+		// nanosecond per op and the error scales with the client count.
+		res.MeanLatency = res.Elapsed * time.Duration(opts.Clients) / time.Duration(res.Ops)
 		res.RowsPerOp = float64(totalRows) / float64(res.Ops)
 	}
 	if statsCC != nil {
@@ -296,6 +346,11 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		res.PoolHitRatio = cacheRatio(after.PoolHits-before.PoolHits, after.PoolMisses-before.PoolMisses)
 		res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
 		res.PlanCacheHitRatio = cacheRatio(after.PlanHits-before.PlanHits, after.PlanMisses-before.PlanMisses)
+	}
+	if statsSS != nil {
+		after := statsSS.ShardStats()
+		res.Shards = after.Shards
+		res.ShardPruneRate = pruneDelta(ssBefore, after)
 	}
 	return res
 }

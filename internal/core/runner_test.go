@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"jackpine/internal/driver"
+)
+
+type nopConn struct{}
+
+func (nopConn) Exec(string) (int, error)                { return 0, nil }
+func (nopConn) Query(string) (*driver.ResultSet, error) { return &driver.ResultSet{}, nil }
+func (nopConn) Close() error                            { return nil }
+
+type nopConnector struct{}
+
+func (nopConnector) Name() string                  { return "nop" }
+func (nopConnector) Connect() (driver.Conn, error) { return nopConn{}, nil }
+
+// TestMacroMeanLatencyPrecision pins the mean-latency arithmetic:
+// Elapsed*Clients/Ops, multiplying before dividing. The reverted order
+// (Elapsed/Ops, then *Clients) truncates to the nanosecond per op and
+// multiplies the truncation error by the client count.
+func TestMacroMeanLatencyPrecision(t *testing.T) {
+	const perOp = 200 * time.Microsecond
+	sc := MacroScenario{
+		ID:   "TLAT",
+		Name: "latency precision probe",
+		Run: func(ctx *QueryContext, conn driver.Conn, iter int) (int, error) {
+			time.Sleep(perOp)
+			return 1, nil
+		},
+	}
+	// Clients and Runs are chosen so Ops (= 7*13 = 91) rarely divides the
+	// measured Elapsed exactly, which is where the two formulas diverge.
+	opts := Options{Warmup: 0, Runs: 13, Clients: 7}
+	res := RunMacro(nopConnector{}, sc, nil, opts)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Ops != 7*13 {
+		t.Fatalf("ops = %d, want %d", res.Ops, 7*13)
+	}
+	want := res.Elapsed * time.Duration(res.Clients) / time.Duration(res.Ops)
+	if res.MeanLatency != want {
+		t.Errorf("MeanLatency = %v, want Elapsed*Clients/Ops = %v (Elapsed %v)",
+			res.MeanLatency, want, res.Elapsed)
+	}
+	// Each operation slept perOp, so per-client latency can't be below it.
+	if res.MeanLatency < perOp {
+		t.Errorf("MeanLatency = %v, below the per-op floor %v", res.MeanLatency, perOp)
+	}
+}

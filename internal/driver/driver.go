@@ -41,6 +41,33 @@ type Connector interface {
 	Connect() (Conn, error)
 }
 
+// ShardStats is a snapshot of a sharded connector's scatter-gather
+// counters. Connections to a cluster expose it through a ShardStats()
+// method (the benchmark core detects the method by interface assertion,
+// the way it detects CacheCounters); single-engine connections simply
+// lack it.
+type ShardStats struct {
+	// Shards is the cluster size.
+	Shards int
+	// Scatters counts routed statements that fanned out (or could have).
+	Scatters int
+	// ShardQueries counts per-shard statements actually sent.
+	ShardQueries int
+	// Pruned counts per-shard statements avoided because the shard's
+	// data MBR cannot intersect the query window.
+	Pruned int
+}
+
+// PruneRate is the fraction of potential shard queries avoided by
+// spatial pruning, -1 when nothing was routed.
+func (s ShardStats) PruneRate() float64 {
+	total := s.ShardQueries + s.Pruned
+	if total == 0 {
+		return -1
+	}
+	return float64(s.Pruned) / float64(total)
+}
+
 // --- in-process connector ------------------------------------------------
 
 // InProc is a Connector bound directly to a local engine.

@@ -252,6 +252,16 @@ func (e *Engine) execStatement(stmt sql.Statement) (*sql.Result, error) {
 	return e.runner.Execute(stmt)
 }
 
+// ExecParsed executes an already-parsed statement under the same lock
+// discipline as Exec. The caller must not reuse the tree across
+// executions (binding mutates it in place; clone with sql.CloneStatement
+// first). Used by the cluster router's gather path, which constructs
+// statement trees directly so geometry values round-trip without a
+// rendering step.
+func (e *Engine) ExecParsed(stmt sql.Statement) (*sql.Result, error) {
+	return e.execStatement(stmt)
+}
+
 // MustExec executes a statement and panics on error; intended for
 // loaders and tests.
 func (e *Engine) MustExec(query string) *sql.Result {

@@ -174,3 +174,16 @@ func TestE12Ablation(t *testing.T) {
 		t.Errorf("E12 output:\n%s", out)
 	}
 }
+
+func TestE15ScaleOut(t *testing.T) {
+	var sb strings.Builder
+	if err := RunE15(&sb, fastConfig(), []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"shards", "MS1 op/s", "MS3 op/s", "MA2", "MA6", "MT1", "prune"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E15 output missing %q:\n%s", want, out)
+		}
+	}
+}

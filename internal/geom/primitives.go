@@ -112,8 +112,12 @@ func segCrossPoint(p1, p2, q1, q2 Coord) Coord {
 
 // collinearOverlap computes the shared portion of two collinear segments.
 func collinearOverlap(p1, p2, q1, q2 Coord) (SegKind, Coord, Coord) {
-	// Project onto the dominant axis to order points.
-	useX := math.Abs(p2.X-p1.X) >= math.Abs(p2.Y-p1.Y)
+	// Project onto the dominant axis of the shared line to order points.
+	// Taking the max over both segments keeps the choice meaningful when
+	// one segment is degenerate (a point has no direction of its own).
+	dx := math.Max(math.Abs(p2.X-p1.X), math.Abs(q2.X-q1.X))
+	dy := math.Max(math.Abs(p2.Y-p1.Y), math.Abs(q2.Y-q1.Y))
+	useX := dx >= dy
 	key := func(c Coord) float64 {
 		if useX {
 			return c.X

@@ -219,6 +219,29 @@ func TestSegSegPropertySymmetry(t *testing.T) {
 	}
 }
 
+func TestSegSegDegeneratePointSegment(t *testing.T) {
+	// A zero-length segment has no direction, so the collinear-overlap
+	// projection axis must come from the other segment: the point
+	// (-10,-3) is on the line of the vertical segment x=-10, y∈[-6,-5]
+	// but outside its range, and both argument orders must agree.
+	pt := Coord{-10, -3}
+	q1, q2 := Coord{-10, -5}, Coord{-10, -6}
+	if k, _, _ := SegSegIntersection(pt, pt, q1, q2); k != SegDisjoint {
+		t.Errorf("point vs vertical segment: kind=%v, want disjoint", k)
+	}
+	if k, _, _ := SegSegIntersection(q1, q2, pt, pt); k != SegDisjoint {
+		t.Errorf("vertical segment vs point: kind=%v, want disjoint", k)
+	}
+	// The same point inside the range is a contact either way around.
+	on := Coord{-10, -5.5}
+	if k, i0, _ := SegSegIntersection(on, on, q1, q2); k != SegPoint || !i0.Equal(on) {
+		t.Errorf("point on segment: kind=%v at %v, want point contact at %v", k, i0, on)
+	}
+	if k, i0, _ := SegSegIntersection(q1, q2, on, on); k != SegPoint || !i0.Equal(on) {
+		t.Errorf("segment vs point on it: kind=%v at %v, want point contact at %v", k, i0, on)
+	}
+}
+
 func TestSegDistPropertyConsistency(t *testing.T) {
 	// DistSegSeg is zero iff SegSegIntersection reports contact (on a
 	// small integer grid where arithmetic is exact).

@@ -140,7 +140,7 @@ func IsAggregateCall(fc *FuncCall) bool {
 		return true
 	}
 	switch fc.Name {
-	case "ST_UNION", "ST_EXTENT":
+	case "ST_UNION", "ST_EXTENT", PartialSumName:
 		return !fc.Star && len(fc.Args) == 1
 	}
 	return false

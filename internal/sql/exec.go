@@ -1225,7 +1225,7 @@ func accumulate(st *aggState, fc *FuncCall, row []storage.Value, reg *Registry) 
 			st.extent = geom.EmptyRect()
 		}
 		st.extent = st.extent.Union(v.Geom.Envelope())
-	case "SUM", "AVG":
+	case "SUM", "AVG", PartialSumName:
 		f, ok := v.AsFloat()
 		if !ok {
 			return fmt.Errorf("sql: %s over %s", fc.Name, v.Type)
@@ -1290,6 +1290,10 @@ func finalize(st *aggState, fc *FuncCall) storage.Value {
 			return storage.Null()
 		}
 		return storage.NewGeom(st.extent.ToPolygon())
+	case PartialSumName:
+		// Distributed partial aggregation: ship the exact mergeable
+		// state instead of a rounded scalar (see PartialSum).
+		return storage.NewText(partialFromState(st).Encode())
 	}
 	return storage.Null()
 }

@@ -1,0 +1,157 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"jackpine/internal/storage"
+)
+
+// PartialSumName is the hidden aggregate a distributed query router
+// substitutes for SUM and AVG when fanning an aggregate query out across
+// shards. Each shard accumulates exactly like SUM but finalizes to a
+// text-encoded PartialSum state instead of a rounded float, so the
+// router can merge shard states and round once — producing the same
+// bits as a single engine summing every row itself (the accumulator is
+// an exact big.Float, see sumPrec).
+//
+// The name is not parseable-by-accident: it only enters queries through
+// a router rewrite.
+const PartialSumName = "__PARTIAL_SUM"
+
+// PartialSum is the mergeable state of a distributed SUM/AVG: the exact
+// high-precision sum, the integer-only fast path, and the non-finite
+// overflow bucket, mirroring the executor's aggState fields.
+type PartialSum struct {
+	Count   int64
+	SumInt  int64
+	IntOnly bool
+	Sum     *big.Float // nil until a finite term arrives
+	SumBad  float64
+	HasBad  bool
+}
+
+// NewPartialSum returns the empty state (IntOnly starts true, matching a
+// fresh aggState).
+func NewPartialSum() PartialSum { return PartialSum{IntOnly: true} }
+
+// partialFromState snapshots an executor aggregate state.
+func partialFromState(st *aggState) PartialSum {
+	return PartialSum{
+		Count:   st.count,
+		SumInt:  st.sumInt,
+		IntOnly: st.intOnly,
+		Sum:     st.sum,
+		SumBad:  st.sumBad,
+		HasBad:  st.hasBad,
+	}
+}
+
+// Encode renders the state as text. The big.Float sum uses the 'p'
+// (hexadecimal mantissa, binary exponent) format, which round-trips
+// exactly; the non-finite bucket is carried as raw float64 bits.
+func (p PartialSum) Encode() string {
+	sum := ""
+	if p.Sum != nil {
+		sum = p.Sum.Text('p', 0)
+	}
+	return fmt.Sprintf("%d|%d|%t|%t|%s|%s",
+		p.Count, p.SumInt, p.IntOnly, p.HasBad,
+		strconv.FormatUint(math.Float64bits(p.SumBad), 16), sum)
+}
+
+// ParsePartialSum decodes a state produced by Encode.
+func ParsePartialSum(s string) (PartialSum, error) {
+	parts := strings.SplitN(s, "|", 6)
+	if len(parts) != 6 {
+		return PartialSum{}, fmt.Errorf("sql: malformed partial sum %q", s)
+	}
+	var p PartialSum
+	var err error
+	if p.Count, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+		return PartialSum{}, fmt.Errorf("sql: partial sum count: %w", err)
+	}
+	if p.SumInt, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+		return PartialSum{}, fmt.Errorf("sql: partial sum int: %w", err)
+	}
+	if p.IntOnly, err = strconv.ParseBool(parts[2]); err != nil {
+		return PartialSum{}, fmt.Errorf("sql: partial sum intOnly: %w", err)
+	}
+	if p.HasBad, err = strconv.ParseBool(parts[3]); err != nil {
+		return PartialSum{}, fmt.Errorf("sql: partial sum hasBad: %w", err)
+	}
+	bits, err := strconv.ParseUint(parts[4], 16, 64)
+	if err != nil {
+		return PartialSum{}, fmt.Errorf("sql: partial sum bad bits: %w", err)
+	}
+	p.SumBad = math.Float64frombits(bits)
+	if parts[5] != "" {
+		f, _, err := big.ParseFloat(parts[5], 0, sumPrec, big.ToNearestEven)
+		if err != nil {
+			return PartialSum{}, fmt.Errorf("sql: partial sum value: %w", err)
+		}
+		p.Sum = f
+	}
+	return p, nil
+}
+
+// Merge folds a later shard's state into p, mirroring the executor's
+// mergeState: exact sums add (order-independent at sumPrec), the
+// integer fast path survives only if every shard kept it.
+func (p *PartialSum) Merge(o PartialSum) {
+	p.Count += o.Count
+	if o.Sum != nil {
+		if p.Sum == nil {
+			p.Sum = o.Sum
+		} else {
+			p.Sum.Add(p.Sum, o.Sum)
+		}
+	}
+	if o.HasBad {
+		p.SumBad += o.SumBad
+		p.HasBad = true
+	}
+	p.SumInt += o.SumInt
+	// A shard that accumulated nothing reports the zero-value state
+	// (IntOnly false); it must not poison the integer fast path.
+	if o.Count > 0 {
+		p.IntOnly = p.IntOnly && o.IntOnly
+	}
+}
+
+// float rounds the exact accumulator to float64, mirroring
+// aggState.sumFloat.
+func (p PartialSum) float() float64 {
+	var f float64
+	if p.Sum != nil {
+		f, _ = p.Sum.Float64()
+	}
+	if p.HasBad {
+		f += p.SumBad
+	}
+	return f
+}
+
+// FinalizeSum produces the value SUM would have returned on a single
+// engine seeing all rows.
+func (p PartialSum) FinalizeSum() storage.Value {
+	if p.Count == 0 {
+		return storage.Null()
+	}
+	if p.IntOnly {
+		return storage.NewInt(p.SumInt)
+	}
+	return storage.NewFloat(p.float())
+}
+
+// FinalizeAvg produces the value AVG would have returned on a single
+// engine seeing all rows.
+func (p PartialSum) FinalizeAvg() storage.Value {
+	if p.Count == 0 {
+		return storage.Null()
+	}
+	return storage.NewFloat(p.float() / float64(p.Count))
+}

@@ -10,7 +10,7 @@ import (
 func TestGeomCacheHitMissInvalidate(t *testing.T) {
 	c := NewGeomCache(1 << 20)
 	rid := RecordID{Page: 3, Slot: 1}
-	g := geom.Point{Coord: geom.Coord{1, 2}}
+	g := geom.Point{Coord: geom.Coord{X: 1, Y: 2}}
 
 	if _, ok := c.Get("t", rid, 0); ok {
 		t.Fatal("hit on empty cache")
@@ -51,7 +51,7 @@ func TestGeomCacheHitMissInvalidate(t *testing.T) {
 func TestGeomCacheEvictsUnderBudget(t *testing.T) {
 	// One shard's budget is total/16; entries cost wkbLen + overhead.
 	c := NewGeomCache(16 * 4 * (100 + geomEntryOverhead))
-	g := geom.Point{Coord: geom.Coord{0, 0}}
+	g := geom.Point{Coord: geom.Coord{X: 0, Y: 0}}
 	for i := 0; i < 4096; i++ {
 		c.Put("t", RecordID{Page: uint32(i)}, 0, g, 100)
 	}
@@ -123,7 +123,7 @@ func TestGeomCacheConcurrent(t *testing.T) {
 			for i := 0; i < 2000; i++ {
 				rid := RecordID{Page: uint32(i % 97), Slot: uint16(w)}
 				if i%3 == 0 {
-					c.Put("t", rid, 0, geom.Point{Coord: geom.Coord{float64(i), 0}}, 50)
+					c.Put("t", rid, 0, geom.Point{Coord: geom.Coord{X: float64(i), Y: 0}}, 50)
 				} else if i%17 == 0 {
 					c.Invalidate("t", rid, 0)
 				} else if _, ok := c.Get("t", rid, 0); ok && err == nil {

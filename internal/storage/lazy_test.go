@@ -12,7 +12,7 @@ func lazyTestRow() []Value {
 		Null(),
 		NewFloat(3.5),
 		NewText("spatial"),
-		NewGeom(geom.LineString{{0, 0}, {10, 4}, {-3, 7}}),
+		NewGeom(geom.LineString{{X: 0, Y: 0}, {X: 10, Y: 4}, {X: -3, Y: 7}}),
 		NewBool(true),
 		NewGeom(geom.Point{Empty: true}),
 	}

@@ -7,9 +7,20 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"jackpine/internal/engine"
 )
+
+// defaultDrainTimeout bounds how long Close waits for in-flight
+// requests and idle sessions to wind down before force-closing them.
+const defaultDrainTimeout = 5 * time.Second
+
+// connState tracks one session's drain bookkeeping.
+type connState struct {
+	busy          bool // a request is being served right now
+	closeWhenIdle bool // drain: close as soon as the current request ends
+}
 
 // Server exposes an engine over the wire protocol.
 type Server struct {
@@ -17,9 +28,20 @@ type Server struct {
 	ln  net.Listener
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
 	closed bool
 	wg     sync.WaitGroup
+
+	// MaxConns caps concurrent sessions; over-limit connects are
+	// rejected with a protocol error frame instead of being accepted
+	// and left to stall. 0 means unlimited.
+	MaxConns int
+
+	// DrainTimeout bounds Close's graceful drain: idle sessions close
+	// immediately, sessions serving a request finish it first, and
+	// anything still alive at the deadline is force-closed. <= 0 uses
+	// defaultDrainTimeout.
+	DrainTimeout time.Duration
 
 	// Logf receives connection-level errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -28,7 +50,7 @@ type Server struct {
 // NewServer wraps an engine. Call Listen (or Serve with an existing
 // listener) to start accepting connections.
 func NewServer(eng *engine.Engine) *Server {
-	return &Server{eng: eng, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	return &Server{eng: eng, conns: make(map[net.Conn]*connState), Logf: log.Printf}
 }
 
 // Listen binds addr (e.g. "127.0.0.1:7676") and serves in background
@@ -66,7 +88,12 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			s.reject(conn)
+			continue
+		}
+		s.conns[conn] = &connState{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -74,6 +101,17 @@ func (s *Server) acceptLoop() {
 			s.handle(conn)
 		}()
 	}
+}
+
+// reject refuses an over-limit connection with an error frame (which
+// the client surfaces on its first request) and closes it. The write
+// deadline keeps a slow peer from stalling the accept loop.
+func (s *Server) reject(conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	if err := writeFrame(conn, opError, []byte("wire: server connection limit reached")); err != nil {
+		s.Logf("wire: reject: %v", err)
+	}
+	conn.Close()
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -96,37 +134,68 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		query := string(payload)
-		switch op {
-		case opQuery, opExec:
-			res, err := s.eng.Exec(query)
-			if err != nil {
-				if werr := writeFrame(conn, opError, []byte(err.Error())); werr != nil {
-					return
-				}
-				continue
-			}
-			if op == opExec {
-				var buf [4]byte
-				binary.LittleEndian.PutUint32(buf[:], uint32(res.Affected))
-				if err := writeFrame(conn, opAck, buf[:]); err != nil {
-					return
-				}
-				continue
-			}
-			if err := writeFrame(conn, opRows, encodeRows(res.Columns, res.Rows)); err != nil {
-				return
-			}
-		default:
-			if err := writeFrame(conn, opError, []byte("wire: unknown op")); err != nil {
-				return
-			}
+		if !s.beginRequest(conn) {
+			return
+		}
+		ok := s.serve(conn, op, payload)
+		if !s.endRequest(conn) || !ok {
+			return
 		}
 	}
 }
 
-// Close stops accepting, closes active connections, and waits for
-// handlers to finish.
+// beginRequest marks the session busy; false means the server is
+// draining and the session should end instead of serving.
+func (s *Server) beginRequest(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.conns[conn]
+	if !ok || st.closeWhenIdle {
+		return false
+	}
+	st.busy = true
+	return true
+}
+
+// endRequest clears the busy mark; false means a drain asked for the
+// session to close once its current request finished.
+func (s *Server) endRequest(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.conns[conn]
+	if !ok {
+		return false
+	}
+	st.busy = false
+	return !st.closeWhenIdle
+}
+
+// serve answers one request frame; false stops the session.
+func (s *Server) serve(conn net.Conn, op byte, payload []byte) bool {
+	query := string(payload)
+	switch op {
+	case opQuery, opExec:
+		res, err := s.eng.Exec(query)
+		if err != nil {
+			return writeFrame(conn, opError, []byte(err.Error())) == nil
+		}
+		if op == opExec {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(res.Affected))
+			return writeFrame(conn, opAck, buf[:]) == nil
+		}
+		return writeFrame(conn, opRows, encodeRows(res.Columns, res.Rows)) == nil
+	default:
+		return writeFrame(conn, opError, []byte("wire: unknown op")) == nil
+	}
+}
+
+// Close stops accepting and drains gracefully: idle sessions close
+// immediately, sessions serving a request finish it, and whatever
+// remains at the DrainTimeout deadline is force-closed. On a clean
+// drain it returns after every handler has exited; after a forced
+// close it returns without waiting, since a handler may still be
+// inside an engine call whose response will simply fail to write.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -135,14 +204,38 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
-	for c := range s.conns {
-		c.Close()
+	for c, st := range s.conns {
+		st.closeWhenIdle = true
+		if !st.busy {
+			// Parked in readFrame with no request in flight: closing
+			// now unblocks the handler without cutting off any work.
+			c.Close()
+		}
 	}
 	s.mu.Unlock()
+
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timeout := s.DrainTimeout
+	if timeout <= 0 {
+		timeout = defaultDrainTimeout
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	}
 	return err
 }

@@ -1,0 +1,342 @@
+package wire
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jackpine/internal/engine"
+)
+
+// The tests below cover the server's failure paths: protocol garbage,
+// oversized frames, clients vanishing mid-request, the connection
+// limit, and graceful drain. They share the package so they can observe
+// the server's internal connection table directly.
+
+// newTestServer boots a server around a fresh engine and returns it with
+// its bound address. Configuration (MaxConns, DrainTimeout) must happen
+// via cfg, before Listen starts the accept loop.
+func newTestServer(t *testing.T, cfg ...func(*Server)) (*Server, *engine.Engine, string) {
+	t.Helper()
+	eng := engine.Open(engine.GaiaDB())
+	srv := NewServer(eng)
+	srv.Logf = func(string, ...any) {} // error paths log by design; keep tests quiet
+	for _, f := range cfg {
+		f(srv)
+	}
+	if _, err := eng.Exec("CREATE TABLE probe (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec("INSERT INTO probe VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, eng, addr
+}
+
+// expectClosed reads until the peer closes the connection, failing if it
+// stays open past the deadline.
+func expectClosed(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// checkServes verifies the server still answers a well-formed client.
+func checkServes(t *testing.T, addr string) {
+	t.Helper()
+	conn, err := NewClient(addr, "probe").Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Query("SELECT COUNT(*) FROM probe"); err != nil {
+		t.Fatalf("server unusable after protocol error: %v", err)
+	}
+}
+
+func TestMalformedFrameClosesConn(t *testing.T) {
+	_, _, addr := newTestServer(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// A zero-length frame is invalid (every frame carries at least the
+	// opcode); the server must drop the connection, not hang or crash.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 0)
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, raw)
+	checkServes(t, addr)
+}
+
+func TestTruncatedFrameClosesConn(t *testing.T) {
+	_, _, addr := newTestServer(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A header promising more bytes than ever arrive: the client dies
+	// mid-frame and the server must reclaim the handler.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 100)
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	checkServes(t, addr)
+}
+
+func TestOversizedFrameClosesConn(t *testing.T) {
+	_, _, addr := newTestServer(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Length beyond the 64 MiB cap: rejected before any allocation.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, raw)
+	checkServes(t, addr)
+}
+
+func TestMidQueryDisconnect(t *testing.T) {
+	_, eng, addr := newTestServer(t)
+	if _, err := eng.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Send a valid query, then vanish before reading the response:
+		// the server's answer write fails and the handler must exit
+		// cleanly.
+		if err := writeFrame(raw, opQuery, []byte("SELECT COUNT(*) FROM t")); err != nil {
+			t.Fatal(err)
+		}
+		raw.Close()
+	}
+	checkServes(t, addr)
+}
+
+func TestMaxConnsRejection(t *testing.T) {
+	_, _, addr := newTestServer(t, func(s *Server) { s.MaxConns = 2 })
+	client := NewClient(addr, "limited")
+
+	// Fill the two slots; a round-trip guarantees registration.
+	conns := make([]interface{ Close() error }, 0, 2)
+	for i := 0; i < 2; i++ {
+		conn, err := client.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Query("SELECT COUNT(*) FROM probe"); err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, conn)
+	}
+	defer conns[0].Close()
+
+	// The third connection is accepted at TCP level but refused with a
+	// protocol error frame the client surfaces on its first request.
+	over, err := client.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	if _, err := over.Query("SELECT 1 FROM t"); err == nil ||
+		!strings.Contains(err.Error(), "connection limit") {
+		t.Fatalf("over-limit connection should be rejected, got err=%v", err)
+	}
+
+	// Closing one session frees its slot; deregistration is asynchronous,
+	// so retry until the accept loop admits a new session again.
+	conns[1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := client.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, qerr := conn.Query("SELECT COUNT(*) FROM probe")
+		conn.Close()
+		if qerr == nil {
+			break
+		}
+		if !strings.Contains(qerr.Error(), "connection limit") {
+			t.Fatal(qerr)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after closing a session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitForBusy polls until some session is serving a request.
+func waitForBusy(srv *Server, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		srv.mu.Lock()
+		for _, st := range srv.conns {
+			if st.busy {
+				srv.mu.Unlock()
+				return true
+			}
+		}
+		srv.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+	}
+	return false
+}
+
+// slowQuerySetup loads enough rows that a self-join with full distance
+// refinement takes long enough to observe mid-flight.
+func slowQuerySetup(t *testing.T, eng *engine.Engine) string {
+	t.Helper()
+	if _, err := eng.Exec("CREATE TABLE p (id INTEGER, loc GEOMETRY)"); err != nil {
+		t.Fatal(err)
+	}
+	stmt := "INSERT INTO p VALUES "
+	for i := 0; i < 600; i++ {
+		if i > 0 {
+			stmt += ", "
+		}
+		stmt += "(" + itoa(i) + ", ST_MakePoint(" + itoa(i%40) + ", " + itoa(i/40) + "))"
+	}
+	if _, err := eng.Exec(stmt); err != nil {
+		t.Fatal(err)
+	}
+	return "SELECT COUNT(*) FROM p AS a JOIN p AS b ON ST_DWithin(a.loc, b.loc, 10000)"
+}
+
+func TestGracefulDrainFinishesInFlight(t *testing.T) {
+	// The drain deadline is generous so the in-flight query survives even
+	// under the race detector's slowdown; the test is about drain order,
+	// not the default timeout.
+	srv, eng, addr := newTestServer(t, func(s *Server) { s.DrainTimeout = time.Minute })
+	slow := slowQuerySetup(t, eng)
+	conn, err := NewClient(addr, "drain").Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var wg sync.WaitGroup
+	var qerr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, qerr = conn.Query(slow)
+	}()
+	if !waitForBusy(srv, 5*time.Second) {
+		t.Fatal("server never became busy")
+	}
+	// Close while the request is in flight: the default drain must let
+	// it finish and deliver its response.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if qerr != nil {
+		t.Fatalf("in-flight query should survive a graceful drain: %v", qerr)
+	}
+	// The drained session is gone: the next request fails.
+	if _, err := conn.Query("SELECT 1 FROM p"); err == nil {
+		t.Error("session should be closed after drain")
+	}
+}
+
+func TestDrainDeadlineForceCloses(t *testing.T) {
+	srv, eng, addr := newTestServer(t, func(s *Server) { s.DrainTimeout = time.Millisecond })
+	slow := slowQuerySetup(t, eng)
+	conn, err := NewClient(addr, "force").Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Query(slow)
+		done <- err
+	}()
+	if !waitForBusy(srv, 5*time.Second) {
+		t.Fatal("server never became busy")
+	}
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("Close took %v despite a 1ms drain deadline", waited)
+	}
+	// The in-flight request was cut off (or, on a fast machine, may have
+	// just squeaked through); either way the client must unblock.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still blocked after force-close")
+	}
+}
+
+func TestDrainConcurrentClients(t *testing.T) {
+	srv, eng, addr := newTestServer(t)
+	if _, err := eng.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec("INSERT INTO t VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(addr, "many")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := client.Connect()
+			if err != nil {
+				return // raced with Close
+			}
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := conn.Query("SELECT COUNT(*) FROM t"); err != nil {
+					return // drained mid-loop: expected
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -5,7 +5,9 @@
 // DE-9IM topology, overlay operations, R-tree/grid/B+tree indexes,
 // slotted-page storage with a buffer pool, a SQL layer with spatial
 // functions and index-aware planning), a deterministic TIGER-like data
-// generator, and a driver abstraction with in-process and TCP transports.
+// generator, a driver abstraction with in-process and TCP transports,
+// and a spatially-sharded cluster layer that scatter-gathers queries
+// across independent shard engines (see OpenCluster).
 //
 // This package is the public facade: it re-exports the pieces a
 // downstream user needs. Quick start:
@@ -24,11 +26,14 @@ package jackpine
 
 import (
 	sqldrv "database/sql/driver"
+	"fmt"
 	"io"
 
+	"jackpine/internal/cluster"
 	"jackpine/internal/core"
 	"jackpine/internal/driver"
 	"jackpine/internal/engine"
+	"jackpine/internal/experiments"
 	"jackpine/internal/sqldriver"
 	"jackpine/internal/tiger"
 	"jackpine/internal/wire"
@@ -120,6 +125,49 @@ func Connect(eng *Engine) Connector { return driver.NewInProc(eng) }
 // ConnectRemote returns a Connector that dials a wire server (see
 // cmd/spatialdbd) at addr.
 func ConnectRemote(addr, name string) Connector { return wire.NewClient(addr, name) }
+
+// Cluster aliases the spatially-sharded scatter-gather router. A
+// *Cluster is a Connector, so every suite and report runs against it
+// unchanged.
+type Cluster = cluster.Cluster
+
+// ShardStats aliases the cluster's scatter/prune counters.
+type ShardStats = driver.ShardStats
+
+// OpenCluster builds an in-process spatially-sharded cluster: n engines
+// with the given profile, each preloaded with its grid-partition slice
+// of the dataset and fully indexed, behind one scatter-gather router.
+func OpenCluster(p Profile, ds *Dataset, n int) (*Cluster, error) {
+	return experiments.SetupCluster(p, ds, n)
+}
+
+// OpenClusterRemote assembles a cluster whose shards are wire servers.
+// Each server at addrs[i] must hold shard i's partition of the dataset
+// (spatialdbd -preload ... -shard i -of len(addrs)) and run the given
+// profile.
+func OpenClusterRemote(p Profile, ds *Dataset, addrs []string) (*Cluster, error) {
+	part, err := cluster.NewPartitioner(ds.Extent, len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]Connector, len(addrs))
+	for i, addr := range addrs {
+		shards[i] = wire.NewClient(addr, fmt.Sprintf("shard%d", i))
+	}
+	cl, err := cluster.Open(shards, part, cluster.Options{Profile: p})
+	if err != nil {
+		return nil, err
+	}
+	for _, ddl := range tiger.Schema() {
+		if err := cl.Register(ddl); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.RefreshStats(); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
 
 // SQLConnector adapts a local engine to Go's database/sql:
 //
