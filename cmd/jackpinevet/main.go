@@ -1,0 +1,87 @@
+// Command jackpinevet is the project's multichecker: it runs every
+// registered invariant analyzer (see internal/lint) over the packages
+// matching the given patterns and exits non-zero on any unsuppressed
+// diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/jackpinevet ./...          # whole module (the CI gate)
+//	go run ./cmd/jackpinevet -run floatcmp ./internal/geom
+//	go run ./cmd/jackpinevet -list
+//
+// Diagnostics are suppressed, one line at a time, with
+//
+//	//lint:allow <analyzer> <justification>
+//
+// where the justification is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"jackpine/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "only run analyzers whose name matches this regexp")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: jackpinevet [-list] [-run regexp] [packages]\n\n"+
+				"Runs the jackpine invariant analyzers over the given package\n"+
+				"patterns (default ./...) and exits 1 on any finding.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jackpinevet: bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "jackpinevet: -run %q matches no analyzer (see -list)\n", *run)
+			os.Exit(2)
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jackpinevet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jackpinevet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "jackpinevet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -185,12 +185,12 @@ func (c *Cluster) Register(ddl string) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.register(ct)
+	c.registerLocked(ct)
 	return nil
 }
 
-// register adds a catalog entry. Caller holds c.mu.
-func (c *Cluster) register(ct *sql.CreateTable) *tableInfo {
+// registerLocked adds a catalog entry. Caller holds c.mu.
+func (c *Cluster) registerLocked(ct *sql.CreateTable) *tableInfo {
 	info := &tableInfo{
 		name:    ct.Name,
 		cols:    append([]sql.Column(nil), ct.Columns...),

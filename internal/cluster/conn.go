@@ -822,7 +822,7 @@ func (cn *Conn) routeCreateTable(t *sql.CreateTable) (*res, error) {
 		return nil, err
 	}
 	cn.c.mu.Lock()
-	cn.c.register(t)
+	cn.c.registerLocked(t)
 	cn.c.mu.Unlock()
 	return &res{}, nil
 }

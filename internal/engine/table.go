@@ -14,15 +14,15 @@ import (
 
 // table implements sql.Table over a heap file plus indexes.
 type table struct {
-	name string
-	cols []sql.Column
-	heap *storage.HeapFile
-	gc   *storage.GeomCache // shared decoded-geometry cache; nil disables
+	name     string
+	cols     []sql.Column
+	heap     *storage.HeapFile
+	gc       *storage.GeomCache // shared decoded-geometry cache; nil disables
+	geomCols map[string]int     // geometry column name -> offset; immutable after newTable
 
-	mu       sync.RWMutex
-	spatial  map[string]spatialIndex // column -> index
-	attr     []*attrIdx              // attribute indexes, composite-capable
-	geomCols map[string]int          // geometry column name -> offset
+	mu      sync.RWMutex
+	spatial map[string]spatialIndex // column -> index
+	attr    []*attrIdx              // attribute indexes, composite-capable
 }
 
 // attrIdx is one attribute index: ordered columns with their offsets and

@@ -158,7 +158,7 @@ func distLineLine(a, b LineString) float64 {
 		for j := 0; j < len(b)-1; j++ {
 			if d := DistSegSeg(a[i], a[i+1], b[j], b[j+1]); d < best {
 				best = d
-				if best == 0 {
+				if ExactEq(best, 0) {
 					return 0
 				}
 			}
@@ -181,7 +181,7 @@ func distLinePolygon(l LineString, p Polygon) float64 {
 	for _, ring := range p {
 		if d := distLineLine(l, LineString(ring)); d < best {
 			best = d
-			if best == 0 {
+			if ExactEq(best, 0) {
 				return 0
 			}
 		}
@@ -202,7 +202,7 @@ func distPolygonPolygon(a, b Polygon) float64 {
 		for _, rb := range b {
 			if d := distLineLine(LineString(ra), LineString(rb)); d < best {
 				best = d
-				if best == 0 {
+				if ExactEq(best, 0) {
 					return 0
 				}
 			}

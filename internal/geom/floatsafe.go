@@ -1,0 +1,24 @@
+// Float comparison helpers. The floatcmp analyzer (internal/lint) flags
+// every bare == / != between floating-point values in the geometry kernel
+// and internal/topo, because accidental exact comparison after arithmetic
+// is the classic source of robustness bugs in computational geometry.
+// Comparisons that are *meant* to be exact — degeneracy sentinels,
+// envelope identity, detecting an exactly-zero denominator before a
+// divide — go through ExactEq so the intent is visible and greppable.
+// Tolerance-based checks go through NearEq.
+//
+// This file is the one place bare float comparison is permitted; the
+// analyzer skips it by name.
+package geom
+
+import "math"
+
+// ExactEq reports whether a and b compare equal under IEEE-754 ==
+// (so NaN != NaN and -0 == +0). Use it only where exact equality is the
+// point: comparing against an exact sentinel (0, an untouched copy of an
+// input coordinate) or where both operands came from the same computation.
+func ExactEq(a, b float64) bool { return a == b }
+
+// NearEq reports whether a and b are within eps of each other. NaN is
+// never near anything.
+func NearEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

@@ -67,7 +67,7 @@ func (c Coord) Add(o Coord) Coord { return Coord{c.X + o.X, c.Y + o.Y} }
 func (c Coord) Scale(f float64) Coord { return Coord{c.X * f, c.Y * f} }
 
 // Equal reports exact coordinate equality.
-func (c Coord) Equal(o Coord) bool { return c.X == o.X && c.Y == o.Y }
+func (c Coord) Equal(o Coord) bool { return ExactEq(c.X, o.X) && ExactEq(c.Y, o.Y) }
 
 // Geometry is implemented by all geometry types in this package.
 type Geometry interface {

@@ -147,7 +147,7 @@ func Centroid(g Geometry) (Coord, bool) {
 			sy += c.Y * w
 			sw += w
 		}
-		if sw == 0 {
+		if ExactEq(sw, 0) {
 			return Coord{}, false
 		}
 		return Coord{sx / sw, sy / sw}, true
@@ -167,7 +167,7 @@ func curveCentroid(lines []LineString) (Coord, bool) {
 			sl += d
 		}
 	}
-	if sl == 0 {
+	if ExactEq(sl, 0) {
 		// Degenerate: average the vertices.
 		n := 0
 		for _, l := range lines {
@@ -286,7 +286,7 @@ func polygonInteriorPoint(p Polygon) (Coord, bool) {
 		return Coord{}, false
 	}
 	env := p.Envelope()
-	if env.Height() == 0 || env.Width() == 0 {
+	if ExactEq(env.Height(), 0) || ExactEq(env.Width(), 0) {
 		return Coord{}, false // degenerate polygon has no interior
 	}
 	inside := func(c Coord) bool {

@@ -101,7 +101,7 @@ func segCrossPoint(p1, p2, q1, q2 Coord) Coord {
 	d1 := p2.Sub(p1)
 	d2 := q2.Sub(q1)
 	denom := d1.X*d2.Y - d1.Y*d2.X
-	if denom == 0 {
+	if ExactEq(denom, 0) {
 		// Degenerate (parallel) input: fall back to a midpoint of the
 		// closest endpoints. Callers only reach this under rounding.
 		return Coord{(p1.X + q1.X) / 2, (p1.Y + q1.Y) / 2}
@@ -142,7 +142,7 @@ func collinearOverlap(p1, p2, q1, q2 Coord) (SegKind, Coord, Coord) {
 	switch {
 	case key(lo) > key(hi):
 		return SegDisjoint, Coord{}, Coord{}
-	case lo.Equal(hi) || key(lo) == key(hi):
+	case lo.Equal(hi) || ExactEq(key(lo), key(hi)):
 		return SegPoint, lo, Coord{}
 	default:
 		return SegOverlap, lo, hi
@@ -213,7 +213,7 @@ func ReverseCoords(cs []Coord) {
 func DistPointSegment(p, a, b Coord) float64 {
 	d := b.Sub(a)
 	l2 := d.X*d.X + d.Y*d.Y
-	if l2 == 0 {
+	if ExactEq(l2, 0) {
 		return math.Hypot(p.X-a.X, p.Y-a.Y)
 	}
 	t := ((p.X-a.X)*d.X + (p.Y-a.Y)*d.Y) / l2
@@ -227,7 +227,7 @@ func DistPointSegment(p, a, b Coord) float64 {
 func ClosestPointOnSegment(p, a, b Coord) (Coord, float64) {
 	d := b.Sub(a)
 	l2 := d.X*d.X + d.Y*d.Y
-	if l2 == 0 {
+	if ExactEq(l2, 0) {
 		return a, 0
 	}
 	t := ((p.X-a.X)*d.X + (p.Y-a.Y)*d.Y) / l2

@@ -80,7 +80,7 @@ func validateLineString(l LineString) error {
 			return err
 		}
 	}
-	if coordsLength(l) == 0 {
+	if ExactEq(coordsLength(l), 0) {
 		return fmt.Errorf("geom: linestring has zero length")
 	}
 	return nil
@@ -98,7 +98,7 @@ func validateRing(r Ring) error {
 	if !r.IsClosed() {
 		return fmt.Errorf("geom: ring is not closed")
 	}
-	if math.Abs(RingSignedArea2(r)) == 0 {
+	if ExactEq(math.Abs(RingSignedArea2(r)), 0) {
 		return fmt.Errorf("geom: ring has zero area")
 	}
 	if err := ringSelfIntersection(r); err != nil {

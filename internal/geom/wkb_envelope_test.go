@@ -1,6 +1,8 @@
 package geom
 
 import (
+	"encoding/binary"
+	"errors"
 	"math"
 	"testing"
 )
@@ -79,5 +81,78 @@ func TestEnvelopeWKBRejectsCorruptInput(t *testing.T) {
 	}
 	if _, err := EnvelopeWKB(append(valid, 0)); err == nil {
 		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestEnvelopeWKBMalformedInputs pins the hostile-input contract: every
+// malformed encoding yields an error wrapping ErrCorruptWKB — never a
+// panic, never a silent garbage envelope. These byte strings are built
+// by hand so each one isolates a single corruption.
+func TestEnvelopeWKBMalformedInputs(t *testing.T) {
+	// le assembles a little-endian WKB body from the marker, a type
+	// code, and raw words.
+	le := func(typ uint32, words ...uint32) []byte {
+		out := []byte{1}
+		out = binary.LittleEndian.AppendUint32(out, typ)
+		for _, w := range words {
+			out = binary.LittleEndian.AppendUint32(out, w)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty input", []byte{}},
+		{"byte-order marker only", []byte{1}},
+		{"bad byte-order marker", []byte{2, 1, 0, 0, 0}},
+		{"truncated type code", []byte{1, 3, 0}},
+		{"unknown type code", le(99)},
+		{"point with no coordinates", le(uint32(TypePoint))},
+		{"point with half a coordinate", append(le(uint32(TypePoint)), 0, 0, 0, 0)},
+		{"linestring count overflow", le(uint32(TypeLineString), 0xFFFFFFFF)},
+		{"polygon ring-count overflow", le(uint32(TypePolygon), 0xFFFFFFFF)},
+		{"collection element-count overflow", le(uint32(TypeGeometryCollection), 0xFFFFFFFF)},
+		{"polygon ring truncated after count", le(uint32(TypePolygon), 1)},
+		{"multipoint with truncated element", le(uint32(TypeMultiPoint), 1)},
+	}
+	// Deep nesting: collections-of-collections past the recursion bound.
+	deep := []byte(nil)
+	for i := 0; i < 64; i++ {
+		deep = append(deep, le(uint32(TypeGeometryCollection), 1)...)
+	}
+	cases = append(cases, struct {
+		name string
+		data []byte
+	}{"nesting past the recursion bound", deep})
+
+	for _, tc := range cases {
+		if _, err := EnvelopeWKB(tc.data); !errors.Is(err, ErrCorruptWKB) {
+			t.Errorf("%s: error = %v, want ErrCorruptWKB", tc.name, err)
+		}
+	}
+
+	// A sweep over every proper prefix of a nested valid geometry:
+	// truncating anywhere — inside headers, counts, or coordinates —
+	// must produce a clean error.
+	valid := MarshalWKB(Collection{
+		Point{Coord: Coord{1, 2}},
+		Polygon{Ring{{0, 0}, {4, 0}, {4, 4}, {0, 0}}},
+	})
+	for n := 0; n < len(valid); n++ {
+		if _, err := EnvelopeWKB(valid[:n]); err == nil {
+			t.Errorf("prefix of %d/%d bytes accepted", n, len(valid))
+		}
+	}
+
+	// A zero-point ring is degenerate but decodable: the fast path must
+	// agree with the decoded form rather than erroring or panicking.
+	zeroRing := le(uint32(TypePolygon), 1, 0)
+	r, err := EnvelopeWKB(zeroRing)
+	if err != nil {
+		t.Fatalf("zero-point ring: %v", err)
+	}
+	if !rectIdentical(r, EmptyRect()) {
+		t.Errorf("zero-point ring envelope = %+v, want empty", r)
 	}
 }

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// //lint:allow <analyzer> <justification>
+//
+// An allow directive suppresses the named analyzer's diagnostics on exactly
+// one line: its own line when it rides as a trailing comment after code, or
+// the line immediately below when it sits alone on its line above the
+// statement. The justification is mandatory: a bare allow is itself
+// reported, because an unexplained suppression is indistinguishable from a
+// silenced bug.
+
+const allowPrefix = "//lint:allow"
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+// collectAllows scans a package's comments for allow directives. It returns
+// the suppression set plus diagnostics for malformed directives.
+func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
+	set := make(allowSet)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		code := codeLines(pkg, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "lint:allow directive names no analyzer",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "lint:allow " + fields[0] + " needs a justification",
+					})
+					continue
+				}
+				line := pos.Line
+				if !code[line] {
+					// Standalone comment line: covers the next line.
+					line++
+				}
+				set[allowKey{pos.Filename, line, fields[0]}] = true
+			}
+		}
+	}
+	return set, diags
+}
+
+// codeLines reports which lines of f contain non-comment syntax, so a
+// directive can tell whether it trails code or stands alone. Every line with
+// code has some node beginning or ending on it, so marking only node
+// boundary lines is enough.
+func codeLines(pkg *Package, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		lines[pkg.Fset.Position(n.Pos()).Line] = true
+		lines[pkg.Fset.Position(n.End()-1).Line] = true
+		return true
+	})
+	return lines
+}
+
+// filter drops diagnostics covered by an allow directive.
+func (s allowSet) filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if s[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lint
+
+// All returns every registered analyzer, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxPropagate,
+		ErrWrap,
+		FloatCmp,
+		HotPathDecode,
+		LockDiscipline,
+	}
+}

@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"testing"
+
+	"jackpine/internal/lint"
+	"jackpine/internal/lint/linttest"
+)
+
+func TestHotPathDecode(t *testing.T) {
+	linttest.Run(t, "testdata", lint.HotPathDecode,
+		"hp/internal/sql", "hp/internal/index/rtree")
+}
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, "testdata", lint.FloatCmp, "fc/internal/topo")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockDiscipline, "ld/internal/engine")
+}
+
+func TestCtxPropagate(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxPropagate,
+		"cp/internal/wire", "cp/internal/cluster")
+}
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ErrWrap, "ew/internal/wire")
+}
+
+// TestAnalyzersScopeOut pins that analyzers stay silent on packages outside
+// their scope: the fixture trees are full of each other's violations, but an
+// analyzer must only speak inside the package set its invariant covers.
+func TestAnalyzersScopeOut(t *testing.T) {
+	cases := []struct {
+		a   *lint.Analyzer
+		pkg string
+	}{
+		{lint.FloatCmp, "hp/internal/sql"},
+		{lint.HotPathDecode, "fc/internal/topo"},
+		{lint.CtxPropagate, "ld/internal/engine"},
+		{lint.ErrWrap, "fc/internal/topo"},
+	}
+	for _, c := range cases {
+		if diags := linttest.Diagnostics(t, "testdata", c.a, c.pkg); len(diags) > 0 {
+			t.Errorf("%s on %s: expected silence, got %v", c.a.Name, c.pkg, diags)
+		}
+	}
+}

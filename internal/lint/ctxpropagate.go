@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxPropagate keeps cancellation flowing through the network layers. Two
+// rules, scoped to internal/wire and internal/cluster:
+//
+//  1. No bare net.Dial / net.DialTimeout: dialing is the one place a stuck
+//     remote can wedge a scatter-gather fan-out, so every dial must go
+//     through (&net.Dialer{}).DialContext with the caller's context.
+//
+//  2. A function that already receives a context.Context must not call
+//     context.Background() or context.TODO() — that silently severs the
+//     caller's deadline and cancellation from everything downstream.
+var CtxPropagate = &Analyzer{
+	Name: "ctxpropagate",
+	Doc: "flag network calls in internal/wire and internal/cluster that drop " +
+		"an incoming context.Context: bare net.Dial/net.DialTimeout, and " +
+		"context.Background()/TODO() inside functions that receive a ctx",
+	Run: runCtxPropagate,
+}
+
+func runCtxPropagate(pass *Pass) error {
+	if !pkgMatches(pass, "internal/wire", "internal/cluster") {
+		return nil
+	}
+	funcDecls(pass, func(decl *ast.FuncDecl) {
+		ctxParam := contextParamName(pass, decl)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Dial", "DialTimeout"} {
+				if calleeIs(pass.TypesInfo, call, "net", name) {
+					pass.Reportf(call.Pos(),
+						"net.%s dials without a context; use (&net.Dialer{}).DialContext "+
+							"so the caller's cancellation and deadline propagate", name)
+				}
+			}
+			if ctxParam == "" {
+				return true
+			}
+			for _, name := range []string{"Background", "TODO"} {
+				if calleeIs(pass.TypesInfo, call, "context", name) {
+					pass.Reportf(call.Pos(),
+						"context.%s() drops the incoming context; propagate %s instead",
+						name, ctxParam)
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// contextParamName returns the name of decl's context.Context parameter,
+// or "" when it has none.
+func contextParamName(pass *Pass, decl *ast.FuncDecl) string {
+	if decl.Type.Params == nil {
+		return ""
+	}
+	for _, field := range decl.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isNamedType(t, "context", "Context") {
+			continue
+		}
+		if len(field.Names) > 0 {
+			return field.Names[0].Name
+		}
+		return "the context parameter"
+	}
+	return ""
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// ErrWrap keeps error chains intact across the layers callers actually
+// program against (driver, engine, cluster, wire): an error formatted with
+// %v or %s — or flattened via err.Error() — can no longer be matched with
+// errors.Is/errors.As, which the retry and equivalence machinery rely on.
+// Only %w preserves the chain.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "require %w when an error value is interpolated by fmt.Errorf in " +
+		"internal/driver, internal/engine, internal/cluster and internal/wire, " +
+		"and flag err.Error() passed to fmt.Errorf / errors.New (chain swallowing)",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	if !pkgMatches(pass, "internal/driver", "internal/engine", "internal/cluster", "internal/wire") {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			isErrorf := calleeIs(info, call, "fmt", "Errorf")
+			isNew := calleeIs(info, call, "errors", "New")
+			if !isErrorf && !isNew {
+				return true
+			}
+			// err.Error() anywhere in the arguments flattens the chain.
+			for _, arg := range call.Args {
+				checkErrorCall(pass, arg)
+			}
+			if !isErrorf || call.Ellipsis.IsValid() || len(call.Args) == 0 {
+				return true
+			}
+			checkErrorfVerbs(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorCall flags x.Error() calls on error values inside arg.
+func checkErrorCall(pass *Pass, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+			return true
+		}
+		if !implementsError(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"err.Error() swallows the error chain; pass the error itself and wrap with %%w")
+		return true
+	})
+}
+
+// checkErrorfVerbs aligns fmt.Errorf verbs with arguments and flags error
+// values formatted with anything other than %w.
+func checkErrorfVerbs(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to align
+	}
+	format := constant.StringVal(tv.Value)
+	args := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.argIndex < 0 || v.argIndex >= len(args) {
+			continue // malformed format; go vet's printf check owns that
+		}
+		arg := args[v.argIndex]
+		if v.verb == 'w' || !implementsError(pass.TypesInfo.TypeOf(arg)) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"error interpolated with %%%c loses the chain for errors.Is/As; use %%w", v.verb)
+	}
+}
+
+// verb is one formatting directive and the argument index it consumes.
+type verb struct {
+	verb     rune
+	argIndex int
+}
+
+// parseVerbs walks a printf format string tracking argument consumption,
+// including '*' width/precision and explicit [n] indexes.
+func parseVerbs(format string) []verb {
+	var verbs []verb
+	arg := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) && isFlag(format[i]) {
+			i++
+		}
+		// Explicit argument index.
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		// Width.
+		i = skipNumOrStar(format, i, &arg)
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			i = skipNumOrStar(format, i, &arg)
+		}
+		if i >= len(format) {
+			break
+		}
+		verbs = append(verbs, verb{verb: rune(format[i]), argIndex: arg})
+		arg++
+		i++
+	}
+	return verbs
+}
+
+func isFlag(c byte) bool {
+	return c == '+' || c == '-' || c == '#' || c == ' ' || c == '0'
+}
+
+// skipNumOrStar advances past a width/precision specifier; '*' consumes an
+// argument.
+func skipNumOrStar(format string, i int, arg *int) int {
+	if i < len(format) && format[i] == '*' {
+		*arg++
+		return i + 1
+	}
+	for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+)
+
+// FloatCmp flags == and != between floating-point operands in the geometry
+// kernels. Exact float equality is occasionally the right tool (degenerate
+// denominators, shared-vertex detection) but far more often a latent bug —
+// the PR 3 SegSegIntersection collinear-overlap regression was exactly a
+// float == reaching a value that arrived via rounding. The sanctioned
+// helpers in floatsafe.go (geom.ExactEq and the epsilon comparators) make
+// the choice explicit at the call site; code inside floatsafe.go itself is
+// exempt, since that is where the raw comparisons are allowed to live.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= on float operands in internal/geom and internal/topo; " +
+		"call geom.ExactEq (intentional exact equality) or an epsilon helper " +
+		"from floatsafe.go instead",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if !pkgMatches(pass, "internal/geom", "internal/topo") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if name == "floatsafe.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			lt := pass.TypesInfo.TypeOf(be.X)
+			rt := pass.TypesInfo.TypeOf(be.Y)
+			if lt == nil || rt == nil || !isFloat(lt) || !isFloat(rt) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use geom.ExactEq for intentional "+
+					"exact equality or an epsilon helper from floatsafe.go",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// HotPathDecode enforces the lazy-decode contract on the executor's scan and
+// refinement paths and on index builds: per-row work must go through
+// storage.LazyTuple column views and geom.EnvelopeWKB header walks, never a
+// full WKB/WKT decode or tuple materialization. The contract is what makes
+// the MBR prefilter cheaper than the exact predicate it guards — one decode
+// inside a scan loop and the benchmark quietly measures parsing, not the
+// spatial operator under test.
+var HotPathDecode = &Analyzer{
+	Name: "hotpathdecode",
+	Doc: "forbid geometry/tuple decoding (geom.UnmarshalWKB, geom.ParseWKT, " +
+		"geom.MustParseWKT, storage.DecodeTuple) inside internal/sql and " +
+		"internal/engine scan/refine/build functions and anywhere in " +
+		"internal/index; use storage.LazyTuple / geom.EnvelopeWKB instead",
+	Run: runHotPathDecode,
+}
+
+// hotFuncRE matches function names that are part of the per-row hot path in
+// internal/sql and internal/engine. internal/index packages are hot in their
+// entirety.
+var hotFuncRE = regexp.MustCompile(`(?i)(scan|refine|shard|knn|hashjoin|spatialindex|rebuild)`)
+
+// hotPathBans are the decode entry points the contract forbids.
+var hotPathBans = []struct{ pkg, name string }{
+	{"internal/geom", "UnmarshalWKB"},
+	{"internal/geom", "ParseWKT"},
+	{"internal/geom", "MustParseWKT"},
+	{"internal/storage", "DecodeTuple"},
+}
+
+func runHotPathDecode(pass *Pass) error {
+	path := pass.Pkg.Path()
+	wholePkg := pathUnder(path, "internal/index")
+	if !wholePkg && !pkgMatches(pass, "internal/sql", "internal/engine") {
+		return nil
+	}
+	funcDecls(pass, func(decl *ast.FuncDecl) {
+		if !wholePkg && !hotFuncRE.MatchString(decl.Name.Name) {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, ban := range hotPathBans {
+				if calleeIs(pass.TypesInfo, call, ban.pkg, ban.name) {
+					pass.Reportf(call.Pos(),
+						"hot path %s calls %s: per-row decoding is forbidden here; "+
+							"use storage.LazyTuple / geom.EnvelopeWKB (lazy-decode contract, DESIGN.md)",
+						decl.Name.Name, ban.name)
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}

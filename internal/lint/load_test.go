@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"jackpine/internal/lint"
+)
+
+// TestLoadPackages exercises the go list -export loader end to end against
+// the real module: the loaded package must come back type-checked with
+// selection info populated, which is what every analyzer depends on.
+func TestLoadPackages(t *testing.T) {
+	pkgs, err := lint.LoadPackages("../..", "./internal/geom")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "jackpine/internal/geom" {
+		t.Errorf("path = %q, want jackpine/internal/geom", pkg.Path)
+	}
+	if pkg.Types == nil || !pkg.Types.Complete() {
+		t.Error("package not fully type-checked")
+	}
+	if len(pkg.TypesInfo.Uses) == 0 || len(pkg.TypesInfo.Selections) == 0 {
+		t.Error("types info not populated")
+	}
+	if len(pkg.Files) == 0 {
+		t.Error("no syntax loaded")
+	}
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline enforces the project's mutex conventions on the engine,
+// cluster and wire layers:
+//
+//  1. Fields declared below a `mu sync.Mutex` / `mu sync.RWMutex` field are
+//     guarded by it (the standard Go struct-layout convention, which these
+//     packages follow). A function that reads a guarded field must take the
+//     same receiver's mu.RLock or mu.Lock first; a write requires mu.Lock.
+//     Functions whose name ends in "Locked" document that the caller holds
+//     the lock and are exempt; call sites that are safe for a subtler reason
+//     (e.g. the engine catalog methods, which Exec calls with e.mu held)
+//     carry a //lint:allow with the justification.
+//
+//  2. sync.WaitGroup.Add must not run inside the goroutine being waited on:
+//     Wait can observe the counter before Add runs, returning early. This
+//     check applies in every package.
+//
+// The check is intra-procedural and positional (a lock call must appear
+// before the access in the same function body), which is exactly the shape
+// of the code these packages commit to: lock at the top, defer unlock.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flag access to mu-guarded struct fields without the documented " +
+		"read/write lock held (internal/engine, internal/cluster, " +
+		"internal/wire), and sync.WaitGroup.Add inside the goroutine it " +
+		"waits on (everywhere)",
+	Run: runLockDiscipline,
+}
+
+// guardInfo describes one mu-guarded field.
+type guardInfo struct {
+	structName string
+	rw         bool // guarded by an RWMutex (RLock is enough for reads)
+}
+
+func runLockDiscipline(pass *Pass) error {
+	checkGuards := pkgMatches(pass, "internal/engine", "internal/cluster", "internal/wire")
+	guarded, muFields := collectGuardedFields(pass)
+	funcDecls(pass, func(decl *ast.FuncDecl) {
+		checkWaitGroupAdd(pass, decl)
+		if !checkGuards || strings.HasSuffix(decl.Name.Name, "Locked") {
+			return
+		}
+		checkGuardedAccess(pass, decl, guarded, muFields)
+	})
+	return nil
+}
+
+// collectGuardedFields finds every struct type in the package that contains
+// a sync mutex field named mu and records the fields declared after it.
+func collectGuardedFields(pass *Pass) (map[*types.Var]guardInfo, map[*types.Var]bool) {
+	guarded := make(map[*types.Var]guardInfo)
+	muFields := make(map[*types.Var]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var mu *types.Var
+		var rw bool
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if mu == nil {
+				if f.Name() == "mu" && isSyncMutex(f.Type()) {
+					mu = f
+					rw = isNamedType(f.Type(), "sync", "RWMutex")
+					muFields[f] = true
+				}
+				continue
+			}
+			guarded[f] = guardInfo{structName: tn.Name(), rw: rw}
+		}
+	}
+	return guarded, muFields
+}
+
+func isSyncMutex(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// lockEvent is one mu.Lock()/mu.RLock() call inside a function body.
+type lockEvent struct {
+	base  string // printed receiver expression, e.g. "e" or "cn.c"
+	pos   int    // byte offset for before/after ordering
+	write bool   // Lock (vs RLock)
+}
+
+// checkGuardedAccess reports guarded-field accesses in decl that are not
+// preceded by a matching lock acquisition on the same receiver expression.
+func checkGuardedAccess(pass *Pass, decl *ast.FuncDecl, guarded map[*types.Var]guardInfo, muFields map[*types.Var]bool) {
+	info := pass.TypesInfo
+
+	// First pass: collect lock acquisitions.
+	var locks []lockEvent
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fsel, ok := info.Selections[muSel]
+		if !ok || fsel.Kind() != types.FieldVal {
+			return true
+		}
+		fvar, ok := fsel.Obj().(*types.Var)
+		if !ok || !muFields[fvar] {
+			return true
+		}
+		locks = append(locks, lockEvent{
+			base:  types.ExprString(muSel.X),
+			pos:   int(call.Pos()),
+			write: sel.Sel.Name == "Lock",
+		})
+		return true
+	})
+
+	// Second pass: check every guarded-field selector.
+	var stack []ast.Node
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fsel, ok := info.Selections[sel]
+		if !ok || fsel.Kind() != types.FieldVal {
+			return true
+		}
+		fvar, ok := fsel.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		gi, ok := guarded[fvar]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		write := isWriteContext(stack)
+		held := false
+		for _, l := range locks {
+			if l.base != base || l.pos >= int(sel.Pos()) {
+				continue
+			}
+			if !write || l.write {
+				held = true
+				break
+			}
+		}
+		if held {
+			return true
+		}
+		verb := "read"
+		need := base + ".mu.Lock"
+		if !write && gi.rw {
+			need = base + ".mu.RLock"
+		}
+		if write {
+			verb = "write"
+		}
+		pass.Reportf(sel.Pos(),
+			"%s of %s.%s (guarded by mu: fields below a mu field are mu-guarded) without %s held; "+
+				"acquire it first or suffix the function name with Locked",
+			verb, gi.structName, fvar.Name(), need)
+		return true
+	})
+}
+
+// isWriteContext reports whether the node on top of the stack is written:
+// it (or a selector/index chain containing it) appears on the left side of
+// an assignment, under ++/--, or has its address taken.
+func isWriteContext(stack []ast.Node) bool {
+	child := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == child {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == child
+		case *ast.UnaryExpr:
+			if p.Op.String() == "&" && p.X == child {
+				return true
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.ParenExpr, *ast.StarExpr:
+			// Keep climbing through the access chain.
+		default:
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// checkWaitGroupAdd flags wg.Add calls inside a goroutine when wg is
+// declared outside that goroutine's function literal.
+func checkWaitGroupAdd(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Add" {
+				return true
+			}
+			recv := info.TypeOf(sel.X)
+			if recv == nil || !isNamedType(recv, "sync", "WaitGroup") {
+				return true
+			}
+			if declaredWithin(info, sel.X, lit) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"sync.WaitGroup.Add inside the goroutine it waits on races with Wait; "+
+					"call Add before the go statement")
+			return true
+		})
+		return true
+	})
+}
+
+// declaredWithin reports whether the root identifier of expr is declared
+// inside lit's body (a WaitGroup local to the goroutine is fine to Add to).
+func declaredWithin(info *types.Info, expr ast.Expr, lit *ast.FuncLit) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false // field selector or other chain: defined outside
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && lit.Pos() <= obj.Pos() && obj.Pos() < lit.End()
+}

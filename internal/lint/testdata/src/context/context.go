@@ -1,0 +1,13 @@
+// Package context is a hermetic fixture stub matched by import path.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+
+func Background() Context { return emptyCtx{} }
+func TODO() Context       { return emptyCtx{} }

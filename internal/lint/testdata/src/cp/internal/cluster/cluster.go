@@ -1,0 +1,21 @@
+// Fixture for the ctxpropagate analyzer: the package path ends in
+// internal/cluster, the scatter-gather layer.
+package cluster
+
+import "context"
+
+type router struct{}
+
+func (r *router) scatter(ctx context.Context, shards int) {
+	for i := 0; i < shards; i++ {
+		r.send(context.TODO(), i) // want `context.TODO\(\) drops the incoming context; propagate ctx`
+	}
+}
+
+func (r *router) send(ctx context.Context, shard int) {}
+
+func (r *router) gather(ctx context.Context, shards int) {
+	for i := 0; i < shards; i++ {
+		r.send(ctx, i)
+	}
+}

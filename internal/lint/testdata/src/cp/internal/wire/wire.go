@@ -1,0 +1,37 @@
+// Fixture for the ctxpropagate analyzer: the package path ends in
+// internal/wire.
+package wire
+
+import (
+	"context"
+	"net"
+)
+
+func dialPlain(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `net.Dial dials without a context`
+}
+
+func dialDeadline(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5000) // want `net.DialTimeout dials without a context`
+}
+
+func dialCtx(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+func refresh(ctx context.Context) {
+	_ = context.Background() // want `context.Background\(\) drops the incoming context; propagate ctx`
+	_ = context.TODO()       // want `context.TODO\(\) drops the incoming context; propagate ctx`
+	_ = ctx
+}
+
+func boundary() {
+	// No incoming context: creating the root here is the legitimate pattern.
+	_ = context.Background()
+}
+
+func allowed(ctx context.Context) {
+	_ = context.Background() //lint:allow ctxpropagate detached audit logging must outlive the request
+	_ = ctx
+}

@@ -1,0 +1,8 @@
+// Package errors is a hermetic fixture stub matched by import path.
+package errors
+
+type stubError struct{ s string }
+
+func (e *stubError) Error() string { return e.s }
+
+func New(text string) error { return &stubError{s: text} }

@@ -1,0 +1,56 @@
+// Fixture for the errwrap analyzer: the package path ends in internal/wire,
+// one of the layers whose errors cross package boundaries.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+func wrapV(err error) error {
+	return fmt.Errorf("wire: read frame: %v", err) // want `error interpolated with %v loses the chain`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("wire: %s: handshake", err) // want `error interpolated with %s loses the chain`
+}
+
+func wrapW(err error) error {
+	return fmt.Errorf("wire: read frame: %w", err)
+}
+
+func wrapIndexed(err error) error {
+	return fmt.Errorf("wire: %[1]v", err) // want `error interpolated with %v loses the chain`
+}
+
+func wrapStar(n int, err error) error {
+	return fmt.Errorf("wire: %*d %v", n, 7, err) // want `error interpolated with %v loses the chain`
+}
+
+func swallowNew(err error) error {
+	return errors.New("wire: " + err.Error()) // want `err.Error\(\) swallows the error chain`
+}
+
+func swallowf(err error) error {
+	return fmt.Errorf("wire: %s", err.Error()) // want `err.Error\(\) swallows the error chain`
+}
+
+type frameErr struct{ msg string }
+
+func (e *frameErr) Error() string { return e.msg }
+
+func wrapCustom(e *frameErr) error {
+	return fmt.Errorf("wire: %v", e) // want `error interpolated with %v loses the chain`
+}
+
+func plain(n int) error {
+	return fmt.Errorf("wire: bad frame length %d", n)
+}
+
+func dynamic(format string, err error) error {
+	return fmt.Errorf(format, err) // non-constant format: left to go vet
+}
+
+func allowed(err error) error {
+	return fmt.Errorf("wire: %v", err) //lint:allow errwrap message is pinned by a wire-compat test; chain intentionally cut
+}

@@ -1,0 +1,13 @@
+// floatsafe.go is the sanctioned home for raw float comparisons; the
+// analyzer exempts it by file name.
+package topo
+
+func exactEq(a, b float64) bool { return a == b }
+
+func epsEq(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

@@ -1,0 +1,30 @@
+// Fixture for the floatcmp analyzer: the package path ends in internal/topo.
+package topo
+
+func exactZero(w float64) bool {
+	return w == 0 // want `floating-point == comparison`
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func converted(a float64, n int) bool {
+	return float64(n) == a // want `floating-point == comparison`
+}
+
+func narrow(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func both(w, h float64) bool {
+	return w == 0 || h != 0 // want `floating-point == comparison` `floating-point != comparison`
+}
+
+func ints(a, b int) bool { return a == b }
+
+func ordered(a, b float64) bool { return a < b || a >= b }
+
+func allowed(a, b float64) bool {
+	return a == b //lint:allow floatcmp operands are copies of the same literal; exact equality intended
+}

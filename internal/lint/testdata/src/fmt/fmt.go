@@ -1,0 +1,10 @@
+// Package fmt is a hermetic fixture stub matched by import path.
+package fmt
+
+type stubError struct{ s string }
+
+func (e *stubError) Error() string { return e.s }
+
+func Errorf(format string, a ...any) error { return &stubError{s: format} }
+
+func Sprintf(format string, a ...any) string { return format }

@@ -1,0 +1,17 @@
+// Fixture for hotpathdecode: every function in an internal/index package is
+// a build path, hot regardless of name.
+package rtree
+
+import "jackpine/internal/geom"
+
+func New(wkbs [][]byte) {
+	for _, w := range wkbs {
+		_, _ = geom.UnmarshalWKB(w) // want `hot path New calls UnmarshalWKB`
+	}
+}
+
+func bounds(wkbs [][]byte) {
+	for _, w := range wkbs {
+		_, _ = geom.EnvelopeWKB(w) // sanctioned: envelopes come off the bytes
+	}
+}

@@ -1,0 +1,46 @@
+// Fixture for the hotpathdecode analyzer: the package path ends in
+// internal/sql, so functions whose names match the hot-path regexp must not
+// call the decode entry points.
+package sql
+
+import (
+	"jackpine/internal/geom"
+	"jackpine/internal/storage"
+)
+
+// scanTable matches the hot-path name set: decoding here is a violation.
+func scanTable(wkb, tuple []byte) {
+	g, _ := geom.UnmarshalWKB(wkb) // want `hot path scanTable calls UnmarshalWKB`
+	_ = g
+	vals, _ := storage.DecodeTuple(tuple, 3) // want `hot path scanTable calls DecodeTuple`
+	_ = vals
+	env, _ := geom.EnvelopeWKB(wkb) // sanctioned header walk
+	_ = env
+	var lt storage.LazyTuple
+	_ = lt.Reset(tuple, 3) // sanctioned lazy view
+}
+
+// refineSpatial is hot; a decode hidden in a closure is still a violation.
+func refineSpatial(rows [][]byte) {
+	emit := func(row []byte) {
+		_ = geom.MustParseWKT("POINT(1 1)") // want `hot path refineSpatial calls MustParseWKT`
+	}
+	for _, r := range rows {
+		emit(r)
+	}
+}
+
+// runShardAggregate exercises another hot-path name.
+func runShardAggregate(s string) {
+	_, _ = geom.ParseWKT(s) // want `hot path runShardAggregate calls ParseWKT`
+}
+
+// coerce is plan-time coercion, not a scan loop: decoding is legitimate.
+func coerce(s string) {
+	_, _ = geom.ParseWKT(s)
+}
+
+// scanSeed shows an allow directive with its mandatory justification.
+func scanSeed(s string) {
+	_, _ = geom.ParseWKT(s) //lint:allow hotpathdecode one-off probe parse at plan time, not per row
+}

@@ -1,0 +1,21 @@
+// Package geom is a hermetic fixture stub: hotpathdecode matches the decode
+// entry points by a package path ending in internal/geom, so fixtures import
+// this stub instead of the real kernel.
+package geom
+
+type Geometry interface {
+	GeomType() int
+}
+
+type point struct{}
+
+func (point) GeomType() int { return 1 }
+
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+func UnmarshalWKB(data []byte) (Geometry, error) { return point{}, nil }
+func ParseWKT(s string) (Geometry, error)        { return point{}, nil }
+func MustParseWKT(s string) Geometry             { return point{} }
+func EnvelopeWKB(data []byte) (Rect, error)      { return Rect{}, nil }

@@ -1,0 +1,22 @@
+// Package storage is a hermetic fixture stub: hotpathdecode matches
+// DecodeTuple by a package path ending in internal/storage.
+package storage
+
+import "jackpine/internal/geom"
+
+type Value struct {
+	Int  int64
+	Geom geom.Geometry
+}
+
+func DecodeTuple(data []byte, n int) ([]Value, error) { return make([]Value, n), nil }
+
+type LazyTuple struct {
+	data []byte
+}
+
+func (lt *LazyTuple) Reset(data []byte, n int) error { lt.data = data; return nil }
+func (lt *LazyTuple) GeomWKB(i int) []byte           { return lt.data }
+func (lt *LazyTuple) GeomEnvelope(i int) (geom.Rect, bool, error) {
+	return geom.Rect{}, true, nil
+}

@@ -1,0 +1,91 @@
+// Fixture for the lockdiscipline analyzer: the package path ends in
+// internal/engine, so mu-guarded field access is checked, and the
+// WaitGroup-in-goroutine check applies as everywhere.
+package engine
+
+import "sync"
+
+type Engine struct {
+	name string // declared above mu: unguarded
+
+	mu     sync.RWMutex
+	tables map[string]int
+	epoch  int
+}
+
+func (e *Engine) Lookup(name string) int {
+	return e.tables[name] // want `read of Engine.tables \(guarded by mu.*\) without e.mu.RLock held`
+}
+
+func (e *Engine) LookupLocked(name string) int {
+	return e.tables[name] // exempt: the Locked suffix documents the caller holds e.mu
+}
+
+func (e *Engine) Set(name string, v int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.tables[name] = v // want `write of Engine.tables \(guarded by mu.*\) without e.mu.Lock held`
+}
+
+func (e *Engine) Bump() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epoch++
+}
+
+func (e *Engine) Get(name string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tables[name]
+}
+
+func (e *Engine) Name() string { return e.name }
+
+func (e *Engine) Catalog() map[string]int {
+	return e.tables //lint:allow lockdiscipline called with e.mu held by Exec (documented lock order)
+}
+
+func (e *Engine) Drop(name string) {
+	delete(e.tables, name) // want `read of Engine.tables \(guarded by mu.*\) without e.mu.RLock held`
+}
+
+type conn struct {
+	mu   sync.Mutex
+	next int
+}
+
+func (c *conn) bump() {
+	c.next++ // want `write of conn.next \(guarded by mu.*\) without c.mu.Lock held`
+}
+
+func (c *conn) bumpSafe() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+}
+
+func fanOutBad(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want `sync.WaitGroup.Add inside the goroutine it waits on`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func fanOutGood(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			inner.Add(1) // local to this goroutine: fine
+			inner.Done()
+			inner.Wait()
+		}()
+	}
+	wg.Wait()
+}

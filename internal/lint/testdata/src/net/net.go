@@ -1,0 +1,17 @@
+// Package net is a hermetic fixture stub matched by import path.
+package net
+
+import "context"
+
+type Conn interface {
+	Close() error
+}
+
+func Dial(network, address string) (Conn, error)                { return nil, nil }
+func DialTimeout(network, address string, ms int) (Conn, error) { return nil, nil }
+
+type Dialer struct{}
+
+func (d *Dialer) DialContext(ctx context.Context, network, address string) (Conn, error) {
+	return nil, nil
+}

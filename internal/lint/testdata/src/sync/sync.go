@@ -1,0 +1,22 @@
+// Package sync is a hermetic fixture stub: the analyzers match mutex and
+// WaitGroup types by the import path "sync", so fixtures type-check against
+// this instead of the real standard library.
+package sync
+
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock()   { m.locked = true }
+func (m *Mutex) Unlock() { m.locked = false }
+
+type RWMutex struct{ locked bool }
+
+func (m *RWMutex) Lock()    { m.locked = true }
+func (m *RWMutex) Unlock()  { m.locked = false }
+func (m *RWMutex) RLock()   { m.locked = true }
+func (m *RWMutex) RUnlock() { m.locked = false }
+
+type WaitGroup struct{ n int }
+
+func (w *WaitGroup) Add(delta int) { w.n += delta }
+func (w *WaitGroup) Done()         { w.n-- }
+func (w *WaitGroup) Wait()         {}

@@ -45,5 +45,5 @@ func mbrTouches(a, b geom.Rect) bool {
 	}
 	// Interiors intersect iff the overlap has positive width and height.
 	i := a.Intersect(b)
-	return i.Width() == 0 || i.Height() == 0
+	return geom.ExactEq(i.Width(), 0) || geom.ExactEq(i.Height(), 0)
 }

@@ -250,7 +250,7 @@ func deduceArealCells(m *Matrix, other *shape, loc Location, swap bool) {
 func segParam(sg *seg, p geom.Coord) float64 {
 	dx, dy := sg.b.X-sg.a.X, sg.b.Y-sg.a.Y
 	if absf(dx) >= absf(dy) {
-		if dx == 0 {
+		if geom.ExactEq(dx, 0) {
 			return 0
 		}
 		return (p.X - sg.a.X) / dx

@@ -1,0 +1,37 @@
+package topo
+
+import (
+	"testing"
+
+	"jackpine/internal/geom"
+)
+
+// TestRelateCoincidentBoundaryRobustness is the regression test for a
+// bug the DE-9IM metamorphic fuzz target found with TIGER-generator
+// coordinates: sub-segment midpoints are interpolated, so on geometry
+// with non-representable coordinates they are not exactly collinear
+// with the coincident boundary they lie on, and the exact OnSegment
+// test handed them to ray casting, which returned arbitrary
+// interior/exterior answers. Relate(a, a) came out 212111212 and
+// Equals(a, a) was false. Point location inside relate is now tolerant
+// (see nearSegment).
+func TestRelateCoincidentBoundaryRobustness(t *testing.T) {
+	w := "POLYGON ((818.0679378921384 241.62309477103017, 788.9258648391952 284.4465581989776, " +
+		"753.2956775994653 328.98822225156675, 704.9225761903995 298.7258173652141, " +
+		"652.6445300089395 272.65021726494103, 671.3527876780904 217.40522120367265, " +
+		"700.1255355553528 176.21165407097305, 752.965146299306 156.13250344390133, " +
+		"793.1266850125822 195.27472468495156, 818.0679378921384 241.62309477103017))"
+	g := geom.MustParseWKT(w)
+	if !geom.IsValid(g) {
+		t.Fatal("fixture polygon is invalid")
+	}
+	if got, want := Relate(g, g).String(), "2FFF1FFF2"; got != want {
+		t.Errorf("Relate(a, a) = %s, want %s", got, want)
+	}
+	if !Equals(g, g) {
+		t.Error("Equals(a, a) = false")
+	}
+	if !Contains(g, g) || !Within(g, g) || !Covers(g, g) {
+		t.Error("containment not reflexive on identical polygons")
+	}
+}

@@ -1,6 +1,10 @@
 package topo
 
-import "jackpine/internal/geom"
+import (
+	"math"
+
+	"jackpine/internal/geom"
+)
 
 // seg is a single 1D element of a decomposed geometry.
 type seg struct {
@@ -159,10 +163,7 @@ func (s *shape) locate(p geom.Coord) Location {
 		if sg.ring {
 			continue // ring segments belong to polygon boundaries, handled above
 		}
-		if !sg.env.ContainsCoord(p) {
-			continue
-		}
-		if geom.OnSegment(p, sg.a, sg.b) {
+		if nearSegment(p, sg.a, sg.b) {
 			if s.lineBoundary[p] {
 				if loc == Exterior {
 					loc = Boundary
@@ -187,14 +188,14 @@ func locatePolygon(p geom.Coord, poly geom.Polygon) Location {
 	if len(poly) == 0 {
 		return Exterior
 	}
-	switch geom.PointInRing(p, poly[0]) {
+	switch ringLocation(p, poly[0]) {
 	case geom.RingExterior:
 		return Exterior
 	case geom.RingBoundary:
 		return Boundary
 	}
 	for _, hole := range poly[1:] {
-		switch geom.PointInRing(p, hole) {
+		switch ringLocation(p, hole) {
 		case geom.RingInterior:
 			return Exterior
 		case geom.RingBoundary:
@@ -202,4 +203,34 @@ func locatePolygon(p geom.Coord, poly geom.Polygon) Location {
 		}
 	}
 	return Interior
+}
+
+// relateEps is the relative tolerance for classifying computed points —
+// sub-segment midpoints and segment-intersection points — against a
+// shape. These coordinates carry floating-point interpolation error, so
+// a point lying on a coincident boundary fails the exact collinearity
+// test of geom.OnSegment and would otherwise fall through to an
+// arbitrary ray-casting answer (the Equals(a, a) reflexivity bug the
+// DE-9IM fuzz target caught on TIGER coordinates). The exact predicates
+// in internal/geom stay exact; only point location inside the relate
+// algorithm is tolerant.
+const relateEps = 1e-9
+
+// nearSegment reports whether p is within the relative tolerance of
+// segment a–b.
+func nearSegment(p, a, b geom.Coord) bool {
+	scale := math.Max(math.Max(math.Abs(a.X), math.Abs(a.Y)),
+		math.Max(math.Max(math.Abs(b.X), math.Abs(b.Y)),
+			math.Max(math.Max(math.Abs(p.X), math.Abs(p.Y)), 1)))
+	return geom.DistPointSegment(p, a, b) <= relateEps*scale
+}
+
+// ringLocation is geom.PointInRing with a tolerant boundary test.
+func ringLocation(p geom.Coord, ring geom.Ring) geom.PointInRingResult {
+	for i := 0; i+1 < len(ring); i++ {
+		if nearSegment(p, ring[i], ring[i+1]) {
+			return geom.RingBoundary
+		}
+	}
+	return geom.PointInRing(p, ring)
 }

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -24,9 +25,17 @@ func NewClient(addr, name string) *Client {
 // Name implements driver.Connector.
 func (c *Client) Name() string { return c.name }
 
-// Connect implements driver.Connector.
+// Connect implements driver.Connector. It dials without a deadline;
+// callers that need cancellation use ConnectContext.
 func (c *Client) Connect() (driver.Conn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+	return c.ConnectContext(context.Background())
+}
+
+// ConnectContext dials the server under ctx, so the caller's
+// cancellation and deadline bound the TCP handshake.
+func (c *Client) ConnectContext(ctx context.Context) (driver.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}

@@ -113,6 +113,13 @@ func decodeRows(payload []byte) ([]string, [][]storage.Value, error) {
 	}
 	nRows := int(binary.LittleEndian.Uint32(payload[pos:]))
 	pos += 4
+	// Every row needs at least its 4-byte length prefix, so a count
+	// claiming more rows than the remaining bytes could hold is corrupt;
+	// checking before the preallocation keeps a hostile header from
+	// forcing a huge up-front allocation.
+	if nRows > (len(payload)-pos)/4 {
+		return nil, nil, fmt.Errorf("wire: row count %d exceeds payload", nRows)
+	}
 	rows := make([][]storage.Value, 0, nRows)
 	for i := 0; i < nRows; i++ {
 		if err := need(4); err != nil {

@@ -27,24 +27,28 @@ type Server struct {
 	eng *engine.Engine
 	ln  net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]*connState
-	closed bool
-	wg     sync.WaitGroup
+	// wg tracks the accept loop and per-connection handlers; a
+	// WaitGroup carries its own synchronization and needs no lock.
+	wg sync.WaitGroup
 
 	// MaxConns caps concurrent sessions; over-limit connects are
 	// rejected with a protocol error frame instead of being accepted
-	// and left to stall. 0 means unlimited.
+	// and left to stall. 0 means unlimited. Set before Listen.
 	MaxConns int
 
 	// DrainTimeout bounds Close's graceful drain: idle sessions close
 	// immediately, sessions serving a request finish it first, and
 	// anything still alive at the deadline is force-closed. <= 0 uses
-	// defaultDrainTimeout.
+	// defaultDrainTimeout. Set before Listen.
 	DrainTimeout time.Duration
 
 	// Logf receives connection-level errors; defaults to log.Printf.
+	// Set before Listen.
 	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]*connState
+	closed bool
 }
 
 // NewServer wraps an engine. Call Listen (or Serve with an existing
