@@ -1,7 +1,7 @@
 package jackpine
 
 // The benches below regenerate every table and figure of the paper's
-// evaluation (experiments E1–E15; see DESIGN.md for the index). Each
+// evaluation (experiments E1–E16; see DESIGN.md for the index). Each
 // benchmark iteration executes one unit of the experiment's workload, so
 // `go test -bench=. -benchmem` reports the per-operation costs the
 // corresponding experiment compares. The cmd/jackpine harness prints the
@@ -10,15 +10,19 @@ package jackpine
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"jackpine/internal/core"
 	"jackpine/internal/engine"
+	"jackpine/internal/geom"
 	"jackpine/internal/tiger"
+	"jackpine/internal/topo"
 )
 
 // benchEnv caches one loaded engine per (profile, scale, indexed) so the
@@ -842,4 +846,260 @@ func BenchmarkE12JoinAblation(b *testing.B) {
 		eng := benchEngine(b, GaiaDB(), ScaleSmall, false)
 		runMicroQuery(b, eng, q, benchDataset(b, ScaleSmall))
 	})
+}
+
+// topoKernelConst builds the E16 constant operand: a 256-vertex regular
+// polygon, dense enough that re-decomposing (and re-indexing) it per
+// row dominates an unprepared DE-9IM evaluation.
+func topoKernelConst() geom.Geometry {
+	const n = 256
+	ring := make(geom.Ring, 0, n+1)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		ring = append(ring, geom.Coord{X: 500 + 400*math.Cos(th), Y: 500 + 400*math.Sin(th)})
+	}
+	ring = append(ring, ring[0])
+	return geom.Polygon{ring}
+}
+
+// topoKernelRows builds parcel-like boxes scattered across the
+// constant's envelope, so the MBR screen passes and every evaluation
+// refines the full DE-9IM matrix (a mix of interior, boundary-crossing
+// and env-overlapping-but-exterior rows).
+func topoKernelRows() []geom.Geometry {
+	rows := make([]geom.Geometry, 0, 512)
+	for i := 0; i < 512; i++ {
+		x := 100 + 36*float64(i%23)
+		y := 100 + 36*float64(i/23)
+		ring := geom.Ring{
+			{X: x, Y: y}, {X: x + 8, Y: y}, {X: x + 8, Y: y + 8},
+			{X: x, Y: y + 8}, {X: x, Y: y},
+		}
+		rows = append(rows, geom.Polygon{ring})
+	}
+	return rows
+}
+
+// topoPrepBenchQueries builds the E16 SQL workload: full-matrix
+// predicates against a 256-vertex constant region, plus an
+// index-nested-loop spatial join whose outer rows are prepared per
+// invocation.
+func topoPrepBenchQueries(ctx *QueryContext) []string {
+	queries := make([]string, 0, 13)
+	for i := 0; i < 4; i++ {
+		win := ctx.Window("E16", i, 4)
+		cx, cy := (win.MinX+win.MaxX)/2, (win.MinY+win.MaxY)/2
+		r := win.Width() / 2
+		const n = 256
+		var sb strings.Builder
+		sb.WriteString("ST_GEOMFROMTEXT('POLYGON ((")
+		for j := 0; j <= n; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			a := 2 * math.Pi * float64(j%n) / float64(n)
+			fmt.Fprintf(&sb, "%g %g", cx+r*math.Cos(a), cy+r*math.Sin(a))
+		}
+		sb.WriteString("))')")
+		region := sb.String()
+		queries = append(queries,
+			fmt.Sprintf("SELECT COUNT(*) FROM parcels WHERE ST_Intersects(geo, %s)", region),
+			fmt.Sprintf("SELECT COUNT(*) FROM edges WHERE ST_Crosses(geo, %s)", region),
+			fmt.Sprintf("SELECT COUNT(*) FROM pointlm WHERE ST_Within(geo, %s)", region))
+	}
+	joinWin := core.WindowWKT(ctx.Window("E16/join", 0, 4))
+	queries = append(queries, fmt.Sprintf(
+		"SELECT COUNT(*) FROM arealm AS a JOIN pointlm AS p ON ST_Contains(a.geo, p.geo) WHERE ST_Intersects(a.geo, %s)",
+		joinWin))
+	return queries
+}
+
+// BenchmarkE16TopoKernel regenerates figure E16. The kernel/ pair
+// isolates the prepared topology kernel itself: one iteration computes
+// one DE-9IM matrix between the 256-vertex constant and one row
+// geometry, with the constant either re-decomposed per call (naive) or
+// prepared once (prepared). The sql/ pair runs the E16 SQL workload
+// through a GaiaDB engine with prepared-constant evaluation off and on.
+func BenchmarkE16TopoKernel(b *testing.B) {
+	constG := topoKernelConst()
+	rows := topoKernelRows()
+	b.Run("kernel/naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topo.Relate(constG, rows[i%len(rows)])
+		}
+	})
+	b.Run("kernel/prepared", func(b *testing.B) {
+		p := topo.Prepare(constG)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Relate(rows[i%len(rows)])
+		}
+	})
+	ds := benchDataset(b, ScaleSmall)
+	ctx := NewQueryContext(ds)
+	queries := topoPrepBenchQueries(ctx)
+	for _, c := range []struct {
+		name string
+		prep bool
+	}{{"sql/off", false}, {"sql/on", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			eng := OpenEngine(GaiaDB(), engine.WithTopoPrep(c.prep))
+			if err := LoadDataset(eng, ds, true); err != nil {
+				b.Fatal(err)
+			}
+			conn, err := Connect(eng).Connect()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			for _, q := range queries {
+				if _, err := conn.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := conn.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWriteTopoKernelBench regenerates BENCH_topokernel.json, the
+// committed E16 baseline. Gated like the other BENCH writers:
+//
+//	JACKPINE_WRITE_BENCH=1 go test -run TestWriteTopoKernelBench .
+func TestWriteTopoKernelBench(t *testing.T) {
+	if os.Getenv("JACKPINE_WRITE_BENCH") != "1" {
+		t.Skip("set JACKPINE_WRITE_BENCH=1 to rewrite BENCH_topokernel.json")
+	}
+	constG := topoKernelConst()
+	rows := topoKernelRows()
+
+	// Kernel timing: several alternating passes over the row set.
+	const passes = 31
+	timeKernel := func(rel func(geom.Geometry) topo.Matrix) time.Duration {
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			for _, r := range rows {
+				rel(r)
+			}
+		}
+		return time.Since(start) / time.Duration(passes*len(rows))
+	}
+	naiveNS := timeKernel(func(r geom.Geometry) topo.Matrix { return topo.Relate(constG, r) })
+	prep := topo.Prepare(constG)
+	prepNS := timeKernel(prep.Relate)
+
+	ds := GenerateDataset(ScaleSmall, 1)
+	ctx := NewQueryContext(ds)
+	queries := topoPrepBenchQueries(ctx)
+	type sqlOut struct {
+		Prepared string  `json:"prepared"`
+		WarmUS   int64   `json:"warm_us"`
+		Speedup  float64 `json:"speedup_vs_off"`
+		PrepHit  float64 `json:"prep_hit_ratio"`
+	}
+	var sqlConfigs []sqlOut
+	var offWarm time.Duration
+	for _, c := range []struct {
+		name string
+		prep bool
+	}{{"off", false}, {"on", true}} {
+		eng := OpenEngine(GaiaDB(), engine.WithTopoPrep(c.prep))
+		if err := LoadDataset(eng, ds, true); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := Connect(eng).Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass := func() time.Duration {
+			start := time.Now()
+			for _, q := range queries {
+				if _, err := conn.Query(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return time.Since(start)
+		}
+		pass() // warm caches
+		runtime.GC()
+		eng.ResetCacheStats()
+		const runs = 7
+		var total time.Duration
+		for i := 0; i < runs; i++ {
+			total += pass()
+		}
+		warm := total / runs
+		cc := eng.CacheCounters()
+		conn.Close()
+		hit := -1.0
+		if cc.PrepHits+cc.PrepMisses > 0 {
+			hit = float64(cc.PrepHits) / float64(cc.PrepHits+cc.PrepMisses)
+		}
+		so := sqlOut{Prepared: c.name, WarmUS: warm.Microseconds(), PrepHit: hit}
+		if c.name == "off" {
+			offWarm = warm
+			so.Speedup = 1
+		} else if warm > 0 {
+			so.Speedup = float64(offWarm.Nanoseconds()) / float64(warm.Nanoseconds())
+		}
+		sqlConfigs = append(sqlConfigs, so)
+	}
+
+	out := struct {
+		Experiment    string   `json:"experiment"`
+		Date          string   `json:"date"`
+		CPUs          int      `json:"cpus"`
+		GOMAXPROCS    int      `json:"gomaxprocs"`
+		ConstVertices int      `json:"const_vertices"`
+		Rows          int      `json:"rows"`
+		Passes        int      `json:"passes"`
+		NaiveNSPerOp  int64    `json:"kernel_naive_ns_per_relate"`
+		PrepNSPerOp   int64    `json:"kernel_prepared_ns_per_relate"`
+		KernelSpeedup float64  `json:"kernel_speedup"`
+		Scale         string   `json:"scale"`
+		Queries       int      `json:"queries"`
+		SQLRuns       int      `json:"sql_runs"`
+		SQL           []sqlOut `json:"sql_configs"`
+		Note          string   `json:"note"`
+	}{
+		Experiment:    "E16 prepared-geometry topology kernel (GaiaDB)",
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ConstVertices: 256,
+		Rows:          len(rows),
+		Passes:        passes,
+		NaiveNSPerOp:  naiveNS.Nanoseconds(),
+		PrepNSPerOp:   prepNS.Nanoseconds(),
+		Scale:         ScaleSmall.String(),
+		Queries:       len(queries),
+		SQLRuns:       7,
+		SQL:           sqlConfigs,
+		Note: "kernel_*_ns_per_relate is one full DE-9IM matrix between the " +
+			"256-vertex constant and one parcel-sized row, averaged over all " +
+			"rows and passes; naive re-decomposes the constant per call, " +
+			"prepared decomposes and STR-indexes it once. sql warm_us is the " +
+			"E16 workload (12 window-predicate queries + 1 spatial join) on a " +
+			"warm GaiaDB engine with prepared-constant evaluation off/on.",
+	}
+	if prepNS > 0 {
+		out.KernelSpeedup = float64(naiveNS.Nanoseconds()) / float64(prepNS.Nanoseconds())
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_topokernel.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kernel naive %v prepared %v (%.2fx); wrote BENCH_topokernel.json (%d bytes)",
+		naiveNS, prepNS, out.KernelSpeedup, len(buf))
 }

@@ -70,6 +70,11 @@ type MicroResult struct {
 	GeomCacheHitRatio float64
 	PlanCacheHitRatio float64
 
+	// TopoPrepHitRatio is the fraction of exact topological predicate
+	// evaluations served through a prepared constant side over the
+	// measured iterations; -1 means unknown or no exact evaluations.
+	TopoPrepHitRatio float64
+
 	// Shards and ShardPruneRate describe scatter-gather routing when the
 	// connection is a spatially-sharded cluster (detected by interface,
 	// like the cache counters): the cluster size and the fraction of
@@ -100,6 +105,9 @@ type MacroResult struct {
 	PoolHitRatio      float64
 	GeomCacheHitRatio float64
 	PlanCacheHitRatio float64
+
+	// TopoPrepHitRatio as in MicroResult, over the measured phase.
+	TopoPrepHitRatio float64
 
 	// Shards and ShardPruneRate as in MicroResult, over the measured
 	// phase.
@@ -158,7 +166,8 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			Engine: connector.Name(), Runs: opts.Runs,
 			Parallelism:  opts.Parallelism,
 			PoolHitRatio: -1, GeomCacheHitRatio: -1, PlanCacheHitRatio: -1,
-			ShardPruneRate: -1,
+			TopoPrepHitRatio: -1,
+			ShardPruneRate:   -1,
 		}
 		// Warmup (also surfaces unsupported functions cheaply).
 		aborted := false
@@ -208,6 +217,7 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 				res.PoolHitRatio = cacheRatio(after.PoolHits-before.PoolHits, after.PoolMisses-before.PoolMisses)
 				res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
 				res.PlanCacheHitRatio = cacheRatio(after.PlanHits-before.PlanHits, after.PlanMisses-before.PlanMisses)
+				res.TopoPrepHitRatio = cacheRatio(after.PrepHits-before.PrepHits, after.PrepMisses-before.PrepMisses)
 			}
 			if hasSS && len(durations) > 0 {
 				after := ss.ShardStats()
@@ -244,7 +254,8 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		ID: sc.ID, Name: sc.Name, Engine: connector.Name(), Clients: opts.Clients,
 		Parallelism:  opts.Parallelism,
 		PoolHitRatio: -1, GeomCacheHitRatio: -1, PlanCacheHitRatio: -1,
-		ShardPruneRate: -1,
+		TopoPrepHitRatio: -1,
+		ShardPruneRate:   -1,
 	}
 
 	// Feature probe: run one operation; an unsupported error marks the
@@ -346,6 +357,7 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		res.PoolHitRatio = cacheRatio(after.PoolHits-before.PoolHits, after.PoolMisses-before.PoolMisses)
 		res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
 		res.PlanCacheHitRatio = cacheRatio(after.PlanHits-before.PlanHits, after.PlanMisses-before.PlanMisses)
+		res.TopoPrepHitRatio = cacheRatio(after.PrepHits-before.PrepHits, after.PrepMisses-before.PrepMisses)
 	}
 	if statsSS != nil {
 		after := statsSS.ShardStats()

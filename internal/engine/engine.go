@@ -52,6 +52,8 @@ type options struct {
 	geomSet     bool
 	planEntries int
 	planSet     bool
+	topoPrep    bool
+	topoPrepSet bool
 }
 
 // WithStore backs the engine with a custom page store (e.g. a FileStore).
@@ -81,6 +83,16 @@ func WithGeomCache(bytes int) Option {
 // entries <= 0 disables it. Default: 256.
 func WithPlanCache(entries int) Option {
 	return func(o *options) { o.planEntries = entries; o.planSet = true }
+}
+
+// WithTopoPrep toggles prepared-geometry evaluation of topological
+// predicates: the constant side of a predicate (literal query window,
+// outer row of a spatial join) is decomposed and indexed once per
+// statement execution and reused across rows. Default: enabled.
+// MBR profiles ignore the setting (approximate evaluation has nothing
+// to prepare).
+func WithTopoPrep(enabled bool) Option {
+	return func(o *options) { o.topoPrep = enabled; o.topoPrepSet = true }
 }
 
 // Open creates an engine with the given profile.
@@ -119,6 +131,9 @@ func Open(profile Profile, opts ...Option) *Engine {
 		par = o.parallelism
 	}
 	e.runner.SetParallelism(par)
+	if o.topoPrepSet {
+		e.runner.SetTopoPrep(o.topoPrep)
+	}
 	return e
 }
 
@@ -135,6 +150,21 @@ func (e *Engine) Parallelism() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.runner.Parallelism()
+}
+
+// SetTopoPrep toggles prepared-geometry predicate evaluation at
+// runtime.
+func (e *Engine) SetTopoPrep(enabled bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runner.SetTopoPrep(enabled)
+}
+
+// TopoPrep reports whether prepared-geometry evaluation is enabled.
+func (e *Engine) TopoPrep() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.runner.TopoPrep()
 }
 
 // Profile returns the engine's profile.
@@ -154,12 +184,15 @@ func (e *Engine) PlanCacheLen() int { return e.plans.len() }
 
 // CacheCounters bundles the raw hit/miss counters of every cache layer:
 // buffer pool (pages), geometry cache (decoded WKB), plan cache
-// (parsed statements). Reports sample it before and after a timed
-// region and difference the snapshots.
+// (parsed statements), prepared-geometry topology kernel (exact
+// predicate evaluations served by a prepared constant side). Reports
+// sample it before and after a timed region and difference the
+// snapshots.
 type CacheCounters struct {
 	PoolHits, PoolMisses uint64
 	GeomHits, GeomMisses uint64
 	PlanHits, PlanMisses uint64
+	PrepHits, PrepMisses uint64
 }
 
 // CacheCounters snapshots all cache layers at once.
@@ -167,10 +200,12 @@ func (e *Engine) CacheCounters() CacheCounters {
 	ps := e.pool.Stats()
 	gs := e.geomCache.Stats()
 	cs := e.plans.snapshot()
+	ph, pm := e.reg.PreparedCounters()
 	return CacheCounters{
 		PoolHits: ps.Hits, PoolMisses: ps.Misses,
 		GeomHits: gs.Hits, GeomMisses: gs.Misses,
 		PlanHits: cs.Hits, PlanMisses: cs.Misses,
+		PrepHits: uint64(ph), PrepMisses: uint64(pm),
 	}
 }
 
@@ -180,6 +215,7 @@ func (e *Engine) ResetCacheStats() {
 	e.pool.ResetStats()
 	e.geomCache.ResetStats()
 	e.plans.resetStats()
+	e.reg.ResetPreparedCounters()
 }
 
 // Close releases the backing store.

@@ -8,7 +8,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+	"strings"
 	"time"
 
 	"jackpine/internal/core"
@@ -661,4 +663,114 @@ func fmtHitRatio(hits, misses uint64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+}
+
+// circleWKT renders an n-vertex regular polygon approximating the
+// circle (cx, cy, r) as a WKT literal. E16 uses it to build the dense
+// constant operands whose per-row re-decomposition the prepared
+// topology kernel eliminates.
+func circleWKT(cx, cy, r float64, n int) string {
+	var sb strings.Builder
+	sb.WriteString("POLYGON ((")
+	for i := 0; i <= n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		a := 2 * math.Pi * float64(i%n) / float64(n)
+		fmt.Fprintf(&sb, "%g %g", cx+r*math.Cos(a), cy+r*math.Sin(a))
+	}
+	sb.WriteString("))")
+	return sb.String()
+}
+
+// RunE16 measures the prepared-geometry topology kernel: the same
+// topology-heavy workload with prepared-constant evaluation disabled
+// (every row re-decomposes both operands) and enabled (the constant
+// side — a 256-vertex query region, or the outer row of a spatial
+// join — is decomposed and STR-indexed once per statement execution).
+// The prep-hit column is the fraction of exact topological evaluations
+// served through a prepared side, from the engine's cache counters.
+func RunE16(w io.Writer, cfg Config) error {
+	header(w, "E16", "prepared-geometry topology kernel", cfg)
+	scale := cfg.Scale
+	if scale < tiger.Medium {
+		scale = tiger.Medium
+	}
+	ds := tiger.Generate(scale, cfg.Seed)
+	ctx := core.NewQueryContext(ds)
+
+	queries := make([]string, 0, 13)
+	for i := 0; i < 4; i++ {
+		win := ctx.Window("E16", i, 4)
+		region := fmt.Sprintf("ST_GEOMFROMTEXT('%s')",
+			circleWKT((win.MinX+win.MaxX)/2, (win.MinY+win.MaxY)/2, win.Width()/2, 256))
+		queries = append(queries,
+			fmt.Sprintf("SELECT COUNT(*) FROM parcels WHERE ST_Intersects(geo, %s)", region),
+			fmt.Sprintf("SELECT COUNT(*) FROM edges WHERE ST_Crosses(geo, %s)", region),
+			fmt.Sprintf("SELECT COUNT(*) FROM pointlm WHERE ST_Within(geo, %s)", region))
+	}
+	// Index-nested-loop spatial join: the outer area is prepared once
+	// per outer row and probed by every inner candidate.
+	joinWin := core.WindowWKT(ctx.Window("E16/join", 0, 4))
+	queries = append(queries, fmt.Sprintf(
+		"SELECT COUNT(*) FROM arealm AS a JOIN pointlm AS p ON ST_Contains(a.geo, p.geo) WHERE ST_Intersects(a.geo, %s)",
+		joinWin))
+
+	configs := []struct {
+		name string
+		prep bool
+	}{
+		{"off", false},
+		{"on", true},
+	}
+	fmt.Fprintf(w, "%-8s %14s %9s %9s\n", "prepared", "time", "vs off", "prep hit")
+	var offTime time.Duration
+	for _, c := range configs {
+		eng := engine.Open(engine.GaiaDB(), engine.WithTopoPrep(c.prep))
+		if err := tiger.Load(engineExecer{eng}, ds, true); err != nil {
+			return err
+		}
+		conn, err := driver.NewInProc(eng).Connect()
+		if err != nil {
+			return err
+		}
+		run := func() (time.Duration, error) {
+			start := time.Now()
+			for _, q := range queries {
+				if _, err := conn.Query(q); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start), nil
+		}
+		// Warm pass fills the page/geometry/plan caches, so the timed
+		// repeats isolate the topology kernel itself.
+		if _, err := run(); err != nil {
+			conn.Close()
+			return err
+		}
+		runtime.GC()
+		eng.ResetCacheStats()
+		const runs = 5
+		var total time.Duration
+		for i := 0; i < runs; i++ {
+			d, err := run()
+			if err != nil {
+				conn.Close()
+				return err
+			}
+			total += d
+		}
+		mean := total / runs
+		cc := eng.CacheCounters()
+		conn.Close()
+		if c.name == "off" {
+			offTime = mean
+		}
+		fmt.Fprintf(w, "%-8s %14s %8.2fx %9s\n",
+			c.name, mean.Round(time.Microsecond),
+			float64(offTime)/float64(mean),
+			fmtHitRatio(cc.PrepHits, cc.PrepMisses))
+	}
+	return nil
 }

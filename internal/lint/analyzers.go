@@ -8,5 +8,6 @@ func All() []*Analyzer {
 		FloatCmp,
 		HotPathDecode,
 		LockDiscipline,
+		PreparedTopo,
 	}
 }

@@ -29,6 +29,11 @@ func TestErrWrap(t *testing.T) {
 	linttest.Run(t, "testdata", lint.ErrWrap, "ew/internal/wire")
 }
 
+func TestPreparedTopo(t *testing.T) {
+	linttest.Run(t, "testdata", lint.PreparedTopo,
+		"pt/internal/sql", "pt/internal/engine")
+}
+
 // TestAnalyzersScopeOut pins that analyzers stay silent on packages outside
 // their scope: the fixture trees are full of each other's violations, but an
 // analyzer must only speak inside the package set its invariant covers.
@@ -41,6 +46,7 @@ func TestAnalyzersScopeOut(t *testing.T) {
 		{lint.HotPathDecode, "fc/internal/topo"},
 		{lint.CtxPropagate, "ld/internal/engine"},
 		{lint.ErrWrap, "fc/internal/topo"},
+		{lint.PreparedTopo, "pt/internal/topo"},
 	}
 	for _, c := range cases {
 		if diags := linttest.Diagnostics(t, "testdata", c.a, c.pkg); len(diags) > 0 {

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PreparedTopo enforces the prepared-geometry contract on the query layer:
+// inside a loop in internal/sql or internal/engine, a direct call into the
+// topology kernel (topo.Relate, topo.RelatePattern, a named predicate
+// function, or Predicate.Eval) with a loop-invariant geometry operand
+// re-decomposes — and re-indexes — that operand on every iteration. The
+// invariant side must be prepared once with topo.Prepare outside the loop
+// and evaluated through the *topo.Prepared handle.
+var PreparedTopo = &Analyzer{
+	Name: "preparedtopo",
+	Doc: "forbid direct topology-kernel calls (topo.Relate, topo.RelatePattern, " +
+		"the named predicate functions, Predicate.Eval) with a loop-invariant " +
+		"geometry operand inside internal/sql and internal/engine loops; " +
+		"prepare the invariant side once with topo.Prepare and reuse it",
+	Run: runPreparedTopo,
+}
+
+// preparedTopoKernels are the topology entry points whose first two
+// arguments are the geometry operands.
+var preparedTopoKernels = map[string]bool{
+	"Relate": true, "RelatePattern": true, "Eval": true,
+	"Equals": true, "Disjoint": true, "Intersects": true, "Touches": true,
+	"Crosses": true, "Within": true, "Contains": true, "Overlaps": true,
+	"Covers": true, "CoveredBy": true,
+}
+
+func runPreparedTopo(pass *Pass) error {
+	if !pkgMatches(pass, "internal/sql", "internal/engine") {
+		return nil
+	}
+	funcDecls(pass, func(decl *ast.FuncDecl) {
+		// Walk with an explicit ancestor stack (ast.Inspect signals the
+		// end of a node's children with a nil callback).
+		var stack []ast.Node
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkPreparedTopoCall(pass, call, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	})
+	return nil
+}
+
+// checkPreparedTopoCall reports a kernel call when some enclosing loop —
+// with no function-literal boundary in between, so the call genuinely runs
+// per iteration — leaves one geometry operand invariant while the other
+// varies.
+func checkPreparedTopoCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	name, ok := topoKernelCallee(pass.TypesInfo, call)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch loop := stack[i].(type) {
+		case *ast.FuncLit:
+			// The call runs on the closure's schedule, not the loop's.
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			inv0 := loopInvariant(pass.TypesInfo, call.Args[0], loop)
+			inv1 := loopInvariant(pass.TypesInfo, call.Args[1], loop)
+			if inv0 != inv1 {
+				pass.Reportf(call.Pos(),
+					"topo.%s in a loop re-decomposes its loop-invariant operand "+
+						"every iteration; hoist topo.Prepare out of the loop and "+
+						"evaluate through the Prepared handle (prepared-geometry "+
+						"contract, DESIGN.md)", name)
+				return
+			}
+		}
+	}
+}
+
+// topoKernelCallee resolves a call to one of the kernel entry points
+// declared in internal/topo (package functions and the Predicate.Eval
+// method alike).
+func topoKernelCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := callee(info, call)
+	if obj == nil || obj.Pkg() == nil || !pathIs(obj.Pkg().Path(), "internal/topo") {
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || !preparedTopoKernels[fn.Name()] {
+		return "", false
+	}
+	// Methods on *topo.Prepared (Relate, RelatePattern, Eval, ...) ARE
+	// the sanctioned fast path; only the Predicate.Eval method is a
+	// kernel entry point.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed || named.Obj().Name() != "Predicate" {
+			return "", false
+		}
+	}
+	return fn.Name(), true
+}
+
+// loopInvariant reports whether no variable used by e is declared inside
+// the loop (range variables, loop-local declarations). Calls with only
+// loop-external inputs are treated as invariant — a heuristic, but the
+// right default for the decode-free expressions the query layer feeds the
+// kernel.
+func loopInvariant(info *types.Info, e ast.Expr, loop ast.Node) bool {
+	inv := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			inv = false
+			return false
+		}
+		return true
+	})
+	return inv
+}

@@ -1,0 +1,29 @@
+// Package topo is a hermetic fixture stub: preparedtopo matches the
+// kernel entry points by a package path ending in internal/topo, so
+// fixtures import this stub instead of the real kernel.
+package topo
+
+import "jackpine/internal/geom"
+
+type Matrix [9]int8
+
+type Predicate int
+
+const PredIntersects Predicate = 2
+
+func (p Predicate) Eval(a, b geom.Geometry) bool { return false }
+
+func Relate(a, b geom.Geometry) Matrix                { return Matrix{} }
+func RelatePattern(a, b geom.Geometry, p string) bool { return false }
+func Intersects(a, b geom.Geometry) bool              { return false }
+func Contains(a, b geom.Geometry) bool                { return false }
+func Covers(a, b geom.Geometry) bool                  { return false }
+
+type Prepared struct{}
+
+func Prepare(g geom.Geometry) *Prepared { return &Prepared{} }
+
+func (p *Prepared) Relate(b geom.Geometry) Matrix                  { return Matrix{} }
+func (p *Prepared) RelatePattern(b geom.Geometry, pat string) bool { return false }
+func (p *Prepared) Eval(pred Predicate, b geom.Geometry) bool      { return false }
+func (p *Prepared) Intersects(b geom.Geometry) bool                { return false }

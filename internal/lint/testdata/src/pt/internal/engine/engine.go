@@ -1,0 +1,32 @@
+// Fixture for the preparedtopo analyzer: internal/engine is inside the
+// analyzer's scope too.
+package engine
+
+import (
+	"jackpine/internal/geom"
+	"jackpine/internal/topo"
+)
+
+// filterLayer refines rows against a fixed viewport per iteration:
+// violation.
+func filterLayer(viewport geom.Geometry, layer []geom.Geometry) []geom.Geometry {
+	var hits []geom.Geometry
+	for _, g := range layer {
+		if topo.Contains(viewport, g) { // want `topo.Contains in a loop`
+			hits = append(hits, g)
+		}
+	}
+	return hits
+}
+
+// filterPrepared is the sanctioned shape.
+func filterPrepared(viewport geom.Geometry, layer []geom.Geometry) []geom.Geometry {
+	p := topo.Prepare(viewport)
+	var hits []geom.Geometry
+	for _, g := range layer {
+		if p.Eval(topo.PredIntersects, g) {
+			hits = append(hits, g)
+		}
+	}
+	return hits
+}

@@ -1,0 +1,128 @@
+// Fixture for the preparedtopo analyzer: the package path ends in
+// internal/sql, so a direct topology-kernel call inside a loop with one
+// loop-invariant geometry operand is a violation.
+package sql
+
+import (
+	"jackpine/internal/geom"
+	"jackpine/internal/topo"
+)
+
+// refineRows re-decomposes the constant window on every row: violation.
+func refineRows(window geom.Geometry, rows []geom.Geometry) int {
+	n := 0
+	for _, row := range rows {
+		if topo.Intersects(window, row) { // want `topo.Intersects in a loop`
+			n++
+		}
+	}
+	return n
+}
+
+// relateMatrix is a violation regardless of operand order.
+func relateMatrix(rows []geom.Geometry, region geom.Geometry) []topo.Matrix {
+	var out []topo.Matrix
+	for i := 0; i < len(rows); i++ {
+		out = append(out, topo.Relate(rows[i], region)) // want `topo.Relate in a loop`
+	}
+	return out
+}
+
+// evalPredicate flags the Predicate.Eval method form too.
+func evalPredicate(pred topo.Predicate, window geom.Geometry, rows []geom.Geometry) int {
+	n := 0
+	for _, row := range rows {
+		if pred.Eval(window, row) { // want `topo.Eval in a loop`
+			n++
+		}
+	}
+	return n
+}
+
+// patternScan flags ST_RELATE-style pattern matching.
+func patternScan(rows []geom.Geometry, region geom.Geometry, pat string) int {
+	n := 0
+	for _, row := range rows {
+		if topo.RelatePattern(region, row, pat) { // want `topo.RelatePattern in a loop`
+			n++
+		}
+	}
+	return n
+}
+
+// nestedJoin fixes the outer row across the inner scan — exactly the
+// shape the per-outer-row preparation exists for: violation.
+func nestedJoin(as, bs []geom.Geometry) int {
+	n := 0
+	for _, a := range as {
+		for _, b := range bs {
+			if topo.Intersects(a, b) { // want `topo.Intersects in a loop`
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// preparedScan is the sanctioned shape: prepare once, evaluate per row
+// through the Prepared handle.
+func preparedScan(window geom.Geometry, rows []geom.Geometry, pat string) int {
+	p := topo.Prepare(window)
+	n := 0
+	for _, row := range rows {
+		if p.Intersects(row) {
+			n++
+		}
+		if p.RelatePattern(row, pat) {
+			n++
+		}
+		if p.Eval(topo.PredIntersects, row) {
+			n++
+		}
+	}
+	return n
+}
+
+// pairwise varies both operands per iteration: nothing to prepare.
+func pairwise(as, bs []geom.Geometry) int {
+	n := 0
+	for i := range as {
+		if topo.Intersects(as[i], bs[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// hoisted evaluates loop-external operands only; the whole call is
+// invariant, which is not this analyzer's concern.
+func hoisted(a, b geom.Geometry, k int) int {
+	n := 0
+	for i := 0; i < k; i++ {
+		if topo.Intersects(a, b) {
+			n++
+		}
+	}
+	return n
+}
+
+// deferredEval builds closures in the loop; the call runs on the
+// closure's schedule, not the loop's.
+func deferredEval(window geom.Geometry, rows []geom.Geometry) []func() bool {
+	var fs []func() bool
+	for _, row := range rows {
+		row := row
+		fs = append(fs, func() bool { return topo.Intersects(window, row) })
+	}
+	return fs
+}
+
+// probeOnce shows an allow directive with its mandatory justification.
+func probeOnce(window geom.Geometry, rows []geom.Geometry) int {
+	for _, row := range rows {
+		if topo.Covers(window, row) { //lint:allow preparedtopo one-shot support probe, loop exits on first hit
+			return 1
+		}
+	}
+	return 0
+}

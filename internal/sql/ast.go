@@ -178,6 +178,14 @@ type FuncCall struct {
 	Name string // canonical upper-case
 	Args []Expr
 	Star bool // COUNT(*)
+
+	// prep caches the prepared constant side of a topological
+	// predicate for the duration of one statement execution. It is
+	// installed by Runner.installPrepared on the execution's private
+	// statement tree after binding and before any fan-out, and read
+	// (never written) during evaluation, so morsel workers share it
+	// safely. Clones drop it (see CloneStatement).
+	prep *preparedCall
 }
 
 // IsNull tests for SQL NULL (negated when Negate).

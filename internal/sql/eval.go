@@ -238,6 +238,13 @@ func Eval(e Expr, row []storage.Value, reg *Registry) (storage.Value, error) {
 		if IsAggregateCall(t) {
 			return storage.Null(), fmt.Errorf("sql: aggregate %s evaluated outside aggregation", t.Name)
 		}
+		if t.prep != nil {
+			// Topological call with a prepared constant side: evaluate
+			// only the variable operand and reuse the cached
+			// decomposition (see preparedCall.eval for the semantics
+			// guarantee).
+			return t.prep.eval(t, row, reg)
+		}
 		args := make([]storage.Value, len(t.Args))
 		for i, a := range t.Args {
 			v, err := Eval(a, row, reg)

@@ -30,18 +30,30 @@ type Result struct {
 
 // Runner binds a catalog and function registry into a statement executor.
 type Runner struct {
-	cat Catalog
-	reg *Registry
-	par int // worker pool size for parallel-eligible queries (>= 1)
+	cat  Catalog
+	reg  *Registry
+	par  int  // worker pool size for parallel-eligible queries (>= 1)
+	prep bool // prepare constant sides of topological predicates
 }
 
 // NewRunner creates an executor over the catalog using the registry's
-// function semantics. Parallelism defaults to GOMAXPROCS.
+// function semantics. Parallelism defaults to GOMAXPROCS; topological
+// constant-side preparation is on.
 func NewRunner(cat Catalog, reg *Registry) *Runner {
-	r := &Runner{cat: cat, reg: reg}
+	r := &Runner{cat: cat, reg: reg, prep: true}
 	r.SetParallelism(0)
 	return r
 }
+
+// SetTopoPrep toggles prepared-geometry evaluation of topological
+// predicates (the constant query window in filters, the outer row of
+// index-nested-loop spatial joins). On by default; the off position
+// exists for equivalence testing and measurement. Not safe to call
+// concurrently with running queries.
+func (r *Runner) SetTopoPrep(enabled bool) { r.prep = enabled }
+
+// TopoPrep reports whether prepared-geometry evaluation is enabled.
+func (r *Runner) TopoPrep() bool { return r.prep }
 
 // Registry returns the function registry (engine feature inspection).
 func (r *Runner) Registry() *Registry { return r.reg }
@@ -247,6 +259,20 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		}
 	}
 
+	// Prepare the constant side of topological predicates once per
+	// execution (the literal query window of the micro queries), on
+	// this execution's private tree, before any worker fan-out.
+	installExprs := make([]Expr, 0, len(conjuncts)+len(sel.Exprs))
+	for _, c := range conjuncts {
+		installExprs = append(installExprs, c)
+	}
+	for i := range sel.Exprs {
+		if !sel.Exprs[i].Star {
+			installExprs = append(installExprs, sel.Exprs[i].Expr)
+		}
+	}
+	r.installPrepared(installExprs...)
+
 	// Choose access paths: each conjunct is attached to the earliest
 	// pipeline stage at which all of its references are available.
 	stageFilters := make([][]Expr, len(tables))
@@ -274,6 +300,13 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 			}
 		}
 		stageFilters[stage] = append(stageFilters[stage], c)
+	}
+	// Join stages: mark residual spatial predicates whose one side is
+	// fixed by the outer row, so each produce invocation prepares the
+	// outer geometry once instead of re-decomposing it per inner row.
+	stagePrep := make([][]prepFilterSpec, len(tables))
+	for i, bt := range tables {
+		stagePrep[i] = r.joinPrepSpecs(stageFilters[i], bt.lo)
 	}
 
 	// Column pruning: mark every scope column the plan references so
@@ -320,9 +353,25 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 	// stageEmit wraps a downstream emit with this stage's residual
 	// filters and the chain into the next pipeline stage.
 	stageEmit := func(stage int, emit emitFn) emitFn {
+		// Specialized filters carry per-invocation state (the prepared
+		// outer geometry), so they are rebuilt here — once per outer
+		// row — while unmarked stages share the zero-cost plain path.
+		var special []filterFn
+		if specs := stagePrep[stage]; len(specs) > 0 {
+			special = make([]filterFn, len(stageFilters[stage]))
+			for i := range specs {
+				special[specs[i].idx] = specs[i].specialize(r)
+			}
+		}
 		return func(row []storage.Value) (bool, error) {
-			for _, f := range stageFilters[stage] {
-				v, err := Eval(f, row, r.reg)
+			for fi, f := range stageFilters[stage] {
+				var v storage.Value
+				var err error
+				if special != nil && special[fi] != nil {
+					v, err = special[fi](row)
+				} else {
+					v, err = Eval(f, row, r.reg)
+				}
 				if err != nil {
 					return false, err
 				}
@@ -1352,6 +1401,7 @@ func (r *Runner) matchRows(tbl Table, binding string, where Expr) ([]RowID, erro
 		if err := Bind(where, scope, r.reg, false); err != nil {
 			return nil, err
 		}
+		r.installPrepared(where)
 	}
 	var ids []RowID
 	var evalErr error

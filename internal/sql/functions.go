@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"jackpine/internal/geom"
 	"jackpine/internal/overlay"
@@ -28,6 +29,25 @@ type RegistryOptions struct {
 type Registry struct {
 	funcs map[string]FuncImpl
 	mbr   bool
+
+	// Prepared-geometry counters: hits are exact topological
+	// evaluations routed through a prepared constant side, misses are
+	// exact evaluations that re-decomposed both operands. MBR-profile
+	// evaluations count as neither (nothing to prepare).
+	prepHits   atomic.Int64
+	prepMisses atomic.Int64
+}
+
+// PreparedCounters returns the cumulative prepared-path hit/miss
+// counters for topological predicate evaluation.
+func (r *Registry) PreparedCounters() (hits, misses int64) {
+	return r.prepHits.Load(), r.prepMisses.Load()
+}
+
+// ResetPreparedCounters zeroes the prepared-path counters.
+func (r *Registry) ResetPreparedCounters() {
+	r.prepHits.Store(0)
+	r.prepMisses.Store(0)
 }
 
 // Has reports whether the named function exists.
@@ -240,6 +260,7 @@ func (r *Registry) registerSpatial(mbr bool) {
 			if mbr {
 				return storage.NewBool(topo.MBREval(pred, a, b)), nil
 			}
+			r.prepMisses.Add(1)
 			return storage.NewBool(pred.Eval(a, b)), nil
 		})
 	}
@@ -263,6 +284,7 @@ func (r *Registry) registerSpatial(mbr bool) {
 		if !topo.ValidPattern(pat) {
 			return storage.Null(), fmt.Errorf("sql: ST_RELATE: bad DE-9IM pattern %q", pat)
 		}
+		r.prepMisses.Add(1)
 		return storage.NewBool(topo.RelatePattern(a, b, pat)), nil
 	})
 

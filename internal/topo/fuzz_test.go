@@ -44,7 +44,8 @@ func FuzzDE9IM(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, wa, wb string) {
 		// Text length bounds vertex count, so this also bounds the
-		// O(n log n) sweep inside Relate.
+		// work inside Relate: the O(n log n) STR bulk load of the
+		// segment indexes and the index-probed pair enumeration.
 		if len(wa) > 2048 || len(wb) > 2048 {
 			t.Skip("oversized input")
 		}

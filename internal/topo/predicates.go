@@ -34,27 +34,33 @@ func (p Predicate) String() string {
 
 // Eval evaluates the predicate exactly on the two geometries.
 func (p Predicate) Eval(a, b geom.Geometry) bool {
+	ao, bo := newOperand(a), newOperand(b)
+	return evalOp(p, &ao, &bo)
+}
+
+// evalOp dispatches a predicate over prebuilt operands.
+func evalOp(p Predicate, a, b *operand) bool {
 	switch p {
 	case PredEquals:
-		return Equals(a, b)
+		return equalsOp(a, b)
 	case PredDisjoint:
-		return Disjoint(a, b)
+		return disjointOp(a, b)
 	case PredIntersects:
-		return Intersects(a, b)
+		return intersectsOp(a, b)
 	case PredTouches:
-		return Touches(a, b)
+		return touchesOp(a, b)
 	case PredCrosses:
-		return Crosses(a, b)
+		return crossesOp(a, b)
 	case PredWithin:
-		return Within(a, b)
+		return withinOp(a, b)
 	case PredContains:
-		return Contains(a, b)
+		return withinOp(b, a)
 	case PredOverlaps:
-		return Overlaps(a, b)
+		return overlapsOp(a, b)
 	case PredCovers:
-		return Covers(a, b)
+		return coversOp(a, b)
 	case PredCoveredBy:
-		return CoveredBy(a, b)
+		return coversOp(b, a)
 	default:
 		return false
 	}
@@ -63,10 +69,8 @@ func (p Predicate) Eval(a, b geom.Geometry) bool {
 // Equals reports topological equality: the geometries occupy the same
 // point set (orientation and vertex order are irrelevant).
 func Equals(a, b geom.Geometry) bool {
-	if !envHit(a, b) {
-		return false
-	}
-	return Relate(a, b).Matches("T*F**FFF*")
+	ao, bo := newOperand(a), newOperand(b)
+	return equalsOp(&ao, &bo)
 }
 
 // Disjoint reports whether the geometries share no point.
@@ -74,36 +78,97 @@ func Disjoint(a, b geom.Geometry) bool { return !Intersects(a, b) }
 
 // Intersects reports whether the geometries share at least one point.
 func Intersects(a, b geom.Geometry) bool {
-	if !envHit(a, b) {
-		return false
-	}
-	m := Relate(a, b)
-	return m.Get(Interior, Interior) >= 0 ||
-		m.Get(Interior, Boundary) >= 0 ||
-		m.Get(Boundary, Interior) >= 0 ||
-		m.Get(Boundary, Boundary) >= 0
+	ao, bo := newOperand(a), newOperand(b)
+	return intersectsOp(&ao, &bo)
 }
 
 // Touches reports whether the geometries intersect only at their
 // boundaries (their interiors are disjoint). It is always false for two
 // points.
 func Touches(a, b geom.Geometry) bool {
-	if !envHit(a, b) {
-		return false
-	}
-	m := Relate(a, b)
-	return m.Matches("FT*******") || m.Matches("F**T*****") || m.Matches("F***T****")
+	ao, bo := newOperand(a), newOperand(b)
+	return touchesOp(&ao, &bo)
 }
 
 // Crosses reports whether the geometries cross: the intersection has
 // lower dimension than the maximum operand dimension, lies in both
 // interiors, and is not equal to either geometry.
 func Crosses(a, b geom.Geometry) bool {
-	if !envHit(a, b) {
+	ao, bo := newOperand(a), newOperand(b)
+	return crossesOp(&ao, &bo)
+}
+
+// Within reports whether a lies within b (every point of a is in b and
+// their interiors intersect).
+func Within(a, b geom.Geometry) bool {
+	ao, bo := newOperand(a), newOperand(b)
+	return withinOp(&ao, &bo)
+}
+
+// Contains reports whether a contains b: Within(b, a).
+func Contains(a, b geom.Geometry) bool { return Within(b, a) }
+
+// Overlaps reports whether the geometries overlap: same dimension,
+// interiors intersect, and each has interior points outside the other.
+func Overlaps(a, b geom.Geometry) bool {
+	ao, bo := newOperand(a), newOperand(b)
+	return overlapsOp(&ao, &bo)
+}
+
+// Covers reports whether every point of b lies in a. Unlike Contains it
+// holds when b lies entirely on a's boundary.
+func Covers(a, b geom.Geometry) bool {
+	ao, bo := newOperand(a), newOperand(b)
+	return coversOp(&ao, &bo)
+}
+
+// CoveredBy reports Covers(b, a).
+func CoveredBy(a, b geom.Geometry) bool { return Covers(b, a) }
+
+// RelatePattern reports whether the DE-9IM matrix of (a, b) matches the
+// given pattern. The pattern must be valid per ValidPattern.
+func RelatePattern(a, b geom.Geometry, pattern string) bool {
+	return Relate(a, b).Matches(pattern)
+}
+
+// relateOp computes the DE-9IM matrix over operands, reusing any cached
+// decomposition.
+func relateOp(a, b *operand) Matrix { return relateShapes(a.shape(), b.shape()) }
+
+func equalsOp(a, b *operand) bool {
+	if !envHitOp(a, b) {
 		return false
 	}
-	da, db := a.Dimension(), b.Dimension()
-	m := Relate(a, b)
+	return relateOp(a, b).Matches("T*F**FFF*")
+}
+
+func disjointOp(a, b *operand) bool { return !intersectsOp(a, b) }
+
+func intersectsOp(a, b *operand) bool {
+	if !envHitOp(a, b) {
+		return false
+	}
+	m := relateOp(a, b)
+	return m.Get(Interior, Interior) >= 0 ||
+		m.Get(Interior, Boundary) >= 0 ||
+		m.Get(Boundary, Interior) >= 0 ||
+		m.Get(Boundary, Boundary) >= 0
+}
+
+func touchesOp(a, b *operand) bool {
+	if !envHitOp(a, b) {
+		return false
+	}
+	m := relateOp(a, b)
+	return m.Matches("FT*******") || m.Matches("F**T*****") || m.Matches("F***T****")
+}
+
+func crossesOp(a, b *operand) bool {
+	if !envHitOp(a, b) {
+		return false
+	}
+	da, db := a.g.Dimension(), b.g.Dimension()
+	m := relateOp(a, b)
 	switch {
 	case da < db:
 		return m.Matches("T*T******")
@@ -116,65 +181,47 @@ func Crosses(a, b geom.Geometry) bool {
 	}
 }
 
-// Within reports whether a lies within b (every point of a is in b and
-// their interiors intersect).
-func Within(a, b geom.Geometry) bool {
-	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+func withinOp(a, b *operand) bool {
+	if a.nilOrEmpty() || b.nilOrEmpty() {
 		return false
 	}
-	if !b.Envelope().ContainsRect(a.Envelope()) {
+	if !b.env.ContainsRect(a.env) {
 		return false
 	}
-	return Relate(a, b).Matches("T*F**F***")
+	return relateOp(a, b).Matches("T*F**F***")
 }
 
-// Contains reports whether a contains b: Within(b, a).
-func Contains(a, b geom.Geometry) bool { return Within(b, a) }
-
-// Overlaps reports whether the geometries overlap: same dimension,
-// interiors intersect, and each has interior points outside the other.
-func Overlaps(a, b geom.Geometry) bool {
-	if !envHit(a, b) {
+func overlapsOp(a, b *operand) bool {
+	if !envHitOp(a, b) {
 		return false
 	}
-	da, db := a.Dimension(), b.Dimension()
+	da, db := a.g.Dimension(), b.g.Dimension()
 	if da != db {
 		return false
 	}
-	m := Relate(a, b)
+	m := relateOp(a, b)
 	if da == 1 {
 		return m.Matches("1*T***T**")
 	}
 	return m.Matches("T*T***T**")
 }
 
-// Covers reports whether every point of b lies in a. Unlike Contains it
-// holds when b lies entirely on a's boundary.
-func Covers(a, b geom.Geometry) bool {
-	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+func coversOp(a, b *operand) bool {
+	if a.nilOrEmpty() || b.nilOrEmpty() {
 		return false
 	}
-	if !a.Envelope().ContainsRect(b.Envelope()) {
+	if !a.env.ContainsRect(b.env) {
 		return false
 	}
-	m := Relate(a, b)
+	m := relateOp(a, b)
 	return m.Matches("T*****FF*") || m.Matches("*T****FF*") ||
 		m.Matches("***T**FF*") || m.Matches("****T*FF*")
 }
 
-// CoveredBy reports Covers(b, a).
-func CoveredBy(a, b geom.Geometry) bool { return Covers(b, a) }
-
-// RelatePattern reports whether the DE-9IM matrix of (a, b) matches the
-// given pattern. The pattern must be valid per ValidPattern.
-func RelatePattern(a, b geom.Geometry, pattern string) bool {
-	return Relate(a, b).Matches(pattern)
-}
-
-// envHit screens out nil/empty operands and disjoint envelopes.
-func envHit(a, b geom.Geometry) bool {
-	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+// envHitOp screens out nil/empty operands and disjoint envelopes.
+func envHitOp(a, b *operand) bool {
+	if a.nilOrEmpty() || b.nilOrEmpty() {
 		return false
 	}
-	return a.Envelope().Intersects(b.Envelope())
+	return a.env.Intersects(b.env)
 }

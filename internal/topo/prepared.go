@@ -1,0 +1,127 @@
+package topo
+
+import "jackpine/internal/geom"
+
+// operand is one side of a predicate evaluation: the geometry plus the
+// values every predicate screen needs (envelope, emptiness) and its
+// lazily computed decomposition. The unprepared predicates build two
+// throwaway operands per call; Prepare caches one across calls.
+type operand struct {
+	g     geom.Geometry
+	s     *shape
+	env   geom.Rect
+	empty bool
+}
+
+func newOperand(g geom.Geometry) operand {
+	if g == nil {
+		return operand{empty: true, env: geom.EmptyRect()}
+	}
+	return operand{g: g, env: g.Envelope(), empty: g.IsEmpty()}
+}
+
+func (o *operand) nilOrEmpty() bool { return o.g == nil || o.empty }
+
+// shape returns the decomposition, computing it on first use. Prepared
+// operands decompose (and index) at Prepare time, so concurrent readers
+// never hit the lazy write.
+func (o *operand) shape() *shape {
+	if o.s == nil {
+		o.s = decompose(o.g)
+	}
+	return o.s
+}
+
+// Prepared is a geometry preprocessed for repeated topological
+// evaluation against many other geometries: the decomposition into
+// points, segments and polygons is computed once, and large shapes
+// carry bulk-loaded segment and point-location indexes. A Prepared is
+// immutable after Prepare and safe for concurrent use.
+//
+// Every method returns exactly what the corresponding package-level
+// function returns — same matrices, bit for bit — because both route
+// through the same kernel; Prepare only moves the per-call
+// decomposition and index build to construction time.
+type Prepared struct {
+	op operand
+}
+
+// Prepare decomposes and indexes g for repeated evaluation.
+func Prepare(g geom.Geometry) *Prepared {
+	p := &Prepared{op: newOperand(g)}
+	p.op.shape().maybeIndex()
+	return p
+}
+
+// Geometry returns the prepared geometry.
+func (p *Prepared) Geometry() geom.Geometry { return p.op.g }
+
+// Eval evaluates pred(p.Geometry(), b).
+func (p *Prepared) Eval(pred Predicate, b geom.Geometry) bool {
+	bo := newOperand(b)
+	return evalOp(pred, &p.op, &bo)
+}
+
+// EvalReversed evaluates pred(a, p.Geometry()), for call sites where
+// the prepared geometry is the second operand of a non-symmetric
+// predicate.
+func (p *Prepared) EvalReversed(pred Predicate, a geom.Geometry) bool {
+	ao := newOperand(a)
+	return evalOp(pred, &ao, &p.op)
+}
+
+// Relate computes the DE-9IM matrix of (p.Geometry(), b).
+func (p *Prepared) Relate(b geom.Geometry) Matrix {
+	bo := newOperand(b)
+	return relateOp(&p.op, &bo)
+}
+
+// RelateReversed computes the DE-9IM matrix of (a, p.Geometry()).
+func (p *Prepared) RelateReversed(a geom.Geometry) Matrix {
+	ao := newOperand(a)
+	return relateOp(&ao, &p.op)
+}
+
+// RelatePattern reports whether Relate(b) matches the pattern.
+func (p *Prepared) RelatePattern(b geom.Geometry, pattern string) bool {
+	return p.Relate(b).Matches(pattern)
+}
+
+// RelatePatternReversed reports whether RelateReversed(a) matches the
+// pattern.
+func (p *Prepared) RelatePatternReversed(a geom.Geometry, pattern string) bool {
+	return p.RelateReversed(a).Matches(pattern)
+}
+
+// The ten named predicates, with the prepared geometry as the first
+// operand.
+
+// Equals reports topological equality of p.Geometry() and b.
+func (p *Prepared) Equals(b geom.Geometry) bool { return p.Eval(PredEquals, b) }
+
+// Disjoint reports whether p.Geometry() and b share no point.
+func (p *Prepared) Disjoint(b geom.Geometry) bool { return p.Eval(PredDisjoint, b) }
+
+// Intersects reports whether p.Geometry() and b share a point.
+func (p *Prepared) Intersects(b geom.Geometry) bool { return p.Eval(PredIntersects, b) }
+
+// Touches reports whether p.Geometry() and b touch only at boundaries.
+func (p *Prepared) Touches(b geom.Geometry) bool { return p.Eval(PredTouches, b) }
+
+// Crosses reports whether p.Geometry() and b cross.
+func (p *Prepared) Crosses(b geom.Geometry) bool { return p.Eval(PredCrosses, b) }
+
+// Within reports whether p.Geometry() lies within b.
+func (p *Prepared) Within(b geom.Geometry) bool { return p.Eval(PredWithin, b) }
+
+// Contains reports whether p.Geometry() contains b.
+func (p *Prepared) Contains(b geom.Geometry) bool { return p.Eval(PredContains, b) }
+
+// Overlaps reports whether p.Geometry() and b overlap.
+func (p *Prepared) Overlaps(b geom.Geometry) bool { return p.Eval(PredOverlaps, b) }
+
+// Covers reports whether p.Geometry() covers b.
+func (p *Prepared) Covers(b geom.Geometry) bool { return p.Eval(PredCovers, b) }
+
+// CoveredBy reports whether p.Geometry() is covered by b.
+func (p *Prepared) CoveredBy(b geom.Geometry) bool { return p.Eval(PredCoveredBy, b) }

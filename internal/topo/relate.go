@@ -1,6 +1,9 @@
 package topo
 
-import "jackpine/internal/geom"
+import (
+	"jackpine/internal/geom"
+	"jackpine/internal/index/rtree"
+)
 
 // Relate computes the DE-9IM intersection matrix of two geometries.
 //
@@ -36,6 +39,12 @@ func relateShapes(sa, sb *shape) Matrix {
 	if !sa.env.Intersects(sb.env) {
 		return disjointMatrix(sa, sb)
 	}
+
+	// Large shapes get static segment/location indexes; the indexed
+	// paths enumerate exactly the candidate sets the brute-force loops
+	// filter to, so the matrix is identical either way.
+	sa.maybeIndex()
+	sb.maybeIndex()
 
 	// --- 0D contributions: event points -------------------------------
 	for _, p := range gatherEventPoints(sa, sb) {
@@ -119,27 +128,20 @@ func disjointMatrix(sa, sb *shape) Matrix {
 // gatherEventPoints collects every point where the classification of one
 // geometry against the other can change: all pairwise segment
 // intersections, the 1D boundary points of both, and the 0D parts of both.
+// The list is deduplicated: many segments meeting at one point (shared
+// corners, stars) would otherwise trigger repeated locate calls, and the
+// matrix is unaffected because Upgrade is a max.
 func gatherEventPoints(sa, sb *shape) []geom.Coord {
 	var events []geom.Coord
-	for i := range sa.segs {
-		ga := &sa.segs[i]
-		if !ga.env.Intersects(sb.env) {
-			continue
+	segPairs(sa, sb, func(ga, gb *seg) {
+		kind, p0, p1 := geom.SegSegIntersection(ga.a, ga.b, gb.a, gb.b)
+		switch kind {
+		case geom.SegPoint:
+			events = append(events, p0)
+		case geom.SegOverlap:
+			events = append(events, p0, p1)
 		}
-		for j := range sb.segs {
-			gb := &sb.segs[j]
-			if !ga.env.Intersects(gb.env) {
-				continue
-			}
-			kind, p0, p1 := geom.SegSegIntersection(ga.a, ga.b, gb.a, gb.b)
-			switch kind {
-			case geom.SegPoint:
-				events = append(events, p0)
-			case geom.SegOverlap:
-				events = append(events, p0, p1)
-			}
-		}
-	}
+	})
 	for p := range sa.lineBoundary {
 		events = append(events, p)
 	}
@@ -148,7 +150,25 @@ func gatherEventPoints(sa, sb *shape) []geom.Coord {
 	}
 	events = append(events, sa.points...)
 	events = append(events, sb.points...)
-	return events
+	return dedupeCoords(events)
+}
+
+// dedupeCoords removes duplicate coordinates in place, keeping first
+// occurrences.
+func dedupeCoords(pts []geom.Coord) []geom.Coord {
+	if len(pts) < 2 {
+		return pts
+	}
+	seen := make(map[geom.Coord]struct{}, len(pts))
+	kept := pts[:0]
+	for _, p := range pts {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		kept = append(kept, p)
+	}
+	return kept
 }
 
 // classifySubSegments splits the segments of one shape at all crossings
@@ -165,17 +185,27 @@ func classifySubSegments(m *Matrix, sa, sb *shape, swap bool) {
 		sg := &src.segs[i]
 		cuts = cuts[:0]
 		if sg.env.Intersects(other.env) {
-			for j := range other.segs {
-				og := &other.segs[j]
-				if !sg.env.Intersects(og.env) {
-					continue
-				}
+			addCut := func(og *seg) {
 				kind, p0, p1 := geom.SegSegIntersection(sg.a, sg.b, og.a, og.b)
 				switch kind {
 				case geom.SegPoint:
 					cuts = append(cuts, segParam(sg, p0))
 				case geom.SegOverlap:
 					cuts = append(cuts, segParam(sg, p0), segParam(sg, p1))
+				}
+			}
+			if tree := other.segTree; tree != nil {
+				tree.Search(sg.env, func(e rtree.Entry) bool {
+					addCut(&other.segs[e.ID])
+					return true
+				})
+			} else {
+				for j := range other.segs {
+					og := &other.segs[j]
+					if !sg.env.Intersects(og.env) {
+						continue
+					}
+					addCut(og)
 				}
 			}
 			// The other shape's isolated points also change the

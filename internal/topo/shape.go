@@ -2,8 +2,10 @@ package topo
 
 import (
 	"math"
+	"sync"
 
 	"jackpine/internal/geom"
+	"jackpine/internal/index/rtree"
 )
 
 // seg is a single 1D element of a decomposed geometry.
@@ -27,6 +29,20 @@ type shape struct {
 	env      geom.Rect
 	dim      int  // topological dimension of the geometry (-1 if empty)
 	nonEmpty bool // any coordinates at all
+
+	// Static indexes, built at most once by maybeIndex (index.go) and
+	// read-only afterwards: segTree indexes segs for pairwise
+	// intersection probing, locTree indexes locEdges for point
+	// location. Both stay nil below indexMinSegs, in which case the
+	// brute-force paths run. Readers must call maybeIndex before
+	// touching the fields; the Once publishes them safely to
+	// concurrent readers of a shared (prepared) shape.
+	indexOnce sync.Once
+	segTree   *rtree.Tree
+	locTree   *rtree.Tree
+	locEdges  []locEdge
+	rings     []ringMeta
+	scale     float64 // max |coordinate| over indexed edges, clamped >= 1
 }
 
 // decompose flattens g into a shape.
@@ -145,6 +161,9 @@ func (s *shape) hasArea() bool { return len(s.polys) > 0 }
 // semantics: Interior if the point is interior to any part, otherwise
 // Boundary if on any part's boundary, otherwise Exterior.
 func (s *shape) locate(p geom.Coord) Location {
+	if s.locTree != nil {
+		return s.locateIndexed(p)
+	}
 	loc := Exterior
 
 	// 2D parts.

@@ -112,6 +112,12 @@ func WithParallelism(n int) engine.Option { return engine.WithParallelism(n) }
 // disables it; default 16 MiB).
 func WithGeomCache(bytes int) engine.Option { return engine.WithGeomCache(bytes) }
 
+// WithTopoPrep toggles prepared-geometry evaluation of topological
+// predicates: the constant side (literal query window, outer join row)
+// is decomposed and indexed once per statement execution instead of
+// per row. Enabled by default.
+func WithTopoPrep(enabled bool) engine.Option { return engine.WithTopoPrep(enabled) }
+
 // WithPlanCache bounds the prepared-statement (plan) cache in entries
 // (<= 0 disables it; default 256). See also Engine.Prepare.
 func WithPlanCache(entries int) engine.Option { return engine.WithPlanCache(entries) }
