@@ -20,6 +20,7 @@ import (
 
 	"jackpine/internal/core"
 	"jackpine/internal/engine"
+	"jackpine/internal/experiments"
 	"jackpine/internal/geom"
 	"jackpine/internal/tiger"
 	"jackpine/internal/topo"
@@ -1102,4 +1103,239 @@ func TestWriteTopoKernelBench(t *testing.T) {
 	}
 	t.Logf("kernel naive %v prepared %v (%.2fx); wrote BENCH_topokernel.json (%d bytes)",
 		naiveNS, prepNS, out.KernelSpeedup, len(buf))
+}
+
+// e17BenchQueries renders the E17 window-predicate micros (two probe
+// iterations each) against a query context.
+func e17BenchQueries(ctx *QueryContext) []string {
+	var out []string
+	for _, q := range experiments.E17Queries() {
+		out = append(out, q.SQL(ctx, 0), q.SQL(ctx, 1))
+	}
+	return out
+}
+
+// BenchmarkE17BatchExec compares tuple-at-a-time and batch-at-a-time
+// execution on the E17 window-predicate micros, single core. One
+// iteration runs the whole query set once; -benchmem shows the
+// allocs/op reduction the batch executor's pooled batches and arena
+// decoding buy.
+func BenchmarkE17BatchExec(b *testing.B) {
+	ds := benchDataset(b, tiger.Small)
+	ctx := NewQueryContext(ds)
+	queries := e17BenchQueries(ctx)
+	for _, c := range []struct {
+		name  string
+		batch bool
+	}{{"row", false}, {"batch", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			eng := OpenEngine(GaiaDB(), WithBatchExec(c.batch))
+			eng.SetParallelism(1)
+			if err := LoadDataset(eng, ds, true); err != nil {
+				b.Fatal(err)
+			}
+			conn, err := Connect(eng).Connect()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			for _, q := range queries {
+				if _, err := conn.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := conn.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// batchGuardQueryID is the representative window-predicate micro the
+// allocation-regression guard tracks.
+const batchGuardQueryID = "MT13"
+
+// batchGuardAllocs measures steady-state allocations per execution of
+// the guard query on a warm, single-core, batch-enabled engine at small
+// scale — the exact procedure that produced the committed baseline in
+// BENCH_batch.json.
+func batchGuardAllocs(tb testing.TB) float64 {
+	tb.Helper()
+	ds := GenerateDataset(ScaleSmall, 1)
+	ctx := NewQueryContext(ds)
+	query := ""
+	for _, q := range experiments.E17Queries() {
+		if q.ID == batchGuardQueryID {
+			query = q.SQL(ctx, 0)
+		}
+	}
+	if query == "" {
+		tb.Fatalf("guard query %s not in the E17 set", batchGuardQueryID)
+	}
+	eng := OpenEngine(GaiaDB())
+	eng.SetParallelism(1)
+	if err := LoadDataset(eng, ds, true); err != nil {
+		tb.Fatal(err)
+	}
+	conn, err := Connect(eng).Connect()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Query(query); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return testing.AllocsPerRun(20, func() {
+		if _, err := conn.Query(query); err != nil {
+			tb.Fatal(err)
+		}
+	})
+}
+
+// TestBatchAllocRegression fails when the batch executor's allocs/op on
+// the guard query exceeds the committed BENCH_batch.json baseline by
+// more than 20%: the margin absorbs environment noise while catching a
+// reintroduced per-row allocation (which multiplies by the row count,
+// not percents). Skipped under the race detector, whose instrumentation
+// changes allocation counts.
+func TestBatchAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	buf, err := os.ReadFile("BENCH_batch.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var bench struct {
+		Guard struct {
+			Query       string  `json:"query"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"alloc_guard"`
+	}
+	if err := json.Unmarshal(buf, &bench); err != nil {
+		t.Fatalf("BENCH_batch.json: %v", err)
+	}
+	if bench.Guard.Query != batchGuardQueryID || bench.Guard.AllocsPerOp <= 0 {
+		t.Skipf("baseline has no alloc_guard for %s", batchGuardQueryID)
+	}
+	got := batchGuardAllocs(t)
+	limit := bench.Guard.AllocsPerOp * 1.2
+	if got > limit {
+		t.Errorf("%s allocs/op = %.0f, exceeds baseline %.0f by more than 20%% (limit %.0f); "+
+			"a per-row allocation crept back into the batch path, or the baseline needs "+
+			"regenerating (JACKPINE_WRITE_BENCH=1 go test -run TestWriteBatchBench .)",
+			batchGuardQueryID, got, bench.Guard.AllocsPerOp, limit)
+	}
+}
+
+// TestWriteBatchBench regenerates BENCH_batch.json, the committed E17
+// result set and the allocation-regression baseline. Gated like the
+// other BENCH writers:
+//
+//	JACKPINE_WRITE_BENCH=1 go test -run TestWriteBatchBench .
+func TestWriteBatchBench(t *testing.T) {
+	if os.Getenv("JACKPINE_WRITE_BENCH") != "1" {
+		t.Skip("set JACKPINE_WRITE_BENCH=1 to rewrite BENCH_batch.json")
+	}
+	const runs = 7
+	ds := tiger.Generate(tiger.Medium, 1)
+	ctx := core.NewQueryContext(ds)
+	row, err := experiments.MeasureE17(ds, ctx, false, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := experiments.MeasureE17(ds, ctx, true, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type queryOut struct {
+		ID          string  `json:"id"`
+		RowUS       int64   `json:"row_us"`
+		BatchUS     int64   `json:"batch_us"`
+		Speedup     float64 `json:"speedup"`
+		RowAllocs   float64 `json:"row_allocs_per_op"`
+		BatchAllocs float64 `json:"batch_allocs_per_op"`
+		AllocRatio  float64 `json:"alloc_ratio"`
+	}
+	var queries []queryOut
+	var rowTotal, batchTotal time.Duration
+	for _, q := range experiments.E17Queries() {
+		r, b := row[q.ID], batch[q.ID]
+		qo := queryOut{
+			ID: q.ID, RowUS: r.Mean.Microseconds(), BatchUS: b.Mean.Microseconds(),
+			RowAllocs: r.Allocs, BatchAllocs: b.Allocs,
+		}
+		if b.Mean > 0 {
+			qo.Speedup = float64(r.Mean) / float64(b.Mean)
+		}
+		if r.Allocs > 0 {
+			qo.AllocRatio = b.Allocs / r.Allocs
+		}
+		queries = append(queries, qo)
+		rowTotal += r.Mean
+		batchTotal += b.Mean
+	}
+
+	guardAllocs := batchGuardAllocs(t)
+
+	out := struct {
+		Experiment   string     `json:"experiment"`
+		Date         string     `json:"date"`
+		CPUs         int        `json:"cpus"`
+		GOMAXPROCS   int        `json:"gomaxprocs"`
+		Scale        string     `json:"scale"`
+		Runs         int        `json:"runs"`
+		BatchSize    int        `json:"batch_size"`
+		Queries      []queryOut `json:"queries"`
+		TotalSpeedup float64    `json:"total_speedup"`
+		Guard        struct {
+			Query       string  `json:"query"`
+			Scale       string  `json:"scale"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"alloc_guard"`
+		Note string `json:"note"`
+	}{
+		Experiment: "E17 vectorized batch execution (GaiaDB, 1 worker)",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      tiger.Medium.String(),
+		Runs:       runs,
+		BatchSize:  256,
+		Queries:    queries,
+		Note: "row/batch are per-execution wall times of the best of 7 timed " +
+			"passes on one core with warm caches (the minimum is the stable " +
+			"estimator of uncontended cost on a shared host); *_allocs_per_op " +
+			"are process-wide heap " +
+			"allocation deltas per execution (runtime.MemStats). alloc_guard " +
+			"is the TestBatchAllocRegression baseline: steady-state allocs/op " +
+			"of " + batchGuardQueryID + " at small scale, batch on, measured " +
+			"with testing.AllocsPerRun.",
+	}
+	if batchTotal > 0 {
+		out.TotalSpeedup = float64(rowTotal) / float64(batchTotal)
+	}
+	out.Guard.Query = batchGuardQueryID
+	out.Guard.Scale = tiger.Small.String()
+	out.Guard.AllocsPerOp = guardAllocs
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_batch.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("total speedup %.2fx (row %v, batch %v); guard %s %.0f allocs/op; wrote BENCH_batch.json (%d bytes)",
+		out.TotalSpeedup, rowTotal, batchTotal, batchGuardQueryID, guardAllocs, len(buf))
 }

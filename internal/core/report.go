@@ -52,18 +52,19 @@ func WriteMicroTable(w io.Writer, results []MicroResult) {
 // columns are blank when the connection does not expose cache counters
 // or the cache saw no traffic.
 func WriteMicroCSV(w io.Writer, results []MicroResult) {
-	fmt.Fprintln(w, "id,name,category,engine,runs,parallelism,mean_us,median_us,p95_us,min_us,max_us,rows,unsupported,error,pool_hit,geom_cache_hit,plan_cache_hit,prep_hit,shards,shard_prune")
+	fmt.Fprintln(w, "id,name,category,engine,runs,parallelism,mean_us,median_us,p95_us,min_us,max_us,rows,unsupported,error,pool_hit,geom_cache_hit,plan_cache_hit,prep_hit,allocs,bytes,shards,shard_prune")
 	for _, r := range results {
 		errMsg := ""
 		if r.Err != nil {
 			errMsg = strings.ReplaceAll(r.Err.Error(), ",", ";")
 		}
-		fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%v,%s,%s,%s,%s,%s,%s,%s\n",
+		fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%v,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
 			r.ID, csvQuote(r.Name), r.Category, r.Engine, r.Runs, r.Parallelism,
 			r.Mean.Microseconds(), r.Median.Microseconds(), r.P95.Microseconds(),
 			r.Min.Microseconds(), r.Max.Microseconds(), r.Rows, r.Unsupported, errMsg,
 			fmtRatio(r.PoolHitRatio), fmtRatio(r.GeomCacheHitRatio), fmtRatio(r.PlanCacheHitRatio),
-			fmtRatio(r.TopoPrepHitRatio), fmtShards(r.Shards), fmtRatio(r.ShardPruneRate))
+			fmtRatio(r.TopoPrepHitRatio), fmtCount(r.AllocsPerRun), fmtCount(r.BytesPerRun),
+			fmtShards(r.Shards), fmtRatio(r.ShardPruneRate))
 	}
 }
 
@@ -109,18 +110,19 @@ func WriteMacroTable(w io.Writer, results []MacroResult) {
 // WriteMacroCSV renders macro results as CSV. Hit-ratio columns follow
 // the micro CSV convention (blank when unknown).
 func WriteMacroCSV(w io.Writer, results []MacroResult) {
-	fmt.Fprintln(w, "id,name,engine,clients,parallelism,ops,elapsed_ms,ops_per_sec,mean_latency_us,rows_per_op,unsupported,error,pool_hit,geom_cache_hit,plan_cache_hit,prep_hit,shards,shard_prune")
+	fmt.Fprintln(w, "id,name,engine,clients,parallelism,ops,elapsed_ms,ops_per_sec,mean_latency_us,rows_per_op,unsupported,error,pool_hit,geom_cache_hit,plan_cache_hit,prep_hit,allocs,bytes,shards,shard_prune")
 	for _, r := range results {
 		errMsg := ""
 		if r.Err != nil {
 			errMsg = strings.ReplaceAll(r.Err.Error(), ",", ";")
 		}
-		fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%.3f,%d,%.1f,%v,%s,%s,%s,%s,%s,%s,%s\n",
+		fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%.3f,%d,%.1f,%v,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
 			r.ID, csvQuote(r.Name), r.Engine, r.Clients, r.Parallelism, r.Ops,
 			r.Elapsed.Milliseconds(), r.Throughput, r.MeanLatency.Microseconds(),
 			r.RowsPerOp, r.Unsupported, errMsg,
 			fmtRatio(r.PoolHitRatio), fmtRatio(r.GeomCacheHitRatio), fmtRatio(r.PlanCacheHitRatio),
-			fmtRatio(r.TopoPrepHitRatio), fmtShards(r.Shards), fmtRatio(r.ShardPruneRate))
+			fmtRatio(r.TopoPrepHitRatio), fmtCount(r.AllocsPerOp), fmtCount(r.BytesPerOp),
+			fmtShards(r.Shards), fmtRatio(r.ShardPruneRate))
 	}
 }
 
@@ -130,6 +132,15 @@ func fmtShards(n int) string {
 		return ""
 	}
 	return fmt.Sprintf("%d", n)
+}
+
+// fmtCount renders a per-iteration allocation count or byte volume,
+// blank when unknown (< 0).
+func fmtCount(c float64) string {
+	if c < 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.0f", c)
 }
 
 // fmtRatio renders a cache hit ratio, blank when unknown (< 0).

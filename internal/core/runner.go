@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -75,6 +76,14 @@ type MicroResult struct {
 	// measured iterations; -1 means unknown or no exact evaluations.
 	TopoPrepHitRatio float64
 
+	// AllocsPerRun and BytesPerRun are process-wide heap allocation
+	// deltas per measured iteration (runtime.MemStats Mallocs and
+	// TotalAlloc), sampled only for in-process connections, where the
+	// engine's work happens in this process. -1 means unknown (remote
+	// engine). Process-wide: concurrent background work inflates them.
+	AllocsPerRun float64
+	BytesPerRun  float64
+
 	// Shards and ShardPruneRate describe scatter-gather routing when the
 	// connection is a spatially-sharded cluster (detected by interface,
 	// like the cache counters): the cluster size and the fraction of
@@ -108,6 +117,11 @@ type MacroResult struct {
 
 	// TopoPrepHitRatio as in MicroResult, over the measured phase.
 	TopoPrepHitRatio float64
+
+	// AllocsPerOp and BytesPerOp as in MicroResult (per operation,
+	// over the measured phase); -1 means unknown.
+	AllocsPerOp float64
+	BytesPerOp  float64
 
 	// Shards and ShardPruneRate as in MicroResult, over the measured
 	// phase.
@@ -167,7 +181,8 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			Parallelism:  opts.Parallelism,
 			PoolHitRatio: -1, GeomCacheHitRatio: -1, PlanCacheHitRatio: -1,
 			TopoPrepHitRatio: -1,
-			ShardPruneRate:   -1,
+			AllocsPerRun:     -1, BytesPerRun: -1,
+			ShardPruneRate: -1,
 		}
 		// Warmup (also surfaces unsupported functions cheaply).
 		aborted := false
@@ -192,6 +207,10 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			if hasSS {
 				ssBefore = ss.ShardStats()
 			}
+			var memBefore runtime.MemStats
+			if hasCC {
+				runtime.ReadMemStats(&memBefore)
+			}
 			durations := make([]time.Duration, 0, opts.Runs)
 			for i := 0; i < opts.Runs; i++ {
 				query := q.SQL(ctx, opts.Warmup+i)
@@ -213,6 +232,11 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 				fillStats(&res, durations)
 			}
 			if hasCC && len(durations) > 0 {
+				var memAfter runtime.MemStats
+				runtime.ReadMemStats(&memAfter)
+				n := float64(len(durations))
+				res.AllocsPerRun = float64(memAfter.Mallocs-memBefore.Mallocs) / n
+				res.BytesPerRun = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / n
 				after := cc.CacheCounters()
 				res.PoolHitRatio = cacheRatio(after.PoolHits-before.PoolHits, after.PoolMisses-before.PoolMisses)
 				res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
@@ -255,7 +279,8 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		Parallelism:  opts.Parallelism,
 		PoolHitRatio: -1, GeomCacheHitRatio: -1, PlanCacheHitRatio: -1,
 		TopoPrepHitRatio: -1,
-		ShardPruneRate:   -1,
+		AllocsPerOp:      -1, BytesPerOp: -1,
+		ShardPruneRate: -1,
 	}
 
 	// Feature probe: run one operation; an unsupported error marks the
@@ -303,6 +328,11 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		} else {
 			statsConn.Close()
 		}
+	}
+
+	var memBefore runtime.MemStats
+	if statsCC != nil {
+		runtime.ReadMemStats(&memBefore)
 	}
 
 	var wg sync.WaitGroup
@@ -353,6 +383,12 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		res.RowsPerOp = float64(totalRows) / float64(res.Ops)
 	}
 	if statsCC != nil {
+		if res.Ops > 0 {
+			var memAfter runtime.MemStats
+			runtime.ReadMemStats(&memAfter)
+			res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.Ops)
+			res.BytesPerOp = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(res.Ops)
+		}
 		after := statsCC.CacheCounters()
 		res.PoolHitRatio = cacheRatio(after.PoolHits-before.PoolHits, after.PoolMisses-before.PoolMisses)
 		res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"fmt"
+
+	"jackpine/internal/geom"
+	"jackpine/internal/sql"
+	"jackpine/internal/storage"
+)
+
+// Batch-at-a-time table access: the engine side of the vectorized
+// executor. ScanBatch and FetchBatch fill reusable column batches from
+// the heap, run the flat MBR prefilter kernel over the batch's SoA
+// envelope arrays, and materialize only the surviving slots — geometry
+// columns through the decoded-geometry cache exactly as the row path,
+// except that filter-only (ephemeral) geometries too large to cache
+// decode into the batch's coordinate arena instead of the heap.
+
+// ScanBatch implements sql.BatchTable.
+func (t *table) ScanBatch(shard, nshards int, proj sql.Projection, size int,
+	fn func(*storage.ColBatch) (bool, error)) error {
+
+	if size <= 0 {
+		size = 256
+	}
+	b := storage.GetColBatch()
+	defer storage.PutColBatch(b)
+	b.Reset(len(t.cols), len(t.cols))
+
+	cont := true
+	var innerErr error
+	flush := func() bool {
+		if b.Len() == 0 {
+			return true
+		}
+		if proj.MBRCol >= 0 {
+			b.FilterWindow(proj.Window)
+		} else {
+			b.SelectAll()
+		}
+		if len(b.Sel) > 0 {
+			if err := t.materializeBatch(b, proj); err != nil {
+				innerErr = err
+				return false
+			}
+			c, err := fn(b)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			cont = c
+		}
+		b.Reset(len(t.cols), len(t.cols))
+		return cont
+	}
+	visit := func(rid storage.RecordID, tuple []byte) bool {
+		if err := b.Append(int64(sql.PackRowID(rid)), tuple, proj.MBRCol); err != nil {
+			innerErr = fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+			return false
+		}
+		if b.Len() >= size {
+			return flush()
+		}
+		return true
+	}
+	var err error
+	if nshards <= 1 {
+		err = t.heap.Scan(visit)
+	} else {
+		err = t.heap.ScanShard(shard, nshards, visit)
+	}
+	if innerErr == nil && err == nil && cont {
+		flush()
+	}
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}
+
+// FetchBatch implements sql.BatchTable.
+func (t *table) FetchBatch(ids []sql.RowID, proj sql.Projection, b *storage.ColBatch) error {
+	b.Reset(len(t.cols), len(t.cols))
+	for _, id := range ids {
+		rid := id.Unpack()
+		var err error
+		b.Scratch, err = t.heap.GetAppend(b.Scratch[:0], rid)
+		if err != nil {
+			return err
+		}
+		if err := b.Append(int64(id), b.Scratch, -1); err != nil {
+			return fmt.Errorf("engine: table %s at %s: %w", t.name, rid, err)
+		}
+	}
+	b.SelectAll()
+	return t.materializeBatch(b, proj)
+}
+
+// materializeBatch decodes the projected columns of the batch's
+// selected slots into its flat row backing, column-major. Geometry
+// columns follow exactly the row path's cache discipline — batched Get,
+// decode-and-Put on miss — so hit/miss counters match the row-at-a-time
+// scan; the one divergence is where a missed decode's memory comes
+// from: ephemeral columns (filter-only, per proj.Ephemeral) whose entry
+// would not fit the cache use the batch coordinate arena.
+func (t *table) materializeBatch(b *storage.ColBatch, proj sql.Projection) error {
+	b.ResetRows()
+	sel := b.Sel
+	if len(sel) == 0 {
+		return nil
+	}
+	var gslots []int
+	var rids []storage.RecordID
+	var geoms []geom.Geometry
+	for col := range t.cols {
+		if proj.Need != nil && !proj.Need[col] {
+			continue
+		}
+		eph := proj.Ephemeral != nil && proj.Ephemeral[col]
+		if t.cols[col].Type != storage.TypeGeom || t.gc == nil {
+			for _, s := range sel {
+				v, err := t.batchCol(b, s, col, eph)
+				if err != nil {
+					return err
+				}
+				b.Row(s)[col] = v
+			}
+			continue
+		}
+		// Cached geometry column: batched lookup over the slots that
+		// actually store a geometry (NULL slots never touch the cache,
+		// matching materializeRow).
+		gslots = gslots[:0]
+		rids = rids[:0]
+		for _, s := range sel {
+			if b.ColType(s, col) != storage.TypeGeom {
+				v, err := b.Col(s, col)
+				if err != nil {
+					return t.wrapBatchErr(b, s, err)
+				}
+				b.Row(s)[col] = v
+				continue
+			}
+			gslots = append(gslots, s)
+			rids = append(rids, sql.RowID(b.ID(s)).Unpack())
+		}
+		if cap(geoms) < len(gslots) {
+			geoms = make([]geom.Geometry, len(gslots))
+		}
+		geoms = geoms[:len(gslots)]
+		t.gc.GetBatch(t.name, rids, col, geoms)
+		for i, s := range gslots {
+			if g := geoms[i]; g != nil {
+				b.Row(s)[col] = storage.NewGeom(g)
+				continue
+			}
+			wkbLen := len(b.GeomWKB(s, col))
+			if eph && !t.gc.Cacheable(wkbLen) {
+				v, err := b.ColArena(s, col)
+				if err != nil {
+					return t.wrapBatchErr(b, s, err)
+				}
+				b.Row(s)[col] = v
+				continue
+			}
+			v, err := b.Col(s, col)
+			if err != nil {
+				return t.wrapBatchErr(b, s, err)
+			}
+			t.gc.Put(t.name, rids[i], col, v.Geom, wkbLen)
+			b.Row(s)[col] = v
+		}
+	}
+	return nil
+}
+
+// batchCol decodes one uncached column of one slot, routing ephemeral
+// geometries through the batch arena.
+func (t *table) batchCol(b *storage.ColBatch, slot, col int, eph bool) (storage.Value, error) {
+	var v storage.Value
+	var err error
+	if eph && b.ColType(slot, col) == storage.TypeGeom {
+		v, err = b.ColArena(slot, col)
+	} else {
+		v, err = b.Col(slot, col)
+	}
+	if err != nil {
+		return storage.Null(), t.wrapBatchErr(b, slot, err)
+	}
+	return v, nil
+}
+
+// wrapBatchErr adds the row path's table/record context to a decode
+// error.
+func (t *table) wrapBatchErr(b *storage.ColBatch, slot int, err error) error {
+	return fmt.Errorf("engine: table %s at %s: %w", t.name, sql.RowID(b.ID(slot)).Unpack(), err)
+}

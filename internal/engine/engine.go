@@ -44,16 +44,20 @@ type Engine struct {
 type Option func(*options)
 
 type options struct {
-	store       storage.PageStore
-	poolPages   int
-	parallelism int
-	parSet      bool
-	geomBytes   int
-	geomSet     bool
-	planEntries int
-	planSet     bool
-	topoPrep    bool
-	topoPrepSet bool
+	store        storage.PageStore
+	poolPages    int
+	parallelism  int
+	parSet       bool
+	geomBytes    int
+	geomSet      bool
+	planEntries  int
+	planSet      bool
+	topoPrep     bool
+	topoPrepSet  bool
+	batchExec    bool
+	batchSet     bool
+	batchSize    int
+	batchSizeSet bool
 }
 
 // WithStore backs the engine with a custom page store (e.g. a FileStore).
@@ -95,6 +99,21 @@ func WithTopoPrep(enabled bool) Option {
 	return func(o *options) { o.topoPrep = enabled; o.topoPrepSet = true }
 }
 
+// WithBatchExec toggles batch-at-a-time (vectorized) stage-0 query
+// execution: eligible scans feed column batches through flat MBR
+// prefilter kernels and batched predicate refinement instead of one
+// row per callback. Default: enabled. Plans batching does not cover
+// (kNN, index seeks, bare LIMIT) use the row path either way.
+func WithBatchExec(enabled bool) Option {
+	return func(o *options) { o.batchExec = enabled; o.batchSet = true }
+}
+
+// WithBatchSize overrides the number of row slots per column batch.
+// n <= 0 means the default (256).
+func WithBatchSize(n int) Option {
+	return func(o *options) { o.batchSize = n; o.batchSizeSet = true }
+}
+
 // Open creates an engine with the given profile.
 func Open(profile Profile, opts ...Option) *Engine {
 	var o options
@@ -134,6 +153,12 @@ func Open(profile Profile, opts ...Option) *Engine {
 	if o.topoPrepSet {
 		e.runner.SetTopoPrep(o.topoPrep)
 	}
+	if o.batchSet {
+		e.runner.SetBatchExec(o.batchExec)
+	}
+	if o.batchSizeSet {
+		e.runner.SetBatchSize(o.batchSize)
+	}
 	return e
 }
 
@@ -165,6 +190,47 @@ func (e *Engine) TopoPrep() bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.runner.TopoPrep()
+}
+
+// SetBatchExec toggles batch-at-a-time query execution at runtime.
+func (e *Engine) SetBatchExec(enabled bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runner.SetBatchExec(enabled)
+}
+
+// BatchExec reports whether batch execution is enabled.
+func (e *Engine) BatchExec() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.runner.BatchExec()
+}
+
+// SetBatchSize changes the column-batch row capacity at runtime.
+// n <= 0 resets to the default.
+func (e *Engine) SetBatchSize(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runner.SetBatchSize(n)
+}
+
+// BatchSize reports the configured column-batch row capacity.
+func (e *Engine) BatchSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.runner.BatchSize()
+}
+
+// BatchStats reports cumulative batch-execution activity: batches
+// processed and rows entering the batch filter cascade. Equivalence
+// tests assert these to prove the intended path ran.
+func (e *Engine) BatchStats() (batches, rows int64) {
+	return e.runner.BatchStats()
+}
+
+// ResetBatchStats zeroes the batch activity counters.
+func (e *Engine) ResetBatchStats() {
+	e.runner.ResetBatchStats()
 }
 
 // Profile returns the engine's profile.

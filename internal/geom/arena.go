@@ -1,0 +1,95 @@
+package geom
+
+import "fmt"
+
+// CoordArena is a bump allocator for the coordinate and ring slices a
+// WKB decode produces. Batch scans decode many short-lived geometries
+// per morsel (filter operands that never leave the batch); taking their
+// backing arrays from a reusable arena instead of the heap removes the
+// dominant per-row allocation of the refine path. Reset recycles every
+// block at once, so geometries decoded from an arena are only valid
+// until the owner resets it — callers must not let them escape the
+// batch that produced them.
+//
+// The zero value is ready to use. A CoordArena is not safe for
+// concurrent use; each worker owns its own.
+type CoordArena struct {
+	coords    []Coord
+	coordOff  int
+	coordCap  int // high-water mark, so Reset sizes the block once
+	rings     []Ring
+	ringOff   int
+	ringCap   int
+	overflows int // slices larger than a block, served by the heap
+}
+
+// arenaBlockCoords sizes fresh coordinate blocks (64 KiB of Coords).
+const arenaBlockCoords = 4096
+
+// Coords returns an n-element coordinate slice backed by the arena.
+// Slices larger than a block fall back to the heap (they would defeat
+// reuse anyway).
+func (a *CoordArena) Coords(n int) []Coord {
+	if n > arenaBlockCoords {
+		a.overflows++
+		return make([]Coord, n)
+	}
+	if a.coordOff+n > len(a.coords) {
+		a.coords = make([]Coord, arenaBlockCoords)
+		a.coordOff = 0
+		a.coordCap += arenaBlockCoords
+	}
+	s := a.coords[a.coordOff : a.coordOff+n : a.coordOff+n]
+	a.coordOff += n
+	return s
+}
+
+// Rings returns an n-element ring slice backed by the arena.
+func (a *CoordArena) Rings(n int) []Ring {
+	if n > arenaBlockCoords {
+		a.overflows++
+		return make([]Ring, n)
+	}
+	if a.ringOff+n > len(a.rings) {
+		block := arenaBlockCoords / 8
+		if block < n {
+			block = n
+		}
+		a.rings = make([]Ring, block)
+		a.ringOff = 0
+		a.ringCap += block
+	}
+	s := a.rings[a.ringOff : a.ringOff+n : a.ringOff+n]
+	a.ringOff += n
+	return s
+}
+
+// Reset makes every previously returned slice reusable. Geometries
+// decoded from the arena before the call must no longer be read.
+func (a *CoordArena) Reset() {
+	a.coordOff = 0
+	a.ringOff = 0
+	// Blocks abandoned mid-use (a fresh block was started while the old
+	// one still had tail space) are simply dropped; the current block is
+	// reused from offset zero.
+}
+
+// Overflows reports how many slices exceeded the block size and were
+// heap-allocated instead (diagnostics for the batch experiments).
+func (a *CoordArena) Overflows() int { return a.overflows }
+
+// UnmarshalWKBArena decodes a WKB-encoded geometry like UnmarshalWKB,
+// but takes coordinate and ring backing arrays from the arena. The
+// returned geometry aliases arena memory: it is valid only until the
+// arena is reset and must never be stored beyond the current batch.
+func UnmarshalWKBArena(data []byte, a *CoordArena) (Geometry, error) {
+	d := &wkbDecoder{data: data, arena: a}
+	g, err := d.geometry(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptWKB, len(data)-d.pos)
+	}
+	return g, nil
+}

@@ -143,8 +143,9 @@ func UnmarshalWKB(data []byte) (Geometry, error) {
 }
 
 type wkbDecoder struct {
-	data []byte
-	pos  int
+	data  []byte
+	pos   int
+	arena *CoordArena // nil = heap-allocated coordinate slices
 }
 
 // maxWKBNesting bounds recursion for hostile inputs.
@@ -194,7 +195,12 @@ func (d *wkbDecoder) coords(bo binary.ByteOrder) ([]Coord, error) {
 	if int(n) > d.remaining()/16 {
 		return nil, fmt.Errorf("%w: coordinate count %d exceeds input", ErrCorruptWKB, n)
 	}
-	cs := make([]Coord, n)
+	var cs []Coord
+	if d.arena != nil {
+		cs = d.arena.Coords(int(n))
+	} else {
+		cs = make([]Coord, n)
+	}
 	for i := range cs {
 		if cs[i].X, err = d.float64(bo); err != nil {
 			return nil, err
@@ -248,15 +254,20 @@ func (d *wkbDecoder) geometry(depth int) (Geometry, error) {
 		if int(n) > d.remaining()/4 {
 			return nil, fmt.Errorf("%w: ring count %d exceeds input", ErrCorruptWKB, n)
 		}
-		poly := make(Polygon, 0, n)
+		var rings []Ring
+		if d.arena != nil {
+			rings = d.arena.Rings(int(n))[:0]
+		} else {
+			rings = make([]Ring, 0, n)
+		}
 		for i := uint32(0); i < n; i++ {
 			cs, err := d.coords(bo)
 			if err != nil {
 				return nil, err
 			}
-			poly = append(poly, Ring(cs))
+			rings = append(rings, Ring(cs))
 		}
-		return poly, nil
+		return Polygon(rings), nil
 
 	case TypeMultiPoint, TypeMultiLineString, TypeMultiPolygon, TypeGeometryCollection:
 		n, err := d.uint32(bo)

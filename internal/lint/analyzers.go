@@ -3,6 +3,7 @@ package lint
 // All returns every registered analyzer, in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		BatchAlloc,
 		CtxPropagate,
 		ErrWrap,
 		FloatCmp,

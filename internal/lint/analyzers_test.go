@@ -7,6 +7,11 @@ import (
 	"jackpine/internal/lint/linttest"
 )
 
+func TestBatchAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", lint.BatchAlloc,
+		"ba/internal/sql", "ba/internal/storage")
+}
+
 func TestHotPathDecode(t *testing.T) {
 	linttest.Run(t, "testdata", lint.HotPathDecode,
 		"hp/internal/sql", "hp/internal/index/rtree")
@@ -42,6 +47,8 @@ func TestAnalyzersScopeOut(t *testing.T) {
 		a   *lint.Analyzer
 		pkg string
 	}{
+		{lint.BatchAlloc, "fc/internal/topo"},
+		{lint.BatchAlloc, "hp/internal/sql"}, // in-scope package, no batch kernels
 		{lint.FloatCmp, "hp/internal/sql"},
 		{lint.HotPathDecode, "fc/internal/topo"},
 		{lint.CtxPropagate, "ld/internal/engine"},

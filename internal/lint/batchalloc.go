@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// BatchAlloc enforces the amortized-allocation contract on the batch
+// execution kernels: a batch function runs once per batch, but the code
+// inside its loops runs once per row slot, so any heap allocation there
+// multiplies by the batch size and silently re-creates the per-row
+// allocation cost that batching exists to remove. Scratch buffers must
+// live on the batch or executor struct (grow-once, reuse across
+// batches), and filter-only geometry decodes must go through the
+// per-batch coordinate arena (geom.UnmarshalWKBArena), not the
+// allocating decoders.
+var BatchAlloc = &Analyzer{
+	Name: "batchalloc",
+	Doc: "forbid per-element heap allocation inside batch-kernel loops in " +
+		"internal/sql and internal/storage: no make, no fresh slice built " +
+		"with append into a new variable, no allocating geometry decode " +
+		"(geom.UnmarshalWKB, geom.ParseWKT, geom.MustParseWKT); hoist " +
+		"buffers into batch/executor scratch state or use the arena decoder",
+	Run: runBatchAlloc,
+}
+
+// batchFuncRE matches the batch-kernel naming convention. A function is
+// a batch kernel if its own name matches, or if it is a method on a
+// batch type (ColBatch, batchExec, ...), where the convention lives on
+// the receiver instead of every method name.
+var batchFuncRE = regexp.MustCompile(`(?i)batch`)
+
+// batchDecodeBans are the allocating decode entry points; the arena
+// variant (UnmarshalWKBArena) is the sanctioned replacement and does
+// not match.
+var batchDecodeBans = []struct{ pkg, name string }{
+	{"internal/geom", "UnmarshalWKB"},
+	{"internal/geom", "ParseWKT"},
+	{"internal/geom", "MustParseWKT"},
+}
+
+func runBatchAlloc(pass *Pass) error {
+	if !pkgMatches(pass, "internal/sql", "internal/storage") {
+		return nil
+	}
+	funcDecls(pass, func(decl *ast.FuncDecl) {
+		if !isBatchFunc(decl) {
+			return
+		}
+		inLoop := loopBodies(decl.Body)
+		name := decl.Name.Name
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.CallExpr:
+				if !inLoop(t.Pos()) {
+					return true
+				}
+				if isBuiltin(pass.TypesInfo, t, "make") {
+					pass.Reportf(t.Pos(),
+						"batch kernel %s calls make inside its per-element loop; "+
+							"hoist the buffer into batch/executor scratch state "+
+							"(amortized-allocation contract, DESIGN.md)", name)
+				}
+				for _, ban := range batchDecodeBans {
+					if calleeIs(pass.TypesInfo, t, ban.pkg, ban.name) {
+						pass.Reportf(t.Pos(),
+							"batch kernel %s calls %s inside its per-element loop; "+
+								"decode through the batch coordinate arena "+
+								"(geom.UnmarshalWKBArena) instead", name, ban.name)
+					}
+				}
+			case *ast.AssignStmt:
+				if t.Tok != token.DEFINE || !inLoop(t.Pos()) {
+					return true
+				}
+				for _, rhs := range t.Rhs {
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok &&
+						isBuiltin(pass.TypesInfo, call, "append") {
+						pass.Reportf(call.Pos(),
+							"batch kernel %s builds a fresh slice with append inside "+
+								"its per-element loop; reuse a scratch slice "+
+								"(s = append(s[:0], ...)) held on the batch or executor",
+							name)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// isBatchFunc reports whether decl is a batch kernel: its name, or its
+// receiver's type name, matches the batch naming convention.
+func isBatchFunc(decl *ast.FuncDecl) bool {
+	if batchFuncRE.MatchString(decl.Name.Name) {
+		return true
+	}
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			if batchFuncRE.MatchString(recvTypeName(f.Type)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvTypeName extracts the bare type name from a receiver type
+// expression (*T, T, or a generic instantiation T[...]).
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// loopBodies returns a predicate reporting whether a position falls
+// inside the body of any for/range statement in the function, at any
+// nesting depth (including loops inside closures — a closure called
+// per element allocates per element all the same).
+func loopBodies(body *ast.BlockStmt) func(token.Pos) bool {
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{t.Body.Pos(), t.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{t.Body.Pos(), t.Body.End()})
+		}
+		return true
+	})
+	return func(p token.Pos) bool {
+		for _, s := range loops {
+			if p >= s.lo && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// isBuiltin reports whether call invokes the named universe builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

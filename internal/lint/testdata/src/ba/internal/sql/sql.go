@@ -1,0 +1,79 @@
+// Fixture for the batchalloc analyzer: the package path ends in
+// internal/sql, so functions matching the batch naming convention (by
+// name or by receiver type) must not heap-allocate inside their loops.
+package sql
+
+import "jackpine/internal/geom"
+
+// batchExec is a batch type: every method is a kernel via the receiver.
+type batchExec struct {
+	slots []int
+	geoms []geom.Geometry
+	arena geom.CoordArena
+}
+
+// runBatchFilter is a kernel by function name.
+func runBatchFilter(wkbs [][]byte) {
+	for _, w := range wkbs {
+		buf := make([]byte, len(w)) // want `batch kernel runBatchFilter calls make inside its per-element loop`
+		copy(buf, w)
+		g, _ := geom.UnmarshalWKB(w) // want `batch kernel runBatchFilter calls UnmarshalWKB inside its per-element loop`
+		_ = g
+	}
+}
+
+// refill is a kernel via the batchExec receiver: a fresh slice per
+// element is a violation, reuse of struct-held scratch is sanctioned,
+// and the arena decoder is the sanctioned decode.
+func (ex *batchExec) refill(rows [][]byte) {
+	out := ex.slots[:0]
+	for i, r := range rows {
+		fresh := append([]int(nil), i) // want `batch kernel refill builds a fresh slice with append inside its per-element loop`
+		_ = fresh
+		out = append(out, i)
+		g, _ := geom.UnmarshalWKBArena(r, &ex.arena)
+		ex.geoms = append(ex.geoms, g)
+	}
+	ex.slots = out
+}
+
+// emitBatch hides the allocation in a closure whose body sits inside
+// the loop: still once per element, still a violation.
+func emitBatch(rows [][]byte, emit func([]byte)) {
+	for _, r := range rows {
+		func() {
+			emit(append([]byte(nil), r...)) // sanctioned: append result not bound to a new variable is beyond this check
+			row := make([]byte, len(r))     // want `batch kernel emitBatch calls make inside its per-element loop`
+			emit(row)
+		}()
+	}
+}
+
+// growBatch allocates before the loop: sanctioned grow-once pattern.
+func growBatch(n int) []int {
+	buf := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// seedBatch shows the allow directive with its mandatory justification.
+func seedBatch(rows [][]byte) [][]byte {
+	var out [][]byte
+	for _, r := range rows {
+		cp := make([]byte, len(r)) //lint:allow batchalloc rows escape the recycled batch, the copy is the point
+		copy(cp, r)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// perRowEval has no batch in its name or receiver: out of scope even
+// though it allocates and decodes per element.
+func perRowEval(rows [][]byte) {
+	for _, r := range rows {
+		_, _ = geom.UnmarshalWKB(r)
+		_ = make([]byte, 1)
+	}
+}

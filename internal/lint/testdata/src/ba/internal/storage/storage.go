@@ -1,0 +1,38 @@
+// Fixture for the batchalloc analyzer: internal/storage is in scope,
+// and ColBatch methods are kernels via the receiver type.
+package storage
+
+type Value struct{ Int int64 }
+
+type ColBatch struct {
+	Sel  []int
+	rows []Value
+}
+
+// FilterWindow grows the struct-held selection vector: amortized across
+// batches, sanctioned.
+func (b *ColBatch) FilterWindow(n int) {
+	b.Sel = b.Sel[:0]
+	for i := 0; i < n; i++ {
+		b.Sel = append(b.Sel, i)
+	}
+}
+
+// Materialize allocates one row per slot: the violation batching exists
+// to remove.
+func (b *ColBatch) Materialize(n, width int) [][]Value {
+	var out [][]Value
+	for i := 0; i < n; i++ {
+		row := make([]Value, width) // want `batch kernel Materialize calls make inside its per-element loop`
+		out = append(out, row)
+	}
+	return out
+}
+
+// resetRows sizes the backing once, outside any loop: sanctioned.
+func (b *ColBatch) resetRows(n, width int) {
+	if cap(b.rows) < n*width {
+		b.rows = make([]Value, n*width)
+	}
+	b.rows = b.rows[:n*width]
+}

@@ -15,7 +15,12 @@ type Rect struct {
 	MinX, MinY, MaxX, MaxY float64
 }
 
+type CoordArena struct{}
+
 func UnmarshalWKB(data []byte) (Geometry, error) { return point{}, nil }
-func ParseWKT(s string) (Geometry, error)        { return point{}, nil }
-func MustParseWKT(s string) Geometry             { return point{} }
-func EnvelopeWKB(data []byte) (Rect, error)      { return Rect{}, nil }
+func UnmarshalWKBArena(data []byte, a *CoordArena) (Geometry, error) {
+	return point{}, nil
+}
+func ParseWKT(s string) (Geometry, error)   { return point{}, nil }
+func MustParseWKT(s string) Geometry        { return point{} }
+func EnvelopeWKB(data []byte) (Rect, error) { return Rect{}, nil }

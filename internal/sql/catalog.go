@@ -61,6 +61,12 @@ type Projection struct {
 	// Window is the query envelope the prefilter tests against (only
 	// meaningful when MBRCol >= 0).
 	Window geom.Rect
+	// Ephemeral marks needed geometry columns that only stage-0 filters
+	// read: nothing downstream of the scan references them, so batch
+	// scans may decode them into per-worker arena memory that is
+	// recycled at the next morsel. nil means none; row-at-a-time scans
+	// ignore the field entirely.
+	Ephemeral []bool
 }
 
 // AllColumns is the trivial projection: decode everything, no prefilter.
@@ -104,6 +110,27 @@ type Table interface {
 	AttrIndexes() []AttrIndexDef
 	// RowCount returns the current number of rows.
 	RowCount() int
+}
+
+// BatchTable is the optional batch-at-a-time extension of Table. A
+// table that implements it can feed the vectorized executor whole
+// column batches instead of one row per callback; tables that do not
+// stay on the row path unchanged.
+type BatchTable interface {
+	Table
+	// ScanBatch drives the shard'th of nshards heap partitions in
+	// batches of up to size slots: each batch is filled with validated
+	// tuples, MBR-prefiltered against proj.Window when proj.MBRCol >= 0
+	// (survivors land in the batch's selection vector), and its selected
+	// slots materialized per proj.Need before fn runs. Batch memory is
+	// reused: fn must copy anything that outlives the call. Visiting
+	// shards 0..nshards-1 in order reproduces exactly the rows (and
+	// order) of ScanProject.
+	ScanBatch(shard, nshards int, proj Projection, size int, fn func(*storage.ColBatch) (bool, error)) error
+	// FetchBatch fills b with the identified rows (in id order, all
+	// selected) and materializes them per proj.Need. Used by the batch
+	// refinement stage of spatial-index scans.
+	FetchBatch(ids []RowID, proj Projection, b *storage.ColBatch) error
 }
 
 // Catalog resolves table names and applies DDL. The engine implements it.

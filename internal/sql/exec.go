@@ -2,12 +2,14 @@ package sql
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"math/big"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"jackpine/internal/geom"
 	"jackpine/internal/index/btree"
@@ -28,19 +30,32 @@ type Result struct {
 	Access []string
 }
 
+// defaultBatchSize is the number of row slots per column batch. Large
+// enough to amortize per-batch overhead, small enough that a batch's
+// arena and row backing stay cache-resident.
+const defaultBatchSize = 256
+
 // Runner binds a catalog and function registry into a statement executor.
 type Runner struct {
-	cat  Catalog
-	reg  *Registry
-	par  int  // worker pool size for parallel-eligible queries (>= 1)
-	prep bool // prepare constant sides of topological predicates
+	cat       Catalog
+	reg       *Registry
+	par       int  // worker pool size for parallel-eligible queries (>= 1)
+	prep      bool // prepare constant sides of topological predicates
+	batch     bool // batch-at-a-time stage-0 execution
+	batchSize int  // row slots per column batch
+
+	// Batch activity counters (equivalence tests assert the intended
+	// path actually ran): batches processed and rows entering the batch
+	// filter cascade.
+	batchBatches atomic.Int64
+	batchRows    atomic.Int64
 }
 
 // NewRunner creates an executor over the catalog using the registry's
 // function semantics. Parallelism defaults to GOMAXPROCS; topological
-// constant-side preparation is on.
+// constant-side preparation and batch execution are on.
 func NewRunner(cat Catalog, reg *Registry) *Runner {
-	r := &Runner{cat: cat, reg: reg, prep: true}
+	r := &Runner{cat: cat, reg: reg, prep: true, batch: true, batchSize: defaultBatchSize}
 	r.SetParallelism(0)
 	return r
 }
@@ -54,6 +69,42 @@ func (r *Runner) SetTopoPrep(enabled bool) { r.prep = enabled }
 
 // TopoPrep reports whether prepared-geometry evaluation is enabled.
 func (r *Runner) TopoPrep() bool { return r.prep }
+
+// SetBatchExec toggles batch-at-a-time stage-0 execution. On by
+// default; the off position exists for equivalence testing and
+// measurement (plans that batching does not cover — kNN, index seeks,
+// bare LIMIT — fall back to the row path regardless). Not safe to call
+// concurrently with running queries.
+func (r *Runner) SetBatchExec(enabled bool) { r.batch = enabled }
+
+// BatchExec reports whether batch execution is enabled.
+func (r *Runner) BatchExec() bool { return r.batch }
+
+// SetBatchSize sets the number of row slots per column batch. n <= 0
+// resets to the default. Not safe to call concurrently with running
+// queries.
+func (r *Runner) SetBatchSize(n int) {
+	if n <= 0 {
+		n = defaultBatchSize
+	}
+	r.batchSize = n
+}
+
+// BatchSize reports the configured batch size.
+func (r *Runner) BatchSize() int { return r.batchSize }
+
+// BatchStats returns the cumulative batch activity: batches processed
+// and rows that entered the batch filter cascade. Zero while batch
+// execution is disabled or never eligible.
+func (r *Runner) BatchStats() (batches, rows int64) {
+	return r.batchBatches.Load(), r.batchRows.Load()
+}
+
+// ResetBatchStats zeroes the batch activity counters.
+func (r *Runner) ResetBatchStats() {
+	r.batchBatches.Store(0)
+	r.batchRows.Store(0)
+}
 
 // Registry returns the function registry (engine feature inspection).
 func (r *Runner) Registry() *Registry { return r.reg }
@@ -346,6 +397,51 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		}
 	}
 
+	// Batch eligibility for the stage-0 scan, and — when eligible —
+	// ephemeral classification: stage-0 geometry columns that only this
+	// stage's filters read may be decoded into recycled arena memory,
+	// since emitted survivor rows NULL them before anything downstream
+	// could observe the value.
+	bt0, batchOK := r.batchEligible(sel, tables[0].tbl, paths[0].kind, hasAgg, knn)
+	if batchOK && !allCols {
+		needElse := make([]bool, scope.Len())
+		markElse := func(e Expr) {
+			walkExpr(e, func(x Expr) {
+				if c, ok := x.(*ColumnRef); ok && c.Index >= 0 && c.Index < len(needElse) {
+					needElse[c.Index] = true
+				}
+			})
+		}
+		for _, se := range sel.Exprs {
+			if !se.Star {
+				markElse(se.Expr)
+			}
+		}
+		for _, g := range sel.GroupBy {
+			markElse(g)
+		}
+		if !hasAgg {
+			for i := range sel.OrderBy {
+				markElse(sel.OrderBy[i].Expr)
+			}
+		}
+		for i := 1; i < len(tables); i++ {
+			for _, f := range stageFilters[i] {
+				markElse(f)
+			}
+		}
+		var eph []bool
+		for i := 0; i < tables[0].hi; i++ {
+			if need[i] && !needElse[i] && scope.Column(i).Type == storage.TypeGeom {
+				if eph == nil {
+					eph = make([]bool, tables[0].hi)
+				}
+				eph[i] = true
+			}
+		}
+		paths[0].ephemeral = eph
+	}
+
 	// Pipeline: scan stage 0, then for each join stage either index
 	// probe, hash probe or nested loop, applying stage filters.
 	hashBuilt := make([]map[string][][]storage.Value, len(tables))
@@ -395,6 +491,42 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		return r.scanTable(bt.tbl, paths[stage], prefix, scope.Len(), bt.lo, emitRow)
 	}
 
+	// Batched stage 0: the scan feeds column batches through the batch
+	// filter cascade instead of stage-0's stageEmit; survivors re-enter
+	// the unchanged pipeline at the next stage (or the sink directly).
+	// Join stages and the row-path fallback go through rowProduce.
+	var bplan *batchPlan
+	var batchNext nextFn
+	var batchPlanFn func() *batchPlan
+	if batchOK {
+		// Lazy so point probes that fall back (or match nothing) never
+		// pay for filter classification; within one statement the plan
+		// is built at most once.
+		batchPlanFn = func() *batchPlan {
+			if bplan == nil {
+				bplan = r.newBatchPlan(stageFilters[0], scope.Len(), paths[0].ephemeral)
+			}
+			return bplan
+		}
+		batchNext = func(row []storage.Value, emit emitFn) (bool, error) {
+			if len(tables) == 1 {
+				return emit(row)
+			}
+			return produce(1, row, emit)
+		}
+		rowProduce := produce
+		produce = func(stage int, prefix []storage.Value, emit emitFn) (bool, error) {
+			if stage != 0 {
+				return rowProduce(stage, prefix, emit)
+			}
+			cont, err := r.runBatchStage0(bt0, paths[0], batchPlanFn, batchNext, emit)
+			if errors.Is(err, errBatchFallback) {
+				return rowProduce(0, prefix, emit)
+			}
+			return cont, err
+		}
+	}
+
 	// Intra-query parallelism: when the plan qualifies, stage 0 fans
 	// out across a worker pool (join stages run inside each worker) and
 	// shard results merge deterministically in shard order.
@@ -439,8 +571,16 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 			}
 		}
 		var err error
-		runShard, err = r.makeShardRunner(tables[0].tbl, paths[0], scope.Len(), tables[0].lo,
-			workers, func(emit emitFn) emitFn { return stageEmit(0, emit) })
+		if batchOK {
+			runShard, err = r.makeBatchShardRunner(bt0, paths[0], batchPlanFn, workers, batchNext)
+			if errors.Is(err, errBatchFallback) {
+				runShard, err = r.makeShardRunner(tables[0].tbl, paths[0], scope.Len(), tables[0].lo,
+					workers, func(emit emitFn) emitFn { return stageEmit(0, emit) })
+			}
+		} else {
+			runShard, err = r.makeShardRunner(tables[0].tbl, paths[0], scope.Len(), tables[0].lo,
+				workers, func(emit emitFn) emitFn { return stageEmit(0, emit) })
+		}
 		if err != nil {
 			return nil, err
 		}

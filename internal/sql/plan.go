@@ -76,6 +76,13 @@ type accessPath struct {
 	// never decoded. nil means all columns.
 	need []bool
 
+	// ephemeral marks needed geometry columns that only this stage's
+	// residual filters read (nothing downstream references them). Batch
+	// scans may decode such columns into recycled arena memory; the row
+	// path ignores the mask. nil means none. Only ever set on stage-0
+	// paths of batch-eligible plans.
+	ephemeral []bool
+
 	// MBR prefilter for unindexed sargable spatial predicates: full
 	// scans skip rows whose geometry envelope (read straight from WKB)
 	// does not intersect the probe's envelope. The exact predicate stays
@@ -476,7 +483,7 @@ func tryKNN(sel *Select, tbl Table, scope *Scope) (accessPath, bool) {
 // window is empty (NULL probe): the residual spatial conjunct is then
 // NULL or false for every row, so the whole scan can be elided.
 func (p *accessPath) scanProjection(prefix []storage.Value, reg *Registry) (Projection, bool, error) {
-	proj := Projection{Need: p.need, MBRCol: -1}
+	proj := Projection{Need: p.need, MBRCol: -1, Ephemeral: p.ephemeral}
 	if !p.mbrPrefilter {
 		return proj, false, nil
 	}

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"jackpine/internal/geom"
 )
@@ -65,6 +66,13 @@ type geomShard struct {
 // A nil *GeomCache is valid and disables caching: Get always misses
 // (uncounted), Put and the invalidation methods are no-ops.
 type GeomCache struct {
+	// MissPenalty, when non-zero, adds a simulated decode delay to every
+	// counted miss (mirroring BufferPool.MissPenalty for pages). Batched
+	// lookups charge it once per distinct missing geometry, not once per
+	// batch slot: slots repeating a record share one decode. Set before
+	// the cache is shared; not synchronized.
+	MissPenalty time.Duration
+
 	shards [geomCacheShards]geomShard
 }
 
@@ -108,15 +116,76 @@ func (c *GeomCache) Get(table string, rid RecordID, col int) (geom.Geometry, boo
 	}
 	s := c.shardFor(geomKey{table, rid, col})
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	el, ok := s.items[geomKey{table, rid, col}]
 	if !ok {
 		s.stats.Misses++
+		s.mu.Unlock()
+		if c.MissPenalty > 0 {
+			time.Sleep(c.MissPenalty)
+		}
 		return nil, false
 	}
 	s.lru.MoveToFront(el)
 	s.stats.Hits++
-	return el.Value.(*geomEntry).g, true
+	g := el.Value.(*geomEntry).g
+	s.mu.Unlock()
+	return g, true
+}
+
+// GetBatch looks up the geometries of one column for a whole batch of
+// records, filling out[i] with the cached geometry of rids[i] (nil on
+// miss) and returning the hit count. Stats accounting is per distinct
+// geometry, not per batch slot: a record id repeated within the call
+// counts one miss (and pays MissPenalty once), because the caller
+// decodes it once and reuses the result for every slot.
+func (c *GeomCache) GetBatch(table string, rids []RecordID, col int, out []geom.Geometry) int {
+	if c == nil {
+		for i := range out {
+			out[i] = nil
+		}
+		return 0
+	}
+	hits := 0
+	var missed map[RecordID]struct{}
+	for i, rid := range rids {
+		k := geomKey{table, rid, col}
+		s := c.shardFor(k)
+		s.mu.Lock()
+		if el, ok := s.items[k]; ok {
+			s.lru.MoveToFront(el)
+			s.stats.Hits++
+			out[i] = el.Value.(*geomEntry).g
+			s.mu.Unlock()
+			hits++
+			continue
+		}
+		out[i] = nil
+		if missed == nil {
+			missed = make(map[RecordID]struct{}, len(rids)-i) //lint:allow batchalloc lazy once-per-batch dedup map, not per slot
+		}
+		if _, dup := missed[rid]; dup {
+			s.mu.Unlock()
+			continue
+		}
+		missed[rid] = struct{}{}
+		s.stats.Misses++
+		s.mu.Unlock()
+		if c.MissPenalty > 0 {
+			time.Sleep(c.MissPenalty)
+		}
+	}
+	return hits
+}
+
+// Cacheable reports whether an entry of the given WKB size fits a
+// shard's budget (Put silently refuses larger entries). Batch scans use
+// it to route filter-only decodes of uncacheable geometries through the
+// per-worker arena instead.
+func (c *GeomCache) Cacheable(wkbLen int) bool {
+	if c == nil {
+		return false
+	}
+	return wkbLen+geomEntryOverhead <= c.shards[0].budget
 }
 
 // Put stores a decoded geometry, charging wkbLen bytes (plus overhead)

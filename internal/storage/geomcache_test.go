@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"jackpine/internal/geom"
 )
@@ -141,5 +142,80 @@ func TestGeomCacheConcurrent(t *testing.T) {
 	st := c.Stats()
 	if st.Hits+st.Misses == 0 {
 		t.Fatal(fmt.Sprintf("no traffic recorded: %+v", st))
+	}
+}
+
+// TestGeomCacheGetBatchDistinctMisses is the regression test for batched
+// miss accounting: a multi-slot fetch that repeats a record id must
+// count one miss per distinct missing geometry, not one per batch slot
+// (the caller decodes a repeated record once and reuses the result).
+// Hits stay per-slot, since every slot is served from the cache.
+func TestGeomCacheGetBatchDistinctMisses(t *testing.T) {
+	c := NewGeomCache(1 << 20)
+	g := geom.Point{Coord: geom.Coord{X: 1, Y: 2}}
+	cached := RecordID{Page: 1, Slot: 0}
+	missA := RecordID{Page: 2, Slot: 0}
+	missB := RecordID{Page: 3, Slot: 0}
+	c.Put("t", cached, 0, g, 21)
+	c.ResetStats()
+
+	rids := []RecordID{cached, missA, missA, cached, missB, missA}
+	out := make([]geom.Geometry, len(rids))
+	hits := c.GetBatch("t", rids, 0, out)
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	for i, rid := range rids {
+		if rid == cached && out[i] == nil {
+			t.Fatalf("slot %d: cached record not filled", i)
+		}
+		if rid != cached && out[i] != nil {
+			t.Fatalf("slot %d: missing record filled with %v", i, out[i])
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 2 {
+		t.Fatalf("Hits = %d, want 2 (one per cached slot)", st.Hits)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("Misses = %d, want 2 (distinct missing records, not %d slots)",
+			st.Misses, len(rids)-2)
+	}
+
+	// A later batch is a fresh accounting scope: the same missing record
+	// counts again (the caller re-decodes it).
+	c.GetBatch("t", []RecordID{missA}, 0, out[:1])
+	if st := c.Stats(); st.Misses != 3 {
+		t.Fatalf("Misses after second batch = %d, want 3", st.Misses)
+	}
+
+	// Nil cache: zero fill, zero counting.
+	var nilCache *GeomCache
+	out[0] = g
+	if hits := nilCache.GetBatch("t", rids[:1], 0, out[:1]); hits != 0 || out[0] != nil {
+		t.Fatalf("nil cache GetBatch: hits=%d out=%v", hits, out[0])
+	}
+}
+
+// TestGeomCacheGetBatchMissPenalty checks that MissPenalty is charged
+// once per distinct missing geometry in a batched lookup.
+func TestGeomCacheGetBatchMissPenalty(t *testing.T) {
+	c := NewGeomCache(1 << 20)
+	c.MissPenalty = 2 * time.Millisecond
+	rid := RecordID{Page: 9, Slot: 0}
+	out := make([]geom.Geometry, 8)
+	rids := make([]RecordID, 8)
+	for i := range rids {
+		rids[i] = rid
+	}
+	start := time.Now()
+	c.GetBatch("t", rids, 0, out)
+	elapsed := time.Since(start)
+	if elapsed >= 8*c.MissPenalty {
+		t.Fatalf("batched lookup of one distinct record slept %v (>= %v): penalty charged per slot",
+			elapsed, 8*c.MissPenalty)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", st.Misses)
 	}
 }

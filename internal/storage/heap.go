@@ -195,6 +195,34 @@ func (h *HeapFile) Get(rid RecordID) ([]byte, error) {
 	return out, nil
 }
 
+// GetAppend appends the tuple at rid to dst and returns the extended
+// slice. It is Get without the per-call allocation: batch fetches reuse
+// one scratch buffer across an id chunk instead of allocating a copy
+// per row.
+func (h *HeapFile) GetAppend(dst []byte, rid RecordID) ([]byte, error) {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return dst, err
+	}
+	raw := page{buf}.read(int(rid.Slot))
+	if raw == nil {
+		h.pool.Unpin(rid.Page, false)
+		return dst, fmt.Errorf("storage: no tuple at %s", rid)
+	}
+	if raw[0] == overflowMarker {
+		ptr := append([]byte(nil), raw...)
+		h.pool.Unpin(rid.Page, false)
+		full, err := h.readOverflow(ptr)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, full...), nil
+	}
+	dst = append(dst, raw...)
+	h.pool.Unpin(rid.Page, false)
+	return dst, nil
+}
+
 // Delete removes the tuple at rid. Overflow pages are abandoned (they
 // are reclaimed only by rebuilding the table).
 func (h *HeapFile) Delete(rid RecordID) error {

@@ -83,6 +83,12 @@ func (lt *LazyTuple) Reset(data []byte, n int) error {
 // Len returns the number of columns in the current tuple.
 func (lt *LazyTuple) Len() int { return len(lt.offs) }
 
+// Offsets exposes the per-column byte ranges of the current tuple:
+// column i spans data[offs[i]:ends[i]]. The returned slices alias the
+// view's internal state and are valid only until the next Reset; batch
+// views copy them into their own flat offset arrays.
+func (lt *LazyTuple) Offsets() (offs, ends []int) { return lt.offs, lt.ends }
+
 // ColType returns the stored type tag of column i (TypeNull for NULL).
 func (lt *LazyTuple) ColType(i int) ValueType {
 	return ValueType(lt.data[lt.offs[i]])
@@ -115,28 +121,42 @@ func (lt *LazyTuple) GeomEnvelope(i int) (geom.Rect, bool, error) {
 // Values are decoded fresh on every call; callers wanting memoization
 // (or a shared decoded-geometry cache) layer it above this.
 func (lt *LazyTuple) Col(i int) (Value, error) {
-	pos := lt.offs[i]
-	t := ValueType(lt.data[pos])
-	pos++
+	return decodeColBytes(lt.data[lt.offs[i]:lt.ends[i]], i)
+}
+
+// decodeColBytes materializes one encoded column from its byte range
+// (type tag through end); i is used only for error text. Shared by
+// LazyTuple and ColBatch so both decode — and report errors —
+// identically.
+func decodeColBytes(buf []byte, i int) (Value, error) {
+	t := ValueType(buf[0])
+	pos := 1
 	switch t {
 	case TypeNull:
 		return Null(), nil
 	case TypeInt, TypeBool:
-		v, _ := binary.Varint(lt.data[pos:])
+		v, _ := binary.Varint(buf[pos:])
 		return Value{Type: t, Int: v}, nil
 	case TypeFloat:
-		bits := binary.LittleEndian.Uint64(lt.data[pos:])
+		bits := binary.LittleEndian.Uint64(buf[pos:])
 		return NewFloat(math.Float64frombits(bits)), nil
 	case TypeText:
-		l, read := binary.Uvarint(lt.data[pos:])
+		l, read := binary.Uvarint(buf[pos:])
 		pos += read
-		return NewText(string(lt.data[pos : pos+int(l)])), nil
+		return NewText(string(buf[pos : pos+int(l)])), nil
 	case TypeGeom:
-		g, err := geom.UnmarshalWKB(lt.GeomWKB(i))
+		g, err := geom.UnmarshalWKB(geomWKBBytes(buf))
 		if err != nil {
 			return Null(), fmt.Errorf("storage: column %d: %w", i, err)
 		}
 		return NewGeom(g), nil
 	}
 	return Null(), fmt.Errorf("storage: unknown value type %d in column %d", t, i)
+}
+
+// geomWKBBytes returns the WKB payload of an encoded geometry column
+// (buf starts at the type tag, which must be TypeGeom).
+func geomWKBBytes(buf []byte) []byte {
+	l, read := binary.Uvarint(buf[1:])
+	return buf[1+read : 1+read+int(l)]
 }

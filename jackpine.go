@@ -122,6 +122,15 @@ func WithTopoPrep(enabled bool) engine.Option { return engine.WithTopoPrep(enabl
 // (<= 0 disables it; default 256). See also Engine.Prepare.
 func WithPlanCache(entries int) engine.Option { return engine.WithPlanCache(entries) }
 
+// WithBatchExec toggles batch-at-a-time (vectorized) query execution:
+// eligible scans process column batches through flat MBR prefilter
+// kernels and batched predicate refinement. Enabled by default.
+func WithBatchExec(enabled bool) engine.Option { return engine.WithBatchExec(enabled) }
+
+// WithBatchSize overrides the number of row slots per column batch
+// (<= 0 means the default, 256).
+func WithBatchSize(n int) engine.Option { return engine.WithBatchSize(n) }
+
 // Stmt aliases a prepared statement (see Engine.Prepare).
 type Stmt = engine.Stmt
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package jackpine
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression guard skips under it because instrumentation
+// changes heap allocation counts.
+const raceEnabled = true
