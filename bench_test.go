@@ -707,19 +707,30 @@ func TestWriteScaleoutBench(t *testing.T) {
 	ctx := NewQueryContext(ds)
 
 	type macroOut struct {
-		Shards    int     `json:"shards"`
-		OpsPerSec float64 `json:"ops_per_sec"`
-		Speedup   float64 `json:"speedup"`
-		PruneRate float64 `json:"shard_prune_rate"`
-		RowsPerOp float64 `json:"rows_per_op"`
-		MeanLatUS int64   `json:"mean_latency_us"`
+		Shards     int     `json:"shards"`
+		OpsPerSec  float64 `json:"ops_per_sec"`
+		Speedup    float64 `json:"speedup"`
+		PruneRate  float64 `json:"shard_prune_rate"`
+		RowsPerOp  float64 `json:"rows_per_op"`
+		MeanLatUS  int64   `json:"mean_latency_us"`
+		P50LatUS   int64   `json:"p50_latency_us"`
+		P95LatUS   int64   `json:"p95_latency_us"`
+		P99LatUS   int64   `json:"p99_latency_us"`
+		FastPath   int     `json:"fast_path"`
+		HedgeFired int     `json:"hedge_fired"`
+		HedgeWon   int     `json:"hedge_won"`
 	}
 	type microOut struct {
-		Shards    int     `json:"shards"`
-		MeanUS    int64   `json:"mean_us"`
-		Speedup   float64 `json:"speedup"`
-		PruneRate float64 `json:"shard_prune_rate"`
-		Rows      int     `json:"rows"`
+		Shards     int     `json:"shards"`
+		MeanUS     int64   `json:"mean_us"`
+		P50US      int64   `json:"p50_us"`
+		P99US      int64   `json:"p99_us"`
+		Speedup    float64 `json:"speedup"`
+		PruneRate  float64 `json:"shard_prune_rate"`
+		Rows       int     `json:"rows"`
+		FastPath   int     `json:"fast_path"`
+		HedgeFired int     `json:"hedge_fired"`
+		HedgeWon   int     `json:"hedge_won"`
 	}
 	type queryOut struct {
 		ID    string     `json:"id"`
@@ -735,6 +746,7 @@ func TestWriteScaleoutBench(t *testing.T) {
 		Scale      string     `json:"scale"`
 		Warmup     int        `json:"warmup"`
 		Runs       int        `json:"runs"`
+		Replicas   int        `json:"replicas"`
 		Note       string     `json:"note"`
 		Queries    []queryOut `json:"queries"`
 	}{
@@ -743,14 +755,23 @@ func TestWriteScaleoutBench(t *testing.T) {
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      ScaleSmall.String(),
-		Warmup:     2,
-		Runs:       9,
-		Note: "Speedup is vs the 1-shard cluster. All shards of an in-process " +
-			"cluster share one machine, so scan-bound scaling is limited by the " +
-			"core count; shard_prune_rate is the fraction of per-shard queries " +
-			"spatial pruning avoided (-1 when nothing was prune-eligible).",
+		Warmup:     10,
+		Runs:       200,
+		Replicas:   1,
+		Note: "Speedup is vs the 1-shard cluster, whose single-table reads all " +
+			"take the same verbatim-forward fast path; on a single-CPU host a " +
+			"scatter cannot beat that baseline, so >=1x speedups here come from " +
+			"routing (fast path, kNN two-phase, pruning), not parallelism. " +
+			"shard_prune_rate is the fraction of per-shard queries spatial " +
+			"pruning avoided (-1 when nothing was prune-eligible); fast_path " +
+			"counts statements resolved to a single owning shard. Hedge " +
+			"counters stay 0 at 1 replica per shard. Each (query, shards) " +
+			"cell is the best of 3 full passes over the matrix, which cancels " +
+			"the slow drift of this shared host across a long run. p99 here " +
+			"is dominated by multi-ms scheduler stalls visible even at 1 " +
+			"shard; p50 is the stable column for µs-scale queries.",
 	}
-	opts := Options{Warmup: 2, Runs: 9, Clients: 1}
+	opts := Options{Warmup: 10, Runs: 200, Clients: 1}
 
 	var macros []MacroScenario
 	for _, sc := range MacroSuite() {
@@ -776,48 +797,87 @@ func TestWriteScaleoutBench(t *testing.T) {
 		order = append(order, id)
 		return qo
 	}
-	for _, n := range scaleoutShardCounts {
-		cl, err := OpenCluster(GaiaDB(), ds, n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, sc := range macros {
-			res := RunMacro(cl, sc, ctx, opts)
-			if res.Err != nil {
-				t.Fatalf("%s on %d shards: %v", sc.ID, n, res.Err)
+	// The host's throughput drifts over a long run (shared CPU), which
+	// would bias whichever shard count is measured last. Sweep the whole
+	// matrix several times and keep each cell's best pass — the run
+	// least disturbed by outside load — then derive speedups.
+	const passes = 3
+	bestMacro := make(map[string]map[int]macroOut)
+	bestMicro := make(map[string]map[int]microOut)
+	for pass := 0; pass < passes; pass++ {
+		for _, n := range scaleoutShardCounts {
+			cl, err := OpenCluster(GaiaDB(), ds, n)
+			if err != nil {
+				t.Fatal(err)
 			}
-			qo := get(sc.ID, sc.Name)
-			mo := macroOut{
-				Shards: n, OpsPerSec: res.Throughput, Speedup: 1,
-				PruneRate: res.ShardPruneRate, RowsPerOp: res.RowsPerOp,
-				MeanLatUS: res.MeanLatency.Microseconds(),
+			// Collect the previous cluster's engines now so GC pauses do
+			// not land inside the measured runs (ops here are tens of µs).
+			runtime.GC()
+			for _, sc := range macros {
+				res := RunMacro(cl, sc, ctx, opts)
+				if res.Err != nil {
+					t.Fatalf("%s on %d shards: %v", sc.ID, n, res.Err)
+				}
+				get(sc.ID, sc.Name)
+				mo := macroOut{
+					Shards: n, OpsPerSec: res.Throughput, Speedup: 1,
+					PruneRate: res.ShardPruneRate, RowsPerOp: res.RowsPerOp,
+					MeanLatUS:  res.MeanLatency.Microseconds(),
+					P50LatUS:   res.P50Latency.Microseconds(),
+					P95LatUS:   res.P95Latency.Microseconds(),
+					P99LatUS:   res.P99Latency.Microseconds(),
+					FastPath:   res.ShardFastPath,
+					HedgeFired: res.ShardHedgeFired, HedgeWon: res.ShardHedgeWon,
+				}
+				if bestMacro[sc.ID] == nil {
+					bestMacro[sc.ID] = make(map[int]macroOut)
+				}
+				if prev, ok := bestMacro[sc.ID][n]; !ok || mo.OpsPerSec > prev.OpsPerSec {
+					bestMacro[sc.ID][n] = mo
+				}
 			}
-			if len(qo.Macro) > 0 && qo.Macro[0].OpsPerSec > 0 {
-				mo.Speedup = res.Throughput / qo.Macro[0].OpsPerSec
+			micRes, err := RunMicro(cl, micros, ctx, opts)
+			if err != nil {
+				t.Fatal(err)
 			}
-			qo.Macro = append(qo.Macro, mo)
-		}
-		micRes, err := RunMicro(cl, micros, ctx, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, r := range micRes {
-			if r.Err != nil {
-				t.Fatalf("%s on %d shards: %v", r.ID, n, r.Err)
+			for _, r := range micRes {
+				if r.Err != nil {
+					t.Fatalf("%s on %d shards: %v", r.ID, n, r.Err)
+				}
+				get(r.ID, r.Name)
+				mo := microOut{
+					Shards: n, MeanUS: r.Mean.Microseconds(), Speedup: 1,
+					P50US: r.Median.Microseconds(), P99US: r.P99.Microseconds(),
+					PruneRate: r.ShardPruneRate, Rows: r.Rows,
+					FastPath:   r.ShardFastPath,
+					HedgeFired: r.ShardHedgeFired, HedgeWon: r.ShardHedgeWon,
+				}
+				if bestMicro[r.ID] == nil {
+					bestMicro[r.ID] = make(map[int]microOut)
+				}
+				if prev, ok := bestMicro[r.ID][n]; !ok || mo.MeanUS < prev.MeanUS {
+					bestMicro[r.ID][n] = mo
+				}
 			}
-			qo := get(r.ID, r.Name)
-			mo := microOut{
-				Shards: n, MeanUS: r.Mean.Microseconds(), Speedup: 1,
-				PruneRate: r.ShardPruneRate, Rows: r.Rows,
-			}
-			if len(qo.Micro) > 0 && mo.MeanUS > 0 {
-				mo.Speedup = float64(qo.Micro[0].MeanUS) / float64(mo.MeanUS)
-			}
-			qo.Micro = append(qo.Micro, mo)
 		}
 	}
 	for _, id := range order {
-		out.Queries = append(out.Queries, *queries[id])
+		qo := queries[id]
+		for _, n := range scaleoutShardCounts {
+			if mo, ok := bestMacro[id][n]; ok {
+				if base := bestMacro[id][scaleoutShardCounts[0]]; base.OpsPerSec > 0 {
+					mo.Speedup = mo.OpsPerSec / base.OpsPerSec
+				}
+				qo.Macro = append(qo.Macro, mo)
+			}
+			if mo, ok := bestMicro[id][n]; ok {
+				if base := bestMicro[id][scaleoutShardCounts[0]]; mo.MeanUS > 0 {
+					mo.Speedup = float64(base.MeanUS) / float64(mo.MeanUS)
+				}
+				qo.Micro = append(qo.Micro, mo)
+			}
+		}
+		out.Queries = append(out.Queries, *qo)
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

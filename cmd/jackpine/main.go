@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"jackpine/internal/core"
@@ -49,8 +50,15 @@ func run() error {
 		remote      = flag.String("remote", "", "benchmark a remote wire server at host:port instead of local engines")
 		csv         = flag.Bool("csv", false, "emit CSV instead of tables (micro/macro suites)")
 		fullJoins   = flag.Bool("full-joins", false, "run micro joins over the full extent (as the paper did) instead of sampled windows")
+		shardsFlag  = flag.String("shards", "1,2,4,8", "comma-separated cluster sizes for -suite scaleout")
+		replicas    = flag.Int("replicas", 1, "replicas per shard for -suite scaleout (reads hedge across them when > 1)")
 	)
 	flag.Parse()
+
+	shardCounts, err := parseShards(*shardsFlag)
+	if err != nil {
+		return err
+	}
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
@@ -136,7 +144,7 @@ func run() error {
 		{"join-ablation", func() error { return experiments.RunE12(out, cfg) }},
 		{"parallelism", func() error { return experiments.RunE13(out, cfg, []int{1, 2, 4, 8}) }},
 		{"decode", func() error { return experiments.RunE14(out, cfg) }},
-		{"scaleout", func() error { return experiments.RunE15(out, cfg, []int{1, 2, 4, 8}) }},
+		{"scaleout", func() error { return experiments.RunE15(out, cfg, shardCounts, *replicas) }},
 		{"topo-prep", func() error { return experiments.RunE16(out, cfg) }},
 		{"batch", func() error { return experiments.RunE17(out, cfg) }},
 	}
@@ -240,6 +248,25 @@ func parseScale(s string) (tiger.Scale, error) {
 		return tiger.Large, nil
 	}
 	return 0, fmt.Errorf("unknown scale %q (small, medium, large)", s)
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shard counts selected")
+	}
+	return out, nil
 }
 
 func parseProfiles(s string) ([]engine.Profile, error) {

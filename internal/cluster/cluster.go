@@ -12,24 +12,37 @@
 // order of an equivalent single engine, and breaking ORDER BY ties by
 // _seq makes sorted merges deterministic.
 //
-// A cluster connection routes statements through four paths:
+// A cluster connection routes statements through five paths, tried in
+// order:
 //
-//   - plain scans fan out with _seq appended (and LIMIT pushed down) and
-//     merge in _seq order;
-//   - ORDER BY / kNN queries fan out with the sort keys appended, push
-//     LIMIT+OFFSET to each shard, and merge by (keys, _seq);
+//   - the single-shard fast path: when the query's constant spatial
+//     window (or kNN bound) resolves to exactly one owning shard, the
+//     original statement is forwarded verbatim — no _seq rewrite, no
+//     merge — because a shard's local heap order is _seq order;
+//   - plain scans fan out with _seq appended (and LIMIT pushed down)
+//     and stream-merge in _seq order as fragments arrive;
+//   - ORDER BY queries fan out with the sort keys appended, push
+//     LIMIT+OFFSET to each shard, and stream-merge by (keys, _seq);
+//     kNN-shaped queries run in two phases — nearest shard first, then
+//     only the shards whose data MBR lies within the k-th distance —
+//     canceling shards the tightening bound proves irrelevant;
 //   - global aggregates rewrite SUM/AVG to the hidden __PARTIAL_SUM
 //     aggregate, merge exact per-shard states, and finalize once — the
 //     same bits a single engine would produce;
 //   - everything else (joins, GROUP BY, …) gathers per-table fragments
-//     — pushing down single-table conjuncts, so shard pruning still
-//     applies — into a transient local engine with the same profile and
-//     runs the original query there.
+//     — pushing per-binding conjuncts and spatial-semijoin filters
+//     derived from join predicates, so shard pruning still applies —
+//     into a transient local engine with the same profile and runs the
+//     original query there (or forwards verbatim when every fragment
+//     collapses to one shard).
 //
 // Shards are plain driver.Connectors: in-process engines and remote
 // wire connections mix freely, so a cluster of spatialdbd processes
 // (each started with -shard i -of n) behaves identically to an
-// in-process cluster.
+// in-process cluster. Each shard may have several replicas holding
+// identical data; reads load-balance across them (power-of-two-choices
+// on in-flight count) and hedge a second request when the first is
+// slow, while writes broadcast to every replica.
 package cluster
 
 import (
@@ -61,6 +74,10 @@ type Options struct {
 	// engines were opened with, or routed and shard-local evaluation
 	// would disagree.
 	Profile engine.Profile
+	// Hedge tunes hedged reads across replicas; the zero value enables
+	// hedging with adaptive per-query-class thresholds (it is inert
+	// when every shard has a single replica).
+	Hedge HedgeOptions
 }
 
 // tableInfo is the cluster catalog entry for one table.
@@ -79,6 +96,11 @@ type tableInfo struct {
 	mbr []geom.Rect
 	// rows is the per-shard row count (EXPLAIN cosmetics only).
 	rows []int64
+	// nullGeom counts rows with a NULL partitioning geometry per shard
+	// (routing sends them all to shard 0). NULL distance keys sort
+	// before every real distance, so kNN bound-pruning must never skip
+	// a shard holding such rows. Like mbr, DELETE does not shrink it.
+	nullGeom []int64
 }
 
 func (t *tableInfo) partitioned() bool { return t.geomCol >= 0 }
@@ -91,37 +113,64 @@ func (t *tableInfo) colNames() []string {
 	return names
 }
 
-// Cluster is a driver.Connector over N spatially-partitioned shards.
+// Cluster is a driver.Connector over N spatially-partitioned shards,
+// each backed by one or more identical replicas.
 type Cluster struct {
 	name   string
-	shards []driver.Connector
+	shards [][]driver.Connector // [shard][replica]
 	part   Partitioner
 	prof   engine.Profile
 	reg    *sql.Registry
+	hedge  *hedgePolicy
 
 	mu     sync.Mutex
 	tables map[string]*tableInfo
 	stats  driver.ShardStats
 }
 
-// Open assembles a cluster from per-shard connectors. len(shards) must
-// equal part.Shards().
+// Open assembles an unreplicated cluster from per-shard connectors.
+// len(shards) must equal part.Shards().
 func Open(shards []driver.Connector, part Partitioner, opts Options) (*Cluster, error) {
-	if len(shards) == 0 {
+	groups := make([][]driver.Connector, len(shards))
+	for i, s := range shards {
+		groups[i] = []driver.Connector{s}
+	}
+	return OpenReplicated(groups, part, opts)
+}
+
+// OpenReplicated assembles a cluster from per-shard replica groups:
+// groups[i] lists the connectors holding identical copies of shard i's
+// data. len(groups) must equal part.Shards() and every group must be
+// non-empty.
+func OpenReplicated(groups [][]driver.Connector, part Partitioner, opts Options) (*Cluster, error) {
+	if len(groups) == 0 {
 		return nil, fmt.Errorf("cluster: no shards")
 	}
-	if len(shards) != part.Shards() {
-		return nil, fmt.Errorf("cluster: %d connectors for %d partitions", len(shards), part.Shards())
+	if len(groups) != part.Shards() {
+		return nil, fmt.Errorf("cluster: %d replica groups for %d partitions", len(groups), part.Shards())
+	}
+	replicas := len(groups[0])
+	for i, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+		if len(g) != replicas {
+			return nil, fmt.Errorf("cluster: shard %d has %d replicas, shard 0 has %d", i, len(g), replicas)
+		}
 	}
 	name := opts.Name
 	if name == "" {
-		name = fmt.Sprintf("cluster-%dx-%s", len(shards), opts.Profile.Name)
+		name = fmt.Sprintf("cluster-%dx-%s", len(groups), opts.Profile.Name)
+		if replicas > 1 {
+			name = fmt.Sprintf("cluster-%dx%dr-%s", len(groups), replicas, opts.Profile.Name)
+		}
 	}
 	return &Cluster{
 		name:   name,
-		shards: shards,
+		shards: groups,
 		part:   part,
 		prof:   opts.Profile,
+		hedge:  newHedgePolicy(opts.Hedge),
 		reg: sql.NewRegistry(sql.RegistryOptions{
 			MBRPredicates: opts.Profile.MBRPredicates,
 			Disabled:      opts.Profile.DisabledFunctions,
@@ -133,31 +182,41 @@ func Open(shards []driver.Connector, part Partitioner, opts Options) (*Cluster, 
 // Name implements driver.Connector.
 func (c *Cluster) Name() string { return c.name }
 
-// Connect implements driver.Connector: it opens one session per shard.
+// Connect implements driver.Connector: it opens one session per
+// replica of every shard.
 func (c *Cluster) Connect() (driver.Conn, error) {
-	conns := make([]driver.Conn, len(c.shards))
-	for i, s := range c.shards {
-		cn, err := s.Connect()
-		if err != nil {
-			for _, open := range conns[:i] {
-				open.Close()
-			}
-			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+	sess := make([]*shardSess, len(c.shards))
+	closeAll := func(n int) {
+		for _, s := range sess[:n] {
+			s.close()
 		}
-		conns[i] = cn
 	}
-	return &Conn{c: c, conns: conns}, nil
+	for i, group := range c.shards {
+		ss := newShardSess(len(group))
+		for r, connector := range group {
+			cn, err := connector.Connect()
+			if err != nil {
+				ss.close()
+				closeAll(i)
+				return nil, fmt.Errorf("cluster: shard %d replica %d: %w", i, r, err)
+			}
+			ss.replicas[r] = cn
+		}
+		sess[i] = ss
+	}
+	return &Conn{c: c, sess: sess}, nil
 }
 
 // Partitioner returns the cluster's partitioning scheme.
 func (c *Cluster) Partitioner() Partitioner { return c.part }
 
-// ShardStats snapshots the cluster-wide scatter/prune counters.
+// ShardStats snapshots the cluster-wide scatter/prune/hedge counters.
 func (c *Cluster) ShardStats() driver.ShardStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Shards = len(c.shards)
+	s.Replicas = len(c.shards[0])
 	return s
 }
 
@@ -192,11 +251,12 @@ func (c *Cluster) Register(ddl string) error {
 // registerLocked adds a catalog entry. Caller holds c.mu.
 func (c *Cluster) registerLocked(ct *sql.CreateTable) *tableInfo {
 	info := &tableInfo{
-		name:    ct.Name,
-		cols:    append([]sql.Column(nil), ct.Columns...),
-		geomCol: -1,
-		mbr:     make([]geom.Rect, len(c.shards)),
-		rows:    make([]int64, len(c.shards)),
+		name:     ct.Name,
+		cols:     append([]sql.Column(nil), ct.Columns...),
+		geomCol:  -1,
+		mbr:      make([]geom.Rect, len(c.shards)),
+		rows:     make([]int64, len(c.shards)),
+		nullGeom: make([]int64, len(c.shards)),
 	}
 	for i, col := range ct.Columns {
 		if col.Type == storage.TypeGeom {
@@ -235,13 +295,16 @@ func (c *Cluster) RefreshStats() error {
 	c.mu.Unlock()
 
 	for _, info := range infos {
+		geoName := info.cols[info.geomCol].Name
 		q := fmt.Sprintf("SELECT ST_Extent(%s), COUNT(*), MAX(%s) FROM %s",
-			info.cols[info.geomCol].Name, SeqColumn, info.name)
+			geoName, SeqColumn, info.name)
+		nullQ := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s IS NULL", info.name, geoName)
 		mbrs := make([]geom.Rect, len(c.shards))
 		counts := make([]int64, len(c.shards))
+		nulls := make([]int64, len(c.shards))
 		maxSeq := int64(-1)
 		for i := range c.shards {
-			rs, err := cc.conns[i].Query(q)
+			rs, err := cc.sess[i].replicas[0].Query(q)
 			if err != nil {
 				return fmt.Errorf("cluster: stats for %s on shard %d: %w", info.name, i, err)
 			}
@@ -258,10 +321,18 @@ func (c *Cluster) RefreshStats() error {
 					maxSeq = row[2].Int
 				}
 			}
+			nrs, err := cc.sess[i].replicas[0].Query(nullQ)
+			if err != nil {
+				return fmt.Errorf("cluster: null stats for %s on shard %d: %w", info.name, i, err)
+			}
+			if len(nrs.Rows) == 1 && nrs.Rows[0][0].Type == storage.TypeInt {
+				nulls[i] = nrs.Rows[0][0].Int
+			}
 		}
 		c.mu.Lock()
 		info.mbr = mbrs
 		info.rows = counts
+		info.nullGeom = nulls
 		if maxSeq+1 > info.seq {
 			info.seq = maxSeq + 1
 		}
@@ -287,25 +358,50 @@ func (c *Cluster) allocSeq(info *tableInfo, n int) int64 {
 	return first
 }
 
-// noteInsert grows a shard's data MBR and row count after routing rows
-// to it.
-func (c *Cluster) noteInsert(info *tableInfo, shard int, env geom.Rect, n int64) {
+// noteInsert grows a shard's data MBR, row count and NULL-geometry
+// count after routing rows to it.
+func (c *Cluster) noteInsert(info *tableInfo, shard int, env geom.Rect, n, nulls int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !env.IsEmpty() {
 		info.mbr[shard] = info.mbr[shard].Union(env)
 	}
 	info.rows[shard] += n
+	info.nullGeom[shard] += nulls
 }
 
-// countScatter records a prune-eligible fan-out: sent shard queries and
-// pruned shard queries.
-func (c *Cluster) countScatter(sent, pruned int) {
+// countScatter records one fan-out decision: sent and pruned shard
+// queries, and whether the scatter was prune-eligible (carried a
+// constant spatial window or kNN bound). Ineligible scatters keep the
+// prune-rate denominator honest: a windowless full scan could never
+// have pruned anything.
+func (c *Cluster) countScatter(sent, pruned int, eligible bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Scatters++
 	c.stats.ShardQueries += sent
-	c.stats.Pruned += pruned
+	if eligible {
+		c.stats.PrunableSent += sent
+		c.stats.Pruned += pruned
+	}
+}
+
+// countFastPath records a statement forwarded verbatim to one shard.
+func (c *Cluster) countFastPath() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.FastPathHits++
+}
+
+// countHedge records a hedged second request (and whether it won).
+func (c *Cluster) countHedge(won bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if won {
+		c.stats.HedgeWon++
+	} else {
+		c.stats.HedgeFired++
+	}
 }
 
 // typeKeyword renders a column type for shard-side DDL.

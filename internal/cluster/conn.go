@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -12,11 +14,22 @@ import (
 	"jackpine/internal/storage"
 )
 
+// Query classes for hedge-threshold tracking: requests with similar
+// shard-side cost share an EWMA so the hedge timer is meaningful.
+const (
+	classSingle  = "single"
+	classFast    = "fastpath"
+	classPlain   = "plain"
+	classOrdered = "ordered"
+	classKNN     = "knn"
+	classAgg     = "agg"
+)
+
 // Conn is one cluster session: a scatter-gather router over one open
-// session per shard. It implements driver.Conn.
+// session per replica of every shard. It implements driver.Conn.
 type Conn struct {
-	c     *Cluster
-	conns []driver.Conn
+	c    *Cluster
+	sess []*shardSess
 
 	mu     sync.Mutex
 	closed bool
@@ -60,8 +73,8 @@ func (cn *Conn) Close() error {
 	}
 	cn.closed = true
 	var first error
-	for _, c := range cn.conns {
-		if err := c.Close(); err != nil && first == nil {
+	for _, ss := range cn.sess {
+		if err := ss.close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -81,6 +94,9 @@ func (cn *Conn) guard() error {
 	return nil
 }
 
+// shards is the cluster size.
+func (cn *Conn) shards() int { return len(cn.sess) }
+
 // route parses and dispatches one statement.
 func (cn *Conn) route(query string) (*res, error) {
 	if err := cn.guard(); err != nil {
@@ -90,17 +106,20 @@ func (cn *Conn) route(query string) (*res, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The routing root context: per-shard requests derive cancelable
+	// children from it for hedging and early-exit merges.
+	ctx := context.Background()
 	switch t := stmt.(type) {
 	case *sql.Select:
-		return cn.routeSelect(t, query)
+		return cn.routeSelect(ctx, t, query)
 	case *sql.Explain:
 		return cn.routeExplain(t)
 	case *sql.Insert:
-		return cn.routeInsert(t, query)
+		return cn.routeInsert(ctx, t, query)
 	case *sql.Update:
-		return cn.routeUpdate(t, query)
+		return cn.routeUpdate(ctx, t, query)
 	case *sql.Delete:
-		return cn.routeDelete(t, query)
+		return cn.routeDelete(ctx, t, query)
 	case *sql.CreateTable:
 		return cn.routeCreateTable(t)
 	case *sql.DropTable:
@@ -119,43 +138,17 @@ func (cn *Conn) route(query string) (*res, error) {
 
 // --- fan-out helpers -----------------------------------------------------
 
-// scatter runs per-shard query texts concurrently; queries[i] == ""
-// skips shard i. On error, the first failing shard (in shard order)
-// wins, keeping errors deterministic.
-func (cn *Conn) scatter(queries []string) ([]*driver.ResultSet, error) {
-	results := make([]*driver.ResultSet, len(queries))
-	errs := make([]error, len(queries))
-	var wg sync.WaitGroup
-	for i, q := range queries {
-		if q == "" {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, q string) {
-			defer wg.Done()
-			results[i], errs[i] = cn.conns[i].Query(q)
-		}(i, q)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
-}
-
-// broadcastExec runs the same statement on every shard concurrently
-// and returns per-shard affected counts.
+// broadcastExec runs the same statement on every shard (all replicas)
+// concurrently and returns per-shard affected counts.
 func (cn *Conn) broadcastExec(query string) ([]int, error) {
-	affected := make([]int, len(cn.conns))
-	errs := make([]error, len(cn.conns))
+	affected := make([]int, cn.shards())
+	errs := make([]error, cn.shards())
 	var wg sync.WaitGroup
-	for i := range cn.conns {
+	for i := range cn.sess {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			affected[i], errs[i] = cn.conns[i].Exec(query)
+			affected[i], errs[i] = cn.execShard(i, query)
 		}(i)
 	}
 	wg.Wait()
@@ -179,8 +172,8 @@ func (cn *Conn) broadcastSame(query string) (*res, error) {
 
 // single routes a statement verbatim to one shard (replicated and
 // unknown tables; the shard engine supplies any error text).
-func (cn *Conn) single(shard int, query string) (*res, error) {
-	rs, err := cn.conns[shard].Query(query)
+func (cn *Conn) single(ctx context.Context, shard int, query string) (*res, error) {
+	rs, err := cn.queryShard(ctx, classSingle, shard, query)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +182,10 @@ func (cn *Conn) single(shard int, query string) (*res, error) {
 
 // --- SELECT routing ------------------------------------------------------
 
-func (cn *Conn) routeSelect(t *sql.Select, orig string) (*res, error) {
+// routeSelect dispatches a SELECT down the routing decision tree:
+// fast path (single owning shard, statement forwarded verbatim), then
+// the shape-specific scatter paths, then the gather fallback.
+func (cn *Conn) routeSelect(ctx context.Context, t *sql.Select, orig string) (*res, error) {
 	refs := make([]*sql.TableRef, 0, 1+len(t.Joins))
 	refs = append(refs, t.From)
 	for i := range t.Joins {
@@ -199,7 +195,7 @@ func (cn *Conn) routeSelect(t *sql.Select, orig string) (*res, error) {
 	for _, r := range refs {
 		info := cn.c.lookup(r.Table)
 		if info == nil {
-			return cn.single(0, orig)
+			return cn.single(ctx, 0, orig)
 		}
 		if info.partitioned() {
 			partitioned++
@@ -207,13 +203,36 @@ func (cn *Conn) routeSelect(t *sql.Select, orig string) (*res, error) {
 	}
 	if partitioned == 0 {
 		// Replicated tables only: any one shard holds the full data.
-		return cn.single(0, orig)
+		return cn.single(ctx, 0, orig)
 	}
 	if len(refs) > 1 {
-		return cn.gather(t, orig)
+		return cn.gather(ctx, t, orig)
 	}
 
 	info := cn.c.lookup(t.From.Table)
+	targets, eligible := cn.pruneTargets(info, t.From.Name(), t.Where)
+
+	starOnly := len(t.Exprs) == 1 && t.Exprs[0].Star
+	mixedStar := false
+	for _, se := range t.Exprs {
+		if se.Star && !starOnly {
+			mixedStar = true
+		}
+	}
+
+	// Single-shard fast path: every row the query can touch lives on
+	// one shard, whose local heap order is _seq order — forwarding the
+	// original statement verbatim is byte-equivalent to the full
+	// scatter/merge, for every shape (aggregates, ORDER BY, LIMIT).
+	// Star-only projections are forwarded too, stripping the shard's
+	// trailing physical _seq column; star mixed with expressions would
+	// bury _seq mid-row and keeps the gather path.
+	if len(targets) == 1 && !mixedStar {
+		cn.c.countScatter(1, cn.shards()-1, eligible)
+		cn.c.countFastPath()
+		return cn.forward(ctx, orig, targets[0], starOnly, len(info.cols))
+	}
+
 	hasAgg := len(t.GroupBy) > 0
 	for _, se := range t.Exprs {
 		if !se.Star && sql.HasAggregate(se.Expr) {
@@ -221,37 +240,61 @@ func (cn *Conn) routeSelect(t *sql.Select, orig string) (*res, error) {
 		}
 	}
 	if hasAgg {
-		if r, ok, err := cn.aggScan(t, info); ok || err != nil {
+		if r, ok, err := cn.aggScan(ctx, t, info, targets, eligible); ok || err != nil {
 			return r, err
 		}
-		return cn.gather(t, orig)
+		return cn.gather(ctx, t, orig)
 	}
-	starOnly := len(t.Exprs) == 1 && t.Exprs[0].Star
-	for _, se := range t.Exprs {
-		if se.Star && !starOnly {
-			// Star mixed with expressions: column bookkeeping is not
-			// worth a fast path.
-			return cn.gather(t, orig)
-		}
+	if mixedStar {
+		// Star mixed with expressions: column bookkeeping is not worth
+		// a fast path.
+		return cn.gather(ctx, t, orig)
 	}
 	if len(t.OrderBy) > 0 {
 		if starOnly {
-			return cn.gather(t, orig)
+			return cn.gather(ctx, t, orig)
 		}
-		return cn.orderedScan(t, info)
+		if cn.knnShape(t, info) {
+			if r, ok, err := cn.knnScan(ctx, t, info, targets); ok || err != nil {
+				return r, err
+			}
+		}
+		return cn.orderedScan(ctx, t, info, targets, eligible)
 	}
-	return cn.plainScan(t, info, starOnly)
+	return cn.plainScan(ctx, t, info, starOnly, targets, eligible)
+}
+
+// forward sends the original statement to one shard unchanged. For
+// star-only projections the shard's result carries the physical _seq
+// column last; it is stripped here.
+func (cn *Conn) forward(ctx context.Context, orig string, shard int, starOnly bool, visibleCols int) (*res, error) {
+	rs, err := cn.queryShard(ctx, classFast, shard, orig)
+	if err != nil {
+		return nil, err
+	}
+	cols, rows := rs.Columns, rs.Rows
+	if starOnly && len(cols) == visibleCols+1 {
+		cols = cols[:visibleCols]
+		out := make([][]storage.Value, len(rows))
+		for i, r := range rows {
+			out[i] = r[:visibleCols]
+		}
+		rows = out
+	}
+	return &res{cols: cols, rows: rows}, nil
 }
 
 // pruneTargets selects the shards whose data MBR can intersect the
-// query's constant spatial window (all shards when no window exists).
-func (cn *Conn) pruneTargets(info *tableInfo, binding string, where sql.Expr) []int {
-	all := make([]int, len(cn.conns))
+// query's constant spatial window. eligible reports whether a window
+// existed at all — a windowless scan targets every shard but is not
+// counted against the prune rate.
+func (cn *Conn) pruneTargets(info *tableInfo, binding string, where sql.Expr) ([]int, bool) {
+	all := make([]int, cn.shards())
 	for i := range all {
 		all[i] = i
 	}
 	if where == nil {
-		return all
+		return all, false
 	}
 	geoName := info.cols[info.geomCol].Name
 	isGeom := func(table, column string) bool {
@@ -259,7 +302,7 @@ func (cn *Conn) pruneTargets(info *tableInfo, binding string, where sql.Expr) []
 	}
 	win, ok := sql.ExtractSpatialWindow(where, isGeom, cn.c.reg)
 	if !ok {
-		return all
+		return all, false
 	}
 	cn.c.mu.Lock()
 	mbrs := append([]geom.Rect(nil), info.mbr...)
@@ -270,7 +313,7 @@ func (cn *Conn) pruneTargets(info *tableInfo, binding string, where sql.Expr) []
 			targets = append(targets, i)
 		}
 	}
-	return targets
+	return targets, true
 }
 
 // seqRef builds an unresolved reference to the hidden sequence column.
@@ -298,11 +341,11 @@ func selectNames(exprs []sql.SelectExpr, info *tableInfo) []string {
 	return names
 }
 
-// plainScan fans an unordered scan out with _seq appended and merges in
-// _seq order, reproducing a single engine's heap-scan order.
-func (cn *Conn) plainScan(t *sql.Select, info *tableInfo, starOnly bool) (*res, error) {
-	targets := cn.pruneTargets(info, t.From.Name(), t.Where)
-	cn.c.countScatter(len(targets), len(cn.conns)-len(targets))
+// plainScan fans an unordered scan out with _seq appended and
+// stream-merges in _seq order, reproducing a single engine's heap-scan
+// order.
+func (cn *Conn) plainScan(ctx context.Context, t *sql.Select, info *tableInfo, starOnly bool, targets []int, eligible bool) (*res, error) {
+	cn.c.countScatter(len(targets), cn.shards()-len(targets), eligible)
 
 	cl := sql.CloneStatement(t).(*sql.Select)
 	if !starOnly {
@@ -314,14 +357,15 @@ func (cn *Conn) plainScan(t *sql.Select, info *tableInfo, starOnly bool) (*res, 
 		cl.Limit += cl.Offset
 		cl.Offset = 0
 	}
-	rows, width, err := cn.scatterSelect(cl, targets)
+	seqIdx := len(cl.Exprs) - 1
+	if starOnly {
+		seqIdx = len(info.cols)
+	}
+	sr := cn.startScatter(ctx, classPlain, renderSelect(cl), targets)
+	rows, err := collectMerged(sr, cl.Limit, seqLess(seqIdx))
 	if err != nil {
 		return nil, err
 	}
-	seqIdx := width - 1
-	sort.SliceStable(rows, func(i, j int) bool {
-		return rows[i][seqIdx].Int < rows[j][seqIdx].Int
-	})
 	rows = sliceWindow(rows, t.Offset, t.Limit)
 	out := make([][]storage.Value, len(rows))
 	for i, r := range rows {
@@ -332,15 +376,33 @@ func (cn *Conn) plainScan(t *sql.Select, info *tableInfo, starOnly bool) (*res, 
 
 // orderedScan fans a sorted scan out with the sort keys and _seq
 // appended as extra columns, pushes LIMIT+OFFSET to the shards, and
-// re-sorts the union by (keys, _seq). kNN-shaped queries (single
-// ascending ST_Distance key with LIMIT) keep their ORDER BY clause
-// untouched so each shard's planner can still use its kNN index scan.
-func (cn *Conn) orderedScan(t *sql.Select, info *tableInfo) (*res, error) {
-	targets := cn.pruneTargets(info, t.From.Name(), t.Where)
-	cn.c.countScatter(len(targets), len(cn.conns)-len(targets))
+// stream-merges the fragments by (keys, _seq) as they arrive.
+func (cn *Conn) orderedScan(ctx context.Context, t *sql.Select, info *tableInfo, targets []int, eligible bool) (*res, error) {
+	cn.c.countScatter(len(targets), cn.shards()-len(targets), eligible)
 
-	cl := sql.CloneStatement(t).(*sql.Select)
-	keyStart := len(cl.Exprs)
+	cl, keyStart, seqIdx := cn.orderedRewrite(t, info)
+	sr := cn.startScatter(ctx, classOrdered, renderSelect(cl), targets)
+	rows, err := collectMerged(sr, cl.Limit, keyLess(orderSpecs(t), keyStart, seqIdx))
+	if err != nil {
+		return nil, err
+	}
+	rows = sliceWindow(rows, t.Offset, t.Limit)
+	out := make([][]storage.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r[:keyStart]
+	}
+	return &res{cols: selectNames(t.Exprs, info), rows: out}, nil
+}
+
+// orderedRewrite clones a sorted scan for the shards: sort keys and
+// _seq appended to the projection, LIMIT+OFFSET pushed down, and _seq
+// added as the final sort key for deterministic shard-side
+// tie-breaking — except for kNN shapes, whose ORDER BY must stay
+// untouched so each shard's planner can use its kNN index scan (their
+// heap order is _seq order, so ties still cut correctly).
+func (cn *Conn) orderedRewrite(t *sql.Select, info *tableInfo) (cl *sql.Select, keyStart, seqIdx int) {
+	cl = sql.CloneStatement(t).(*sql.Select)
+	keyStart = len(cl.Exprs)
 	for _, k := range t.OrderBy {
 		cl.Exprs = append(cl.Exprs, sql.SelectExpr{Expr: sql.CloneExpr(k.Expr)})
 	}
@@ -356,30 +418,16 @@ func (cn *Conn) orderedScan(t *sql.Select, info *tableInfo) (*res, error) {
 		cl.Limit += cl.Offset
 		cl.Offset = 0
 	}
-	rows, _, err := cn.scatterSelect(cl, targets)
-	if err != nil {
-		return nil, err
+	return cl, keyStart, keyStart + len(t.OrderBy)
+}
+
+// orderSpecs extracts the ORDER BY directions.
+func orderSpecs(t *sql.Select) []keySpec {
+	specs := make([]keySpec, len(t.OrderBy))
+	for i, k := range t.OrderBy {
+		specs[i] = keySpec{desc: k.Desc}
 	}
-	nKeys := len(t.OrderBy)
-	seqIdx := keyStart + nKeys
-	sort.SliceStable(rows, func(i, j int) bool {
-		for k := 0; k < nKeys; k++ {
-			c, _ := storage.Compare(rows[i][keyStart+k], rows[j][keyStart+k])
-			if c != 0 {
-				if t.OrderBy[k].Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return rows[i][seqIdx].Int < rows[j][seqIdx].Int
-	})
-	rows = sliceWindow(rows, t.Offset, t.Limit)
-	out := make([][]storage.Value, len(rows))
-	for i, r := range rows {
-		out[i] = r[:keyStart]
-	}
-	return &res{cols: selectNames(t.Exprs, info), rows: out}, nil
+	return specs
 }
 
 // knnShape mirrors the planner's tryKNN precondition.
@@ -404,38 +452,169 @@ func (cn *Conn) knnShape(t *sql.Select, info *tableInfo) bool {
 	return false
 }
 
-// scatterSelect renders a rewritten single-table select, sends it to
-// the targets, and returns the concatenated rows plus the row width.
-// Zero-target scatters yield no rows and the width implied by the
-// rewritten projection.
-func (cn *Conn) scatterSelect(cl *sql.Select, targets []int) ([][]storage.Value, int, error) {
-	text := renderSelect(cl)
-	queries := make([]string, len(cn.conns))
+// knnProbe extracts and evaluates a kNN query's constant probe.
+func (cn *Conn) knnProbe(t *sql.Select, info *tableInfo) (geom.Rect, bool) {
+	fc := t.OrderBy[0].Expr.(*sql.FuncCall)
+	geoName := info.cols[info.geomCol].Name
+	binding := t.From.Name()
+	for i := 0; i < 2; i++ {
+		col, isCol := fc.Args[i].(*sql.ColumnRef)
+		if !isCol || (col.Table != "" && col.Table != binding) || col.Column != geoName ||
+			sql.HasColumnRef(fc.Args[1-i]) {
+			continue
+		}
+		v, err := sql.Eval(fc.Args[1-i], nil, cn.c.reg)
+		if err != nil || v.IsNull() || v.Type != storage.TypeGeom {
+			return geom.Rect{}, false
+		}
+		env := v.Geom.Envelope()
+		if env.IsEmpty() {
+			return geom.Rect{}, false
+		}
+		return env, true
+	}
+	return geom.Rect{}, false
+}
+
+// knnScan answers a kNN-shaped query in two phases: the shard nearest
+// the probe first, then only the shards whose data MBR can beat the
+// k-th distance found so far. The distance key of any row is at least
+// the distance from the shard's data MBR to the probe envelope, so a
+// shard with mindist > bound cannot contribute — unless it holds rows
+// with a NULL geometry, whose NULL key sorts before every distance;
+// those shards are never bound-pruned. ok is false when the probe is
+// not a usable constant (the plain ordered scatter handles it).
+func (cn *Conn) knnScan(ctx context.Context, t *sql.Select, info *tableInfo, targets []int) (*res, bool, error) {
+	probeEnv, ok := cn.knnProbe(t, info)
+	if !ok {
+		return nil, false, nil
+	}
+	want := t.Limit + t.Offset
+	if want == 0 || len(targets) == 0 {
+		cn.c.countScatter(0, cn.shards(), true)
+		return &res{cols: selectNames(t.Exprs, info)}, true, nil
+	}
+
+	// Per-shard lower bound on any row's distance key; -1 marks shards
+	// holding NULL-geometry rows, which no bound may prune.
+	cn.c.mu.Lock()
+	mindist := make(map[int]float64, len(targets))
 	for _, s := range targets {
-		queries[s] = text
-	}
-	rss, err := cn.scatter(queries)
-	if err != nil {
-		return nil, 0, err
-	}
-	width := 0
-	var rows [][]storage.Value
-	for _, s := range targets {
-		width = len(rss[s].Columns)
-		rows = append(rows, rss[s].Rows...)
-	}
-	if width == 0 {
-		// No shard consulted: derive the width from the projection.
-		info := cn.c.lookup(cl.From.Table)
-		for _, se := range cl.Exprs {
-			if se.Star {
-				width += len(info.cols) + 1 // physical _seq included
-				continue
-			}
-			width++
+		if info.nullGeom[s] > 0 {
+			mindist[s] = -1
+		} else {
+			mindist[s] = info.mbr[s].Distance(probeEnv)
 		}
 	}
-	return rows, width, nil
+	cn.c.mu.Unlock()
+	ordered := append([]int(nil), targets...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		di, dj := mindist[ordered[i]], mindist[ordered[j]]
+		if di != dj {
+			return di < dj
+		}
+		return ordered[i] < ordered[j]
+	})
+
+	cl, keyStart, seqIdx := cn.orderedRewrite(t, info)
+	text := renderSelect(cl)
+	less := keyLess(orderSpecs(t), keyStart, seqIdx)
+
+	// Phase 1: the most promising shard alone, hoping it already holds
+	// the full top-k.
+	merged, err := func() ([][]storage.Value, error) {
+		rs, err := cn.queryShard(ctx, classKNN, ordered[0], text)
+		if err != nil {
+			return nil, err
+		}
+		return rs.Rows, nil
+	}()
+	if err != nil {
+		return nil, true, err
+	}
+	bound := knnBound(merged, want, keyStart)
+
+	// Phase 2: only shards the bound cannot exclude.
+	var phase2 []int
+	for _, s := range ordered[1:] {
+		if mindist[s] < 0 || mindist[s] <= bound {
+			phase2 = append(phase2, s)
+		}
+	}
+	sent := 1 + len(phase2)
+	cn.c.countScatter(sent, cn.shards()-sent, true)
+	if sent == 1 && cn.shards() > 1 {
+		cn.c.countFastPath()
+	}
+	if len(phase2) > 0 {
+		pending := make(map[int]bool, len(phase2))
+		for _, s := range phase2 {
+			pending[s] = true
+		}
+		induced := make(map[int]bool)
+		sr := cn.startScatter(ctx, classKNN, text, phase2)
+		var ferr error
+		errShard := 0
+		for f := range sr.ch {
+			delete(pending, f.shard)
+			if f.err != nil {
+				// Cancellations this loop induced are expected
+				// early-exits, not failures.
+				if induced[f.shard] && isCanceled(f.err) {
+					continue
+				}
+				if ferr == nil {
+					sr.cancelAll()
+					for s := range pending {
+						induced[s] = true
+					}
+				}
+				ferr, errShard = pickErr(ferr, errShard, f)
+				continue
+			}
+			if ferr != nil {
+				continue
+			}
+			merged = mergeRows(merged, f.rows, less)
+			if len(merged) > want {
+				merged = merged[:want]
+			}
+			if b := knnBound(merged, want, keyStart); b < bound {
+				bound = b
+				for s := range pending {
+					if mindist[s] >= 0 && mindist[s] > bound {
+						sr.cancelShard(s)
+						induced[s] = true
+					}
+				}
+			}
+		}
+		if ferr != nil {
+			return nil, true, ferr
+		}
+	}
+	if len(merged) > want {
+		merged = merged[:want]
+	}
+	rows := sliceWindow(merged, t.Offset, t.Limit)
+	out := make([][]storage.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r[:keyStart]
+	}
+	return &res{cols: selectNames(t.Exprs, info), rows: out}, true, nil
+}
+
+// knnBound is the current k-th distance: +Inf while fewer than want
+// rows are known, -Inf when the k-th key is NULL (only NULL keys sort
+// before it, and those all live on never-pruned shards).
+func knnBound(merged [][]storage.Value, want, keyIdx int) float64 {
+	if len(merged) < want {
+		return math.Inf(1)
+	}
+	if f, ok := merged[want-1][keyIdx].AsFloat(); ok {
+		return f
+	}
+	return math.Inf(-1)
 }
 
 // sliceWindow applies the original query's OFFSET/LIMIT to merged rows.
@@ -460,7 +639,7 @@ func sliceWindow(rows [][]storage.Value, offset, limit int) [][]storage.Value {
 // __PARTIAL_SUM carrier — and the router merges and finalizes once,
 // reproducing the single engine's results bit for bit. ok is false
 // when the query shape needs the gather path instead.
-func (cn *Conn) aggScan(t *sql.Select, info *tableInfo) (*res, bool, error) {
+func (cn *Conn) aggScan(ctx context.Context, t *sql.Select, info *tableInfo, targets []int, eligible bool) (*res, bool, error) {
 	if len(t.GroupBy) > 0 || len(t.OrderBy) > 0 || t.Limit >= 0 || t.Offset > 0 {
 		return nil, false, nil
 	}
@@ -493,19 +672,14 @@ func (cn *Conn) aggScan(t *sql.Select, info *tableInfo) (*res, bool, error) {
 		Where: sql.CloneExpr(t.Where),
 		Limit: -1,
 	}
-	targets := cn.pruneTargets(info, t.From.Name(), t.Where)
-	cn.c.countScatter(len(targets), len(cn.conns)-len(targets))
-	text := renderSelect(shardSel)
-	queries := make([]string, len(cn.conns))
-	for _, s := range targets {
-		queries[s] = text
-	}
-	rss, err := cn.scatter(queries)
+	cn.c.countScatter(len(targets), cn.shards()-len(targets), eligible)
+	sr := cn.startScatter(ctx, classAgg, renderSelect(shardSel), targets)
+	byShard, err := collectByShard(sr)
 	if err != nil {
 		return nil, true, err
 	}
 
-	merged, err := mergeAggStates(aggs, rss, targets)
+	merged, err := mergeAggStates(aggs, byShard, targets)
 	if err != nil {
 		return nil, true, err
 	}
@@ -569,8 +743,9 @@ func collectAggs(e sql.Expr, inAgg bool, aggs *[]*sql.FuncCall) bool {
 
 // mergeAggStates folds per-shard partial rows into final values, one
 // per aggregate, visiting shards in shard order (MIN/MAX ties resolve
-// to the earlier shard, matching the executor's parallel merge).
-func mergeAggStates(aggs []*sql.FuncCall, rss []*driver.ResultSet, targets []int) (map[*sql.FuncCall]storage.Value, error) {
+// to the earlier shard, matching the executor's parallel merge — which
+// is why the collection is keyed by shard, not by arrival).
+func mergeAggStates(aggs []*sql.FuncCall, byShard map[int][][]storage.Value, targets []int) (map[*sql.FuncCall]storage.Value, error) {
 	counts := make([]int64, len(aggs))
 	partials := make([]sql.PartialSum, len(aggs))
 	for i := range partials {
@@ -584,10 +759,11 @@ func mergeAggStates(aggs []*sql.FuncCall, rss []*driver.ResultSet, targets []int
 	}
 
 	for _, s := range targets {
-		if len(rss[s].Rows) != 1 {
-			return nil, fmt.Errorf("cluster: shard %d returned %d aggregate rows", s, len(rss[s].Rows))
+		rows := byShard[s]
+		if len(rows) != 1 {
+			return nil, fmt.Errorf("cluster: shard %d returned %d aggregate rows", s, len(rows))
 		}
-		row := rss[s].Rows[0]
+		row := rows[0]
 		for i, a := range aggs {
 			v := row[i]
 			switch a.Name {
@@ -683,10 +859,10 @@ func substituteAggs(e sql.Expr, vals map[*sql.FuncCall]storage.Value) sql.Expr {
 
 // --- DML routing ---------------------------------------------------------
 
-func (cn *Conn) routeInsert(t *sql.Insert, orig string) (*res, error) {
+func (cn *Conn) routeInsert(ctx context.Context, t *sql.Insert, orig string) (*res, error) {
 	info := cn.c.lookup(t.Table)
 	if info == nil {
-		return cn.single(0, orig)
+		return cn.single(ctx, 0, orig)
 	}
 	if !info.partitioned() {
 		affected, err := cn.broadcastExec(orig)
@@ -702,8 +878,9 @@ func (cn *Conn) routeInsert(t *sql.Insert, orig string) (*res, error) {
 		}
 	}
 	first := cn.c.allocSeq(info, len(t.Rows))
-	perShard := make([][][]sql.Expr, len(cn.conns))
-	envs := make([]geom.Rect, len(cn.conns))
+	perShard := make([][][]sql.Expr, cn.shards())
+	envs := make([]geom.Rect, cn.shards())
+	nulls := make([]int64, cn.shards())
 	for i := range envs {
 		envs[i] = geom.EmptyRect()
 	}
@@ -713,6 +890,11 @@ func (cn *Conn) routeInsert(t *sql.Insert, orig string) (*res, error) {
 		if ok {
 			shard = cn.c.part.Assign(g)
 			envs[shard] = envs[shard].Union(g.Envelope())
+		} else {
+			// Possibly-NULL geometry: the row lands on shard 0, which
+			// the kNN bound must then never prune (NULL keys sort
+			// first). Over-counting here only costs pruning.
+			nulls[0]++
 		}
 		withSeq := make([]sql.Expr, 0, len(row)+1)
 		withSeq = append(withSeq, row...)
@@ -720,7 +902,7 @@ func (cn *Conn) routeInsert(t *sql.Insert, orig string) (*res, error) {
 		perShard[shard] = append(perShard[shard], withSeq)
 	}
 
-	errs := make([]error, len(cn.conns))
+	errs := make([]error, cn.shards())
 	var wg sync.WaitGroup
 	for s, rows := range perShard {
 		if len(rows) == 0 {
@@ -729,7 +911,7 @@ func (cn *Conn) routeInsert(t *sql.Insert, orig string) (*res, error) {
 		wg.Add(1)
 		go func(s int, text string) {
 			defer wg.Done()
-			_, errs[s] = cn.conns[s].Exec(text)
+			_, errs[s] = cn.execShard(s, text)
 		}(s, renderInsert(t.Table, rows))
 	}
 	wg.Wait()
@@ -740,16 +922,16 @@ func (cn *Conn) routeInsert(t *sql.Insert, orig string) (*res, error) {
 	}
 	for s := range perShard {
 		if len(perShard[s]) > 0 {
-			cn.c.noteInsert(info, s, envs[s], int64(len(perShard[s])))
+			cn.c.noteInsert(info, s, envs[s], int64(len(perShard[s])), nulls[s])
 		}
 	}
 	return &res{affected: len(t.Rows)}, nil
 }
 
-func (cn *Conn) routeUpdate(t *sql.Update, orig string) (*res, error) {
+func (cn *Conn) routeUpdate(ctx context.Context, t *sql.Update, orig string) (*res, error) {
 	info := cn.c.lookup(t.Table)
 	if info == nil {
-		return cn.single(0, orig)
+		return cn.single(ctx, 0, orig)
 	}
 	if info.partitioned() {
 		geoName := info.cols[info.geomCol].Name
@@ -766,10 +948,10 @@ func (cn *Conn) routeUpdate(t *sql.Update, orig string) (*res, error) {
 	return &res{affected: sumOrFirst(affected, info.partitioned())}, nil
 }
 
-func (cn *Conn) routeDelete(t *sql.Delete, orig string) (*res, error) {
+func (cn *Conn) routeDelete(ctx context.Context, t *sql.Delete, orig string) (*res, error) {
 	info := cn.c.lookup(t.Table)
 	if info == nil {
-		return cn.single(0, orig)
+		return cn.single(ctx, 0, orig)
 	}
 	affected, err := cn.broadcastExec(orig)
 	if err != nil {
@@ -841,13 +1023,18 @@ func (cn *Conn) routeExplain(t *sql.Explain) (*res, error) {
 	for _, r := range refs {
 		info := cn.c.lookup(r.Table)
 		if info == nil {
-			return cn.single(0, "EXPLAIN "+renderSelect(t.Query))
+			ctx := context.Background()
+			return cn.single(ctx, 0, "EXPLAIN "+renderSelect(t.Query))
 		}
 		access := "replicated(shard 0)"
 		total := int64(0)
 		if info.partitioned() {
-			targets := cn.pruneTargets(info, r.Name(), t.Query.Where)
-			access = fmt.Sprintf("scatter(%d of %d shards)", len(targets), len(cn.conns))
+			targets, _ := cn.pruneTargets(info, r.Name(), t.Query.Where)
+			if len(targets) == 1 {
+				access = fmt.Sprintf("fastpath(shard %d of %d)", targets[0], cn.shards())
+			} else {
+				access = fmt.Sprintf("scatter(%d of %d shards)", len(targets), cn.shards())
+			}
 			cn.c.mu.Lock()
 			for _, n := range info.rows {
 				total += n

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"jackpine/internal/engine"
+	"jackpine/internal/geom"
 	"jackpine/internal/sql"
 	"jackpine/internal/storage"
 )
@@ -18,28 +21,128 @@ const gatherBatch = 1024
 // engine with the cluster's profile and running the original query
 // there. Fragments are fetched through the plain scatter path — in
 // global _seq order, so the transient heaps reproduce a single engine's
-// insertion order — and conjuncts that touch only one binding are
-// pushed into the fragment fetch, which keeps shard pruning effective
-// and the fragments small.
-func (cn *Conn) gather(t *sql.Select, orig string) (*res, error) {
+// insertion order — reduced three ways before any row moves:
+//
+//  1. per-binding pushdown: each conjunct of WHERE and the join ON
+//     clauses that references a single binding is pushed into that
+//     binding's fragment filter (self-joins OR their bindings' filters
+//     together, qualifiers stripped);
+//  2. spatial semijoin: a sargable join conjunct pred(B.geo, exprA)
+//     confines B's useful rows to the envelope of exprA over A's own
+//     fragment, so the router first asks A's shards for that extent
+//     (one tiny aggregate scatter) and pushes the resulting
+//     ST_INTERSECTS window into B's filter;
+//  3. single-shard forward: when every partitioned binding's fragment
+//     prunes to the same single shard, the original statement runs
+//     there verbatim — no transient engine at all (star projections
+//     excepted: the shard's SELECT * exposes the physical _seq column
+//     at a position the router cannot strip without reshaping rows).
+func (cn *Conn) gather(ctx context.Context, t *sql.Select, orig string) (*res, error) {
 	refs := make([]*sql.TableRef, 0, 1+len(t.Joins))
 	refs = append(refs, t.From)
 	for i := range t.Joins {
 		refs = append(refs, t.Joins[i].Table)
 	}
+	single := len(refs) == 1
+	hasStar := false
+	for _, se := range t.Exprs {
+		if se.Star {
+			hasStar = true
+		}
+	}
 
 	// Conjuncts eligible for pushdown come from WHERE and the join ON
-	// clauses; a conjunct is pushed when every column it references
-	// belongs to one specific binding of the fragment's table.
+	// clauses (inner-join semantics: both filter the result).
 	var conjuncts []sql.Expr
 	conjuncts = append(conjuncts, sql.Conjuncts(t.Where)...)
 	for i := range t.Joins {
 		conjuncts = append(conjuncts, sql.Conjuncts(t.Joins[i].On)...)
 	}
 
+	// Duplicate binding names (the same table joined twice without
+	// distinct aliases) make qualifier matching ambiguous; those
+	// bindings get no pushdown, mirroring the engine's own resolution
+	// limits.
+	nameCount := make(map[string]int, len(refs))
+	for _, r := range refs {
+		nameCount[r.Name()]++
+	}
+
+	// Per-binding pushed conjuncts (qualifiers intact: pruning matches
+	// them against the binding, stripping happens at render time).
+	pushed := make([][]sql.Expr, len(refs))
+	for i, r := range refs {
+		if nameCount[r.Name()] > 1 {
+			continue
+		}
+		for _, c := range conjuncts {
+			if refsOnlyBinding(c, r.Name(), single) {
+				pushed[i] = append(pushed[i], sql.CloneExpr(c))
+			}
+		}
+	}
+
+	// Spatial semijoin reduction, computed against the base pushdown so
+	// the outcome does not depend on binding order.
+	empty := make([]bool, len(refs))
+	if !single {
+		base := pushed
+		extra := make([][]sql.Expr, len(refs))
+		for i, r := range refs {
+			info := cn.c.lookup(r.Table)
+			if nameCount[r.Name()] > 1 || !info.partitioned() {
+				continue
+			}
+			filters, none, err := cn.semijoinFilters(ctx, refs, nameCount, conjuncts, base, i, info)
+			if err != nil {
+				return nil, err
+			}
+			empty[i] = none
+			extra[i] = filters
+		}
+		for i := range refs {
+			pushed[i] = append(pushed[i], extra[i]...)
+		}
+	}
+
+	// Per-binding shard targets, and their union across partitioned
+	// bindings for the single-shard forward.
+	targets := make([][]int, len(refs))
+	eligible := make([]bool, len(refs))
+	unionSet := make(map[int]bool)
+	anyPart := false
+	anyEligible := false
+	for i, r := range refs {
+		info := cn.c.lookup(r.Table)
+		if !info.partitioned() {
+			continue
+		}
+		anyPart = true
+		if !empty[i] {
+			targets[i], eligible[i] = cn.pruneTargets(info, r.Name(), andAll(pushed[i]))
+			for _, s := range targets[i] {
+				unionSet[s] = true
+			}
+		} else {
+			eligible[i] = true
+		}
+		if eligible[i] {
+			anyEligible = true
+		}
+	}
+	if anyPart && len(unionSet) == 1 && !hasStar {
+		shard := 0
+		for s := range unionSet {
+			shard = s
+		}
+		cn.c.countScatter(1, cn.shards()-1, anyEligible)
+		cn.c.countFastPath()
+		return cn.forward(ctx, orig, shard, false, 0)
+	}
+
 	eng := engine.Open(cn.c.prof)
 	loaded := make(map[string]bool, len(refs))
-	for _, ref := range refs {
+	for i, ref := range refs {
 		if loaded[ref.Table] {
 			continue
 		}
@@ -48,7 +151,7 @@ func (cn *Conn) gather(t *sql.Select, orig string) (*res, error) {
 		if _, err := eng.ExecParsed(&sql.CreateTable{Name: info.name, Columns: info.cols}); err != nil {
 			return nil, fmt.Errorf("cluster: gather schema for %s: %w", info.name, err)
 		}
-		rows, err := cn.fetchFragment(t, refs, conjuncts, ref, info)
+		rows, err := cn.fetchFragment(ctx, refs, pushed, empty, targets, eligible, i, info)
 		if err != nil {
 			return nil, err
 		}
@@ -77,46 +180,250 @@ func (cn *Conn) gather(t *sql.Select, orig string) (*res, error) {
 	return &res{cols: result.Columns, rows: result.Rows, affected: result.Affected}, nil
 }
 
-// fetchFragment retrieves one table's rows. Partitioned tables go
-// through the plain scatter path (merged in _seq order, _seq stripped);
-// replicated tables read from shard 0.
-func (cn *Conn) fetchFragment(t *sql.Select, refs []*sql.TableRef, conjuncts []sql.Expr, ref *sql.TableRef, info *tableInfo) ([][]storage.Value, error) {
-	// The table's binding, for qualifier matching; pushdown applies
-	// only when the table is referenced exactly once (a self-join's
-	// conjuncts are ambiguous between its bindings).
-	binding := ref.Name()
-	occurrences := 0
-	for _, r := range refs {
-		if r.Table == ref.Table {
-			occurrences++
+// semijoinFilters derives extra fragment filters for binding i from
+// sargable join conjuncts pred(B.geo, exprA): any row of B that joins
+// must place its geometry within the envelope of some exprA value, and
+// those envelopes all lie inside ST_EXTENT(exprA) over A's fragment
+// (expanded by d for ST_DWithin: a point within distance d of the
+// extent lies in the extent grown by d per axis). The extent is
+// fetched with a recursive routed aggregate — the partial-merge path,
+// one value per shard. none reports that an extent came back NULL or
+// empty: no A row can ever satisfy the conjunct, so B's fragment is
+// provably empty.
+func (cn *Conn) semijoinFilters(ctx context.Context, refs []*sql.TableRef, nameCount map[string]int, conjuncts []sql.Expr, pushed [][]sql.Expr, i int, info *tableInfo) ([]sql.Expr, bool, error) {
+	binding := refs[i].Name()
+	geoName := info.cols[info.geomCol].Name
+	var filters []sql.Expr
+	for _, c := range conjuncts {
+		fc, ok := c.(*sql.FuncCall)
+		if !ok {
+			continue
 		}
-	}
-	var pushed []sql.Expr
-	if occurrences == 1 {
-		for _, c := range conjuncts {
-			if refsOnlyBinding(c, binding, len(refs) == 1) {
-				pushed = append(pushed, sql.CloneExpr(c))
+		name := strings.ToUpper(fc.Name)
+		isDWithin := name == "ST_DWITHIN"
+		if !sql.IsSargableSpatial(name) && !isDWithin {
+			continue
+		}
+		wantArgs := 2
+		if isDWithin {
+			wantArgs = 3
+		}
+		if len(fc.Args) != wantArgs {
+			continue
+		}
+		for k := 0; k < 2; k++ {
+			col, isCol := fc.Args[k].(*sql.ColumnRef)
+			if !isCol || col.Table != binding || col.Column != geoName {
+				continue
 			}
+			other := fc.Args[1-k]
+			if !sql.HasColumnRef(other) {
+				continue // constant probe: ordinary pushdown covers it
+			}
+			j := -1
+			for jj, r := range refs {
+				if jj != i && nameCount[r.Name()] == 1 && refsOnlyBinding(other, r.Name(), false) {
+					j = jj
+					break
+				}
+			}
+			if j < 0 {
+				continue
+			}
+			expand := 0.0
+			if isDWithin {
+				if sql.HasColumnRef(fc.Args[2]) {
+					continue
+				}
+				d, err := sql.Eval(fc.Args[2], nil, cn.c.reg)
+				if err != nil {
+					continue
+				}
+				f, ok := d.AsFloat()
+				if !ok {
+					continue
+				}
+				expand = f
+			}
+			env, none, err := cn.fragmentExtent(ctx, refs[j], pushed[j], other)
+			if err != nil {
+				return nil, false, err
+			}
+			if !none {
+				env = env.Expand(expand)
+			}
+			if none || env.IsEmpty() {
+				return nil, true, nil
+			}
+			filters = append(filters, &sql.FuncCall{
+				Name: "ST_INTERSECTS",
+				Args: []sql.Expr{
+					&sql.ColumnRef{Table: binding, Column: geoName, Index: -1},
+					envelopeLiteral(env),
+				},
+			})
 		}
 	}
-	fragSel := &sql.Select{
-		Exprs: []sql.SelectExpr{{Star: true}},
+	return filters, false, nil
+}
+
+// fragmentExtent asks binding ref's shards for ST_EXTENT(expr) over its
+// pushed fragment. none reports a NULL extent (no contributing row).
+func (cn *Conn) fragmentExtent(ctx context.Context, ref *sql.TableRef, pushed []sql.Expr, expr sql.Expr) (geom.Rect, bool, error) {
+	where := make([]sql.Expr, len(pushed))
+	for i, c := range pushed {
+		where[i] = sql.CloneExpr(c)
+	}
+	sel := &sql.Select{
+		Exprs: []sql.SelectExpr{{Expr: &sql.FuncCall{
+			Name: "ST_EXTENT",
+			Args: []sql.Expr{sql.CloneExpr(expr)},
+		}}},
 		From:  &sql.TableRef{Table: ref.Table, Alias: ref.Alias},
-		Where: andAll(pushed),
+		Where: andAll(where),
 		Limit: -1,
 	}
+	r, err := cn.routeSelect(ctx, sel, renderSelect(sel))
+	if err != nil {
+		return geom.Rect{}, false, err
+	}
+	if len(r.rows) != 1 || len(r.rows[0]) != 1 {
+		return geom.Rect{}, false, fmt.Errorf("cluster: semijoin extent returned %d rows", len(r.rows))
+	}
+	v := r.rows[0][0]
+	if v.IsNull() || v.Type != storage.TypeGeom {
+		return geom.Rect{}, true, nil
+	}
+	env := v.Geom.Envelope()
+	if env.IsEmpty() {
+		return geom.Rect{}, true, nil
+	}
+	return env, false, nil
+}
+
+// envelopeLiteral builds an ST_MAKEENVELOPE call for a rectangle.
+func envelopeLiteral(r geom.Rect) sql.Expr {
+	coord := func(f float64) sql.Expr {
+		return &sql.Literal{Value: storage.NewFloat(f)}
+	}
+	return &sql.FuncCall{
+		Name: "ST_MAKEENVELOPE",
+		Args: []sql.Expr{coord(r.MinX), coord(r.MinY), coord(r.MaxX), coord(r.MaxY)},
+	}
+}
+
+// fetchFragment retrieves table refs[i]'s rows: the union of every
+// branch (binding of the same table), each filtered by its pushed
+// conjuncts with qualifiers stripped, scattered only to the union of
+// the branches' pruned shard targets. Replicated tables read from
+// shard 0.
+func (cn *Conn) fetchFragment(ctx context.Context, refs []*sql.TableRef, pushed [][]sql.Expr, empty []bool, targets [][]int, eligible []bool, i int, info *tableInfo) ([][]storage.Value, error) {
+	table := refs[i].Table
+	var branches []sql.Expr
+	full := false
+	all := true
+	unionSet := make(map[int]bool)
+	allEligible := true
+	for j, r := range refs {
+		if r.Table != table {
+			continue
+		}
+		if empty[j] {
+			continue
+		}
+		all = false
+		if len(pushed[j]) == 0 {
+			full = true
+		} else {
+			parts := make([]sql.Expr, len(pushed[j]))
+			for k, c := range pushed[j] {
+				parts[k] = stripBinding(c, r.Name())
+			}
+			branches = append(branches, andAll(parts))
+		}
+		for _, s := range targets[j] {
+			unionSet[s] = true
+		}
+		if !eligible[j] {
+			allEligible = false
+		}
+	}
+	if all {
+		// Every branch is provably empty: nothing to fetch.
+		if info.partitioned() {
+			cn.c.countScatter(0, cn.shards(), true)
+		}
+		return nil, nil
+	}
+
+	fragSel := &sql.Select{
+		Exprs: []sql.SelectExpr{{Star: true}},
+		From:  &sql.TableRef{Table: table},
+		Limit: -1,
+	}
+	if !full {
+		fragSel.Where = orAll(branches)
+	}
 	if !info.partitioned() {
-		r, err := cn.single(0, renderSelect(fragSel))
+		r, err := cn.single(ctx, 0, renderSelect(fragSel))
 		if err != nil {
 			return nil, err
 		}
 		return r.rows, nil
 	}
-	r, err := cn.plainScan(fragSel, info, true)
+	frag := make([]int, 0, len(unionSet))
+	for s := range unionSet {
+		frag = append(frag, s)
+	}
+	sortInts(frag)
+	if full {
+		// A branch with no filter needs the whole table.
+		frag = frag[:0]
+		for s := 0; s < cn.shards(); s++ {
+			frag = append(frag, s)
+		}
+		allEligible = false
+	}
+	r, err := cn.plainScan(ctx, fragSel, info, true, frag, allEligible)
 	if err != nil {
 		return nil, err
 	}
 	return r.rows, nil
+}
+
+// stripBinding clones an expression with the binding's qualifiers
+// removed, so it can run against a bare FROM of the fragment table.
+func stripBinding(e sql.Expr, binding string) sql.Expr {
+	out := sql.CloneExpr(e)
+	sql.WalkExpr(out, func(x sql.Expr) {
+		if col, ok := x.(*sql.ColumnRef); ok && col.Table == binding {
+			col.Table = ""
+		}
+	})
+	return out
+}
+
+// orAll disjoins expressions (nil for an empty list).
+func orAll(exprs []sql.Expr) sql.Expr {
+	var out sql.Expr
+	for _, e := range exprs {
+		if out == nil {
+			out = e
+		} else {
+			out = &sql.BinaryExpr{Op: "OR", Left: out, Right: e}
+		}
+	}
+	return out
+}
+
+// sortInts sorts a small int slice (insertion sort: target lists are
+// shard counts).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // refsOnlyBinding reports whether every column reference in the

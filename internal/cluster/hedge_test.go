@@ -1,0 +1,186 @@
+package cluster_test
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"jackpine/internal/cluster"
+	"jackpine/internal/core"
+	"jackpine/internal/driver"
+	"jackpine/internal/engine"
+	"jackpine/internal/tiger"
+)
+
+// slowConnector wraps a connector so every read sleeps first — a
+// deterministic straggler replica. The delay honors context
+// cancellation, so a hedged router can abandon it promptly.
+type slowConnector struct {
+	inner driver.Connector
+	delay time.Duration
+}
+
+func (s *slowConnector) Name() string { return s.inner.Name() }
+
+func (s *slowConnector) Connect() (driver.Conn, error) {
+	c, err := s.inner.Connect()
+	if err != nil {
+		return nil, err
+	}
+	return &slowConn{inner: c, delay: s.delay}, nil
+}
+
+type slowConn struct {
+	inner driver.Conn
+	delay time.Duration
+}
+
+// Exec is not slowed: replica writes are synchronous broadcasts, and a
+// slow write replica would only stall test setup.
+func (c *slowConn) Exec(q string) (int, error) { return c.inner.Exec(q) }
+
+func (c *slowConn) Query(q string) (*driver.ResultSet, error) {
+	time.Sleep(c.delay)
+	return c.inner.Query(q)
+}
+
+// QueryContext implements driver.ContextConn.
+func (c *slowConn) QueryContext(ctx context.Context, q string) (*driver.ResultSet, error) {
+	t := time.NewTimer(c.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	if cc, ok := c.inner.(driver.ContextConn); ok {
+		return cc.QueryContext(ctx, q)
+	}
+	return c.inner.Query(q)
+}
+
+func (c *slowConn) Close() error { return c.inner.Close() }
+
+// hedgedCluster builds an n-shard cluster with two replicas per shard
+// where replica 1 delays every read, loaded with the dataset's grid
+// partitions like SetupReplicatedCluster.
+func hedgedCluster(t *testing.T, ds *tiger.Dataset, n int, delay time.Duration, opts cluster.HedgeOptions) *cluster.Cluster {
+	t.Helper()
+	p := engine.GaiaDB()
+	part, err := cluster.NewPartitioner(ds.Extent, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([][]driver.Connector, n)
+	for i := range groups {
+		groups[i] = make([]driver.Connector, 2)
+		for r := range groups[i] {
+			eng := engine.Open(p)
+			if err := tiger.LoadShard(execer{eng}, ds, true, i, part.Assign); err != nil {
+				t.Fatal(err)
+			}
+			var c driver.Connector = driver.NewInProc(eng)
+			if r == 1 {
+				c = &slowConnector{inner: c, delay: delay}
+			}
+			groups[i][r] = c
+		}
+	}
+	cl, err := cluster.OpenReplicated(groups, part, cluster.Options{Profile: p, Hedge: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ddl := range tiger.Schema() {
+		if err := cl.Register(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.RefreshStats(); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestHedgedEquivalence runs the full micro suite against a replicated
+// cluster with one straggler replica per shard and an aggressive hedge
+// threshold: whichever replica answers, results must match a single
+// engine byte for byte, and hedges must actually have fired.
+func TestHedgedEquivalence(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	qctx := core.NewQueryContext(ds)
+	single := singleConn(t, engine.GaiaDB(), ds)
+	cl := hedgedCluster(t, ds, 2, 5*time.Millisecond,
+		cluster.HedgeOptions{After: 500 * time.Microsecond})
+	compareMicroSuite(t, qctx, single, clusterConn(t, cl))
+	ss := cl.ShardStats()
+	if ss.Replicas != 2 {
+		t.Errorf("Replicas = %d, want 2", ss.Replicas)
+	}
+	if ss.HedgeFired == 0 {
+		t.Errorf("no hedges fired across the micro suite: %+v", ss)
+	}
+	if ss.HedgeWon == 0 {
+		t.Errorf("no hedge ever won against a straggler replica: %+v", ss)
+	}
+}
+
+// TestHedgedReadsCutP99 is the tail-latency claim itself: with one
+// straggler replica per shard, hedged reads must bring p99 under the
+// straggler's delay, while the same cluster with hedging disabled is
+// stuck behind it. Also guards against goroutine leaks from abandoned
+// hedge losers.
+func TestHedgedReadsCutP99(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	const delay = 40 * time.Millisecond
+	unhedged := hedgedCluster(t, ds, 2, delay, cluster.HedgeOptions{Disabled: true})
+	hedged := hedgedCluster(t, ds, 2, delay, cluster.HedgeOptions{After: 2 * time.Millisecond})
+	unhedgedConn := clusterConn(t, unhedged)
+	hedgedConn := clusterConn(t, hedged)
+
+	before := runtime.NumGoroutine()
+	const q = "SELECT COUNT(*) FROM pointlm"
+	p99 := func(conn driver.Conn) time.Duration {
+		const iters = 25
+		durs := make([]time.Duration, iters)
+		for i := range durs {
+			start := time.Now()
+			if _, err := conn.Query(q); err != nil {
+				t.Fatal(err)
+			}
+			durs[i] = time.Since(start)
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return durs[(len(durs)*99)/100]
+	}
+
+	unhedgedP99 := p99(unhedgedConn)
+	hedgedP99 := p99(hedgedConn)
+	if unhedgedP99 < delay {
+		t.Errorf("unhedged p99 = %v, expected the straggler delay %v to dominate", unhedgedP99, delay)
+	}
+	if hedgedP99 >= delay {
+		t.Errorf("hedged p99 = %v, want under the straggler delay %v", hedgedP99, delay)
+	}
+	if hedgedP99 >= unhedgedP99 {
+		t.Errorf("hedging did not cut p99: hedged %v >= unhedged %v", hedgedP99, unhedgedP99)
+	}
+	ss := hedged.ShardStats()
+	if ss.HedgeFired == 0 || ss.HedgeWon == 0 {
+		t.Errorf("hedge counters = fired %d, won %d, want both > 0", ss.HedgeFired, ss.HedgeWon)
+	}
+	if us := unhedged.ShardStats(); us.HedgeFired != 0 {
+		t.Errorf("disabled hedging still fired %d hedges", us.HedgeFired)
+	}
+
+	// Abandoned hedge losers must unwind: after cancellation propagates
+	// the goroutine count returns to its pre-measurement level.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+5 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+5 {
+		t.Errorf("goroutine leak: %d before the queries, %d after settling", before, g)
+	}
+}

@@ -103,12 +103,20 @@ func TestRouterDDLAndDML(t *testing.T) {
 	f.exec(t, "DELETE FROM pois WHERE id = 2")
 	compareQuery(t, "after delete", "SELECT id FROM pois ORDER BY id", f.single, f.cluster)
 
-	// EXPLAIN reports the routing decision.
+	// EXPLAIN reports the routing decision: a window owned by one shard
+	// is a fast path, a windowless scan is a scatter.
 	plan, err := f.cluster.Query("EXPLAIN SELECT id FROM pois WHERE ST_Intersects(loc, ST_MakeEnvelope(0, 0, 20, 20))")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan.Rows) != 1 || !strings.Contains(plan.Rows[0][1].String(), "scatter(") {
+	if len(plan.Rows) != 1 || !strings.Contains(plan.Rows[0][1].String(), "fastpath(") {
+		t.Fatalf("EXPLAIN should report a fast-path access path, got %v", plan.Rows)
+	}
+	plan, err = f.cluster.Query("EXPLAIN SELECT id FROM pois")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Rows) != 1 || !strings.Contains(plan.Rows[0][1].String(), "scatter(4 of 4") {
 		t.Fatalf("EXPLAIN should report a scatter access path, got %v", plan.Rows)
 	}
 
@@ -163,7 +171,13 @@ func TestRouterShardStats(t *testing.T) {
 	if ss.Scatters != 1 || ss.ShardQueries != 1 || ss.Pruned != 3 {
 		t.Errorf("window scan stats = %+v, want 1 scatter, 1 shard query, 3 pruned", ss)
 	}
-	// A full scan is prune-eligible but prunes nothing.
+	// A single surviving shard is a fast path: the statement was
+	// forwarded verbatim.
+	if ss.FastPathHits != 1 {
+		t.Errorf("FastPathHits = %d, want 1", ss.FastPathHits)
+	}
+	// A windowless full scan is not prune-eligible: it must not dilute
+	// the prune rate's denominator.
 	if _, err := f.cluster.Query("SELECT COUNT(*) FROM pts"); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +185,10 @@ func TestRouterShardStats(t *testing.T) {
 	if ss.Scatters != 2 || ss.ShardQueries != 5 || ss.Pruned != 3 {
 		t.Errorf("after full scan stats = %+v, want 2 scatters, 5 shard queries, 3 pruned", ss)
 	}
-	if got := ss.PruneRate(); got != 3.0/8.0 {
-		t.Errorf("PruneRate = %v, want 0.375", got)
+	if ss.PrunableSent != 1 {
+		t.Errorf("PrunableSent = %d, want 1 (full scan is ineligible)", ss.PrunableSent)
+	}
+	if got := ss.PruneRate(); got != 3.0/4.0 {
+		t.Errorf("PruneRate = %v, want 0.75", got)
 	}
 }

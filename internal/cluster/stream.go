@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"jackpine/internal/storage"
+)
+
+// This file implements the streaming half of scatter-gather: instead of
+// collecting every shard's full result before merging, shard fragments
+// flow through a bounded channel and merge into the accumulated sorted
+// run as they arrive, so ordered and kNN merges start with the first
+// fragment and early-exit shapes can cancel shards that are still
+// running. Merge comparators are total orders (the appended _seq column
+// is unique cluster-wide), so incremental merging is deterministic
+// regardless of arrival order.
+
+// fragment is one shard's portion of a streamed scatter.
+type fragment struct {
+	shard int
+	rows  [][]storage.Value
+	err   error
+}
+
+// scatterRun is an in-flight streamed scatter.
+type scatterRun struct {
+	ch      chan fragment
+	cancels map[int]context.CancelFunc
+}
+
+// cancelShard abandons one shard's outstanding request (its session
+// stops early if it honors contexts; otherwise the reply is discarded).
+func (sr *scatterRun) cancelShard(shard int) {
+	if cancel, ok := sr.cancels[shard]; ok {
+		cancel()
+	}
+}
+
+// cancelAll abandons every outstanding request.
+func (sr *scatterRun) cancelAll() {
+	for _, cancel := range sr.cancels {
+		cancel()
+	}
+}
+
+// startScatter sends the query text to every target shard and streams
+// fragments back in arrival order over a bounded channel. Each shard
+// gets its own cancelable context so consumers can abandon shards a
+// tightening bound proves irrelevant.
+func (cn *Conn) startScatter(ctx context.Context, class, text string, targets []int) *scatterRun {
+	sr := &scatterRun{
+		ch:      make(chan fragment, 2),
+		cancels: make(map[int]context.CancelFunc, len(targets)),
+	}
+	var wg sync.WaitGroup
+	for _, s := range targets {
+		sctx, cancel := context.WithCancel(ctx)
+		sr.cancels[s] = cancel
+		wg.Add(1)
+		go func(s int, sctx context.Context) {
+			defer wg.Done()
+			rs, err := cn.queryShard(sctx, class, s, text)
+			f := fragment{shard: s, err: err}
+			if err == nil {
+				f.rows = rs.Rows
+			}
+			sr.ch <- f
+		}(s, sctx)
+	}
+	go func() {
+		wg.Wait()
+		for _, cancel := range sr.cancels {
+			cancel() // release contexts once every shard has reported
+		}
+		close(sr.ch)
+	}()
+	return sr
+}
+
+// isCanceled reports whether an error is a context cancellation.
+func isCanceled(err error) bool { return errors.Is(err, context.Canceled) }
+
+// pickErr keeps the most deterministic error across fragments: real
+// failures beat cancellations (which are usually fallout from the
+// consumer's own cancelAll after the first failure), and within a
+// severity the lowest failing shard wins.
+func pickErr(best error, bestShard int, f fragment) (error, int) {
+	if f.err == nil {
+		return best, bestShard
+	}
+	if best == nil {
+		return f.err, f.shard
+	}
+	fCanceled, bCanceled := isCanceled(f.err), isCanceled(best)
+	if bCanceled && !fCanceled {
+		return f.err, f.shard
+	}
+	if bCanceled == fCanceled && f.shard < bestShard {
+		return f.err, f.shard
+	}
+	return best, bestShard
+}
+
+// mergeRows merges two runs sorted under less into one. less must be a
+// strict total order (routed scans always append the unique _seq as the
+// final tie-break), which makes the merge independent of arrival order.
+func mergeRows(a, b [][]storage.Value, less func(x, y []storage.Value) bool) [][]storage.Value {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([][]storage.Value, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// collectMerged drains a streamed scatter, merging fragments into one
+// sorted run as they arrive. want bounds the run (keep the want
+// smallest rows; -1 keeps everything): with a total order, truncating
+// after each merge never drops a row the final top-want could need. On
+// a shard error the remaining shards are canceled, the stream drained,
+// and the lowest failing shard's error returned.
+func collectMerged(sr *scatterRun, want int, less func(x, y []storage.Value) bool) ([][]storage.Value, error) {
+	var merged [][]storage.Value
+	var err error
+	errShard := 0
+	for f := range sr.ch {
+		if f.err != nil {
+			if err == nil {
+				sr.cancelAll()
+			}
+			err, errShard = pickErr(err, errShard, f)
+			continue
+		}
+		if err != nil {
+			continue // draining after failure
+		}
+		merged = mergeRows(merged, f.rows, less)
+		if want >= 0 && len(merged) > want {
+			merged = merged[:want]
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// collectByShard drains a streamed scatter keeping fragments keyed by
+// shard, for consumers that must merge in shard order rather than
+// arrival order (partial-aggregate merging, where MIN/MAX ties must
+// resolve to the earliest shard like a single engine's parallel merge).
+func collectByShard(sr *scatterRun) (map[int][][]storage.Value, error) {
+	out := make(map[int][][]storage.Value)
+	var err error
+	errShard := 0
+	for f := range sr.ch {
+		if f.err != nil {
+			if err == nil {
+				sr.cancelAll()
+			}
+			err, errShard = pickErr(err, errShard, f)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		out[f.shard] = f.rows
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// seqLess orders rows by the trailing _seq column.
+func seqLess(seqIdx int) func(x, y []storage.Value) bool {
+	return func(x, y []storage.Value) bool {
+		return x[seqIdx].Int < y[seqIdx].Int
+	}
+}
+
+// keyLess orders rows by appended sort keys starting at keyStart, with
+// the trailing _seq column as the unique tie-break.
+func keyLess(keys []keySpec, keyStart, seqIdx int) func(x, y []storage.Value) bool {
+	return func(x, y []storage.Value) bool {
+		for k, spec := range keys {
+			c, _ := storage.Compare(x[keyStart+k], y[keyStart+k])
+			if c != 0 {
+				if spec.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return x[seqIdx].Int < y[seqIdx].Int
+	}
+}
+
+// keySpec is one ORDER BY key's direction.
+type keySpec struct{ desc bool }

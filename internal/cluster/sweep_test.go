@@ -1,0 +1,87 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jackpine/internal/core"
+	"jackpine/internal/engine"
+	"jackpine/internal/experiments"
+	"jackpine/internal/tiger"
+)
+
+// The sweep tests extend the 4-shard equivalence contract across
+// cluster sizes: the streaming gather, fast-path forwarding and merge
+// cutoffs must stay byte-equivalent whether a window maps to one shard
+// of two or straddles many of eight.
+
+func TestMicroEquivalenceShardSweep(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	qctx := core.NewQueryContext(ds)
+	single := singleConn(t, engine.GaiaDB(), ds)
+	for _, n := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("%dshards", n), func(t *testing.T) {
+			cl, err := experiments.SetupCluster(engine.GaiaDB(), ds, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareMicroSuite(t, qctx, single, clusterConn(t, cl))
+			// The suite's point and small-window micros must resolve to
+			// a single owning shard and take the verbatim-forward path.
+			if ss := cl.ShardStats(); ss.FastPathHits == 0 {
+				t.Errorf("no fast-path hits across the micro suite on %d shards", n)
+			}
+		})
+	}
+}
+
+func TestMicroEquivalenceWireSweep(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	qctx := core.NewQueryContext(ds)
+	single := singleConn(t, engine.GaiaDB(), ds)
+	for _, n := range []int{2, 8} {
+		t.Run(fmt.Sprintf("%dshards", n), func(t *testing.T) {
+			cl := wireCluster(t, engine.GaiaDB(), ds, n)
+			compareMicroSuite(t, qctx, single, clusterConn(t, cl))
+		})
+	}
+}
+
+// TestMacroEquivalenceShardSweep replays all six macro scenarios
+// transcript-for-transcript at cluster sizes beyond the canonical four
+// shards. Each size gets a fresh single engine so MS5's updates start
+// from the same state on both sides.
+func TestMacroEquivalenceShardSweep(t *testing.T) {
+	ds := tiger.Generate(tiger.Small, 1)
+	qctx := core.NewQueryContext(ds)
+	for _, n := range []int{2, 8} {
+		t.Run(fmt.Sprintf("%dshards", n), func(t *testing.T) {
+			single := singleConn(t, engine.GaiaDB(), ds)
+			cl, err := experiments.SetupCluster(engine.GaiaDB(), ds, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn := clusterConn(t, cl)
+			for _, sc := range core.MacroSuite() {
+				sRec := &recorder{conn: single}
+				if _, err := sc.Run(qctx, sRec, 1); err != nil {
+					t.Fatalf("%s on single engine: %v", sc.ID, err)
+				}
+				cRec := &recorder{conn: conn}
+				if _, err := sc.Run(qctx, cRec, 1); err != nil {
+					t.Fatalf("%s on %d-shard cluster: %v", sc.ID, n, err)
+				}
+				if len(sRec.log) != len(cRec.log) {
+					t.Fatalf("%s: transcript length differs: single %d, cluster %d",
+						sc.ID, len(sRec.log), len(cRec.log))
+				}
+				for i := range sRec.log {
+					if sRec.log[i] != cRec.log[i] {
+						t.Fatalf("%s step %d differs\n single: %s\ncluster: %s",
+							sc.ID, i, sRec.log[i], cRec.log[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -54,8 +54,9 @@ type MicroResult struct {
 	Engine      string
 	Runs        int
 	Mean        time.Duration
-	Median      time.Duration
+	Median      time.Duration // p50 over the measured iterations
 	P95         time.Duration
+	P99         time.Duration
 	Min         time.Duration
 	Max         time.Duration
 	Rows        int // rows returned by the last measured run
@@ -92,6 +93,14 @@ type MicroResult struct {
 	// was prune-eligible.
 	Shards         int
 	ShardPruneRate float64
+
+	// ShardFastPath counts statements the cluster forwarded verbatim to a
+	// single shard; ShardHedgeFired/ShardHedgeWon count hedged second
+	// requests issued and won. All deltas over the measured iterations;
+	// 0 when the target is not a cluster.
+	ShardFastPath   int
+	ShardHedgeFired int
+	ShardHedgeWon   int
 }
 
 // MacroResult is the measurement of one macro scenario on one engine.
@@ -105,6 +114,12 @@ type MacroResult struct {
 	Elapsed     time.Duration
 	Throughput  float64 // operations per second
 	MeanLatency time.Duration
+	// P50/P95/P99Latency are client-observed per-operation latency
+	// quantiles over every measured operation across all clients
+	// (full-sample, not per-client averages).
+	P50Latency  time.Duration
+	P95Latency  time.Duration
+	P99Latency  time.Duration
 	RowsPerOp   float64
 	Unsupported bool
 	Err         error
@@ -127,6 +142,12 @@ type MacroResult struct {
 	// phase.
 	Shards         int
 	ShardPruneRate float64
+
+	// ShardFastPath / ShardHedgeFired / ShardHedgeWon as in MicroResult,
+	// over the measured phase.
+	ShardFastPath   int
+	ShardHedgeFired int
+	ShardHedgeWon   int
 }
 
 // cacheCounterConn is implemented by in-process connections that can
@@ -141,10 +162,12 @@ type shardStatsConn interface {
 	ShardStats() driver.ShardStats
 }
 
-// pruneDelta is the prune rate between two shard-counter snapshots.
+// pruneDelta is the prune rate between two shard-counter snapshots,
+// over prune-eligible scatters only (windowless full scans do not
+// dilute the denominator).
 func pruneDelta(before, after driver.ShardStats) float64 {
 	return driver.ShardStats{
-		ShardQueries: after.ShardQueries - before.ShardQueries,
+		PrunableSent: after.PrunableSent - before.PrunableSent,
 		Pruned:       after.Pruned - before.Pruned,
 	}.PruneRate()
 }
@@ -247,6 +270,9 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 				after := ss.ShardStats()
 				res.Shards = after.Shards
 				res.ShardPruneRate = pruneDelta(ssBefore, after)
+				res.ShardFastPath = after.FastPathHits - ssBefore.FastPathHits
+				res.ShardHedgeFired = after.HedgeFired - ssBefore.HedgeFired
+				res.ShardHedgeWon = after.HedgeWon - ssBefore.HedgeWon
 			}
 		}
 		results = append(results, res)
@@ -264,8 +290,18 @@ func fillStats(res *MicroResult, ds []time.Duration) {
 	res.Mean = sum / time.Duration(len(ds))
 	res.Median = ds[len(ds)/2]
 	res.P95 = ds[(len(ds)*95)/100]
+	res.P99 = ds[(len(ds)*99)/100]
 	res.Min = ds[0]
 	res.Max = ds[len(ds)-1]
+}
+
+// quantile reads the q-quantile from a sorted duration sample (same
+// index convention as fillStats).
+func quantile(ds []time.Duration, q int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	return ds[(len(ds)*q)/100]
 }
 
 // RunMacro measures one scenario's throughput with opts.Clients
@@ -304,6 +340,7 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 	type clientOut struct {
 		ops  int
 		rows int
+		durs []time.Duration
 		err  error
 	}
 	outs := make([]clientOut, opts.Clients)
@@ -354,26 +391,32 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 					return
 				}
 			}
+			outs[c].durs = make([]time.Duration, 0, opts.Runs)
 			for i := 0; i < opts.Runs; i++ {
+				opStart := time.Now()
 				rows, err := sc.Run(ctx, conn, base+opts.Warmup+i)
+				opElapsed := time.Since(opStart)
 				if err != nil {
 					outs[c].err = err
 					return
 				}
 				outs[c].ops++
 				outs[c].rows += rows
+				outs[c].durs = append(outs[c].durs, opElapsed)
 			}
 		}(c)
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 	totalRows := 0
+	var durs []time.Duration
 	for _, o := range outs {
 		if o.err != nil && res.Err == nil {
 			res.Err = o.err
 		}
 		res.Ops += o.ops
 		totalRows += o.rows
+		durs = append(durs, o.durs...)
 	}
 	if res.Ops > 0 && res.Elapsed > 0 {
 		res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
@@ -381,6 +424,12 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		// nanosecond per op and the error scales with the client count.
 		res.MeanLatency = res.Elapsed * time.Duration(opts.Clients) / time.Duration(res.Ops)
 		res.RowsPerOp = float64(totalRows) / float64(res.Ops)
+	}
+	if len(durs) > 0 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		res.P50Latency = quantile(durs, 50)
+		res.P95Latency = quantile(durs, 95)
+		res.P99Latency = quantile(durs, 99)
 	}
 	if statsCC != nil {
 		if res.Ops > 0 {
@@ -399,6 +448,9 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		after := statsSS.ShardStats()
 		res.Shards = after.Shards
 		res.ShardPruneRate = pruneDelta(ssBefore, after)
+		res.ShardFastPath = after.FastPathHits - ssBefore.FastPathHits
+		res.ShardHedgeFired = after.HedgeFired - ssBefore.HedgeFired
+		res.ShardHedgeWon = after.HedgeWon - ssBefore.HedgeWon
 	}
 	return res
 }

@@ -7,6 +7,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -41,6 +42,15 @@ type Connector interface {
 	Connect() (Conn, error)
 }
 
+// ContextConn is an optional Conn extension for cancelable queries. A
+// hedged-read router uses it to abandon the losing replica: sessions
+// that implement it honor ctx cancellation (at least between
+// statements), others simply run the query to completion and the
+// caller discards the result.
+type ContextConn interface {
+	QueryContext(ctx context.Context, query string) (*ResultSet, error)
+}
+
 // ShardStats is a snapshot of a sharded connector's scatter-gather
 // counters. Connections to a cluster expose it through a ShardStats()
 // method (the benchmark core detects the method by interface assertion,
@@ -49,6 +59,9 @@ type Connector interface {
 type ShardStats struct {
 	// Shards is the cluster size.
 	Shards int
+	// Replicas is the replication factor (copies of each shard), 1 for
+	// an unreplicated cluster.
+	Replicas int
 	// Scatters counts routed statements that fanned out (or could have).
 	Scatters int
 	// ShardQueries counts per-shard statements actually sent.
@@ -56,12 +69,30 @@ type ShardStats struct {
 	// Pruned counts per-shard statements avoided because the shard's
 	// data MBR cannot intersect the query window.
 	Pruned int
+	// PrunableSent counts per-shard statements sent by prune-eligible
+	// scatters — those whose query carried a constant spatial window
+	// (or kNN bound) the router could prune against. ShardQueries
+	// minus PrunableSent were sent by scatters with nothing to prune
+	// on; counting them in the prune-rate denominator would understate
+	// pruning on mixed workloads.
+	PrunableSent int
+	// FastPathHits counts statements resolved to a single owning shard
+	// and forwarded verbatim, skipping the scatter/merge machinery.
+	FastPathHits int
+	// HedgeFired counts hedged second requests issued after the
+	// per-class latency threshold expired.
+	HedgeFired int
+	// HedgeWon counts hedged requests whose reply arrived before the
+	// primary's.
+	HedgeWon int
 }
 
 // PruneRate is the fraction of potential shard queries avoided by
-// spatial pruning, -1 when nothing was routed.
+// spatial pruning, over prune-eligible scatters only; -1 when nothing
+// prune-eligible was routed. A windowless full scan is not eligible
+// and does not drag the rate toward zero.
 func (s ShardStats) PruneRate() float64 {
-	total := s.ShardQueries + s.Pruned
+	total := s.PrunableSent + s.Pruned
 	if total == 0 {
 		return -1
 	}
@@ -127,6 +158,16 @@ func (c *inProcConn) Query(query string) (*ResultSet, error) {
 		return nil, err
 	}
 	return FromSQLResult(res), nil
+}
+
+// QueryContext implements ContextConn. The engine itself is not
+// interruptible, so cancellation is honored at statement entry: a query
+// whose context is already dead never starts.
+func (c *inProcConn) QueryContext(ctx context.Context, query string) (*ResultSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Query(query)
 }
 
 // CacheCounters snapshots the engine's cache-layer hit/miss counters

@@ -459,3 +459,28 @@ func TestConcurrentReaders(t *testing.T) {
 		}
 	}
 }
+
+// TestLimitZero pins LIMIT 0 returning no rows on every executor shape:
+// the streaming scan used to emit one row before noticing the limit.
+func TestLimitZero(t *testing.T) {
+	e := newTestEngine(t)
+	e.MustExec("INSERT INTO cities VALUES " +
+		"(1, 'a', 10, ST_MakePoint(1, 1)), (2, 'b', 20, ST_MakePoint(2, 2)), (3, 'c', 30, ST_MakePoint(3, 3))")
+	for _, q := range []string{
+		"SELECT id FROM cities LIMIT 0",
+		"SELECT id FROM cities ORDER BY id LIMIT 0",
+		"SELECT id FROM cities ORDER BY ST_Distance(loc, ST_MakePoint(0, 0)) LIMIT 0",
+		"SELECT id, COUNT(*) FROM cities GROUP BY id LIMIT 0",
+		"SELECT id FROM cities LIMIT 0 OFFSET 2",
+		"SELECT id FROM cities LIMIT 2 OFFSET 5",
+	} {
+		res := e.MustExec(q)
+		if len(res.Rows) != 0 {
+			t.Errorf("%s: got %d rows, want 0", q, len(res.Rows))
+		}
+	}
+	res := e.MustExec("SELECT id FROM cities LIMIT 2 OFFSET 2")
+	if len(res.Rows) != 1 {
+		t.Errorf("LIMIT 2 OFFSET 2: got %d rows, want 1", len(res.Rows))
+	}
+}

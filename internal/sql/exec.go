@@ -676,6 +676,9 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		offset := sel.Offset
 		skipped := 0
 		_, err := produce(0, nil, func(row []storage.Value) (bool, error) {
+			if limit >= 0 && len(res.Rows) >= limit {
+				return false, nil
+			}
 			if skipped < offset {
 				skipped++
 				return true, nil
@@ -745,6 +748,9 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		offset := sel.Offset
 		skipped := 0
 		_, err := prod(0, nil, func(row []storage.Value) (bool, error) {
+			if limit >= 0 && len(res.Rows) >= limit {
+				return false, nil
+			}
 			if skipped < offset {
 				skipped++
 				return true, nil

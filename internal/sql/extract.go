@@ -72,8 +72,37 @@ func ExtractSpatialWindow(where Expr, isGeomCol func(table, column string) bool,
 }
 
 // conjunctWindow matches one conjunct against the pred(geomcol, probe)
-// pattern, mirroring trySpatialWindow + evalWindow.
+// pattern, mirroring trySpatialWindow + evalWindow. Equality on the
+// geometry column (geomcol = probe) also contributes a window: equal
+// geometries have equal envelopes, so matching rows are confined to the
+// probe's envelope.
 func conjunctWindow(c Expr, isGeomCol func(table, column string) bool, reg *Registry) (geom.Rect, bool) {
+	if be, ok := c.(*BinaryExpr); ok && be.Op == "=" {
+		sides := [2]Expr{be.Left, be.Right}
+		for i := 0; i < 2; i++ {
+			col, isCol := sides[i].(*ColumnRef)
+			if !isCol || !isGeomCol(col.Table, col.Column) {
+				continue
+			}
+			probe := sides[1-i]
+			if HasColumnRef(probe) {
+				continue
+			}
+			v, err := Eval(probe, nil, reg)
+			if err != nil {
+				continue
+			}
+			if v.IsNull() {
+				// geom = NULL is never true.
+				return geom.EmptyRect(), true
+			}
+			if v.Type != storage.TypeGeom {
+				continue // engine-side coercion rules unknown: no pruning
+			}
+			return v.Geom.Envelope(), true
+		}
+		return geom.Rect{}, false
+	}
 	fc, ok := c.(*FuncCall)
 	if !ok {
 		return geom.Rect{}, false
