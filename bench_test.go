@@ -1399,3 +1399,109 @@ func TestWriteBatchBench(t *testing.T) {
 	t.Logf("total speedup %.2fx (row %v, batch %v); guard %s %.0f allocs/op; wrote BENCH_batch.json (%d bytes)",
 		out.TotalSpeedup, rowTotal, batchTotal, batchGuardQueryID, guardAllocs, len(buf))
 }
+
+// TestWritePersistBench regenerates BENCH_persist.json, the committed
+// E18 durability baseline. Gated behind JACKPINE_WRITE_BENCH=1 like
+// TestWriteParallelBench:
+//
+//	JACKPINE_WRITE_BENCH=1 go test -run TestWritePersistBench .
+func TestWritePersistBench(t *testing.T) {
+	if os.Getenv("JACKPINE_WRITE_BENCH") != "1" {
+		t.Skip("set JACKPINE_WRITE_BENCH=1 to rewrite BENCH_persist.json")
+	}
+	cfg := experiments.DefaultConfig()
+	dir := t.TempDir()
+	cells, st, err := experiments.MeasureE18(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, warm, steady := cells[0], cells[1], cells[2]
+
+	type microOut struct {
+		ID            string  `json:"id"`
+		Name          string  `json:"name"`
+		ColdUS        int64   `json:"cold_us"`
+		WarmUS        int64   `json:"warm_us"`
+		SteadyUS      int64   `json:"steady_us"`
+		ColdWarmRatio float64 `json:"cold_warm_ratio"`
+	}
+	type macroOut struct {
+		ID        string  `json:"id"`
+		Name      string  `json:"name"`
+		ColdOps   float64 `json:"cold_ops_per_s"`
+		WarmOps   float64 `json:"warm_ops_per_s"`
+		SteadyOps float64 `json:"steady_ops_per_s"`
+		WALFsyncs int     `json:"wal_fsyncs"`
+	}
+	out := struct {
+		Experiment      string     `json:"experiment"`
+		Date            string     `json:"date"`
+		CPUs            int        `json:"cpus"`
+		Scale           string     `json:"scale"`
+		Warmup          int        `json:"warmup"`
+		Runs            int        `json:"runs"`
+		LoadMS          int64      `json:"load_ms"`
+		WALAppends      uint64     `json:"wal_appends"`
+		WALCommits      uint64     `json:"wal_commits"`
+		WALFsyncs       uint64     `json:"wal_fsyncs"`
+		GroupCommitSize float64    `json:"group_commit_size"`
+		Recovered       uint64     `json:"recovered_records"`
+		Note            string     `json:"note"`
+		Micro           []microOut `json:"micro"`
+		Macro           []macroOut `json:"macro"`
+	}{
+		Experiment:      "E18 durability: WAL, recovery, cold vs warm vs steady (GaiaDB)",
+		Date:            time.Now().UTC().Format("2006-01-02"),
+		CPUs:            runtime.NumCPU(),
+		Scale:           cfg.Scale.String(),
+		Warmup:          cfg.Opts.Warmup,
+		Runs:            cfg.Opts.Runs,
+		LoadMS:          st.LoadTime.Milliseconds(),
+		WALAppends:      st.Load.Appends,
+		WALCommits:      st.Load.Commits,
+		WALFsyncs:       st.Load.Fsyncs,
+		GroupCommitSize: st.Load.GroupCommitSize(),
+		Recovered:       st.Recovered,
+		Note: "cold = reopened directory (recovery + empty buffer pool, the " +
+			"pool dropped before every micro query and macro scenario; " +
+			"warmup=0, runs=1 for micros); warm = same engine after the cold " +
+			"pass; steady = the in-memory baseline engine. recovered_records " +
+			"is 0 when the load's Close checkpointed cleanly. wal_fsyncs in " +
+			"macro rows is the warm pass's count: only MS5 (land information " +
+			"management) writes.",
+	}
+	for i := range cold.Micro {
+		c, wa, s := cold.Micro[i], warm.Micro[i], steady.Micro[i]
+		ratio := 0.0
+		if wa.Mean > 0 {
+			ratio = float64(c.Mean) / float64(wa.Mean)
+		}
+		out.Micro = append(out.Micro, microOut{
+			ID: c.ID, Name: c.Name,
+			ColdUS:        c.Mean.Microseconds(),
+			WarmUS:        wa.Mean.Microseconds(),
+			SteadyUS:      s.Mean.Microseconds(),
+			ColdWarmRatio: math.Round(ratio*100) / 100,
+		})
+	}
+	for i := range cold.Macro {
+		c, wa, s := cold.Macro[i], warm.Macro[i], steady.Macro[i]
+		out.Macro = append(out.Macro, macroOut{
+			ID: c.ID, Name: c.Name,
+			ColdOps:   math.Round(c.Throughput*10) / 10,
+			WarmOps:   math.Round(wa.Throughput*10) / 10,
+			SteadyOps: math.Round(s.Throughput*10) / 10,
+			WALFsyncs: wa.WALFsyncs,
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_persist.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load %s, %d fsyncs (group commit %.1f); wrote BENCH_persist.json (%d bytes)",
+		st.LoadTime.Round(time.Millisecond), st.Load.Fsyncs, st.Load.GroupCommitSize(), len(buf))
+}

@@ -11,9 +11,10 @@
 // index-effect (E5), scaleup (E6), mbr (E7), features (E8), cache (E9),
 // concurrency (E10), selectivity (E11), join-ablation (E12),
 // parallelism (E13), decode (E14), scaleout (E15), topo-prep (E16),
-// batch (E17).
+// batch (E17), persist (E18).
 // Add -full-joins to run the micro joins over the whole extent as the
-// paper did.
+// paper did. Add -data <dir> to root the durable suites at a fixed
+// directory instead of a temporary one.
 package main
 
 import (
@@ -42,7 +43,7 @@ func run() error {
 	var (
 		scaleFlag   = flag.String("scale", "small", "dataset scale: small, medium, large")
 		seed        = flag.Int64("seed", 1, "dataset / probe seed")
-		suite       = flag.String("suite", "all", "experiment suite to run: all, dataset, queries, micro-topo, micro-analysis, macro, index-effect, scaleup, mbr, features, cache, concurrency, selectivity, join-ablation, parallelism, decode, scaleout, topo-prep, batch")
+		suite       = flag.String("suite", "all", "experiment suite to run: all, dataset, queries, micro-topo, micro-analysis, macro, index-effect, scaleup, mbr, features, cache, concurrency, selectivity, join-ablation, parallelism, decode, scaleout, topo-prep, batch, persist")
 		enginesFlag = flag.String("engines", "gaiadb,myspatial,commercedb", "comma-separated engine profiles")
 		warmup      = flag.Int("warmup", 2, "warmup iterations per query")
 		runs        = flag.Int("runs", 5, "measured iterations per query")
@@ -52,6 +53,7 @@ func run() error {
 		fullJoins   = flag.Bool("full-joins", false, "run micro joins over the full extent (as the paper did) instead of sampled windows")
 		shardsFlag  = flag.String("shards", "1,2,4,8", "comma-separated cluster sizes for -suite scaleout")
 		replicas    = flag.Int("replicas", 1, "replicas per shard for -suite scaleout (reads hedge across them when > 1)")
+		dataDir     = flag.String("data", "", "data directory for the durable suites (persist); empty uses a temporary directory")
 	)
 	flag.Parse()
 
@@ -74,6 +76,7 @@ func run() error {
 		Opts:      core.Options{Warmup: *warmup, Runs: *runs, Clients: *clients},
 		Profiles:  profiles,
 		FullJoins: *fullJoins,
+		DataDir:   *dataDir,
 	}
 	out := os.Stdout
 
@@ -147,6 +150,7 @@ func run() error {
 		{"scaleout", func() error { return experiments.RunE15(out, cfg, shardCounts, *replicas) }},
 		{"topo-prep", func() error { return experiments.RunE16(out, cfg) }},
 		{"batch", func() error { return experiments.RunE17(out, cfg) }},
+		{"persist", func() error { return experiments.RunE18(out, cfg) }},
 	}
 	ran := false
 	for _, s := range steps {

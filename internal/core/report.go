@@ -52,13 +52,13 @@ func WriteMicroTable(w io.Writer, results []MicroResult) {
 // columns are blank when the connection does not expose cache counters
 // or the cache saw no traffic.
 func WriteMicroCSV(w io.Writer, results []MicroResult) {
-	fmt.Fprintln(w, "id,name,category,engine,runs,parallelism,mean_us,p50_us,p95_us,p99_us,min_us,max_us,rows,unsupported,error,pool_hit,geom_cache_hit,plan_cache_hit,prep_hit,allocs,bytes,shards,shard_prune,shard_fastpath,hedge_fired,hedge_won")
+	fmt.Fprintln(w, "id,name,category,engine,runs,parallelism,mean_us,p50_us,p95_us,p99_us,min_us,max_us,rows,unsupported,error,pool_hit,geom_cache_hit,plan_cache_hit,prep_hit,allocs,bytes,shards,shard_prune,shard_fastpath,hedge_fired,hedge_won,wal_fsync,dirty_pages")
 	for _, r := range results {
 		errMsg := ""
 		if r.Err != nil {
 			errMsg = strings.ReplaceAll(r.Err.Error(), ",", ";")
 		}
-		fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+		fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%v,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
 			r.ID, csvQuote(r.Name), r.Category, r.Engine, r.Runs, r.Parallelism,
 			r.Mean.Microseconds(), r.Median.Microseconds(), r.P95.Microseconds(),
 			r.P99.Microseconds(), r.Min.Microseconds(), r.Max.Microseconds(),
@@ -67,7 +67,8 @@ func WriteMicroCSV(w io.Writer, results []MicroResult) {
 			fmtRatio(r.TopoPrepHitRatio), fmtCount(r.AllocsPerRun), fmtCount(r.BytesPerRun),
 			fmtShards(r.Shards), fmtRatio(r.ShardPruneRate),
 			fmtShardCount(r.Shards, r.ShardFastPath), fmtShardCount(r.Shards, r.ShardHedgeFired),
-			fmtShardCount(r.Shards, r.ShardHedgeWon))
+			fmtShardCount(r.Shards, r.ShardHedgeWon),
+			fmtIntCount(r.WALFsyncs), fmtIntCount(r.DirtyPages))
 	}
 }
 
@@ -113,13 +114,13 @@ func WriteMacroTable(w io.Writer, results []MacroResult) {
 // WriteMacroCSV renders macro results as CSV. Hit-ratio columns follow
 // the micro CSV convention (blank when unknown).
 func WriteMacroCSV(w io.Writer, results []MacroResult) {
-	fmt.Fprintln(w, "id,name,engine,clients,parallelism,ops,elapsed_ms,ops_per_sec,mean_latency_us,p50_latency_us,p95_latency_us,p99_latency_us,rows_per_op,unsupported,error,pool_hit,geom_cache_hit,plan_cache_hit,prep_hit,allocs,bytes,shards,shard_prune,shard_fastpath,hedge_fired,hedge_won")
+	fmt.Fprintln(w, "id,name,engine,clients,parallelism,ops,elapsed_ms,ops_per_sec,mean_latency_us,p50_latency_us,p95_latency_us,p99_latency_us,rows_per_op,unsupported,error,pool_hit,geom_cache_hit,plan_cache_hit,prep_hit,allocs,bytes,shards,shard_prune,shard_fastpath,hedge_fired,hedge_won,wal_fsync,dirty_pages")
 	for _, r := range results {
 		errMsg := ""
 		if r.Err != nil {
 			errMsg = strings.ReplaceAll(r.Err.Error(), ",", ";")
 		}
-		fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%.3f,%d,%d,%d,%d,%.1f,%v,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+		fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%.3f,%d,%d,%d,%d,%.1f,%v,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
 			r.ID, csvQuote(r.Name), r.Engine, r.Clients, r.Parallelism, r.Ops,
 			r.Elapsed.Milliseconds(), r.Throughput, r.MeanLatency.Microseconds(),
 			r.P50Latency.Microseconds(), r.P95Latency.Microseconds(), r.P99Latency.Microseconds(),
@@ -128,7 +129,8 @@ func WriteMacroCSV(w io.Writer, results []MacroResult) {
 			fmtRatio(r.TopoPrepHitRatio), fmtCount(r.AllocsPerOp), fmtCount(r.BytesPerOp),
 			fmtShards(r.Shards), fmtRatio(r.ShardPruneRate),
 			fmtShardCount(r.Shards, r.ShardFastPath), fmtShardCount(r.Shards, r.ShardHedgeFired),
-			fmtShardCount(r.Shards, r.ShardHedgeWon))
+			fmtShardCount(r.Shards, r.ShardHedgeWon),
+			fmtIntCount(r.WALFsyncs), fmtIntCount(r.DirtyPages))
 	}
 }
 
@@ -144,6 +146,15 @@ func fmtShards(n int) string {
 // single-engine runs (where the value is meaningless rather than zero).
 func fmtShardCount(shards, n int) string {
 	if shards <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// fmtIntCount renders a durability counter, blank when unknown (< 0,
+// i.e. the engine has no WAL attached).
+func fmtIntCount(n int) string {
+	if n < 0 {
 		return ""
 	}
 	return fmt.Sprintf("%d", n)

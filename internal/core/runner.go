@@ -101,6 +101,12 @@ type MicroResult struct {
 	ShardFastPath   int
 	ShardHedgeFired int
 	ShardHedgeWon   int
+
+	// WALFsyncs is the number of log fsyncs over the measured iterations
+	// and DirtyPages the buffer-pool dirty-page gauge sampled after them.
+	// -1 when the engine is not durable (the shard-column convention).
+	WALFsyncs  int
+	DirtyPages int
 }
 
 // MacroResult is the measurement of one macro scenario on one engine.
@@ -148,6 +154,10 @@ type MacroResult struct {
 	ShardFastPath   int
 	ShardHedgeFired int
 	ShardHedgeWon   int
+
+	// WALFsyncs / DirtyPages as in MicroResult, over the measured phase.
+	WALFsyncs  int
+	DirtyPages int
 }
 
 // cacheCounterConn is implemented by in-process connections that can
@@ -206,6 +216,7 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			TopoPrepHitRatio: -1,
 			AllocsPerRun:     -1, BytesPerRun: -1,
 			ShardPruneRate: -1,
+			WALFsyncs:      -1, DirtyPages: -1,
 		}
 		// Warmup (also surfaces unsupported functions cheaply).
 		aborted := false
@@ -265,6 +276,10 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 				res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
 				res.PlanCacheHitRatio = cacheRatio(after.PlanHits-before.PlanHits, after.PlanMisses-before.PlanMisses)
 				res.TopoPrepHitRatio = cacheRatio(after.PrepHits-before.PrepHits, after.PrepMisses-before.PrepMisses)
+				if after.WALEnabled {
+					res.WALFsyncs = int(after.WALFsyncs - before.WALFsyncs)
+					res.DirtyPages = int(after.DirtyPages) // gauge, not a delta
+				}
 			}
 			if hasSS && len(durations) > 0 {
 				after := ss.ShardStats()
@@ -317,6 +332,7 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		TopoPrepHitRatio: -1,
 		AllocsPerOp:      -1, BytesPerOp: -1,
 		ShardPruneRate: -1,
+		WALFsyncs:      -1, DirtyPages: -1,
 	}
 
 	// Feature probe: run one operation; an unsupported error marks the
@@ -443,6 +459,10 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		res.GeomCacheHitRatio = cacheRatio(after.GeomHits-before.GeomHits, after.GeomMisses-before.GeomMisses)
 		res.PlanCacheHitRatio = cacheRatio(after.PlanHits-before.PlanHits, after.PlanMisses-before.PlanMisses)
 		res.TopoPrepHitRatio = cacheRatio(after.PrepHits-before.PrepHits, after.PrepMisses-before.PrepMisses)
+		if after.WALEnabled {
+			res.WALFsyncs = int(after.WALFsyncs - before.WALFsyncs)
+			res.DirtyPages = int(after.DirtyPages) // gauge, not a delta
+		}
 	}
 	if statsSS != nil {
 		after := statsSS.ShardStats()

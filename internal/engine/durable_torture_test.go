@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The crash-torture harness. A "crash" is a byte-level copy of the data
+// directory taken at some instant — exactly what a kill -9 leaves on
+// disk, since every commit fsyncs before the statement returns. Each
+// copy must reopen to the committed-prefix state: the transcript equal
+// to the one observed right after some prefix of the executed
+// statements. Tail truncations and corruptions model writes that were
+// in flight when the power went; they may shorten the recovered prefix
+// but must never yield a state outside the committed set, and must
+// never panic.
+
+// copyDir snapshots the flat data directory (pages.db, wal.log).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		in, err := os.Open(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// tortureTranscript reads the whole state deterministically.
+func tortureTranscript(t *testing.T, e *Engine) string {
+	t.Helper()
+	res, err := e.Exec("SELECT id, tag, ST_AsText(g) FROM tt ORDER BY id")
+	if err != nil {
+		return "no-table" // the committed prefix may predate CREATE TABLE
+	}
+	return transcript(res)
+}
+
+// tortureStatements is the workload: DDL, batched inserts with
+// overflow-sized rows, deletes, and a vacuum.
+func tortureStatements(n int) []string {
+	stmts := []string{
+		"CREATE TABLE tt (id INT, tag TEXT, g GEOMETRY)",
+		"CREATE SPATIAL INDEX sx ON tt (g)",
+	}
+	big := make([]byte, 12000) // forces overflow chains
+	for i := range big {
+		big[i] = 'a' + byte(i%26)
+	}
+	for i := 0; i < n; i++ {
+		tag := fmt.Sprintf("t%d", i)
+		if i%5 == 0 {
+			tag = string(big[:4000+i]) // spill some rows to overflow pages
+		}
+		stmts = append(stmts, fmt.Sprintf(
+			"INSERT INTO tt VALUES (%d, '%s', ST_GeomFromText('POINT(%d %d)'))", i, tag, i%10, i/10))
+		if i%7 == 3 {
+			stmts = append(stmts, fmt.Sprintf("DELETE FROM tt WHERE id = %d", i-2))
+		}
+	}
+	stmts = append(stmts, "VACUUM tt")
+	return stmts
+}
+
+// runTortureWorkload executes the workload on a durable engine rooted
+// at dir, snapshotting the directory after every statement, and returns
+// the expected transcript after each prefix (expected[i] = state after
+// statements[0..i]). checkpointAt triggers an explicit checkpoint after
+// that statement index (-1 for never).
+func runTortureWorkload(t *testing.T, dir, snapDir string, stmts []string, checkpointAt int, opts ...Option) []string {
+	t.Helper()
+	e, err := OpenDurable(GaiaDB(), dir, opts...)
+	if err != nil {
+		t.Fatalf("open durable: %v", err)
+	}
+	expected := make([]string, len(stmts))
+	for i, s := range stmts {
+		e.MustExec(s)
+		if i == checkpointAt {
+			if err := e.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after %d: %v", i, err)
+			}
+		}
+		expected[i] = tortureTranscript(t, e)
+		if snapDir != "" {
+			copyDir(t, dir, filepath.Join(snapDir, fmt.Sprintf("s%03d", i)))
+		}
+	}
+	// Hard kill: no Close. The engine object is simply abandoned.
+	return expected
+}
+
+// verifyRecovered opens a snapshot and checks its state is expected.
+func verifyRecovered(t *testing.T, dir, want string, label string) {
+	t.Helper()
+	r, err := OpenDurable(GaiaDB(), dir)
+	if err != nil {
+		t.Errorf("%s: reopen: %v", label, err)
+		return
+	}
+	defer r.Close()
+	if got := tortureTranscript(t, r); got != want {
+		t.Errorf("%s: recovered state is not the committed prefix\ngot:\n%.300s\nwant:\n%.300s", label, got, want)
+	}
+}
+
+// TestTortureKillAfterEveryStatement snapshots the directory after each
+// commit (under eviction pressure from a tiny pool) and verifies every
+// snapshot recovers to exactly that commit's state.
+func TestTortureKillAfterEveryStatement(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 12
+	}
+	base := t.TempDir()
+	dir, snapDir := filepath.Join(base, "db"), filepath.Join(base, "snaps")
+	stmts := tortureStatements(n)
+	// Tiny pool: evictions must flush mid-run, exercising the
+	// WAL-before-data ordering on the flush path.
+	expected := runTortureWorkload(t, dir, snapDir, stmts, len(stmts)/2, WithPoolPages(64))
+	for i := range stmts {
+		verifyRecovered(t, filepath.Join(snapDir, fmt.Sprintf("s%03d", i)), expected[i],
+			fmt.Sprintf("kill after stmt %d (%0.40s)", i, stmts[i]))
+	}
+}
+
+// walBoundaries parses the record frames of a WAL file and returns the
+// byte offset after each record — an independent restatement of the
+// framing, so a format regression shows up as a test disagreement.
+func walBoundaries(t *testing.T, path string) []int64 {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []int64
+	off := int64(32) // header
+	for off+8 <= int64(len(raw)) {
+		plen := int64(binary.LittleEndian.Uint32(raw[off:]))
+		end := off + 8 + plen
+		if plen < 9 || end > int64(len(raw)) {
+			break
+		}
+		bounds = append(bounds, end)
+		off = end
+	}
+	return bounds
+}
+
+// TestTortureWALTail truncates and corrupts the log tail of a hard-kill
+// snapshot at and around every record boundary. Every variant must
+// recover to some committed prefix — shorter is fine, different is not.
+func TestTortureWALTail(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 10
+	}
+	base := t.TempDir()
+	dir := filepath.Join(base, "db")
+	stmts := tortureStatements(n)
+	// Ample pool (no evictions) and no checkpoint: the page file stays at
+	// the bootstrap state, so any log prefix is a committed prefix.
+	expected := runTortureWorkload(t, dir, "", stmts, -1, WithPoolPages(4096))
+	expectedSet := map[string]bool{"no-table": true}
+	for _, s := range expected {
+		expectedSet[s] = true
+	}
+
+	walPath := filepath.Join(dir, WALFileName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := walBoundaries(t, walPath)
+	if len(bounds) < 4 {
+		t.Fatalf("workload produced only %d WAL records", len(bounds))
+	}
+
+	check := func(label string, mutate func(dst string)) {
+		vdir := filepath.Join(base, "v")
+		if err := os.RemoveAll(vdir); err != nil {
+			t.Fatal(err)
+		}
+		copyDir(t, dir, vdir)
+		mutate(filepath.Join(vdir, WALFileName))
+		r, err := OpenDurable(GaiaDB(), vdir)
+		if err != nil {
+			// A hard error (e.g. destroyed header) is acceptable: refusing
+			// to open is not data loss. Applying a wrong state would be.
+			return
+		}
+		got := tortureTranscript(t, r)
+		if err := r.Close(); err != nil {
+			t.Errorf("%s: close: %v", label, err)
+		}
+		if !expectedSet[got] {
+			t.Errorf("%s: recovered state matches no committed prefix:\n%.300s", label, got)
+		}
+	}
+	truncateTo := func(n int64) func(string) {
+		return func(p string) {
+			if err := os.Truncate(p, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	flipByte := func(at int64) func(string) {
+		return func(p string) {
+			f, err := os.OpenFile(p, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			var b [1]byte
+			if _, err := f.ReadAt(b[:], at); err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0x5A
+			if _, err := f.WriteAt(b[:], at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, b := range bounds {
+		for _, cut := range []int64{b - 1, b, b + 1} {
+			if cut < 0 || cut > int64(len(raw)) {
+				continue
+			}
+			check(fmt.Sprintf("truncate@%d", cut), truncateTo(cut))
+		}
+	}
+	// Sub-header and sub-record cuts.
+	for _, cut := range []int64{0, 1, 16, 31, 33, 40} {
+		if cut <= int64(len(raw)) {
+			check(fmt.Sprintf("truncate@%d", cut), truncateTo(cut))
+		}
+	}
+	// Corruption inside record bodies and CRCs: the damaged record and
+	// everything after it must be discarded.
+	for i, b := range bounds {
+		if i%3 != 0 {
+			continue
+		}
+		check(fmt.Sprintf("flip@%d", b-2), flipByte(b-2))     // CRC word
+		check(fmt.Sprintf("flip@%d", b-100), flipByte(b-100)) // payload
+	}
+}
+
+// TestTortureMidCheckpointKill snapshots the directory at every stage
+// of the checkpoint rotation and verifies each recovers to the state
+// the checkpoint was preserving.
+func TestTortureMidCheckpointKill(t *testing.T) {
+	n := 16
+	if testing.Short() {
+		n = 8
+	}
+	base := t.TempDir()
+	dir := filepath.Join(base, "db")
+	e, err := OpenDurable(GaiaDB(), dir, WithPoolPages(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tortureStatements(n) {
+		e.MustExec(s)
+	}
+	want := tortureTranscript(t, e)
+
+	stages := []string{}
+	e.wal.CheckpointHook = func(stage string) {
+		stages = append(stages, stage)
+		copyDir(t, dir, filepath.Join(base, "ckpt-"+stage))
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	e.wal.CheckpointHook = nil
+	if len(stages) == 0 {
+		t.Fatal("checkpoint hook never fired")
+	}
+	for _, stage := range stages {
+		verifyRecovered(t, filepath.Join(base, "ckpt-"+stage), want, "kill at checkpoint stage "+stage)
+	}
+	// And the engine that completed the checkpoint still agrees.
+	if got := tortureTranscript(t, e); got != want {
+		t.Errorf("state changed across checkpoint")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	verifyRecovered(t, dir, want, "clean close after checkpoint")
+}

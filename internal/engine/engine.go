@@ -9,6 +9,7 @@ import (
 
 	"jackpine/internal/sql"
 	"jackpine/internal/storage"
+	"jackpine/internal/storage/wal"
 )
 
 // defaultPoolPages sizes the buffer pool when the profile does not
@@ -35,6 +36,17 @@ type Engine struct {
 	// index bumps it, invalidating cached plans parsed under an older
 	// epoch.
 	ddlEpoch atomic.Uint64
+
+	// Durability state (nil/zero for in-memory engines; see durable.go).
+	wal       *wal.WAL
+	dataDir   string
+	ckptBytes int64
+	catPages  []uint32 // catalog page chain, head first
+	catLast   []byte   // last serialized catalog, for change detection
+	// inflight tracks commits whose fsync runs outside e.mu; Checkpoint
+	// drains it before rotating the log so no commit record can land in
+	// a generation that postdates its page images.
+	inflight sync.WaitGroup
 
 	mu     sync.RWMutex
 	tables map[string]*table
@@ -259,6 +271,15 @@ type CacheCounters struct {
 	GeomHits, GeomMisses uint64
 	PlanHits, PlanMisses uint64
 	PrepHits, PrepMisses uint64
+
+	// Durability counters; meaningful only when WALEnabled (in-memory
+	// engines report zeroes and reports render the columns as unknown).
+	// DirtyPages is a gauge — sample it, do not difference it.
+	WALEnabled  bool
+	WALAppends  uint64
+	WALFsyncs   uint64
+	PoolFlushes uint64
+	DirtyPages  uint64
 }
 
 // CacheCounters snapshots all cache layers at once.
@@ -267,12 +288,21 @@ func (e *Engine) CacheCounters() CacheCounters {
 	gs := e.geomCache.Stats()
 	cs := e.plans.snapshot()
 	ph, pm := e.reg.PreparedCounters()
-	return CacheCounters{
+	out := CacheCounters{
 		PoolHits: ps.Hits, PoolMisses: ps.Misses,
 		GeomHits: gs.Hits, GeomMisses: gs.Misses,
 		PlanHits: cs.Hits, PlanMisses: cs.Misses,
 		PrepHits: uint64(ph), PrepMisses: uint64(pm),
 	}
+	if e.wal != nil {
+		ws := e.wal.Stats()
+		out.WALEnabled = true
+		out.WALAppends = ws.Appends
+		out.WALFsyncs = ws.Fsyncs
+		out.PoolFlushes = ps.Flushes
+		out.DirtyPages = uint64(e.pool.DirtyPages())
+	}
+	return out
 }
 
 // ResetCacheStats zeroes the activity counters of every cache layer
@@ -284,8 +314,19 @@ func (e *Engine) ResetCacheStats() {
 	e.reg.ResetPreparedCounters()
 }
 
-// Close releases the backing store.
+// Close releases the backing store. Durable engines checkpoint first,
+// so a clean close leaves an empty log and a fully materialized page
+// file.
 func (e *Engine) Close() error {
+	if e.wal != nil {
+		if err := e.Checkpoint(); err != nil {
+			return err
+		}
+		if err := e.wal.Close(); err != nil {
+			return err
+		}
+		return e.store.Close()
+	}
 	if err := e.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -341,17 +382,43 @@ func cacheableSQL(query string) bool {
 // execStatement runs a parsed statement under the engine's lock
 // discipline: read-only statements share the read lock (EXPLAIN plans
 // without executing and must not serialize readers), everything else
-// takes the write lock.
+// takes the write lock. On a durable engine every mutating statement is
+// a transaction: its dirty pages and catalog are logged and the commit
+// record appended under the lock (so log order is commit order), but
+// the fsync happens after release — that is what lets concurrent
+// committers share one fsync (group commit).
 func (e *Engine) execStatement(stmt sql.Statement) (*sql.Result, error) {
 	switch stmt.(type) {
 	case *sql.Select, *sql.Explain:
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-	default:
-		e.mu.Lock()
-		defer e.mu.Unlock()
+		return e.runner.Execute(stmt)
 	}
-	return e.runner.Execute(stmt)
+	e.mu.Lock()
+	res, err := e.runner.Execute(stmt)
+	if err != nil || e.wal == nil {
+		e.mu.Unlock()
+		return res, err
+	}
+	end, cerr := e.commitLocked()
+	needCkpt := cerr == nil && e.wal.Size() >= e.ckptBytes
+	e.mu.Unlock()
+	if cerr != nil {
+		return nil, fmt.Errorf("engine: durable commit: %w", cerr)
+	}
+	if end != 0 {
+		serr := e.wal.Sync(end)
+		e.inflight.Done()
+		if serr != nil {
+			return nil, serr
+		}
+	}
+	if needCkpt {
+		if err := e.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // ExecParsed executes an already-parsed statement under the same lock

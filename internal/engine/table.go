@@ -128,6 +128,26 @@ func newTable(name string, cols []sql.Column, pool *storage.BufferPool, gc *stor
 	return t
 }
 
+// newTableFromHeap is newTable over an already-populated heap,
+// reattached from a persistent catalog. Indexes are not restored here;
+// the caller rebuilds them from their catalog definitions.
+func newTableFromHeap(name string, cols []sql.Column, heap *storage.HeapFile, gc *storage.GeomCache) *table {
+	t := &table{
+		name:     name,
+		cols:     cols,
+		heap:     heap,
+		gc:       gc,
+		spatial:  make(map[string]spatialIndex),
+		geomCols: make(map[string]int),
+	}
+	for i, c := range cols {
+		if c.Type == storage.TypeGeom {
+			t.geomCols[c.Name] = i
+		}
+	}
+	return t
+}
+
 // Name implements sql.Table.
 func (t *table) Name() string { return t.name }
 
@@ -419,14 +439,19 @@ func (t *table) dropSpatialIndex(column string) bool {
 func (t *table) rebuild(pool *storage.BufferPool, idxType IndexType, gridDim int) error {
 	t.gc.InvalidateTable(t.name)
 	fresh := storage.NewHeapFile(pool)
+	var innerErr error
 	err := t.heap.Scan(func(_ storage.RecordID, tuple []byte) bool {
 		// Tuples are copied verbatim; decode errors would have surfaced
 		// on the way in.
 		if _, err := fresh.Insert(append([]byte(nil), tuple...)); err != nil {
-			panic(err) // memory-backed insert cannot fail mid-rebuild
+			innerErr = err // a file-backed pool can fail mid-rebuild (disk, NO-STEAL pressure)
+			return false
 		}
 		return true
 	})
+	if innerErr != nil {
+		return innerErr
+	}
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,10 @@ type Config struct {
 	// FullJoins makes the micro joins run over the whole extent, as the
 	// original paper did, instead of sampled windows.
 	FullJoins bool
+	// DataDir roots the durable experiments (E18): the write-ahead log
+	// and page file live under it. Empty means a temporary directory
+	// removed when the experiment finishes.
+	DataDir string
 }
 
 // DefaultConfig returns small-scale defaults suitable for interactive

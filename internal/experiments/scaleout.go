@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -27,6 +28,14 @@ func SetupCluster(p engine.Profile, ds *tiger.Dataset, n int) (*cluster.Cluster,
 // grid-partition slice, so reads can load-balance and hedge across
 // them while writes broadcast.
 func SetupReplicatedCluster(p engine.Profile, ds *tiger.Dataset, n, replicas int) (*cluster.Cluster, error) {
+	return SetupReplicatedClusterAt(p, ds, n, replicas, "")
+}
+
+// SetupReplicatedClusterAt is SetupReplicatedCluster with durable
+// shards: when dataDir is non-empty each engine persists to its own
+// subdirectory (shardNN/ or shardNN-rR/ with replication) so the whole
+// cluster survives restarts. Empty dataDir keeps the engines in memory.
+func SetupReplicatedClusterAt(p engine.Profile, ds *tiger.Dataset, n, replicas int, dataDir string) (*cluster.Cluster, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -38,7 +47,19 @@ func SetupReplicatedCluster(p engine.Profile, ds *tiger.Dataset, n, replicas int
 	for i := range groups {
 		groups[i] = make([]driver.Connector, replicas)
 		for r := 0; r < replicas; r++ {
-			eng := engine.Open(p)
+			var eng *engine.Engine
+			if dataDir == "" {
+				eng = engine.Open(p)
+			} else {
+				sub := fmt.Sprintf("shard%02d", i)
+				if replicas > 1 {
+					sub = fmt.Sprintf("shard%02d-r%d", i, r)
+				}
+				eng, err = engine.OpenDurable(p, filepath.Join(dataDir, sub))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: open shard %d/%d replica %d: %w", i, n, r, err)
+				}
+			}
 			if err := tiger.LoadShard(engineExecer{eng}, ds, true, i, part.Assign); err != nil {
 				return nil, fmt.Errorf("experiments: load shard %d/%d replica %d: %w", i, n, r, err)
 			}

@@ -10,5 +10,6 @@ func All() []*Analyzer {
 		HotPathDecode,
 		LockDiscipline,
 		PreparedTopo,
+		SyncErr,
 	}
 }

@@ -39,6 +39,11 @@ func TestPreparedTopo(t *testing.T) {
 		"pt/internal/sql", "pt/internal/engine")
 }
 
+func TestSyncErr(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SyncErr,
+		"se/internal/storage", "se/internal/storage/wal")
+}
+
 // TestAnalyzersScopeOut pins that analyzers stay silent on packages outside
 // their scope: the fixture trees are full of each other's violations, but an
 // analyzer must only speak inside the package set its invariant covers.
@@ -54,6 +59,7 @@ func TestAnalyzersScopeOut(t *testing.T) {
 		{lint.CtxPropagate, "ld/internal/engine"},
 		{lint.ErrWrap, "fc/internal/topo"},
 		{lint.PreparedTopo, "pt/internal/topo"},
+		{lint.SyncErr, "se/internal/wire"},
 	}
 	for _, c := range cases {
 		if diags := linttest.Diagnostics(t, "testdata", c.a, c.pkg); len(diags) > 0 {

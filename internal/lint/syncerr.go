@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SyncErr guards the durability layer's error discipline: on POSIX
+// filesystems, delayed write errors surface at fsync or close — an
+// os.File.Sync or Close whose error is dropped can silently lose the
+// only report that a committed page or log record never reached disk.
+// Inside internal/storage (the page stores, buffer pool, and WAL) every
+// such error must be handled; intentional discards on handles with no
+// durable writes (error-path cleanup, superseded log generations,
+// read-only directory handles) carry a //lint:allow with the
+// justification.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc: "flag discarded os.File.Close/Sync errors under internal/storage: " +
+		"statement-position calls, defer/go statements, and blank assignments " +
+		"all drop the delayed write error that reports lost durability",
+	Run: runSyncErr,
+}
+
+func runSyncErr(pass *Pass) error {
+	if !pathUnder(pass.Pkg.Path(), "internal/storage") {
+		return nil
+	}
+	report := func(expr ast.Expr, how string) {
+		call, ok := expr.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") || len(call.Args) != 0 {
+			return
+		}
+		if !isNamedType(pass.TypesInfo.TypeOf(sel.X), "os", "File") {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%sos.File.%s discards its error: delayed write errors surface here and "+
+				"dropping them loses the only report of a failed durable write; "+
+				"handle the error or justify with //lint:allow syncerr",
+			how, sel.Sel.Name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				report(s.X, "")
+			case *ast.DeferStmt:
+				report(s.Call, "deferred ")
+			case *ast.GoStmt:
+				report(s.Call, "go-spawned ")
+			case *ast.AssignStmt:
+				// `_ = f.Close()` is still a discard, just a visible one.
+				if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+					if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						report(s.Rhs[0], "blank-assigned ")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package os is a hermetic fixture stub: the syncerr analyzer matches
+// the *os.File methods by the import path "os", so fixtures type-check
+// against this instead of the real standard library.
+package os
+
+type File struct{ name string }
+
+func Open(name string) (*File, error)   { return &File{name}, nil }
+func Create(name string) (*File, error) { return &File{name}, nil }
+
+func (f *File) Close() error { return nil }
+func (f *File) Sync() error  { return nil }
+func (f *File) Name() string { return f.name }

@@ -1,0 +1,44 @@
+// Fixture for the syncerr analyzer: the package path ends in
+// internal/storage, the layer whose file handles carry durable writes.
+package storage
+
+import "os"
+
+func dropStatement(f *os.File) {
+	f.Close() // want `os.File.Close discards its error`
+}
+
+func dropSync(f *os.File) {
+	f.Sync() // want `os.File.Sync discards its error`
+}
+
+func dropDeferred(f *os.File) {
+	defer f.Close() // want `deferred os.File.Close discards its error`
+}
+
+func dropGo(f *os.File) {
+	go f.Sync() // want `go-spawned os.File.Sync discards its error`
+}
+
+func dropBlank(f *os.File) {
+	_ = f.Close() // want `blank-assigned os.File.Close discards its error`
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func allowed(f *os.File) {
+	f.Close() //lint:allow syncerr error-path cleanup; nothing durable went through this handle
+}
+
+type fakeConn struct{}
+
+func (fakeConn) Close() error { return nil }
+
+func notAFile(c fakeConn) {
+	c.Close() // not an os.File: out of scope
+}

@@ -1,0 +1,9 @@
+// Fixture for the syncerr analyzer: packages below internal/storage
+// (the write-ahead log) are in scope too.
+package wal
+
+import "os"
+
+func rotateDrop(old *os.File) {
+	old.Close() // want `os.File.Close discards its error`
+}

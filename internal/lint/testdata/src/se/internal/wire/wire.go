@@ -1,0 +1,11 @@
+// Fixture for the syncerr scope check: internal/wire is outside the
+// durability layer, so the same discards must stay silent — network
+// handles have their own close discipline.
+package wire
+
+import "os"
+
+func dropOutOfScope(f *os.File) {
+	f.Close()
+	defer f.Sync()
+}

@@ -11,10 +11,11 @@ import (
 // (< 0x80), so the marker cannot collide.
 const overflowMarker = 0xFF
 
-// Overflow chain page layout: next page id (u32), data length (u16),
-// then data.
+// Overflow chain page layout: next page id (u32), the page-LSN stamp
+// word (u32, bytes 4-8 as in every page type — see SetPageLSN), data
+// length (u16), then data.
 const (
-	ovfHeaderSize = 6
+	ovfHeaderSize = 10
 	ovfDataCap    = PageSize - ovfHeaderSize
 	ovfNoNext     = 0xFFFFFFFF
 )
@@ -34,6 +35,50 @@ type HeapFile struct {
 // NewHeapFile creates an empty heap over the pool.
 func NewHeapFile(pool *BufferPool) *HeapFile {
 	return &HeapFile{pool: pool, lastPage: -1}
+}
+
+// OpenHeapFile reattaches a heap to data pages persisted earlier (see
+// Pages/LastPage): the page list and insertion cursor are restored
+// verbatim, so record ids and future insert placement match the heap
+// that was closed, and the live-tuple count is recomputed by scanning
+// the slot directories (tombstones excluded, overflow chains not
+// followed — the inline pointer is the live record).
+func OpenHeapFile(pool *BufferPool, pages []uint32, lastPage int) (*HeapFile, error) {
+	if lastPage < -1 || lastPage >= len(pages) {
+		return nil, fmt.Errorf("storage: heap cursor %d out of range (%d pages)", lastPage, len(pages))
+	}
+	h := &HeapFile{pool: pool, pages: append([]uint32(nil), pages...), lastPage: lastPage}
+	for _, pid := range h.pages {
+		buf, err := pool.Pin(pid)
+		if err != nil {
+			return nil, err
+		}
+		p := page{buf}
+		n := p.numSlots()
+		for s := 0; s < n; s++ {
+			if p.read(s) != nil {
+				h.count++
+			}
+		}
+		pool.Unpin(pid, false)
+	}
+	return h, nil
+}
+
+// Pages returns a copy of the heap's data page ids in allocation order
+// (excluding overflow pages), for persisting in a catalog.
+func (h *HeapFile) Pages() []uint32 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append([]uint32(nil), h.pages...)
+}
+
+// LastPage returns the index into Pages of the insertion cursor
+// (-1 for an empty heap).
+func (h *HeapFile) LastPage() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.lastPage
 }
 
 // Count returns the number of live tuples.
@@ -134,7 +179,7 @@ func (h *HeapFile) writeOverflow(data []byte) ([]byte, error) {
 			next = ids[i+1]
 		}
 		binary.LittleEndian.PutUint32(buf[0:], next)
-		binary.LittleEndian.PutUint16(buf[4:], uint16(len(chunk)))
+		binary.LittleEndian.PutUint16(buf[8:], uint16(len(chunk)))
 		copy(buf[ovfHeaderSize:], chunk)
 		h.pool.Unpin(id, true)
 	}
@@ -159,7 +204,7 @@ func (h *HeapFile) readOverflow(ptr []byte) ([]byte, error) {
 			return nil, err
 		}
 		next := binary.LittleEndian.Uint32(buf[0:])
-		l := int(binary.LittleEndian.Uint16(buf[4:]))
+		l := int(binary.LittleEndian.Uint16(buf[8:]))
 		out = append(out, buf[ovfHeaderSize:ovfHeaderSize+l]...)
 		h.pool.Unpin(id, false)
 		id = next

@@ -113,6 +113,18 @@ func (p page) delete(i int) bool {
 	return true
 }
 
+// SetPageLSN stamps the low 32 bits of a WAL sequence number into the
+// page header's reserved word (bytes 4-8). The stamp records which log
+// write last captured the page; nothing on the read path interprets it,
+// and redo applies full page images, so the truncation to 32 bits only
+// limits the stamp's diagnostic reach, not recovery correctness.
+func SetPageLSN(buf []byte, lsn uint64) {
+	binary.LittleEndian.PutUint32(buf[4:], uint32(lsn))
+}
+
+// PageLSN reads the page header's LSN stamp.
+func PageLSN(buf []byte) uint32 { return binary.LittleEndian.Uint32(buf[4:]) }
+
 // RecordID addresses a tuple in a heap file.
 type RecordID struct {
 	Page uint32

@@ -1,0 +1,262 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Reopen round-trips: a heap written through a FileStore-backed pool
+// must read back identically through a fresh store handle — including
+// overflow chains and tombstoned slots — and the catalog-level state
+// needed to reattach (Pages/LastPage) must survive the trip.
+
+func TestFileStoreReopenHeapRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewBufferPool(fs, 64)
+	h := NewHeapFile(pool)
+
+	big := bytes.Repeat([]byte{0x42}, 3*PageSize+100) // multi-page overflow chain
+	var rids []RecordID
+	var want [][]byte
+	for i := 0; i < 200; i++ {
+		tuple := []byte(fmt.Sprintf("tuple-%04d", i))
+		if i%17 == 0 {
+			tuple = append(append([]byte{byte(i)}, big...), byte(i))
+		}
+		rid, err := h.Insert(tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+		want = append(want, tuple)
+	}
+	// Tombstone a spread of slots, including an overflow row.
+	deleted := map[int]bool{0: true, 17: true, 50: true, 199: true}
+	for i := range deleted {
+		if err := h.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pages, lastPage := h.Pages(), h.LastPage()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := NewFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+	pool2 := NewBufferPool(fs2, 64)
+	h2, err := OpenHeapFile(pool2, pages, lastPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, wantN := h2.Count(), len(rids)-len(deleted); got != wantN {
+		t.Errorf("reopened count = %d, want %d", got, wantN)
+	}
+	for i, rid := range rids {
+		got, err := h2.Get(rid)
+		if deleted[i] {
+			if err == nil {
+				t.Errorf("tombstoned slot %d readable after reopen", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("row %d: %v", i, err)
+			continue
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Errorf("row %d differs after reopen (%d vs %d bytes)", i, len(got), len(want[i]))
+		}
+	}
+	// The insertion cursor survived: a new insert lands where the old
+	// heap would have put it.
+	rid, err := h2.Insert([]byte("post-reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(rid.Page) == 0 && len(pages) > 1 {
+		t.Errorf("post-reopen insert landed on page 0; cursor lost")
+	}
+}
+
+func TestFileStorePartialFinalPageRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, PageSize-100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(path); err == nil {
+		t.Fatal("partial final page accepted")
+	}
+}
+
+func TestFileStoreAllocatePreallocatesInChunks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := fs.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Size(); got != int64(extendChunkPages)*PageSize {
+		t.Errorf("after 10 allocations file spans %d bytes, want one chunk (%d)", got, extendChunkPages*PageSize)
+	}
+	// Sync trims the preallocation back to the allocated length, so a
+	// reopened store sees exactly the allocated pages.
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	info, err = os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Size(); got != 10*PageSize {
+		t.Errorf("after Sync file spans %d bytes, want %d", got, 10*PageSize)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if got := fs2.NumPages(); got != 10 {
+		t.Errorf("reopened store has %d pages, want 10", got)
+	}
+}
+
+func TestMemAndFileStoreByteEquivalent(t *testing.T) {
+	// The same write sequence through both stores must produce
+	// byte-identical page arrays.
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ms := NewMemStore()
+	stores := []PageStore{ms, fs}
+	for _, s := range stores {
+		for i := 0; i < 20; i++ {
+			if _, err := s.Allocate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf := make([]byte, PageSize)
+		for i := 0; i < 20; i++ {
+			for j := range buf {
+				buf[j] = byte(i*31 + j)
+			}
+			if err := s.WritePage(uint32(i), buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a, b := make([]byte, PageSize), make([]byte, PageSize)
+	for i := uint32(0); i < 20; i++ {
+		if err := ms.ReadPage(i, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.ReadPage(i, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("page %d differs between MemStore and FileStore", i)
+		}
+	}
+}
+
+func TestPoolLogDirtyAndNoSteal(t *testing.T) {
+	// A fake logger records appends and durability waits.
+	fs := NewMemStore()
+	pool := NewBufferPool(fs, 64)
+	logger := &fakeLogger{}
+	pool.AttachWAL(logger)
+
+	id, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := pool.Pin(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[100] = 0xAB
+	pool.Unpin(id, true)
+
+	// Uncaptured dirty page: FlushAll must refuse, not write.
+	if err := pool.FlushAll(); err == nil {
+		t.Fatal("FlushAll wrote an uncaptured dirty page")
+	}
+	n, err := pool.LogDirty(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("LogDirty captured %d pages, want 1", n)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatalf("FlushAll after LogDirty: %v", err)
+	}
+	if len(logger.waited) == 0 {
+		t.Error("flush did not wait for durability")
+	}
+	// Re-dirtying resets the capture.
+	buf, err = pool.Pin(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[101] = 0xCD
+	pool.Unpin(id, true)
+	if got := pool.DirtyPages(); got != 1 {
+		t.Errorf("DirtyPages = %d, want 1", got)
+	}
+	if err := pool.FlushAll(); err == nil {
+		t.Fatal("re-dirtied page flushed without a fresh log record")
+	}
+}
+
+type fakeLogger struct {
+	next   uint64
+	waited []uint64
+}
+
+func (l *fakeLogger) AppendPage(txn uint64, pageID uint32, buf []byte) (uint64, error) {
+	l.next++
+	return l.next, nil
+}
+
+func (l *fakeLogger) WaitDurable(lsn uint64) error {
+	l.waited = append(l.waited, lsn)
+	return nil
+}

@@ -1,0 +1,446 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"jackpine/internal/storage"
+)
+
+// pageImage builds a deterministic page image seeded by n.
+func pageImage(n int) []byte {
+	buf := make([]byte, storage.PageSize)
+	for i := range buf {
+		buf[i] = byte(n + i*7)
+	}
+	return buf
+}
+
+// readStorePage reads one page from a store or fails the test.
+func readStorePage(t *testing.T, s storage.PageStore, id uint32) []byte {
+	t.Helper()
+	buf := make([]byte, storage.PageSize)
+	if err := s.ReadPage(id, buf); err != nil {
+		t.Fatalf("read page %d: %v", id, err)
+	}
+	return buf
+}
+
+func TestOpenEmptyAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := w.Stats(); s.Recovered != 0 {
+		t.Errorf("fresh log recovered %d records", s.Recovered)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w2, err := Open(path, storage.NewMemStore()); err != nil {
+		t.Fatalf("reopen: %v", err)
+	} else {
+		w2.Close()
+	}
+}
+
+func TestCommitReplaysOntoStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := w.Begin()
+	img0, img1 := pageImage(1), pageImage(2)
+	if _, err := w.AppendPage(txn, 0, img0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendPage(txn, 5, img1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := storage.NewMemStore()
+	w2, err := Open(path, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Stats().Recovered; got != 2 {
+		t.Errorf("recovered %d records, want 2", got)
+	}
+	if store.NumPages() != 6 {
+		t.Errorf("store has %d pages, want 6 (replay allocates through the highest id)", store.NumPages())
+	}
+	// The logged image carries the LSN stamp, so compare everything but
+	// the header stamp word.
+	got := readStorePage(t, store, 5)
+	if !bytes.Equal(got[8:], img1[8:]) {
+		t.Error("replayed page 5 body differs from the logged image")
+	}
+	// Txn ids resume above the recovered maximum.
+	if next := w2.Begin(); next <= txn {
+		t.Errorf("Begin after recovery = %d, want > %d", next, txn)
+	}
+}
+
+func TestUncommittedSuffixNotApplied(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := w.Begin()
+	if _, err := w.AppendPage(t1, 0, pageImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	t2 := w.Begin()
+	if _, err := w.AppendPage(t2, 0, pageImage(99)); err != nil {
+		t.Fatal(err)
+	}
+	// No commit for t2: its image must never reach a store.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := storage.NewMemStore()
+	w2, err := Open(path, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Stats().Recovered; got != 1 {
+		t.Errorf("recovered %d records, want 1", got)
+	}
+	want := pageImage(1)
+	if got := readStorePage(t, store, 0); !bytes.Equal(got[8:], want[8:]) {
+		t.Error("page 0 carries the uncommitted image")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := w.Begin()
+	if _, err := w.AppendPage(txn, 0, pageImage(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append: garbage past the committed prefix.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn tail garbage that is not a valid record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := storage.NewMemStore()
+	w2, err := Open(path, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Stats().Recovered; got != 1 {
+		t.Errorf("recovered %d records, want 1", got)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != goodSize {
+		t.Errorf("log size after recovery = %d, want %d (tail truncated)", info.Size(), goodSize)
+	}
+}
+
+func TestTruncateAtBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three committed transactions, one page each; page 0 cycles content.
+	var boundaries []int64
+	for i := 0; i < 3; i++ {
+		txn := w.Begin()
+		if _, err := w.AppendPage(txn, 0, pageImage(10+i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, w.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// committedAt reports how many transactions a prefix of length n keeps.
+	committedAt := func(n int64) int {
+		k := 0
+		for _, b := range boundaries {
+			if n >= b {
+				k++
+			}
+		}
+		return k
+	}
+	var cuts []int64
+	for _, b := range boundaries {
+		cuts = append(cuts, b-1, b, b+1)
+	}
+	cuts = append(cuts, 0, 5, headerSize-1, headerSize, headerSize+5, int64(len(full)))
+	for _, cut := range cuts {
+		if cut < 0 || cut > int64(len(full)) {
+			continue
+		}
+		sub := filepath.Join(dir, fmt.Sprintf("cut_%d.log", cut))
+		if err := os.WriteFile(sub, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		store := storage.NewMemStore()
+		w2, err := Open(sub, store)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		wantTxns := committedAt(cut)
+		if got := int(w2.Stats().Recovered); got != wantTxns {
+			t.Errorf("cut %d: recovered %d records, want %d", cut, got, wantTxns)
+		}
+		if wantTxns > 0 {
+			want := pageImage(10 + wantTxns - 1)
+			if got := readStorePage(t, store, 0); !bytes.Equal(got[8:], want[8:]) {
+				t.Errorf("cut %d: page content is not the %d-commit prefix", cut, wantTxns)
+			}
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRotateStartsFreshGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	store := storage.NewMemStore()
+	w, err := Open(path, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := w.Begin()
+	lsn1, err := w.AppendPage(t1, 0, pageImage(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	// The caller's checkpoint duty: materialize the page before rotating.
+	if _, err := store.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WritePage(0, pageImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Size(); got != headerSize {
+		t.Errorf("size after rotate = %d, want %d", got, headerSize)
+	}
+	t2 := w.Begin()
+	lsn2, err := w.AppendPage(t2, 1, pageImage(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn2 <= lsn1 {
+		t.Errorf("LSNs not monotonic across rotation: %d then %d", lsn1, lsn2)
+	}
+	if err := w.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(path, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Stats().Recovered; got != 1 {
+		t.Errorf("recovered %d records, want 1 (only the post-rotation generation)", got)
+	}
+	want1, want2 := pageImage(1), pageImage(2)
+	if got := readStorePage(t, store, 0); !bytes.Equal(got[8:], want1[8:]) {
+		t.Error("pre-rotation page lost")
+	}
+	if got := readStorePage(t, store, 1); !bytes.Equal(got[8:], want2[8:]) {
+		t.Error("post-rotation page not replayed")
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const workers, per = 8, 10
+	var mu sync.Mutex // serializes append sequences, as the engine's lock does
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				txn := w.Begin()
+				mu.Lock()
+				_, aerr := w.AppendPage(txn, uint32(g), pageImage(g*per+i))
+				var end uint64
+				var cerr error
+				if aerr == nil {
+					end, cerr = w.AppendCommit(txn)
+				}
+				mu.Unlock()
+				if aerr != nil || cerr != nil {
+					errs <- fmt.Errorf("append: %v / %v", aerr, cerr)
+					return
+				}
+				if err := w.Sync(end); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.Commits != workers*per {
+		t.Errorf("commits = %d, want %d", s.Commits, workers*per)
+	}
+	if s.Fsyncs == 0 || s.Fsyncs > s.Commits {
+		t.Errorf("fsyncs = %d, want in [1, %d]", s.Fsyncs, s.Commits)
+	}
+	if s.GroupCommitSize() < 1 {
+		t.Errorf("group commit size %.2f < 1", s.GroupCommitSize())
+	}
+}
+
+func TestWaitDurableSelfServes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	txn := w.Begin()
+	lsn, err := w.AppendPage(txn, 0, pageImage(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.WaitDurable(lsn) }()
+	// The waiter must park: the commit record is not appended yet, so an
+	// fsync could not help it.
+	select {
+	case err := <-done:
+		t.Fatalf("WaitDurable returned before the commit record existed: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := w.AppendCommit(txn); err != nil {
+		t.Fatal(err)
+	}
+	// No Sync call: the waiter itself must drive the fsync to completion.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitDurable: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurable hung after the commit record was appended")
+	}
+}
+
+func TestCorruptHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := w.Begin()
+	if _, err := w.AppendPage(txn, 0, pageImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[9] ^= 0xFF // flip a base-LSN byte; the header CRC must catch it
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, storage.NewMemStore()); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+}
+
+func TestStaleRotationTempRemoved(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	if err := os.WriteFile(path+".tmp", []byte("leftover"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(path, storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("stale rotation temp file survived Open")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"jackpine/internal/engine"
 	"jackpine/internal/experiments"
 	"jackpine/internal/sqldriver"
+	"jackpine/internal/storage/wal"
 	"jackpine/internal/tiger"
 	"jackpine/internal/wire"
 )
@@ -103,6 +104,20 @@ func AllProfiles() []Profile { return engine.AllProfiles() }
 
 // OpenEngine creates an engine with the given profile.
 func OpenEngine(p Profile, opts ...engine.Option) *Engine { return engine.Open(p, opts...) }
+
+// OpenDurable opens (or creates) a durable engine rooted at dir: pages
+// live in a file-backed store, every commit is written ahead to a
+// redo log and group-committed with fsync, and reopening the directory
+// recovers the committed state exactly — tables, indexes, and row
+// order are byte-identical to the engine that wrote them. See
+// Engine.Checkpoint for log truncation.
+func OpenDurable(p Profile, dir string, opts ...engine.Option) (*Engine, error) {
+	return engine.OpenDurable(p, dir, opts...)
+}
+
+// WALStats aliases the write-ahead-log activity counters reported by
+// Engine.WALStats on durable engines.
+type WALStats = wal.Stats
 
 // WithParallelism sets the engine's intra-query worker pool size
 // (0 = GOMAXPROCS, 1 = serial). See also Engine.SetParallelism.

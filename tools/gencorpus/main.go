@@ -5,6 +5,7 @@
 //	internal/sql/testdata/fuzz/FuzzParse            every micro-suite query
 //	internal/wire/testdata/fuzz/FuzzWireProtocol    request frames + response payloads
 //	internal/topo/testdata/fuzz/FuzzDE9IM           WKT pairs from the TIGER generator
+//	internal/storage/wal/testdata/fuzz/FuzzWALReplay  real log files with hostile tails
 //
 // Run from the repository root after changing the suites, the wire
 // format, or the TIGER generator:
@@ -27,6 +28,7 @@ import (
 	"jackpine/internal/core"
 	"jackpine/internal/geom"
 	"jackpine/internal/storage"
+	"jackpine/internal/storage/wal"
 	"jackpine/internal/tiger"
 )
 
@@ -40,6 +42,7 @@ func main() {
 	writeSQLCorpus(ctx)
 	writeWireCorpus(ctx)
 	writeTopoCorpus(ds)
+	writeWALCorpus()
 }
 
 // seed encodes one corpus entry in the "go test fuzz v1" format.
@@ -142,6 +145,77 @@ func writeTopoCorpus(ds *tiger.Dataset) {
 	for _, p := range pairs {
 		seed(dir, p.name, qstr(p.a), qstr(p.b))
 	}
+}
+
+// writeWALCorpus emits FuzzWALReplay seeds built from a real log: the
+// wal package writes three committed transactions plus one uncommitted
+// page record, and the seeds are that file with the tails a crash can
+// leave — clean, torn mid-record, CRC-flipped, magic destroyed, and a
+// hostile length field. Recovery must replay the committed prefix of
+// every one of them (or refuse cleanly) without panicking.
+func writeWALCorpus() {
+	dir := filepath.Join("internal", "storage", "wal", "testdata", "fuzz", "FuzzWALReplay")
+	tmp, err := os.MkdirTemp("", "gencorpus-wal-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	path := filepath.Join(tmp, "wal.log")
+	w, err := wal.Open(path, storage.NewMemStore())
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, storage.PageSize)
+	for t := 0; t < 3; t++ {
+		txn := w.Begin()
+		for j := range buf {
+			buf[j] = byte(t*37 + j)
+		}
+		if _, err := w.AppendPage(txn, uint32(t), buf); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Commit(txn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// One appended-but-never-committed record: replay must drop it.
+	if _, err := w.AppendPage(w.Begin(), 3, buf); err != nil {
+		log.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), raw...))
+	}
+	seed(dir, "clean", qbyte(raw))
+	seed(dir, "header-only", qbyte(raw[:32]))
+	seed(dir, "sub-header", qbyte(raw[:17]))
+	seed(dir, "torn-mid-record", qbyte(raw[:32+(len(raw)-32)/3]))
+	seed(dir, "torn-in-length-word", qbyte(raw[:34]))
+	seed(dir, "flipped-tail-crc", qbyte(mutate(func(b []byte) []byte {
+		b[len(b)-1] ^= 0x5A
+		return b
+	})))
+	seed(dir, "flipped-payload", qbyte(mutate(func(b []byte) []byte {
+		b[len(b)/2] ^= 0x5A
+		return b
+	})))
+	seed(dir, "bad-magic", qbyte(mutate(func(b []byte) []byte {
+		b[0] ^= 0xFF
+		return b
+	})))
+	seed(dir, "hostile-length", qbyte(mutate(func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[32:], 0xFFFFFFF0)
+		return b
+	})))
+	seed(dir, "garbage-tail", qbyte(append(append([]byte(nil), raw...),
+		[]byte("JPWAL001 this is not a record frame")...)))
 }
 
 // suites concatenates the three micro benchmark suites.
