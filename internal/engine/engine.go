@@ -1,5 +1,7 @@
 package engine
 
+//lint:allow-file lockdiscipline Exec holds e.mu for the whole statement; the catalog is reached only through it
+
 import (
 	"fmt"
 	"sort"
@@ -447,7 +449,7 @@ func (e *Engine) MustExec(query string) *sql.Result {
 
 // Table implements sql.Catalog.
 func (e *Engine) Table(name string) (sql.Table, bool) {
-	t, ok := e.tables[strings.ToLower(name)] //lint:allow lockdiscipline Exec holds e.mu for the whole statement; the catalog is reached only through it
+	t, ok := e.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, false
 	}
@@ -457,7 +459,7 @@ func (e *Engine) Table(name string) (sql.Table, bool) {
 // CreateTable implements sql.Catalog.
 func (e *Engine) CreateTable(name string, cols []sql.Column) error {
 	key := strings.ToLower(name)
-	if _, exists := e.tables[key]; exists { //lint:allow lockdiscipline Exec holds e.mu for the whole statement; the catalog is reached only through it
+	if _, exists := e.tables[key]; exists {
 		return fmt.Errorf("engine: table %q already exists", name)
 	}
 	if len(cols) == 0 {
@@ -470,14 +472,14 @@ func (e *Engine) CreateTable(name string, cols []sql.Column) error {
 		}
 		seen[c.Name] = true
 	}
-	e.tables[key] = newTable(key, cols, e.pool, e.geomCache) //lint:allow lockdiscipline Exec holds e.mu for the whole statement; the catalog is reached only through it
+	e.tables[key] = newTable(key, cols, e.pool, e.geomCache)
 	e.ddlEpoch.Add(1)
 	return nil
 }
 
 // CreateIndex implements sql.Catalog.
 func (e *Engine) CreateIndex(_, tableName string, columns []string, spatial bool) error {
-	t, ok := e.tables[strings.ToLower(tableName)] //lint:allow lockdiscipline Exec holds e.mu for the whole statement; the catalog is reached only through it
+	t, ok := e.tables[strings.ToLower(tableName)]
 	if !ok {
 		return fmt.Errorf("engine: unknown table %q", tableName)
 	}
@@ -496,7 +498,7 @@ func (e *Engine) CreateIndex(_, tableName string, columns []string, spatial bool
 // by DELETE and UPDATE) and rebuilds its indexes. The old pages remain
 // allocated in the page store; only a store rewrite reclaims them.
 func (e *Engine) Vacuum(tableName string) error {
-	t, ok := e.tables[strings.ToLower(tableName)] //lint:allow lockdiscipline Exec holds e.mu for the whole statement; the catalog is reached only through it
+	t, ok := e.tables[strings.ToLower(tableName)]
 	if !ok {
 		return fmt.Errorf("engine: unknown table %q", tableName)
 	}
@@ -509,13 +511,13 @@ func (e *Engine) Vacuum(tableName string) error {
 // but all in-memory structures are released.
 func (e *Engine) DropTable(tableName string, ifExists bool) error {
 	key := strings.ToLower(tableName)
-	if _, ok := e.tables[key]; !ok { //lint:allow lockdiscipline Exec holds e.mu for the whole statement; the catalog is reached only through it
+	if _, ok := e.tables[key]; !ok {
 		if ifExists {
 			return nil
 		}
 		return fmt.Errorf("engine: unknown table %q", tableName)
 	}
-	delete(e.tables, key) //lint:allow lockdiscipline Exec holds e.mu for the whole statement; the catalog is reached only through it
+	delete(e.tables, key)
 	// A later table of the same name would reuse record ids, so cached
 	// geometries must not outlive the definition.
 	e.geomCache.InvalidateTable(key)

@@ -6,15 +6,23 @@ import (
 )
 
 // //lint:allow <analyzer> <justification>
+// //lint:allow-file <analyzer> <justification>
 //
 // An allow directive suppresses the named analyzer's diagnostics on exactly
 // one line: its own line when it rides as a trailing comment after code, or
 // the line immediately below when it sits alone on its line above the
-// statement. The justification is mandatory: a bare allow is itself
-// reported, because an unexplained suppression is indistinguishable from a
-// silenced bug.
+// statement. The file-scoped form suppresses the analyzer everywhere in the
+// file that declares it; it exists for files where one invariant is
+// deliberately and pervasively relaxed (e.g. a catalog mutated only under a
+// lock the analyzer cannot see), where repeating the same line allow at
+// every site buries the one justification in noise. In both forms the
+// justification is mandatory: a bare allow is itself reported, because an
+// unexplained suppression is indistinguishable from a silenced bug.
 
-const allowPrefix = "//lint:allow"
+const (
+	allowPrefix     = "//lint:allow"
+	allowFilePrefix = "//lint:allow-file"
+)
 
 type allowKey struct {
 	file     string
@@ -22,12 +30,26 @@ type allowKey struct {
 	analyzer string
 }
 
-type allowSet map[allowKey]bool
+type fileAllowKey struct {
+	file     string
+	analyzer string
+}
 
-// collectAllows scans a package's comments for allow directives. It returns
-// the suppression set plus diagnostics for malformed directives.
-func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
-	set := make(allowSet)
+type allowSet struct {
+	lines map[allowKey]bool
+	files map[fileAllowKey]bool
+}
+
+func newAllowSet() allowSet {
+	return allowSet{
+		lines: make(map[allowKey]bool),
+		files: make(map[fileAllowKey]bool),
+	}
+}
+
+// collectAllows scans a package's comments for allow directives into set.
+// It returns diagnostics for malformed directives.
+func collectAllows(pkg *Package, set allowSet) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		code := codeLines(pkg, f)
@@ -36,7 +58,13 @@ func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
 				if !strings.HasPrefix(c.Text, allowPrefix) {
 					continue
 				}
+				// The file-scoped prefix extends the line-scoped one, so
+				// test it first.
+				fileScoped := strings.HasPrefix(c.Text, allowFilePrefix)
 				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if fileScoped {
+					rest = strings.TrimPrefix(c.Text, allowFilePrefix)
+				}
 				fields := strings.Fields(rest)
 				pos := pkg.Fset.Position(c.Pos())
 				if len(fields) == 0 {
@@ -55,16 +83,20 @@ func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
 					})
 					continue
 				}
+				if fileScoped {
+					set.files[fileAllowKey{pos.Filename, fields[0]}] = true
+					continue
+				}
 				line := pos.Line
 				if !code[line] {
 					// Standalone comment line: covers the next line.
 					line++
 				}
-				set[allowKey{pos.Filename, line, fields[0]}] = true
+				set.lines[allowKey{pos.Filename, line, fields[0]}] = true
 			}
 		}
 	}
-	return set, diags
+	return diags
 }
 
 // codeLines reports which lines of f contain non-comment syntax, so a
@@ -89,7 +121,10 @@ func codeLines(pkg *Package, f *ast.File) map[int]bool {
 func (s allowSet) filter(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
-		if s[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		if s.lines[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		if s.files[fileAllowKey{d.Pos.Filename, d.Analyzer}] {
 			continue
 		}
 		out = append(out, d)

@@ -3,13 +3,17 @@ package lint
 // All returns every registered analyzer, in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ArenaEscape,
 		BatchAlloc,
 		CtxPropagate,
 		ErrWrap,
 		FloatCmp,
 		HotPathDecode,
 		LockDiscipline,
+		LockOrder,
+		PinBalance,
 		PreparedTopo,
 		SyncErr,
+		WalWrite,
 	}
 }

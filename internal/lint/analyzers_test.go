@@ -44,6 +44,46 @@ func TestSyncErr(t *testing.T) {
 		"se/internal/storage", "se/internal/storage/wal")
 }
 
+func TestPinBalance(t *testing.T) {
+	linttest.Run(t, "testdata", lint.PinBalance, "pb/internal/storage")
+}
+
+func TestWalWrite(t *testing.T) {
+	linttest.Run(t, "testdata", lint.WalWrite, "ww/internal/storage")
+}
+
+func TestArenaEscape(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ArenaEscape, "ae/internal/sql")
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.RunModule(t, "testdata", lint.LockOrder,
+		"lo/internal/engine", "lo/internal/wal")
+}
+
+// TestLockOrderGraph pins the full deterministic edge dump behind the
+// jackpinevet -lockgraph flag: the interface-dispatch edges from the
+// engine, the wal-internal cycle, and nothing from the goroutine,
+// conditional-lock, or same-class patterns.
+func TestLockOrderGraph(t *testing.T) {
+	pkgs := linttest.Packages(t, "testdata", "lo/internal/engine", "lo/internal/wal")
+	got := lint.LockGraph(pkgs)
+	want := []string{
+		"engine.Engine.mu -> wal.WAL.mu",
+		"engine.Engine.mu -> wal.WAL.syncMu",
+		"wal.WAL.mu -> wal.WAL.syncMu",
+		"wal.WAL.syncMu -> wal.WAL.mu",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lock graph = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lock graph[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
 // TestAnalyzersScopeOut pins that analyzers stay silent on packages outside
 // their scope: the fixture trees are full of each other's violations, but an
 // analyzer must only speak inside the package set its invariant covers.
@@ -60,6 +100,9 @@ func TestAnalyzersScopeOut(t *testing.T) {
 		{lint.ErrWrap, "fc/internal/topo"},
 		{lint.PreparedTopo, "pt/internal/topo"},
 		{lint.SyncErr, "se/internal/wire"},
+		{lint.PinBalance, "ww/internal/wire"},
+		{lint.WalWrite, "ww/internal/wire"},
+		{lint.ArenaEscape, "ae/internal/wire"},
 	}
 	for _, c := range cases {
 		if diags := linttest.Diagnostics(t, "testdata", c.a, c.pkg); len(diags) > 0 {

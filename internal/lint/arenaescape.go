@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaEscape guards the batch executor's arena lifetime convention
+// (PR 6): geometries decoded through geom.UnmarshalWKBArena or
+// storage.ColBatch.ColArena borrow coordinate storage from the batch's
+// CoordArena, which is reset wholesale when the next batch begins. An
+// arena-backed value that is stored somewhere outliving the batch — a
+// struct field, a map or slice reachable from a field or package
+// variable, a channel — becomes a dangling view of recycled memory:
+// the coordinates silently change under the holder.
+//
+// The analysis is a forward, flow-sensitive taint propagation over each
+// function's CFG. Sources are the two arena decoders; taint flows
+// through assignments, composite literals and call results (a call with
+// a tainted argument is assumed to return a tainted view, which is what
+// storage.NewGeom does). Reported sinks are stores into fields, into
+// indexed or mapped locations rooted at a field or package variable,
+// into package variables, and channel sends. Stores into locations the
+// batch itself owns stay legal: b.Row(s)[col] = v (the row base is a
+// call result) and plain locals are batch-scoped by construction, and
+// returning a tainted value is the caller's decision — ColArena itself
+// must return one.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc: "flag arena-backed geometry values (UnmarshalWKBArena, ColArena) " +
+		"stored into fields, maps, slices or channels that outlive the " +
+		"batch (internal/sql, internal/storage, internal/engine): the " +
+		"arena is recycled at the next batch and the stored view dangles",
+	Run: runArenaEscape,
+}
+
+func runArenaEscape(pass *Pass) error {
+	if !pkgMatches(pass, "internal/sql", "internal/storage", "internal/engine") {
+		return nil
+	}
+	funcBodies(pass, func(name string, body *ast.BlockStmt) {
+		checkArenaEscape(pass, body)
+	})
+	return nil
+}
+
+// taintFact is the set of currently arena-tainted local objects.
+type taintFact map[types.Object]bool
+
+func checkArenaEscape(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Fast pre-filter: no arena source in the body, nothing to track.
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isArenaSource(info, call) {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	cfg := NewCFG(body)
+	prob := &FlowProblem{
+		Forward:  true,
+		Boundary: taintFact{},
+		Init:     taintFact{},
+		Transfer: func(n ast.Node, f Fact) Fact { return taintTransfer(info, n, f.(taintFact)) },
+		Merge: func(a, b Fact) Fact {
+			x, y := a.(taintFact), b.(taintFact)
+			out := make(taintFact, len(x)+len(y))
+			for k := range x {
+				out[k] = true
+			}
+			for k := range y {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b Fact) bool {
+			x, y := a.(taintFact), b.(taintFact)
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	res := Solve(cfg, prob)
+
+	for _, b := range cfg.Blocks {
+		f := res.In[b.Index].(taintFact)
+		for _, n := range b.Nodes {
+			reportEscapes(pass, n, f)
+			f = taintTransfer(info, n, f)
+		}
+	}
+}
+
+// isArenaSource reports whether call produces an arena-backed value.
+func isArenaSource(info *types.Info, call *ast.CallExpr) bool {
+	obj := callee(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Name() == "UnmarshalWKBArena" && pathIs(obj.Pkg().Path(), "internal/geom"):
+		return true
+	case obj.Name() == "ColArena" && pathIs(obj.Pkg().Path(), "internal/storage"):
+		return true
+	}
+	return false
+}
+
+// taintedExpr reports whether evaluating e can yield an arena view.
+func taintedExpr(info *types.Info, e ast.Expr, f taintFact) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && f[obj]
+	case *ast.ParenExpr:
+		return taintedExpr(info, e.X, f)
+	case *ast.UnaryExpr:
+		return taintedExpr(info, e.X, f)
+	case *ast.StarExpr:
+		return taintedExpr(info, e.X, f)
+	case *ast.BinaryExpr:
+		return taintedExpr(info, e.X, f) || taintedExpr(info, e.Y, f)
+	case *ast.IndexExpr:
+		return taintedExpr(info, e.X, f)
+	case *ast.SliceExpr:
+		return taintedExpr(info, e.X, f)
+	case *ast.SelectorExpr:
+		return taintedExpr(info, e.X, f)
+	case *ast.TypeAssertExpr:
+		return taintedExpr(info, e.X, f)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if taintedExpr(info, elt, f) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if isArenaSource(info, e) {
+			return true
+		}
+		// A call is assumed to pass taint through to its result:
+		// storage.NewGeom wraps the arena view without copying.
+		for _, arg := range e.Args {
+			if taintedExpr(info, arg, f) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// taintTransfer propagates taint through one statement.
+func taintTransfer(info *types.Info, n ast.Node, f taintFact) taintFact {
+	out := f
+	copied := false
+	set := func(obj types.Object, tainted bool) {
+		if obj == nil || out[obj] == tainted {
+			return
+		}
+		if !copied {
+			cp := make(taintFact, len(out)+1)
+			for k := range out {
+				cp[k] = true
+			}
+			out = cp
+			copied = true
+		}
+		if tainted {
+			out[obj] = true
+		} else {
+			delete(out, obj)
+		}
+	}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		as, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(as.Lhs) == len(as.Rhs):
+			for i, lhs := range as.Lhs {
+				set(objOf(lhs), taintedExpr(info, as.Rhs[i], f))
+			}
+		case len(as.Rhs) == 1:
+			// Multi-value call: the first result carries the value for
+			// both arena decoders (Value, error) / (Geometry, error).
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+				tainted := taintedExpr(info, call, f)
+				for i, lhs := range as.Lhs {
+					set(objOf(lhs), tainted && i == 0)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reportEscapes flags sinks in n given the taint fact before it.
+func reportEscapes(pass *Pass, n ast.Node, f taintFact) {
+	info := pass.TypesInfo
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) != len(m.Rhs) {
+				return true
+			}
+			for i, lhs := range m.Lhs {
+				if !taintedExpr(info, m.Rhs[i], f) {
+					continue
+				}
+				if where := escapeSink(pass, lhs); where != "" {
+					pass.Reportf(m.Pos(),
+						"arena-backed geometry stored into %s, which outlives the batch: "+
+							"the CoordArena is recycled at the next batch and this value dangles", where)
+				}
+			}
+		case *ast.SendStmt:
+			if taintedExpr(info, m.Value, f) {
+				pass.Reportf(m.Pos(),
+					"arena-backed geometry sent on a channel: the receiver can hold it "+
+						"past the batch that owns the CoordArena")
+			}
+		}
+		return true
+	})
+}
+
+// escapeSink classifies an assignment target that outlives the batch,
+// returning a description, or "" for batch-scoped targets.
+func escapeSink(pass *Pass, lhs ast.Expr) string {
+	info := pass.TypesInfo
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			return "field " + types.ExprString(lhs)
+		}
+		// Qualified package-var store (pkg.Var = v).
+		if v, ok := info.Uses[lhs.Sel].(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return "package variable " + types.ExprString(lhs)
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[lhs].(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return "package variable " + lhs.Name
+		}
+	case *ast.IndexExpr:
+		base := ast.Unparen(lhs.X)
+		if _, ok := base.(*ast.CallExpr); ok {
+			// b.Row(s)[col] = v: the row storage belongs to the batch.
+			return ""
+		}
+		if root := indexRootDescription(pass, base); root != "" {
+			return root + " " + types.ExprString(lhs.X)
+		}
+	}
+	return ""
+}
+
+// indexRootDescription walks an index/selector chain and classifies its
+// root: a struct field or package variable outlives the batch, a local
+// does not.
+func indexRootDescription(pass *Pass, e ast.Expr) string {
+	info := pass.TypesInfo
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return "field-held container"
+			}
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				return "package-level container"
+			}
+			return ""
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				return "package-level container"
+			}
+			return ""
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

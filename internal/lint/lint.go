@@ -21,7 +21,10 @@ import (
 	"sort"
 )
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Exactly one of Run and
+// RunModule must be set: Run for per-package analyses, RunModule for
+// whole-module analyses whose facts only make sense across package
+// boundaries (e.g. a lock-acquisition graph).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and //lint:allow
 	// directives. Lower-case, no spaces.
@@ -33,6 +36,10 @@ type Analyzer struct {
 
 	// Run inspects a single package and reports findings via pass.Reportf.
 	Run func(pass *Pass) error
+
+	// RunModule inspects every loaded package at once. It runs exactly
+	// once per lint.Run invocation, after the per-package analyzers.
+	RunModule func(pass *ModulePass) error
 }
 
 // Package is a parsed and type-checked package ready for analysis.
@@ -64,6 +71,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries a module analyzer's view of every loaded package.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos, resolved through pkg's FileSet
+// (packages loaded under different build-tag variants may carry
+// distinct FileSets).
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one analyzer finding, located in the source.
 type Diagnostic struct {
 	Analyzer string
@@ -77,26 +103,59 @@ func (d Diagnostic) String() string {
 
 // Run executes the analyzers over the packages, applies //lint:allow
 // suppression, and returns the surviving diagnostics ordered by position.
+// Per-package analyzers see one package at a time; module analyzers run
+// once over the whole set, after them. Identical diagnostics are
+// deduplicated, so a package loaded under several build-tag variants
+// reports each finding in its shared files once.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// The allow set spans all packages: module analyzers report across
+	// package boundaries, and a directive's file name locates it fully.
+	allows := newAllowSet()
 	var all []Diagnostic
+	seenAllowDiag := make(map[Diagnostic]bool)
 	for _, pkg := range pkgs {
-		allows, allowDiags := collectAllows(pkg)
-		all = append(all, allowDiags...)
-		var pkgDiags []Diagnostic
+		for _, d := range collectAllows(pkg, allows) {
+			if !seenAllowDiag[d] {
+				seenAllowDiag[d] = true
+				all = append(all, d)
+			}
+		}
+	}
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
-				diags:     &pkgDiags,
+				diags:     &raw,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		all = append(all, allows.filter(pkgDiags)...)
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &raw}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	seen := make(map[Diagnostic]bool, len(raw))
+	for _, d := range allows.filter(raw) {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		all = append(all, d)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Pos, all[j].Pos

@@ -66,6 +66,55 @@ func f() {
 	}
 }
 
+func TestAllowFileSuppression(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//lint:allow-file marker the whole file deliberately relaxes this invariant
+
+func f() {
+	print(1)
+	print(2)
+}
+
+func g() {
+	print(3) //lint:allow other a different analyzer still reports here
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("file-scoped allow left diagnostics: %v", diags)
+	}
+}
+
+func TestAllowFileRequiresJustification(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//lint:allow-file marker
+
+func f() {
+	print(1)
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Analyzer+": "+d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "allow: lint:allow marker needs a justification") {
+		t.Errorf("missing justification diagnostic, got:\n%s", joined)
+	}
+	if !strings.Contains(joined, "marker: marked") {
+		t.Errorf("bare allow-file suppressed the diagnostics anyway, got:\n%s", joined)
+	}
+}
+
 func TestAllowRequiresJustification(t *testing.T) {
 	pkg := parsePkg(t, `package p
 

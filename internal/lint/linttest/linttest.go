@@ -45,6 +45,78 @@ func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
 	}
 }
 
+// RunModule loads all the fixture packages into one shared type
+// universe, runs the analyzer once over the whole set (as module
+// analyzers require), and matches diagnostics against want comments
+// across every package.
+func RunModule(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	var pkgs []*lint.Package
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, pkg := range pkgs {
+		var mine []lint.Diagnostic
+		dirs := map[string]bool{}
+		for _, f := range pkg.Files {
+			dirs[filepath.Dir(l.fset.Position(f.Pos()).Filename)] = true
+		}
+		for _, d := range diags {
+			if dirs[filepath.Dir(d.Pos.Filename)] {
+				mine = append(mine, d)
+			}
+		}
+		checkWants(t, l.fset, pkg, mine)
+	}
+}
+
+// ModuleDiagnostics loads the fixture packages into one shared universe
+// and returns the analyzer's raw (allow-filtered) diagnostics without
+// matching want comments.
+func ModuleDiagnostics(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) []lint.Diagnostic {
+	t.Helper()
+	l := newLoader(testdata)
+	var pkgs []*lint.Package
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+// Packages loads fixture packages into one shared type universe without
+// running any analyzer, for tests that drive lint APIs (LockGraph)
+// directly.
+func Packages(t *testing.T, testdata string, pkgPaths ...string) []*lint.Package {
+	t.Helper()
+	l := newLoader(testdata)
+	var pkgs []*lint.Package
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
 // Diagnostics loads one fixture package and returns the analyzer's raw
 // (allow-filtered) diagnostics without matching want comments. Useful for
 // asserting an analyzer stays silent outside its scope.

@@ -6,23 +6,38 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strings"
 )
 
 // LoadPackages loads the module packages matching the go-style patterns
 // (e.g. "./...") rooted at dir, parsed with comments and fully type-checked.
 //
 // The loader shells out to `go list -deps -export` once: the go command
-// resolves patterns and compiles export data for every dependency, and the
-// standard library's gc importer then satisfies imports from that export
-// data, so only the target packages themselves are parsed from source. This
-// keeps jackpinevet dependency-free (no x/tools) and works offline.
+// resolves patterns and compiles export data for the standard library,
+// while every in-module package — targets and in-module dependencies
+// alike — is parsed and type-checked from source, in the dependency
+// order `go list -deps` guarantees, against one shared importer chain.
+// Sharing the universe matters for module-wide analyzers: a method
+// value in package A and its declaration in package B resolve to the
+// same types.Object, so call graphs and interface satisfaction checks
+// work across package boundaries. This keeps jackpinevet dependency-free
+// (no x/tools) and works offline.
+//
+// Files excluded by build constraints are not silently dropped: the
+// loader collects the custom (non-toolchain) tags mentioned in each
+// target's ignored files, re-lists under each tag, and loads any target
+// whose file set changed as an additional package. Diagnostics in files
+// shared between variants are deduplicated by Run.
 //
 // Test files are not analyzed: the invariants guard production hot paths,
 // and tests legitimately reach for exact decoding and literal comparisons.
@@ -30,14 +45,55 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	targets, exports, err := goList(dir, patterns)
+	base, err := loadUniverse(dir, patterns, "")
 	if err != nil {
 		return nil, err
 	}
-	if len(targets) == 0 {
+	if len(base.targets) == 0 {
 		return nil, errors.New("no packages matched")
 	}
+	pkgs := base.targets
+	for _, tag := range customTags(base) {
+		variant, err := loadUniverse(dir, patterns, tag)
+		if err != nil {
+			// A tag variant that does not list or build is not an
+			// analyzable configuration; the base variant already
+			// covered the tree.
+			continue
+		}
+		for _, p := range variant.targets {
+			if !sameFiles(base.goFiles[p.Path], variant.goFiles[p.Path]) {
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+// universe is one build configuration's worth of loaded packages.
+type universe struct {
+	targets []*Package
+	// goFiles maps every target import path to its file basenames, for
+	// detecting which packages a tag variant actually changes.
+	goFiles map[string][]string
+	// ignored maps target import paths to build-constraint-excluded
+	// file paths, the source of candidate tags.
+	ignored map[string][]string
+}
+
+// loadUniverse lists, parses and type-checks one build configuration.
+func loadUniverse(dir string, patterns []string, tag string) (*universe, error) {
+	listed, err := goList(dir, patterns, tag)
+	if err != nil {
+		return nil, err
+	}
 	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
@@ -45,9 +101,21 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 		}
 		return os.Open(f)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
-	var pkgs []*Package
-	for _, t := range targets {
+	imp := &chainImporter{
+		source: make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "gc", lookup),
+	}
+	u := &universe{
+		goFiles: make(map[string][]string),
+		ignored: make(map[string][]string),
+	}
+	// `go list -deps` emits packages after all their dependencies, so a
+	// single pass type-checks each in-module package against already-
+	// checked imports.
+	for _, t := range listed {
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
 		files := make([]*ast.File, 0, len(t.GoFiles))
 		for _, name := range t.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
@@ -60,52 +128,171 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		imp.source[t.ImportPath] = pkg.Types
+		if !t.DepOnly {
+			u.targets = append(u.targets, pkg)
+			u.goFiles[t.ImportPath] = t.GoFiles
+			for _, name := range t.IgnoredGoFiles {
+				u.ignored[t.ImportPath] = append(u.ignored[t.ImportPath], filepath.Join(t.Dir, name))
+			}
+		}
 	}
-	return pkgs, nil
+	return u, nil
+}
+
+// chainImporter satisfies in-module imports from the shared source
+// universe and everything else (the standard library) from gc export
+// data.
+type chainImporter struct {
+	source map[string]*types.Package
+	std    types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := c.source[path]; ok {
+		return pkg, nil
+	}
+	return c.std.Import(path)
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
-	Standard   bool
-	DepOnly    bool
+	ImportPath     string
+	Dir            string
+	Export         string
+	GoFiles        []string
+	IgnoredGoFiles []string
+	Standard       bool
+	DepOnly        bool
 }
 
-// goList resolves patterns to target packages and an export-data map
-// covering their whole dependency closure.
-func goList(dir string, patterns []string) (targets []listPkg, exports map[string]string, err error) {
-	args := append([]string{
+// goList resolves patterns to packages in dependency order, with export
+// data compiled for the dependency closure. A non-empty tag is added to
+// the build context.
+func goList(dir string, patterns []string, tag string) ([]listPkg, error) {
+	args := []string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
-		"--",
-	}, patterns...)
+		"-json=ImportPath,Dir,Export,GoFiles,IgnoredGoFiles,Standard,DepOnly",
+	}
+	if tag != "" {
+		args = append(args, "-tags", tag)
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
 	}
-	exports = make(map[string]string)
+	var listed []listPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, nil, fmt.Errorf("decoding go list output: %w", err)
+			return nil, fmt.Errorf("decoding go list output: %w", err)
 		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
-		}
-		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
-			targets = append(targets, p)
+		listed = append(listed, p)
+	}
+	return listed, nil
+}
+
+// customTags extracts the project-defined build tags mentioned in the
+// constraints of files the base configuration ignored. Toolchain tags
+// (GOOS, GOARCH, compiler, sanitizer and release tags) are not
+// interesting variants: the loader analyzes the host configuration.
+func customTags(u *universe) []string {
+	tags := make(map[string]bool)
+	for _, files := range u.ignored {
+		for _, path := range files {
+			for _, t := range fileTags(path) {
+				if !toolchainTag(t) {
+					tags[t] = true
+				}
+			}
 		}
 	}
-	return targets, exports, nil
+	out := make([]string, 0, len(tags))
+	for t := range tags {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fileTags parses the build constraint of one file and returns every
+// tag it mentions, positively or negatively.
+func fileTags(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var tags []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue
+		}
+		var walk func(e constraint.Expr)
+		walk = func(e constraint.Expr) {
+			switch e := e.(type) {
+			case *constraint.TagExpr:
+				tags = append(tags, e.Tag)
+			case *constraint.NotExpr:
+				walk(e.X)
+			case *constraint.AndExpr:
+				walk(e.X)
+				walk(e.Y)
+			case *constraint.OrExpr:
+				walk(e.X)
+				walk(e.Y)
+			}
+		}
+		walk(expr)
+	}
+	return tags
+}
+
+// toolchainTag reports whether a build tag belongs to the Go toolchain
+// rather than the project: enabling it is not a project configuration.
+func toolchainTag(tag string) bool {
+	switch tag {
+	case "unix", "cgo", "gc", "gccgo", "race", "msan", "asan", "purego",
+		"linux", "darwin", "windows", "freebsd", "netbsd", "openbsd",
+		"dragonfly", "solaris", "illumos", "aix", "android", "ios",
+		"js", "wasip1", "plan9", "hurd",
+		"amd64", "arm64", "arm", "386", "riscv64", "wasm", "loong64",
+		"mips", "mipsle", "mips64", "mips64le", "ppc64", "ppc64le", "s390x":
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok && rest != "" {
+		return true
+	}
+	return false
+}
+
+func sameFiles(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -31,3 +31,63 @@ func TestLoadPackages(t *testing.T) {
 		t.Error("no syntax loaded")
 	}
 }
+
+// TestLoadPackagesSharedUniverse pins that in-module dependencies are
+// type-checked from source into the same universe as their importers:
+// an object used in one package must be the identical types.Object that
+// the defining package declares, which is what module-wide analyzers
+// (call graphs, lock-order) rely on.
+func TestLoadPackagesSharedUniverse(t *testing.T) {
+	pkgs, err := lint.LoadPackages("../..", "./internal/geom", "./internal/topo")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	byPath := map[string]*lint.Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	geom := byPath["jackpine/internal/geom"]
+	topo := byPath["jackpine/internal/topo"]
+	if geom == nil || topo == nil {
+		t.Fatalf("missing packages, got %v", byPath)
+	}
+	// topo imports geom; the import must be the very same *types.Package.
+	for _, imp := range topo.Types.Imports() {
+		if imp.Path() == "jackpine/internal/geom" && imp != geom.Types {
+			t.Error("topo's geom import is a different types.Package than geom's own")
+		}
+	}
+}
+
+// TestLoadPackagesTagVariants checks that a package whose files are
+// gated on a custom build tag is loaded once per variant: the base
+// configuration plus one package per custom tag whose file set differs.
+func TestLoadPackagesTagVariants(t *testing.T) {
+	pkgs, err := lint.LoadPackages("testdata/tagmod", "./...")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) != 2 {
+		for _, p := range pkgs {
+			t.Logf("loaded %s", p.Path)
+		}
+		t.Fatalf("loaded %d packages, want 2 (base + fastpath variant)", len(pkgs))
+	}
+	// Exactly one variant must contain the tag-gated declaration.
+	withFast := 0
+	for _, p := range pkgs {
+		if p.Path != "tagmod" {
+			t.Errorf("unexpected package path %q", p.Path)
+		}
+		if p.Types.Scope().Lookup("fastModeName") != nil {
+			withFast++
+		}
+		// Both variants must still carry the shared file's symbol.
+		if p.Types.Scope().Lookup("Describe") == nil {
+			t.Error("variant lost the shared Describe declaration")
+		}
+	}
+	if withFast != 1 {
+		t.Errorf("%d variants define fastModeName, want exactly 1", withFast)
+	}
+}

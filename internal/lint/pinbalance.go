@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinBalance verifies the buffer pool's reference-count protocol in the
+// storage and engine layers: every BufferPool.Pin must be matched by
+// exactly one Unpin of the same page on every path out of the function —
+// early error returns, loop exits, and panic paths via defer included.
+// A leaked pin permanently wedges a frame in memory (eviction skips
+// pinned frames), and a double unpin corrupts the reference count and
+// lets the pool evict a page someone still holds.
+//
+// The analysis runs a forward dataflow over the function's CFG. The
+// fact tracks, per pinned page, whether it is currently pinned; the
+// error variable returned alongside a Pin is tracked so the analysis
+// knows the pin did not happen on the `err != nil` branch. A page whose
+// pin or unpin escapes into a closure is dropped from tracking: the
+// closure is analyzed as its own function and cross-function balance is
+// out of intra-procedural reach.
+var PinBalance = &Analyzer{
+	Name: "pinbalance",
+	Doc: "flag BufferPool.Pin calls whose frame is not released by exactly " +
+		"one Unpin on every path (internal/storage, internal/engine): a " +
+		"leaked pin wedges the frame, a double unpin corrupts the refcount",
+	Run: runPinBalance,
+}
+
+// Pin states. pinAbsent doubles as "unpinned": both mean no obligation.
+const (
+	pinAbsent  int8 = iota // never pinned here, or already unpinned
+	pinHeld                // definitely pinned
+	pinMaybe               // pinned on some paths only
+	pinEscaped             // handed to a closure; not tracked further
+)
+
+// pinFact is the dataflow fact: per-page pin state plus the error
+// variables tied to each Pin call. Treated as immutable.
+type pinFact struct {
+	state map[string]int8
+	errs  map[types.Object]string
+}
+
+func (f pinFact) clone() pinFact {
+	out := pinFact{state: make(map[string]int8, len(f.state)), errs: make(map[types.Object]string, len(f.errs))}
+	for k, v := range f.state {
+		out.state[k] = v
+	}
+	for k, v := range f.errs {
+		out.errs[k] = v
+	}
+	return out
+}
+
+func runPinBalance(pass *Pass) error {
+	if !pkgMatches(pass, "internal/storage", "internal/engine") {
+		return nil
+	}
+	funcBodies(pass, func(name string, body *ast.BlockStmt) {
+		checkPinBalance(pass, body)
+	})
+	return nil
+}
+
+func checkPinBalance(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Where each page was pinned, for report positions. A function that
+	// only unpins (the caller pinned) has no entries and stays silent.
+	pinPos := make(map[string]token.Pos)
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := poolMethodCall(info, call, "Pin"); ok {
+				key := pageKey(sel, call)
+				if _, seen := pinPos[key]; !seen {
+					pinPos[key] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(pinPos) == 0 {
+		return
+	}
+
+	cfg := NewCFG(body)
+	prob := &FlowProblem{
+		Forward:  true,
+		Boundary: pinFact{},
+		Init:     pinFact{},
+		Transfer: func(n ast.Node, f Fact) Fact { return pinTransfer(info, n, f.(pinFact)) },
+		Edge: func(b *Block, succIdx int, f Fact) Fact {
+			return pinEdge(info, b, succIdx, f.(pinFact))
+		},
+		Merge: func(a, b Fact) Fact { return pinMerge(a.(pinFact), b.(pinFact)) },
+		Equal: func(a, b Fact) bool { return pinEqual(a.(pinFact), b.(pinFact)) },
+	}
+	res := Solve(cfg, prob)
+
+	// Leaks: a page still (or maybe) pinned when the function exits.
+	exit := res.In[cfg.Exit.Index].(pinFact)
+	for key, st := range exit.state {
+		pos, mine := pinPos[key]
+		if !mine {
+			continue
+		}
+		switch st {
+		case pinHeld:
+			pass.Reportf(pos, "page pinned here is never unpinned: every path out of the function must Unpin it")
+		case pinMaybe:
+			pass.Reportf(pos, "page pinned here is unpinned on only some paths; the remaining paths leak the frame")
+		}
+	}
+
+	// Double unpins: re-walk each block with its solved entry fact and
+	// flag an Unpin whose page is definitely not pinned. The deferred
+	// block is exempt: a defer legitimately releases a pin that early
+	// error paths never took.
+	for _, b := range cfg.Blocks {
+		if b.Deferred {
+			continue
+		}
+		f := res.In[b.Index].(pinFact)
+		for _, n := range b.Nodes {
+			before := f
+			f = pinTransfer(info, n, f)
+			inspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := poolMethodCall(info, call, "Unpin")
+				if !ok {
+					return true
+				}
+				key := pageKey(sel, call)
+				if _, mine := pinPos[key]; mine && before.state[key] == pinAbsent {
+					pass.Reportf(call.Pos(), "page %s is already unpinned on every path reaching this Unpin", types.ExprString(call.Args[0]))
+				}
+				return true
+			})
+		}
+	}
+}
+
+func pinTransfer(info *types.Info, n ast.Node, f pinFact) pinFact {
+	out := f
+	copied := false
+	mutate := func() {
+		if !copied {
+			out = f.clone()
+			copied = true
+		}
+	}
+	var skip ast.Node
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		skip = rs.Body // lowered into its own blocks, as in inspectShallow
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m != nil && m == skip {
+			return false
+		}
+		// A closure that pins or unpins a page this function also tracks
+		// takes the page out of intra-procedural reach. (Handled before
+		// the shallow-walk cutoff: the literal's own statements still
+		// must not leak into this function's facts.)
+		if lit, ok := m.(*ast.FuncLit); ok && m != n {
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, method := range [...]string{"Pin", "Unpin"} {
+					if sel, ok := poolMethodCall(info, call, method); ok {
+						mutate()
+						out.state[pageKey(sel, call)] = pinEscaped
+					}
+				}
+				return true
+			})
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			// buf, err := pool.Pin(id): pin the page and remember which
+			// error variable reports its failure.
+			if len(m.Rhs) == 1 {
+				if call, ok := m.Rhs[0].(*ast.CallExpr); ok {
+					if sel, ok := poolMethodCall(info, call, "Pin"); ok {
+						mutate()
+						key := pageKey(sel, call)
+						if out.state[key] != pinEscaped {
+							out.state[key] = pinHeld
+						}
+						if len(m.Lhs) == 2 {
+							if id, ok := m.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+								obj := info.Defs[id]
+								if obj == nil {
+									obj = info.Uses[id]
+								}
+								if obj != nil {
+									out.errs[obj] = key
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := poolMethodCall(info, m, "Unpin"); ok {
+				mutate()
+				key := pageKey(sel, m)
+				if out.state[key] != pinEscaped {
+					out.state[key] = pinAbsent
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// pinEdge exploits `err != nil` branches: on the error edge of a Pin's
+// error variable the pin did not happen, so the obligation is dropped.
+func pinEdge(info *types.Info, b *Block, succIdx int, f pinFact) pinFact {
+	if b.Cond == nil {
+		return f
+	}
+	obj, isNeq, ok := condNilCheck(info, b.Cond)
+	if !ok {
+		return f
+	}
+	key, tracked := f.errs[obj]
+	if !tracked {
+		return f
+	}
+	errEdge := (isNeq && succIdx == 0) || (!isNeq && succIdx == 1)
+	if !errEdge {
+		return f
+	}
+	out := f.clone()
+	if out.state[key] != pinEscaped {
+		out.state[key] = pinAbsent
+	}
+	delete(out.errs, obj)
+	return out
+}
+
+func pinMerge(a, b pinFact) pinFact {
+	out := pinFact{state: make(map[string]int8), errs: make(map[types.Object]string)}
+	keys := make(map[string]bool)
+	for k := range a.state {
+		keys[k] = true
+	}
+	for k := range b.state {
+		keys[k] = true
+	}
+	for k := range keys {
+		x, y := a.state[k], b.state[k]
+		switch {
+		case x == y:
+			out.state[k] = x
+		case x == pinEscaped || y == pinEscaped:
+			out.state[k] = pinEscaped
+		default:
+			out.state[k] = pinMaybe
+		}
+	}
+	for k, v := range a.errs {
+		out.errs[k] = v
+	}
+	for k, v := range b.errs {
+		out.errs[k] = v
+	}
+	return out
+}
+
+func pinEqual(a, b pinFact) bool {
+	if len(a.errs) != len(b.errs) {
+		return false
+	}
+	for k, v := range a.errs {
+		if b.errs[k] != v {
+			return false
+		}
+	}
+	// States compare modulo absent == 0 entries.
+	for k, v := range a.state {
+		if b.state[k] != v {
+			return false
+		}
+	}
+	for k, v := range b.state {
+		if a.state[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+// Fixture for the arenaescape analyzer: arena-backed geometries may
+// live inside the batch (locals, batch rows, return values) but must
+// not be stored anywhere that outlives it.
+package sql
+
+import (
+	"ae/internal/storage"
+	"jackpine/internal/geom"
+)
+
+type cache struct {
+	last  geom.Geometry
+	geoms []geom.Geometry
+}
+
+var lastGeom geom.Geometry
+
+func wrap(g geom.Geometry) geom.Geometry { return g }
+
+// struct fields outlive the batch.
+func fieldStore(c *cache, data []byte, a *geom.CoordArena) {
+	g, err := geom.UnmarshalWKBArena(data, a)
+	if err != nil {
+		return
+	}
+	c.last = g // want `arena-backed geometry stored into field c\.last`
+}
+
+// package variables outlive everything.
+func pkgVarStore(data []byte, a *geom.CoordArena) {
+	g, _ := geom.UnmarshalWKBArena(data, a)
+	lastGeom = g // want `arena-backed geometry stored into package variable lastGeom`
+}
+
+// a slice reachable from a field is as durable as the field.
+func sliceStore(c *cache, b *storage.ColBatch, a *geom.CoordArena) {
+	g, _ := b.ColArena(0, a)
+	c.geoms[0] = g // want `arena-backed geometry stored into field-held container c\.geoms`
+}
+
+// the receiver can hold a channel message past the batch.
+func chanSend(ch chan geom.Geometry, data []byte, a *geom.CoordArena) {
+	g, _ := geom.UnmarshalWKBArena(data, a)
+	ch <- g // want `arena-backed geometry sent on a channel`
+}
+
+// taint survives pass-through calls: wrap returns a view of its
+// argument, as storage.NewGeom does.
+func wrappedStore(c *cache, data []byte, a *geom.CoordArena) {
+	g, _ := geom.UnmarshalWKBArena(data, a)
+	v := wrap(g)
+	c.last = v // want `arena-backed geometry stored into field c\.last`
+}
+
+// locals and returns are batch-scoped: the caller decides what to do.
+func localOK(data []byte, a *geom.CoordArena) geom.Geometry {
+	g, _ := geom.UnmarshalWKBArena(data, a)
+	tmp := g
+	return tmp
+}
+
+type rowBatch struct {
+	rows [][]geom.Geometry
+}
+
+func (b *rowBatch) Row(i int) []geom.Geometry { return b.rows[i] }
+
+// batch row storage is owned by the batch itself: b.Row(s)[col] = v is
+// the executor's calibrated write pattern and stays legal.
+func rowStoreOK(b *rowBatch, s, col int, data []byte, a *geom.CoordArena) {
+	g, _ := geom.UnmarshalWKBArena(data, a)
+	b.Row(s)[col] = g
+}
+
+// reassigning from a non-arena decoder clears the taint: the heap copy
+// may be retained freely.
+func retainedCopyOK(c *cache, data []byte, a *geom.CoordArena) {
+	g, _ := geom.UnmarshalWKBArena(data, a)
+	g, _ = geom.UnmarshalWKB(data)
+	c.last = g
+}

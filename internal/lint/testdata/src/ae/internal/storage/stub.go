@@ -1,0 +1,12 @@
+// Hermetic stub for the arenaescape fixtures: ColArena is matched by a
+// package path ending in internal/storage, mirroring the real
+// storage.ColBatch decoder.
+package storage
+
+import "jackpine/internal/geom"
+
+type ColBatch struct{}
+
+func (b *ColBatch) ColArena(col int, a *geom.CoordArena) (geom.Geometry, error) {
+	return nil, nil
+}

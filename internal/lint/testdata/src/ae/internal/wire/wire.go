@@ -1,0 +1,15 @@
+// Out-of-scope fixture for the arenaescape scope test: a wire-layer
+// package may cache whatever it likes — the analyzer's invariant only
+// covers the sql, storage and engine layers.
+package wire
+
+import "jackpine/internal/geom"
+
+type session struct {
+	last geom.Geometry
+}
+
+func record(s *session, data []byte, a *geom.CoordArena) {
+	g, _ := geom.UnmarshalWKBArena(data, a)
+	s.last = g
+}

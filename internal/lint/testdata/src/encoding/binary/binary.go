@@ -1,0 +1,15 @@
+// Package binary is a hermetic fixture stub: walwrite matches Put*
+// stores by the import path "encoding/binary", so fixtures type-check
+// against this instead of the real standard library.
+package binary
+
+type littleEndian struct{}
+
+var LittleEndian littleEndian
+
+func (littleEndian) PutUint16(b []byte, v uint16) {}
+func (littleEndian) PutUint32(b []byte, v uint32) {}
+func (littleEndian) PutUint64(b []byte, v uint64) {}
+func (littleEndian) Uint16(b []byte) uint16       { return 0 }
+func (littleEndian) Uint32(b []byte) uint32       { return 0 }
+func (littleEndian) Uint64(b []byte) uint64       { return 0 }

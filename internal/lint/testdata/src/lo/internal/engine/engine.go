@@ -1,0 +1,65 @@
+// Fixture for the lockorder analyzer, engine side: the Logger calls
+// dispatch through an interface that only the wal package's WAL
+// implements, so the engine.mu -> wal.WAL.* edges exist only if
+// class-hierarchy resolution works. None of the engine-side patterns
+// below may create an edge of their own.
+package engine
+
+import "sync"
+
+type Logger interface {
+	Append(rec []byte)
+}
+
+type Engine struct {
+	mu  sync.Mutex
+	log Logger
+	n   int
+}
+
+var globalMu sync.Mutex
+
+// interface dispatch while holding e.mu: orders engine.Engine.mu before
+// everything WAL.Append (transitively) acquires.
+func (e *Engine) Exec(rec []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+	e.log.Append(rec)
+}
+
+// a goroutine spawned while holding e.mu does not inherit the caller's
+// held set: no ordering edge.
+func (e *Engine) Spawn() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		e.log.Append(nil)
+	}()
+}
+
+// a conditionally taken lock is not must-held at the join: no
+// globalMu -> engine.Engine.mu edge.
+func (e *Engine) CondLock(b bool) {
+	if b {
+		globalMu.Lock()
+	}
+	e.mu.Lock()
+	e.mu.Unlock()
+	if b {
+		globalMu.Unlock()
+	}
+}
+
+type Pool struct {
+	mu sync.Mutex
+}
+
+// two instances of the same lock class: self-edges are iteration over
+// shards, not an ordering violation.
+func Drain(a, b *Pool) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

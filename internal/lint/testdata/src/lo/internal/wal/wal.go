@@ -1,0 +1,26 @@
+// Fixture for the lockorder analyzer: Append takes mu before syncMu,
+// Rotate takes syncMu before mu — the classic two-lock deadlock.
+package wal
+
+import "sync"
+
+type WAL struct {
+	mu     sync.Mutex
+	syncMu sync.Mutex
+	seq    int
+}
+
+func (w *WAL) Append(rec []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	w.syncMu.Lock() // want `potential deadlock: lock-order cycle wal\.WAL\.mu -> wal\.WAL\.syncMu -> wal\.WAL\.mu`
+	w.syncMu.Unlock()
+}
+
+func (w *WAL) Rotate() {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	w.mu.Unlock()
+}

@@ -1,0 +1,97 @@
+// Fixture for the pinbalance analyzer: the package path ends in
+// internal/storage, and BufferPool is declared here so pool method
+// calls resolve to a type named BufferPool in an internal/storage
+// package, exactly as in the real tree.
+package storage
+
+type BufferPool struct {
+	frames map[uint32][]byte
+}
+
+func (p *BufferPool) Pin(id uint32) ([]byte, error) { return p.frames[id], nil }
+
+func (p *BufferPool) Unpin(id uint32, dirty bool) {}
+
+var errEmpty error
+
+// balanced pin/unpin on the single path: fine.
+func readPage(p *BufferPool, id uint32) byte {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return 0
+	}
+	b := buf[0]
+	p.Unpin(id, false)
+	return b
+}
+
+// the deferred Unpin runs on every exit, panics included: fine.
+func deferredUnpin(p *BufferPool, id uint32) (byte, error) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Unpin(id, false)
+	if len(buf) == 0 {
+		return 0, errEmpty
+	}
+	return buf[0], nil
+}
+
+// pin and unpin inside a loop body stay balanced across iterations.
+func scanPages(p *BufferPool, n uint32) int {
+	total := 0
+	for pid := uint32(0); pid < n; pid++ {
+		buf, err := p.Pin(pid)
+		if err != nil {
+			return total
+		}
+		total += len(buf)
+		p.Unpin(pid, false)
+	}
+	return total
+}
+
+// no path ever unpins: the frame is wedged for the process lifetime.
+func leakAlways(p *BufferPool, id uint32) int {
+	buf, _ := p.Pin(id) // want `page pinned here is never unpinned`
+	return len(buf)
+}
+
+// the empty-page return leaks; the error return does not (the pin
+// never happened when err != nil).
+func leakSomePaths(p *BufferPool, id uint32) (byte, error) {
+	buf, err := p.Pin(id) // want `page pinned here is unpinned on only some paths`
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) == 0 {
+		return 0, errEmpty
+	}
+	b := buf[0]
+	p.Unpin(id, false)
+	return b, nil
+}
+
+// the second Unpin underflows the frame's reference count.
+func doubleUnpin(p *BufferPool, id uint32) int {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return 0
+	}
+	n := len(buf)
+	p.Unpin(id, false)
+	p.Unpin(id, false) // want `already unpinned on every path reaching this Unpin`
+	return n
+}
+
+// the closure owns the release: cross-function balance is out of
+// intra-procedural reach, so the page is dropped from tracking.
+func closureRelease(p *BufferPool, id uint32) func() {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return nil
+	}
+	_ = buf
+	return func() { p.Unpin(id, false) }
+}

@@ -1,0 +1,138 @@
+// Fixture for the walwrite analyzer: every function pins a page,
+// mutates (or not), and releases it; the analyzer must flag exactly the
+// mutations that can reach Unpin(id, false).
+package storage
+
+import "encoding/binary"
+
+type BufferPool struct {
+	frames map[uint32][]byte
+}
+
+func (p *BufferPool) Pin(id uint32) ([]byte, error) { return p.frames[id], nil }
+
+func (p *BufferPool) Unpin(id uint32, dirty bool) {}
+
+func SetPageLSN(b []byte, lsn uint64) {}
+
+type page struct {
+	data []byte
+}
+
+func (pg page) insert(v byte) {
+	pg.data[0] = v
+}
+
+func initPage(b []byte) {
+	b[0] = 1
+}
+
+// mutation released with a hard false dirty flag: lost on eviction.
+func undirtied(p *BufferPool, id uint32) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	buf[0] = 1 // want `write to pinned page id reaches Unpin\(\.\., false\)`
+	p.Unpin(id, false)
+}
+
+// same mutation, correctly marked dirty.
+func dirtied(p *BufferPool, id uint32) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	buf[0] = 1
+	p.Unpin(id, true)
+}
+
+// reads never need the dirty flag.
+func readOnly(p *BufferPool, id uint32) byte {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return 0
+	}
+	b := buf[0]
+	p.Unpin(id, false)
+	return b
+}
+
+// encoding/binary stores are mutations of the destination slice.
+func binaryHeader(p *BufferPool, id uint32) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(buf[4:], 7) // want `write to pinned page id reaches Unpin\(\.\., false\)`
+	p.Unpin(id, false)
+}
+
+// the helper writes through its parameter; the summary fixpoint makes
+// the call site a mutation of buf.
+func viaHelper(p *BufferPool, id uint32) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	initPage(buf) // want `write to pinned page id reaches Unpin\(\.\., false\)`
+	p.Unpin(id, false)
+}
+
+// page{buf} shares buf's backing array; insert writes through the
+// receiver, so the wrapper call mutates the pinned frame.
+func viaWrapper(p *BufferPool, id uint32) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	pg := page{data: buf}
+	pg.insert(9) // want `write to pinned page id reaches Unpin\(\.\., false\)`
+	p.Unpin(id, false)
+}
+
+// same wrapper, dirty release: fine.
+func viaWrapperDirty(p *BufferPool, id uint32) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	pg := page{data: buf}
+	pg.insert(9)
+	p.Unpin(id, true)
+}
+
+// one path releases clean: the must-analysis poisons the merge.
+func cleanOnSomePath(p *BufferPool, id uint32, flush bool) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	buf[0] = 1 // want `write to pinned page id reaches Unpin\(\.\., false\)`
+	if flush {
+		p.Unpin(id, true)
+		return
+	}
+	p.Unpin(id, false)
+}
+
+// a data-dependent dirty flag is trusted: only the literal false is
+// provably clean.
+func dynamicFlag(p *BufferPool, id uint32, wrote bool) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	buf[0] = 1
+	p.Unpin(id, wrote)
+}
+
+// stamping the page LSN is a mutation like any other.
+func lsnOnly(p *BufferPool, id uint32) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	SetPageLSN(buf, 42) // want `write to pinned page id reaches Unpin\(\.\., false\)`
+	p.Unpin(id, false)
+}

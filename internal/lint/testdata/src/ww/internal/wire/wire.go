@@ -1,0 +1,18 @@
+// Out-of-scope fixture shared by the pinbalance and walwrite scope
+// tests: this package leaks a pin and loses a write, but its path does
+// not end in internal/storage or internal/engine, so both analyzers
+// must stay silent.
+package wire
+
+import "ww/internal/storage"
+
+func leakAndLose(p *storage.BufferPool, id uint32) {
+	buf, err := p.Pin(id)
+	if err != nil {
+		return
+	}
+	buf[0] = 1
+	p.Unpin(id, false)
+	buf2, _ := p.Pin(id + 1)
+	_ = buf2
+}

@@ -1,0 +1,8 @@
+//go:build !fastpath
+
+package tagmod
+
+// Mode reports the fastpath configuration.
+func Mode() string {
+	return "slow"
+}

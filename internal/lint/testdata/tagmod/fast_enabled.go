@@ -1,0 +1,14 @@
+//go:build fastpath
+
+package tagmod
+
+// Mode reports the fastpath configuration.
+func Mode() string {
+	return fastModeName()
+}
+
+// fastModeName exists only under the fastpath tag, so an analyzer that
+// never sees this variant would miss any finding inside it.
+func fastModeName() string {
+	return "fast"
+}

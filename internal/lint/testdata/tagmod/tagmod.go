@@ -1,0 +1,10 @@
+// Package tagmod is a loader fixture: the Mode function is provided by
+// one of two build-tag-gated files, mirroring the race_enabled/
+// race_disabled pattern at the repository root. The loader must surface
+// both variants so analyzers do not silently skip the disabled one.
+package tagmod
+
+// Describe is shared between both tag variants.
+func Describe() string {
+	return "mode: " + Mode()
+}

@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WalWrite enforces the NO-STEAL write discipline on pinned pages in
+// the storage and engine layers: a function that mutates the bytes of a
+// pinned buffer-pool page must release that page with Unpin(id, true)
+// (or an equivalently non-constant dirty flag) on every path. Releasing
+// a mutated page with Unpin(id, false) tells the pool the frame matches
+// disk: the write is silently lost on eviction and never reaches the
+// WAL — the exact overflow-header clobber class that PR 8 fixed by
+// hand.
+//
+// Mechanics: page buffers are the []byte returned by BufferPool.Pin.
+// The analyzer tracks local aliases of each pinned buffer (slices of
+// it, page{buf} wrappers), detects mutations through them — direct
+// index stores, copy/clear, encoding/binary stores, and calls to
+// same-package functions that a fixpoint summary proves write through a
+// parameter or receiver — and runs a backward must-analysis classifying
+// each program point by the Unpin every path reaches: dirty, clean, or
+// none (the page outlives the function; pinbalance owns that case). A
+// mutation whose downstream classification is "clean" is reported.
+var WalWrite = &Analyzer{
+	Name: "walwrite",
+	Doc: "flag mutations of pinned buffer-pool pages that reach " +
+		"Unpin(id, false) on some path (internal/storage, internal/engine): " +
+		"an undirtied write never reaches the WAL and is lost on eviction",
+	Run: runWalWrite,
+}
+
+// Backward lattice: the classification of the Unpin reached from a
+// program point, merged with min across paths. walClean poisons any
+// merge — one undirtied path loses the write.
+const (
+	walClean   int8 = iota // reaches Unpin(id, false)
+	walNoUnpin             // reaches function exit without an Unpin
+	walDirty               // reaches Unpin(id, true) or a data-dependent flag
+)
+
+func runWalWrite(pass *Pass) error {
+	if !pkgMatches(pass, "internal/storage", "internal/engine") {
+		return nil
+	}
+	sums := writerSummaries(pass)
+	funcBodies(pass, func(name string, body *ast.BlockStmt) {
+		checkWalWrite(pass, sums, body)
+	})
+	return nil
+}
+
+func checkWalWrite(pass *Pass, sums map[*types.Func]*writeSet, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Pin sites: page key -> the []byte variable holding the frame.
+	aliases := make(map[types.Object]string)
+	keys := make(map[string]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := poolMethodCall(info, call, "Pin")
+		if !ok {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				key := pageKey(sel, call)
+				aliases[obj] = key
+				keys[key] = true
+			}
+		}
+		return true
+	})
+	if len(keys) == 0 {
+		return
+	}
+
+	// Propagate aliasing through assignments until stable: slices of the
+	// buffer, page{buf} wrappers, and plain copies all reach the same
+	// backing array.
+	for changed := true; changed; {
+		changed = false
+		inspectShallow(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || aliases[obj] != "" {
+					continue
+				}
+				if !aliasPreserving(as.Rhs[i]) {
+					continue
+				}
+				for _, root := range rootObjs(info, as.Rhs[i]) {
+					if key := aliases[root]; key != "" {
+						aliases[obj] = key
+						changed = true
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	cfg := NewCFG(body)
+	top := make(walFact)
+	boundary := make(walFact)
+	for k := range keys {
+		top[k] = walDirty
+		boundary[k] = walNoUnpin
+	}
+	prob := &FlowProblem{
+		Forward:  false,
+		Boundary: boundary,
+		Init:     top,
+		Transfer: func(n ast.Node, f Fact) Fact { return walTransfer(info, n, f.(walFact)) },
+		Merge: func(a, b Fact) Fact {
+			x, y := a.(walFact), b.(walFact)
+			out := make(walFact, len(x))
+			for k, v := range x {
+				if w := y[k]; w < v {
+					out[k] = w
+				} else {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b Fact) bool {
+			x, y := a.(walFact), b.(walFact)
+			for k, v := range x {
+				if y[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	res := Solve(cfg, prob)
+
+	// Re-walk each block backward: the fact below a node classifies the
+	// Unpin its mutations flow into.
+	for _, b := range cfg.Blocks {
+		below := res.Out[b.Index].(walFact)
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			n := b.Nodes[i]
+			forEachWrite(info, sums, n, func(obj types.Object, at ast.Node) {
+				key := aliases[obj]
+				if key == "" {
+					return
+				}
+				if below[key] == walClean {
+					pass.Reportf(at.Pos(),
+						"write to pinned page %s reaches Unpin(.., false) on some path: "+
+							"the mutation is never marked dirty, so it misses the WAL and is lost on eviction",
+						keyPageExpr(key))
+				}
+			})
+			below = walTransfer(info, n, below)
+		}
+	}
+}
+
+// walFact maps page keys to the lattice classification below a point.
+type walFact map[string]int8
+
+func walTransfer(info *types.Info, n ast.Node, f walFact) walFact {
+	var out walFact
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := poolMethodCall(info, call, "Unpin")
+		if !ok {
+			return true
+		}
+		if out == nil {
+			out = make(walFact, len(f))
+			for k, v := range f {
+				out[k] = v
+			}
+		}
+		key := pageKey(sel, call)
+		if _, tracked := f[key]; !tracked {
+			return true
+		}
+		if len(call.Args) >= 2 && isFalseLiteral(call.Args[1]) {
+			out[key] = walClean
+		} else {
+			out[key] = walDirty
+		}
+		return true
+	})
+	if out == nil {
+		return f
+	}
+	return out
+}
+
+func isFalseLiteral(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "false"
+}
+
+// keyPageExpr recovers the printed page-id expression from a page key
+// for report messages.
+func keyPageExpr(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[i+1:]
+		}
+	}
+	return key
+}
+
+// writeSet summarizes which inputs a function writes through.
+type writeSet struct {
+	recv   bool
+	params map[int]bool
+}
+
+// writerSummaries computes, for every function in the package, whether
+// it writes through its receiver or a parameter — directly (index
+// stores, copy/clear, encoding/binary stores) or by passing them into
+// another summarized writer. The fixpoint makes helpers like
+// page.insert and initPage visible as mutations at their call sites.
+func writerSummaries(pass *Pass) map[*types.Func]*writeSet {
+	info := pass.TypesInfo
+	sums := make(map[*types.Func]*writeSet)
+	type declInfo struct {
+		decl   *ast.FuncDecl
+		fn     *types.Func
+		inputs map[types.Object]int // param obj -> index; receiver -> -1
+	}
+	var decls []declInfo
+	funcDecls(pass, func(decl *ast.FuncDecl) {
+		fn, ok := info.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		inputs := make(map[types.Object]int)
+		if r := sig.Recv(); r != nil {
+			inputs[r] = -1
+			// The declared receiver ident, not the signature object, is
+			// what body uses resolve to.
+			if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+				if obj := info.Defs[decl.Recv.List[0].Names[0]]; obj != nil {
+					inputs[obj] = -1
+				}
+			}
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			inputs[sig.Params().At(i)] = i
+		}
+		sums[fn] = &writeSet{params: make(map[int]bool)}
+		decls = append(decls, declInfo{decl, fn, inputs})
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			sum := sums[d.fn]
+			forEachWrite(info, sums, d.decl.Body, func(obj types.Object, at ast.Node) {
+				idx, ok := d.inputs[obj]
+				if !ok {
+					return
+				}
+				if idx == -1 {
+					if !sum.recv {
+						sum.recv = true
+						changed = true
+					}
+				} else if !sum.params[idx] {
+					sum.params[idx] = true
+					changed = true
+				}
+			})
+		}
+	}
+	return sums
+}
+
+// forEachWrite reports the root object of every buffer mutation inside
+// n (function literals excluded): index and field stores, copy/clear,
+// encoding/binary Put*, storage.SetPageLSN, and calls into summarized
+// writers.
+func forEachWrite(info *types.Info, sums map[*types.Func]*writeSet, n ast.Node, report func(obj types.Object, at ast.Node)) {
+	emit := func(e ast.Expr, at ast.Node) {
+		for _, obj := range rootObjs(info, e) {
+			report(obj, at)
+		}
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if _, ok := lhs.(*ast.Ident); ok {
+					continue // rebinding, not a write through
+				}
+				emit(lhs, m)
+			}
+		case *ast.IncDecStmt:
+			if _, ok := m.X.(*ast.Ident); !ok {
+				emit(m.X, m)
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(m.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := info.Uses[fun].(*types.Builtin); ok {
+					if (b.Name() == "copy" || b.Name() == "clear") && len(m.Args) > 0 {
+						emit(m.Args[0], m)
+					}
+					return true
+				}
+			}
+			obj := callee(info, m)
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" &&
+				len(m.Args) > 0 && len(fn.Name()) > 3 && fn.Name()[:3] == "Put" {
+				emit(m.Args[0], m)
+				return true
+			}
+			if fn.Pkg() != nil && pathIs(fn.Pkg().Path(), "internal/storage") &&
+				fn.Name() == "SetPageLSN" && len(m.Args) > 0 {
+				emit(m.Args[0], m)
+				return true
+			}
+			if sum := sums[fn]; sum != nil {
+				if sum.recv {
+					if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+						emit(sel.X, m)
+					}
+				}
+				for i := range sum.params {
+					if i < len(m.Args) {
+						emit(m.Args[i], m)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootObjs returns the variables through which writing to e writes:
+// the base of index/slice/selector chains, and every variable captured
+// in a composite literal (page{buf} shares buf's backing array).
+func rootObjs(info *types.Info, e ast.Expr) []types.Object {
+	var out []types.Object
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				out = append(out, obj)
+			} else if obj := info.Defs[e]; obj != nil {
+				out = append(out, obj)
+			}
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.IndexExpr:
+			walk(e.X)
+		case *ast.SliceExpr:
+			walk(e.X)
+		case *ast.StarExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.SelectorExpr:
+			walk(e.X)
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					walk(kv.Value)
+				} else {
+					walk(elt)
+				}
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// aliasPreserving reports whether assigning e to a variable can share
+// the source's backing memory: plain copies, slices, composite wrappers
+// and address-taking do; calls and element loads produce fresh values.
+func aliasPreserving(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SliceExpr, *ast.CompositeLit, *ast.SelectorExpr:
+		return true
+	case *ast.ParenExpr:
+		return aliasPreserving(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() == "&"
+	}
+	return false
+}
