@@ -1505,3 +1505,123 @@ func TestWritePersistBench(t *testing.T) {
 	t.Logf("load %s, %d fsyncs (group commit %.1f); wrote BENCH_persist.json (%d bytes)",
 		st.LoadTime.Round(time.Millisecond), st.Load.Fsyncs, st.Load.GroupCommitSize(), len(buf))
 }
+
+// TestWriteSpatialJoinBench regenerates BENCH_spatialjoin.json, the
+// committed E19 evidence for the partition-based spatial-merge join.
+// Same protocol as TestWriteParallelBench:
+//
+//	JACKPINE_WRITE_BENCH=1 go test -run TestWriteSpatialJoinBench .
+func TestWriteSpatialJoinBench(t *testing.T) {
+	if os.Getenv("JACKPINE_WRITE_BENCH") != "1" {
+		t.Skip("set JACKPINE_WRITE_BENCH=1 to rewrite BENCH_spatialjoin.json")
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = tiger.Medium
+	ds := tiger.Generate(cfg.Scale, cfg.Seed)
+	ctx := core.NewQueryContext(ds)
+	const runs = 5
+
+	type cellOut struct {
+		INLUS      int64   `json:"inl_us"`
+		PBSMUS     int64   `json:"pbsm_us"`
+		Speedup    float64 `json:"speedup"`
+		Rows       int     `json:"rows"`
+		Cells      int64   `json:"pbsm_cells,omitempty"`
+		DedupDrops int64   `json:"dedup_drops,omitempty"`
+		Pushdowns  int     `json:"join_pushdowns,omitempty"`
+	}
+	type singleOut struct {
+		Parallelism int `json:"parallelism"`
+		cellOut
+	}
+	type clusterOut struct {
+		Shards int `json:"shards"`
+		cellOut
+	}
+	out := struct {
+		Experiment string       `json:"experiment"`
+		Date       string       `json:"date"`
+		CPUs       int          `json:"cpus"`
+		Scale      string       `json:"scale"`
+		Runs       int          `json:"runs"`
+		Workload   string       `json:"workload"`
+		Note       string       `json:"note"`
+		Single     []singleOut  `json:"single_engine"`
+		Cluster    []clusterOut `json:"cluster"`
+	}{
+		Experiment: "E19 partition-based spatial-merge join vs index-nested-loop (GaiaDB)",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		CPUs:       runtime.NumCPU(),
+		Scale:      cfg.Scale.String(),
+		Runs:       runs,
+		Workload: "MS7 overlay-and-proximity macro: arealm x areawater " +
+			"ST_Intersects overlay, pointlm self-join ST_DWithin clustering, " +
+			"pointlm x areawater ST_DWithin proximity; per-operation wall " +
+			"time, best of the timed passes.",
+		Note: "inl forces per-outer-row R-tree probes, pbsm the grid " +
+			"partitioning + x-sorted plane sweep with reference-point " +
+			"dedup. Row counts are asserted identical per cell. Cluster " +
+			"rows run co-partitioned joins shard-local (join_pushdowns " +
+			"counts them); cells/dedup are per operation.",
+	}
+
+	maxSpeedup := 0.0
+	for _, par := range []int{1, 2, 8} {
+		inl, err := experiments.MeasureE19(ds, ctx, JoinINL, par, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pbsm, err := experiments.MeasureE19(ds, ctx, JoinPBSM, par, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inl.Rows != pbsm.Rows {
+			t.Fatalf("parallelism %d: INL rows %d != PBSM rows %d", par, inl.Rows, pbsm.Rows)
+		}
+		sp := float64(inl.Mean) / float64(pbsm.Mean)
+		if sp > maxSpeedup {
+			maxSpeedup = sp
+		}
+		out.Single = append(out.Single, singleOut{par, cellOut{
+			INLUS: inl.Mean.Microseconds(), PBSMUS: pbsm.Mean.Microseconds(),
+			Speedup: math.Round(sp*100) / 100, Rows: pbsm.Rows,
+			Cells: pbsm.Cells, DedupDrops: pbsm.DedupDrops,
+		}})
+		t.Logf("par=%d inl=%v pbsm=%v speedup=%.2fx", par, inl.Mean, pbsm.Mean, sp)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		inl, err := experiments.MeasureE19Cluster(ds, ctx, JoinINL, shards, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pbsm, err := experiments.MeasureE19Cluster(ds, ctx, JoinPBSM, shards, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inl.Rows != pbsm.Rows {
+			t.Fatalf("shards %d: INL rows %d != PBSM rows %d", shards, inl.Rows, pbsm.Rows)
+		}
+		sp := float64(inl.Mean) / float64(pbsm.Mean)
+		out.Cluster = append(out.Cluster, clusterOut{shards, cellOut{
+			INLUS: inl.Mean.Microseconds(), PBSMUS: pbsm.Mean.Microseconds(),
+			Speedup: math.Round(sp*100) / 100, Rows: pbsm.Rows,
+			Cells: pbsm.Cells, DedupDrops: pbsm.DedupDrops,
+			Pushdowns: pbsm.Pushdowns,
+		}})
+		t.Logf("shards=%d inl=%v pbsm=%v speedup=%.2fx pushdowns=%d",
+			shards, inl.Mean, pbsm.Mean, sp, pbsm.Pushdowns)
+	}
+	if maxSpeedup < 2.0 {
+		t.Fatalf("best single-engine PBSM speedup %.2fx, want >= 2x on the join-heavy macro", maxSpeedup)
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_spatialjoin.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("best speedup %.2fx; wrote BENCH_spatialjoin.json (%d bytes)", maxSpeedup, len(buf))
+}

@@ -78,6 +78,11 @@ type Options struct {
 	// hedging with adaptive per-query-class thresholds (it is inert
 	// when every shard has a single replica).
 	Hedge HedgeOptions
+	// JoinStrategy forces the spatial-join strategy of the engines the
+	// router itself runs — the cached gather engine and the pushdown
+	// complement engine. Shard engines are opened by the caller and
+	// carry their own knob. The zero value is sql.JoinAuto (cost-based).
+	JoinStrategy sql.JoinStrategy
 }
 
 // tableInfo is the cluster catalog entry for one table.
@@ -116,16 +121,39 @@ func (t *tableInfo) colNames() []string {
 // Cluster is a driver.Connector over N spatially-partitioned shards,
 // each backed by one or more identical replicas.
 type Cluster struct {
-	name   string
-	shards [][]driver.Connector // [shard][replica]
-	part   Partitioner
-	prof   engine.Profile
-	reg    *sql.Registry
-	hedge  *hedgePolicy
+	name      string
+	shards    [][]driver.Connector // [shard][replica]
+	part      Partitioner
+	prof      engine.Profile
+	joinStrat sql.JoinStrategy
+	reg       *sql.Registry
+	hedge     *hedgePolicy
 
 	mu     sync.Mutex
 	tables map[string]*tableInfo
 	stats  driver.ShardStats
+	// epoch counts schema-shape changes (DDL, VACUUM, out-of-band
+	// registration). Cached gather engines are keyed by it, so a stale
+	// schema is never reused; data changes need no bump because every
+	// reuse reloads fragments from the shards.
+	epoch int64
+	// gatherCache holds reusable gather engines keyed by
+	// "epoch|table,table,..."; gatherKeys tracks insertion order for
+	// eviction at gatherCacheCap.
+	gatherCache map[string]*gatherEntry
+	gatherKeys  []string
+}
+
+// gatherCacheCap bounds the cached gather engines; the benchmark's
+// join shapes reuse a handful of table sets, so a small FIFO suffices.
+const gatherCacheCap = 8
+
+// gatherEntry caches one gather engine. mu serializes gathers sharing
+// the engine: the empty-tables/reload/query cycle must be atomic. eng
+// is nil until the first holder of mu builds the schema.
+type gatherEntry struct {
+	mu  sync.Mutex
+	eng *engine.Engine
 }
 
 // Open assembles an unreplicated cluster from per-shard connectors.
@@ -166,16 +194,18 @@ func OpenReplicated(groups [][]driver.Connector, part Partitioner, opts Options)
 		}
 	}
 	return &Cluster{
-		name:   name,
-		shards: groups,
-		part:   part,
-		prof:   opts.Profile,
-		hedge:  newHedgePolicy(opts.Hedge),
+		name:      name,
+		shards:    groups,
+		part:      part,
+		prof:      opts.Profile,
+		joinStrat: opts.JoinStrategy,
+		hedge:     newHedgePolicy(opts.Hedge),
 		reg: sql.NewRegistry(sql.RegistryOptions{
 			MBRPredicates: opts.Profile.MBRPredicates,
 			Disabled:      opts.Profile.DisabledFunctions,
 		}),
-		tables: make(map[string]*tableInfo),
+		tables:      make(map[string]*tableInfo),
+		gatherCache: make(map[string]*gatherEntry),
 	}, nil
 }
 
@@ -268,7 +298,71 @@ func (c *Cluster) registerLocked(ct *sql.CreateTable) *tableInfo {
 		info.mbr[i] = geom.EmptyRect()
 	}
 	c.tables[ct.Name] = info
+	c.bumpEpochLocked()
 	return info
+}
+
+// bumpEpochLocked advances the schema epoch and drops every cached
+// gather engine. Caller holds c.mu.
+func (c *Cluster) bumpEpochLocked() {
+	c.epoch++
+	c.gatherCache = make(map[string]*gatherEntry)
+	c.gatherKeys = nil
+}
+
+// bumpEpoch invalidates cached gather engines after a schema change
+// routed through DDL (DROP TABLE, CREATE INDEX, VACUUM).
+func (c *Cluster) bumpEpoch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpEpochLocked()
+}
+
+// gatherEntryFor returns the cache slot for a gather over the given
+// table set at the current schema epoch, creating (and FIFO-evicting)
+// as needed. The caller must hold the entry's mu for the whole
+// reload-and-query cycle.
+func (c *Cluster) gatherEntryFor(tables []string) *gatherEntry {
+	names := append([]string(nil), tables...)
+	sortStrings(names)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := fmt.Sprintf("%d|%s", c.epoch, strings.Join(names, ","))
+	if e, ok := c.gatherCache[key]; ok {
+		return e
+	}
+	if len(c.gatherKeys) >= gatherCacheCap {
+		delete(c.gatherCache, c.gatherKeys[0])
+		c.gatherKeys = c.gatherKeys[1:]
+	}
+	e := &gatherEntry{}
+	c.gatherCache[key] = e
+	c.gatherKeys = append(c.gatherKeys, key)
+	return e
+}
+
+// sortStrings sorts a small string slice (insertion sort: table lists
+// are join widths).
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// countGatherBuild records a gather engine built from scratch.
+func (c *Cluster) countGatherBuild() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.GatherBuilds++
+}
+
+// countJoinPushdown records a join answered shard-local.
+func (c *Cluster) countJoinPushdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.JoinPushdowns++
 }
 
 // RefreshStats measures every partitioned table on every shard —

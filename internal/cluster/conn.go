@@ -127,11 +127,18 @@ func (cn *Conn) route(query string) (*res, error) {
 		if err == nil {
 			cn.c.mu.Lock()
 			delete(cn.c.tables, t.Table)
+			cn.c.bumpEpochLocked()
 			cn.c.mu.Unlock()
 		}
 		return r, err
 	case *sql.CreateIndex, *sql.Vacuum:
-		return cn.broadcastSame(query)
+		r, err := cn.broadcastSame(query)
+		if err == nil {
+			// Index sets and vacuumed layouts change the plans a cached
+			// gather engine would pick; retire the cache generation.
+			cn.c.bumpEpoch()
+		}
+		return r, err
 	}
 	return nil, fmt.Errorf("cluster: unroutable statement %T", stmt)
 }
@@ -206,6 +213,9 @@ func (cn *Conn) routeSelect(ctx context.Context, t *sql.Select, orig string) (*r
 		return cn.single(ctx, 0, orig)
 	}
 	if len(refs) > 1 {
+		if r, ok, err := cn.joinPushdown(ctx, t, refs); ok || err != nil {
+			return r, err
+		}
 		return cn.gather(ctx, t, orig)
 	}
 
@@ -654,18 +664,7 @@ func (cn *Conn) aggScan(ctx context.Context, t *sql.Select, info *tableInfo, tar
 	}
 
 	// Shard-side projection: one partial state per aggregate.
-	items := make([]sql.SelectExpr, len(aggs))
-	for i, a := range aggs {
-		switch a.Name {
-		case "SUM", "AVG":
-			items[i] = sql.SelectExpr{Expr: &sql.FuncCall{
-				Name: sql.PartialSumName,
-				Args: []sql.Expr{sql.CloneExpr(a.Args[0])},
-			}}
-		default: // COUNT, MIN, MAX, ST_EXTENT
-			items[i] = sql.SelectExpr{Expr: sql.CloneExpr(a).(*sql.FuncCall)}
-		}
-	}
+	items := partialItems(aggs)
 	shardSel := &sql.Select{
 		Exprs: items,
 		From:  &sql.TableRef{Table: t.From.Table, Alias: t.From.Alias},

@@ -140,27 +140,65 @@ func (cn *Conn) gather(ctx context.Context, t *sql.Select, orig string) (*res, e
 		return cn.forward(ctx, orig, shard, false, 0)
 	}
 
-	eng := engine.Open(cn.c.prof)
+	tables := make([]string, 0, len(refs))
 	loaded := make(map[string]bool, len(refs))
+	for _, ref := range refs {
+		if !loaded[ref.Table] {
+			loaded[ref.Table] = true
+			tables = append(tables, ref.Table)
+		}
+	}
+	entry := cn.c.gatherEntryFor(tables)
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if err := cn.prepareGatherEngineLocked(entry, tables); err != nil {
+		return nil, err
+	}
 	for i, ref := range refs {
-		if loaded[ref.Table] {
-			continue
+		if !loaded[ref.Table] {
+			continue // a later binding of an already-loaded table
 		}
-		loaded[ref.Table] = true
+		loaded[ref.Table] = false
 		info := cn.c.lookup(ref.Table) // caller verified every table is known
-		if _, err := eng.ExecParsed(&sql.CreateTable{Name: info.name, Columns: info.cols}); err != nil {
-			return nil, fmt.Errorf("cluster: gather schema for %s: %w", info.name, err)
-		}
 		rows, err := cn.fetchFragment(ctx, refs, pushed, empty, targets, eligible, i, info)
 		if err != nil {
 			return nil, err
 		}
-		if err := loadFragment(eng, info, rows); err != nil {
+		if err := loadFragment(entry.eng, info, rows); err != nil {
 			return nil, err
 		}
+	}
+
+	result, err := entry.eng.Exec(orig)
+	if err != nil {
+		return nil, err
+	}
+	return &res{cols: result.Columns, rows: result.Rows, affected: result.Affected}, nil
+}
+
+// prepareGatherEngineLocked readies a cache entry's engine to receive fresh
+// fragments. On first use it builds the schema — tables plus the
+// spatial indexes that keep gathered joins on the access paths (index
+// nested loop, kNN, PBSM costing) a single engine would use — and
+// counts a gather build. On reuse it only empties the tables: schema,
+// indexes and allocated structures stay warm, which is the point of
+// the cache.
+func (cn *Conn) prepareGatherEngineLocked(entry *gatherEntry, tables []string) error {
+	if entry.eng != nil {
+		for _, name := range tables {
+			if _, err := entry.eng.Exec("DELETE FROM " + name); err != nil {
+				return fmt.Errorf("cluster: gather reset for %s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	eng := engine.Open(cn.c.prof, engine.WithJoinStrategy(cn.c.joinStrat))
+	for _, name := range tables {
+		info := cn.c.lookup(name)
+		if _, err := eng.ExecParsed(&sql.CreateTable{Name: info.name, Columns: info.cols}); err != nil {
+			return fmt.Errorf("cluster: gather schema for %s: %w", info.name, err)
+		}
 		if info.partitioned() {
-			// A spatial index keeps gathered joins on the same access
-			// paths (index nested loop, kNN) a single engine would use.
 			idx := &sql.CreateIndex{
 				Name:    "__gather_" + info.name + "_sidx",
 				Table:   info.name,
@@ -168,16 +206,13 @@ func (cn *Conn) gather(ctx context.Context, t *sql.Select, orig string) (*res, e
 				Spatial: true,
 			}
 			if _, err := eng.ExecParsed(idx); err != nil {
-				return nil, fmt.Errorf("cluster: gather index for %s: %w", info.name, err)
+				return fmt.Errorf("cluster: gather index for %s: %w", info.name, err)
 			}
 		}
 	}
-
-	result, err := eng.Exec(orig)
-	if err != nil {
-		return nil, err
-	}
-	return &res{cols: result.Columns, rows: result.Rows, affected: result.Affected}, nil
+	cn.c.countGatherBuild()
+	entry.eng = eng
+	return nil
 }
 
 // semijoinFilters derives extra fragment filters for binding i from

@@ -59,6 +59,22 @@ func (p Partitioner) AssignPoint(c geom.Coord) int {
 	return cy*p.Gx + cx
 }
 
+// CellRect returns shard i's grid cell rectangle. Rows are assigned by
+// envelope centre, so a row's geometry may overhang its cell; the
+// join-pushdown spill test shrinks this rectangle rather than trusting
+// it as a data bound.
+func (p Partitioner) CellRect(shard int) geom.Rect {
+	cx, cy := shard%p.Gx, shard/p.Gx
+	w := (p.Extent.MaxX - p.Extent.MinX) / float64(p.Gx)
+	h := (p.Extent.MaxY - p.Extent.MinY) / float64(p.Gy)
+	return geom.Rect{
+		MinX: p.Extent.MinX + float64(cx)*w,
+		MinY: p.Extent.MinY + float64(cy)*h,
+		MaxX: p.Extent.MinX + float64(cx+1)*w,
+		MaxY: p.Extent.MinY + float64(cy+1)*h,
+	}
+}
+
 // cellIndex locates v in [lo, hi) split into n equal cells, clamped.
 func cellIndex(v, lo, hi float64, n int) int {
 	if n <= 1 || hi <= lo {

@@ -207,7 +207,7 @@ func TestRunMacroMultiClient(t *testing.T) {
 func TestRunMacroOnMySpatial(t *testing.T) {
 	connector, ctx := testTarget(t, engine.MySpatial())
 	results := RunMacroSuite(connector, ctx, Options{Warmup: 0, Runs: 1})
-	if len(results) != 6 {
+	if len(results) != 7 {
 		t.Fatalf("scenario results = %d", len(results))
 	}
 	for _, r := range results {

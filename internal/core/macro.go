@@ -21,11 +21,12 @@ type MacroScenario struct {
 	Run func(ctx *QueryContext, conn driver.Conn, iter int) (int, error)
 }
 
-// MacroSuite returns the six macro workload scenarios.
+// MacroSuite returns the seven macro workload scenarios.
 func MacroSuite() []MacroScenario {
 	return []MacroScenario{
 		mapBrowsing(), geocoding(), reverseGeocoding(),
 		floodRisk(), landInformation(), toxicSpill(),
+		overlayAnalysis(),
 	}
 }
 
@@ -202,6 +203,43 @@ func landInformation() MacroScenario {
 				return total, err
 			}
 			return total, nil
+		},
+	}
+}
+
+// overlayAnalysis (MS7): a regional overlay and proximity report — an
+// analyst's batch job over whole layers rather than one probe window.
+// All three steps are spatial table-to-table joins with aggregate
+// outputs: the land/water overlay, landmark clustering, and waterfront
+// landmarks. This is the shape the partition-based spatial-merge join
+// targets, and on a cluster each step is answerable shard-local.
+func overlayAnalysis() MacroScenario {
+	return MacroScenario{
+		ID:   "MS7",
+		Name: "overlay and proximity analysis",
+		Run: func(ctx *QueryContext, conn driver.Conn, iter int) (int, error) {
+			total := 0
+			// Overlay: landmark areas crossing water bodies.
+			n, err := queryRows(conn,
+				"SELECT COUNT(*) FROM arealm a JOIN areawater w ON ST_Intersects(a.geo, w.geo)")
+			if err != nil {
+				return total, err
+			}
+			total += n
+			// Clustering: landmark pairs closer than half a block.
+			n, err = queryRows(conn,
+				"SELECT COUNT(*) FROM pointlm a JOIN pointlm b ON ST_DWithin(a.geo, b.geo, 50.0) WHERE a.id < b.id")
+			if err != nil {
+				return total, err
+			}
+			total += n
+			// Proximity: waterfront landmarks within a block of water.
+			n, err = queryRows(conn,
+				"SELECT COUNT(*), MAX(p.id) FROM pointlm p JOIN areawater w ON ST_DWithin(p.geo, w.geo, 100.0)")
+			if err != nil {
+				return total, err
+			}
+			return total + n, nil
 		},
 	}
 }

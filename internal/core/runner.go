@@ -10,6 +10,7 @@ import (
 
 	"jackpine/internal/driver"
 	"jackpine/internal/engine"
+	"jackpine/internal/sql"
 )
 
 // Options configure a benchmark run.
@@ -107,6 +108,18 @@ type MicroResult struct {
 	// -1 when the engine is not durable (the shard-column convention).
 	WALFsyncs  int
 	DirtyPages int
+
+	// JoinStrategy labels the spatial-join strategy that executed over
+	// the measured iterations ("inl", "pbsm", "mixed"); blank when no
+	// spatial join ran or the connection exposes no join counters
+	// (remote engines). PBSMCells and DedupDrops are the grid cells
+	// built and cross-cell duplicate pairs suppressed, -1 when unknown.
+	// JoinPushdown counts cluster joins answered shard-local, 0 when
+	// the target is not a cluster (the ShardFastPath convention).
+	JoinStrategy string
+	PBSMCells    int
+	DedupDrops   int
+	JoinPushdown int
 }
 
 // MacroResult is the measurement of one macro scenario on one engine.
@@ -158,6 +171,13 @@ type MacroResult struct {
 	// WALFsyncs / DirtyPages as in MicroResult, over the measured phase.
 	WALFsyncs  int
 	DirtyPages int
+
+	// JoinStrategy / PBSMCells / DedupDrops / JoinPushdown as in
+	// MicroResult, over the measured phase.
+	JoinStrategy string
+	PBSMCells    int
+	DedupDrops   int
+	JoinPushdown int
 }
 
 // cacheCounterConn is implemented by in-process connections that can
@@ -170,6 +190,27 @@ type cacheCounterConn interface {
 // scatter-gather routing counters; single-engine connections lack it.
 type shardStatsConn interface {
 	ShardStats() driver.ShardStats
+}
+
+// joinStatsConn is implemented by in-process connections that report
+// the engine's spatial-join strategy counters.
+type joinStatsConn interface {
+	JoinStats() sql.JoinStats
+}
+
+// joinStrategyLabel classifies which spatial-join strategy executed
+// between two counter snapshots; blank when no spatial join ran.
+func joinStrategyLabel(before, after sql.JoinStats) string {
+	inl, pbsm := after.INL-before.INL, after.PBSM-before.PBSM
+	switch {
+	case inl > 0 && pbsm > 0:
+		return "mixed"
+	case pbsm > 0:
+		return "pbsm"
+	case inl > 0:
+		return "inl"
+	}
+	return ""
 }
 
 // pruneDelta is the prune rate between two shard-counter snapshots,
@@ -217,6 +258,7 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			AllocsPerRun:     -1, BytesPerRun: -1,
 			ShardPruneRate: -1,
 			WALFsyncs:      -1, DirtyPages: -1,
+			PBSMCells: -1, DedupDrops: -1,
 		}
 		// Warmup (also surfaces unsupported functions cheaply).
 		aborted := false
@@ -240,6 +282,11 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 			var ssBefore driver.ShardStats
 			if hasSS {
 				ssBefore = ss.ShardStats()
+			}
+			js, hasJS := conn.(joinStatsConn)
+			var jsBefore sql.JoinStats
+			if hasJS {
+				jsBefore = js.JoinStats()
 			}
 			var memBefore runtime.MemStats
 			if hasCC {
@@ -288,6 +335,13 @@ func RunMicro(connector driver.Connector, suite []MicroQuery, ctx *QueryContext,
 				res.ShardFastPath = after.FastPathHits - ssBefore.FastPathHits
 				res.ShardHedgeFired = after.HedgeFired - ssBefore.HedgeFired
 				res.ShardHedgeWon = after.HedgeWon - ssBefore.HedgeWon
+				res.JoinPushdown = after.JoinPushdowns - ssBefore.JoinPushdowns
+			}
+			if hasJS && len(durations) > 0 {
+				after := js.JoinStats()
+				res.JoinStrategy = joinStrategyLabel(jsBefore, after)
+				res.PBSMCells = int(after.Cells - jsBefore.Cells)
+				res.DedupDrops = int(after.DedupDrops - jsBefore.DedupDrops)
 			}
 		}
 		results = append(results, res)
@@ -333,6 +387,7 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		AllocsPerOp:      -1, BytesPerOp: -1,
 		ShardPruneRate: -1,
 		WALFsyncs:      -1, DirtyPages: -1,
+		PBSMCells: -1, DedupDrops: -1,
 	}
 
 	// Feature probe: run one operation; an unsupported error marks the
@@ -367,6 +422,8 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 	var statsCC cacheCounterConn
 	var ssBefore driver.ShardStats
 	var statsSS shardStatsConn
+	var jsBefore sql.JoinStats
+	var statsJS joinStatsConn
 	if statsConn, err := connector.Connect(); err == nil {
 		if cc, ok := statsConn.(cacheCounterConn); ok {
 			statsCC = cc
@@ -376,7 +433,11 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 			statsSS = ss
 			ssBefore = ss.ShardStats()
 		}
-		if statsCC != nil || statsSS != nil {
+		if js, ok := statsConn.(joinStatsConn); ok {
+			statsJS = js
+			jsBefore = js.JoinStats()
+		}
+		if statsCC != nil || statsSS != nil || statsJS != nil {
 			defer statsConn.Close()
 		} else {
 			statsConn.Close()
@@ -471,6 +532,13 @@ func RunMacro(connector driver.Connector, sc MacroScenario, ctx *QueryContext, o
 		res.ShardFastPath = after.FastPathHits - ssBefore.FastPathHits
 		res.ShardHedgeFired = after.HedgeFired - ssBefore.HedgeFired
 		res.ShardHedgeWon = after.HedgeWon - ssBefore.HedgeWon
+		res.JoinPushdown = after.JoinPushdowns - ssBefore.JoinPushdowns
+	}
+	if statsJS != nil {
+		after := statsJS.JoinStats()
+		res.JoinStrategy = joinStrategyLabel(jsBefore, after)
+		res.PBSMCells = int(after.Cells - jsBefore.Cells)
+		res.DedupDrops = int(after.DedupDrops - jsBefore.DedupDrops)
 	}
 	return res
 }

@@ -85,6 +85,14 @@ type ShardStats struct {
 	// HedgeWon counts hedged requests whose reply arrived before the
 	// primary's.
 	HedgeWon int
+	// GatherBuilds counts transient gather engines built from scratch
+	// (schema + index creation). Repeat joins of the same table set at
+	// the same schema epoch reuse a cached engine and do not count.
+	GatherBuilds int
+	// JoinPushdowns counts co-partitioned spatial aggregate joins
+	// answered shard-local (partial-aggregate scatter plus a boundary
+	// complement) instead of through the gather engine.
+	JoinPushdowns int
 }
 
 // PruneRate is the fraction of potential shard queries avoided by
@@ -176,6 +184,12 @@ func (c *inProcConn) QueryContext(ctx context.Context, query string) (*ResultSet
 // lack it.
 func (c *inProcConn) CacheCounters() engine.CacheCounters {
 	return c.eng.CacheCounters()
+}
+
+// JoinStats is the optional spatial-join counter extension, detected by
+// interface assertion like CacheCounters; remote connections lack it.
+func (c *inProcConn) JoinStats() sql.JoinStats {
+	return c.eng.JoinStats()
 }
 
 // Close implements Conn.

@@ -72,6 +72,8 @@ type options struct {
 	batchSet     bool
 	batchSize    int
 	batchSizeSet bool
+	joinStrat    sql.JoinStrategy
+	joinStratSet bool
 }
 
 // WithStore backs the engine with a custom page store (e.g. a FileStore).
@@ -128,6 +130,13 @@ func WithBatchSize(n int) Option {
 	return func(o *options) { o.batchSize = n; o.batchSizeSet = true }
 }
 
+// WithJoinStrategy forces the spatial-join strategy: sql.JoinAuto
+// (cost-based, the default), sql.JoinINL (per-outer-row index probes)
+// or sql.JoinPBSM (partitioned sweep whenever structurally eligible).
+func WithJoinStrategy(s sql.JoinStrategy) Option {
+	return func(o *options) { o.joinStrat = s; o.joinStratSet = true }
+}
+
 // Open creates an engine with the given profile.
 func Open(profile Profile, opts ...Option) *Engine {
 	var o options
@@ -172,6 +181,9 @@ func Open(profile Profile, opts ...Option) *Engine {
 	}
 	if o.batchSizeSet {
 		e.runner.SetBatchSize(o.batchSize)
+	}
+	if o.joinStratSet {
+		e.runner.SetJoinStrategy(o.joinStrat)
 	}
 	return e
 }
@@ -233,6 +245,31 @@ func (e *Engine) BatchSize() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.runner.BatchSize()
+}
+
+// SetJoinStrategy changes the spatial-join strategy at runtime.
+func (e *Engine) SetJoinStrategy(s sql.JoinStrategy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runner.SetJoinStrategy(s)
+}
+
+// JoinStrategy reports the configured spatial-join strategy.
+func (e *Engine) JoinStrategy() sql.JoinStrategy {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.runner.JoinStrategy()
+}
+
+// JoinStats reports cumulative spatial-join activity: joins per
+// strategy, PBSM grid cells built, and reference-point dedup drops.
+func (e *Engine) JoinStats() sql.JoinStats {
+	return e.runner.JoinStats()
+}
+
+// ResetJoinStats zeroes the spatial-join counters.
+func (e *Engine) ResetJoinStats() {
+	e.runner.ResetJoinStats()
 }
 
 // BatchStats reports cumulative batch-execution activity: batches

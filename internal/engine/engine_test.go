@@ -193,8 +193,8 @@ func TestSpatialJoinIndexNestedLoop(t *testing.T) {
 	if len(res.Rows) != cnt {
 		t.Fatalf("join produced %d rows, want %d", len(res.Rows), cnt)
 	}
-	// The inner table must be driven by the spatial index.
-	if res.Access[1] != "l:spatial-index" {
+	// The inner table must be driven by the spatial index (INL strategy).
+	if res.Access[1] != "l:inl(index=geo)" {
 		t.Errorf("join access = %v", res.Access)
 	}
 }

@@ -33,7 +33,7 @@ func TestExplainShowsAccessPaths(t *testing.T) {
 
 	// Joins report one row per table.
 	res = e.MustExec("EXPLAIN SELECT c.id FROM cities c JOIN landmarks l ON ST_Contains(l.geo, c.loc)")
-	if len(res.Rows) != 2 || res.Rows[1][1].Text != "spatial-index" {
+	if len(res.Rows) != 2 || res.Rows[1][1].Text != "inl(index=geo)" {
 		t.Errorf("join explain = %v", res.Rows)
 	}
 

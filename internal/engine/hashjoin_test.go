@@ -42,7 +42,7 @@ func TestHashJoinChosenAndCorrect(t *testing.T) {
 	if len(res.Rows) != 200 {
 		t.Fatalf("join rows = %d, want 200", len(res.Rows))
 	}
-	if res.Access[1] != "p:hash-join" {
+	if res.Access[1] != "p:hash" {
 		t.Fatalf("access = %v, expected hash join on pets", res.Access)
 	}
 	// Every pet joins to exactly its owner.
@@ -54,7 +54,7 @@ func TestHashJoinChosenAndCorrect(t *testing.T) {
 	}
 	// Reversed equality sides must also use the hash path.
 	res = e.MustExec("SELECT COUNT(*) FROM owners o JOIN pets p ON o.oid = p.owner_id")
-	if res.Access[1] != "p:hash-join" || res.Rows[0][0].Int != 200 {
+	if res.Access[1] != "p:hash" || res.Rows[0][0].Int != 200 {
 		t.Errorf("reversed: access=%v count=%v", res.Access, res.Rows[0][0])
 	}
 }
@@ -70,7 +70,7 @@ func TestHashJoinMatchesNestedLoopSemantics(t *testing.T) {
 	if fmt.Sprint(a) != fmt.Sprint(b) {
 		t.Errorf("hash join %v != nested loop %v", a, b)
 	}
-	if nlRes.Access[1] == "p:hash-join" {
+	if nlRes.Access[1] == "p:hash" {
 		t.Errorf("computed-key join should not use the hash path: %v", nlRes.Access)
 	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"jackpine/internal/geom"
 	"jackpine/internal/index/btree"
@@ -20,10 +21,19 @@ type table struct {
 	gc       *storage.GeomCache // shared decoded-geometry cache; nil disables
 	geomCols map[string]int     // geometry column name -> offset; immutable after newTable
 
+	// version advances on every row mutation (and on rebuild, which
+	// renumbers ids); snapshot-style caches key their validity on it.
+	// Atomic, not mu-guarded: readers snapshot it lock-free.
+	version atomic.Uint64
+
 	mu      sync.RWMutex
 	spatial map[string]spatialIndex // column -> index
 	attr    []*attrIdx              // attribute indexes, composite-capable
+	stats   map[int]*geomColStats   // per-geometry-column join stats; nil = recompute lazily
 }
+
+// DataVersion implements sql.VersionedTable.
+func (t *table) DataVersion() uint64 { return t.version.Load() }
 
 // attrIdx is one attribute index: ordered columns with their offsets and
 // types, over a B+tree of concatenated component encodings.
@@ -125,6 +135,7 @@ func newTable(name string, cols []sql.Column, pool *storage.BufferPool, gc *stor
 			t.geomCols[c.Name] = i
 		}
 	}
+	t.initStatsLocked()
 	return t
 }
 
@@ -275,6 +286,7 @@ func (t *table) Insert(row []storage.Value) (sql.RowID, error) {
 	// storage layer ever recycles a slot, a stale cached geometry must
 	// not survive the new row.
 	t.invalidateGeomCache(rid)
+	t.version.Add(1)
 	id := sql.PackRowID(rid)
 	t.mu.Lock()
 	t.indexRowLocked(id, row, true)
@@ -292,8 +304,10 @@ func (t *table) invalidateGeomCache(rid storage.RecordID) {
 	}
 }
 
-// indexRowLocked adds (add=true) or removes the row from all indexes.
+// indexRowLocked adds (add=true) or removes the row from all indexes
+// and folds it into the per-column geometry statistics.
 func (t *table) indexRowLocked(id sql.RowID, row []storage.Value, add bool) {
+	t.noteGeomLocked(row, add)
 	for col, idx := range t.spatial {
 		off := t.geomCols[col]
 		v := row[off]
@@ -329,6 +343,7 @@ func (t *table) Delete(id sql.RowID) error {
 		return err
 	}
 	t.invalidateGeomCache(id.Unpack())
+	t.version.Add(1)
 	t.mu.Lock()
 	t.indexRowLocked(id, row, false)
 	t.mu.Unlock()
@@ -438,6 +453,7 @@ func (t *table) dropSpatialIndex(column string) bool {
 // geometry of this table is invalidated.
 func (t *table) rebuild(pool *storage.BufferPool, idxType IndexType, gridDim int) error {
 	t.gc.InvalidateTable(t.name)
+	t.version.Add(1) // record ids are renumbered below
 	fresh := storage.NewHeapFile(pool)
 	var innerErr error
 	err := t.heap.Scan(func(_ storage.RecordID, tuple []byte) bool {
@@ -467,6 +483,7 @@ func (t *table) rebuild(pool *storage.BufferPool, idxType IndexType, gridDim int
 	t.heap = fresh
 	t.spatial = make(map[string]spatialIndex)
 	t.attr = nil
+	t.stats = nil // recomputed lazily from the fresh heap on next use
 	t.mu.Unlock()
 	for _, col := range spatialCols {
 		if err := t.buildSpatialIndex(col, idxType, gridDim); err != nil {

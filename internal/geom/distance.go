@@ -29,6 +29,17 @@ func DWithin(a, b Geometry, d float64) bool {
 	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
 		return false
 	}
+	if d < 0 {
+		return false // distance is non-negative, so nothing is within
+	}
+	// Two points compare squared distances — the proximity-join hot
+	// shape — skipping the envelope detour and the hypot calls.
+	if pa, ok := a.(Point); ok {
+		if pb, ok := b.(Point); ok {
+			dx, dy := pa.X-pb.X, pa.Y-pb.Y
+			return dx*dx+dy*dy <= d*d
+		}
+	}
 	if a.Envelope().Distance(b.Envelope()) > d {
 		return false
 	}

@@ -18,19 +18,22 @@ import (
 // allocating decoders.
 var BatchAlloc = &Analyzer{
 	Name: "batchalloc",
-	Doc: "forbid per-element heap allocation inside batch-kernel loops in " +
-		"internal/sql and internal/storage: no make, no fresh slice built " +
-		"with append into a new variable, no allocating geometry decode " +
-		"(geom.UnmarshalWKB, geom.ParseWKT, geom.MustParseWKT); hoist " +
-		"buffers into batch/executor scratch state or use the arena decoder",
+	Doc: "forbid per-element heap allocation inside batch- and PBSM-" +
+		"sweep-kernel loops in internal/sql and internal/storage: no make, " +
+		"no fresh slice built with append into a new variable, no " +
+		"allocating geometry decode (geom.UnmarshalWKB, geom.ParseWKT, " +
+		"geom.MustParseWKT); hoist buffers into batch/executor scratch " +
+		"state or use the arena decoder",
 	Run: runBatchAlloc,
 }
 
 // batchFuncRE matches the batch-kernel naming convention. A function is
 // a batch kernel if its own name matches, or if it is a method on a
 // batch type (ColBatch, batchExec, ...), where the convention lives on
-// the receiver instead of every method name.
-var batchFuncRE = regexp.MustCompile(`(?i)batch`)
+// the receiver instead of every method name. The PBSM join's cell and
+// sweep kernels (sweepCell, buildPBSM, pbsmState methods, ...) run per
+// envelope pair and live under the same contract.
+var batchFuncRE = regexp.MustCompile(`(?i)(batch|sweep|pbsm)`)
 
 // batchDecodeBans are the allocating decode entry points; the arena
 // variant (UnmarshalWKBArena) is the sanctioned replacement and does

@@ -77,3 +77,49 @@ func perRowEval(rows [][]byte) {
 		_ = make([]byte, 1)
 	}
 }
+
+// pbsmState is a PBSM type: every method is a kernel via the receiver.
+type pbsmState struct {
+	ids []int64
+}
+
+// sweepCell is a kernel by name (the PBSM plane-sweep convention).
+func sweepCell(minX []float64, la, lb []int32) {
+	for _, a := range la {
+		for _, b := range lb {
+			pair := make([]int32, 2) // want `batch kernel sweepCell calls make inside its per-element loop`
+			pair[0], pair[1] = a, b
+			_ = minX[a]
+		}
+	}
+}
+
+// buildPBSM is a kernel by name: fresh per-cell slices are violations,
+// appends into pre-declared buffers are the sanctioned pattern.
+func buildPBSM(cells [][]int32) []int64 {
+	var out []int64
+	for _, c := range cells {
+		local := append([]int64(nil), int64(len(c))) // want `batch kernel buildPBSM builds a fresh slice with append inside its per-element loop`
+		_ = local
+		out = append(out, int64(len(c)))
+	}
+	return out
+}
+
+// linear is a kernel via the pbsmState receiver.
+func (st *pbsmState) linear(n int) []int64 {
+	var ids []int64
+	for i := 0; i < n; i++ {
+		ids = append(ids, st.ids[i%len(st.ids)])
+	}
+	return ids
+}
+
+// scanPBSMEmit shows the allow directive on rows that must escape.
+func scanPBSMEmit(rows [][]int64, emit func([]int64)) {
+	for _, r := range rows {
+		full := make([]int64, len(r)) //lint:allow batchalloc emitted rows escape the probe
+		copy(full, r)
+		emit(full)
+	}
+}

@@ -112,6 +112,14 @@ type Table interface {
 	RowCount() int
 }
 
+// VersionedTable is an optional Table extension: DataVersion advances
+// on every row mutation (and on physical renumbering), letting
+// executors cache table-derived state — the PBSM candidate index —
+// and invalidate it precisely instead of rebuilding per statement.
+type VersionedTable interface {
+	DataVersion() uint64
+}
+
 // BatchTable is the optional batch-at-a-time extension of Table. A
 // table that implements it can feed the vectorized executor whole
 // column batches instead of one row per callback; tables that do not
@@ -131,6 +139,40 @@ type BatchTable interface {
 	// selected) and materializes them per proj.Need. Used by the batch
 	// refinement stage of spatial-index scans.
 	FetchBatch(ids []RowID, proj Projection, b *storage.ColBatch) error
+}
+
+// GeomStats summarizes one geometry column for join planning: the union
+// envelope of every non-empty geometry, the count of rows carrying one,
+// and their mean envelope area. Maintained incrementally on insert (the
+// MBR never shrinks on delete) and recomputed on vacuum.
+type GeomStats struct {
+	MBR      geom.Rect
+	Rows     int
+	MeanArea float64
+}
+
+// StatsTable is the optional statistics extension of Table. Tables that
+// implement it let the planner cost index-nested-loop against
+// partition-based spatial-merge joins; tables that do not are planned
+// conservatively.
+type StatsTable interface {
+	Table
+	// GeomStatsOn returns statistics for the named geometry column, or
+	// ok=false when the column is unknown or stats are unavailable.
+	GeomStatsOn(column string) (GeomStats, bool)
+}
+
+// MBRTable is the optional decode-free envelope extension of Table.
+// Implementations stream every row's geometry envelope for one column
+// straight from the stored tuple (EnvelopeWKB header walk) without
+// materializing geometries — the PBSM join's build-side input. Rows
+// whose column is NULL, non-geometry, or empty are skipped, matching
+// the spatial-index and MBR-prefilter population.
+type MBRTable interface {
+	Table
+	// ScanMBR invokes fn with each row's envelope in heap (RowID) order,
+	// stopping when fn returns false.
+	ScanMBR(col int, fn func(id RowID, env geom.Rect) bool) error
 }
 
 // Catalog resolves table names and applies DDL. The engine implements it.

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"jackpine/internal/geom"
@@ -49,6 +50,38 @@ type Runner struct {
 	// filter cascade.
 	batchBatches atomic.Int64
 	batchRows    atomic.Int64
+
+	// Spatial-join strategy knob and activity counters.
+	joinStrategy JoinStrategy
+	joinINL      atomic.Int64
+	joinPBSM     atomic.Int64
+	pbsmCells    atomic.Int64
+	pbsmDedup    atomic.Int64
+	pbsmHits     atomic.Int64
+
+	// rowPool recycles emitted join tuples for sinks that never retain
+	// them (aggregation copies what it keeps); see pbsmSpec.reuseRows.
+	rowPool sync.Pool
+
+	// pbsmCache retains built sweep states across statements, keyed by
+	// join shape and validated against table data versions on every
+	// acquisition. Guarded by pbsmMu.
+	pbsmMu    sync.Mutex
+	pbsmCache map[pbsmKey]*pbsmEntry
+}
+
+// getRow leases a tuple buffer of at least the given width from the
+// pool; putRow returns it. Only plans whose sink provably copies
+// emitted rows (pbsmSpec.reuseRows) may recycle buffers this way.
+func (r *Runner) getRow(width int) []storage.Value {
+	if b, ok := r.rowPool.Get().(*[]storage.Value); ok && cap(*b) >= width {
+		return (*b)[:width]
+	}
+	return make([]storage.Value, width)
+}
+
+func (r *Runner) putRow(b []storage.Value) {
+	r.rowPool.Put(&b)
 }
 
 // NewRunner creates an executor over the catalog using the registry's
@@ -352,6 +385,19 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		}
 		stageFilters[stage] = append(stageFilters[stage], c)
 	}
+	// Spatial-predicate joins over exactly two tables may swap the
+	// per-outer-row index probe for a partitioned sweep (PBSM). Mutates
+	// paths[1] and, in fast-refine mode, stageFilters[1] — so it must
+	// run before the prep-spec and batch classification below.
+	if len(tables) == 2 {
+		r.planPBSM(scope, conjuncts, stageFilters, paths,
+			tables[0].tbl, tables[1].tbl, tables[1].lo, tables[1].hi)
+		if paths[1].kind == accessPBSM {
+			// The aggregation sink copies the rows it keeps, so the
+			// sweep's emit loops may recycle tuple buffers.
+			paths[1].pbsm.reuseRows = hasAgg
+		}
+	}
 	// Join stages: mark residual spatial predicates whose one side is
 	// fixed by the outer row, so each produce invocation prepares the
 	// outer geometry once instead of re-decomposing it per inner row.
@@ -429,6 +475,12 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 			for _, f := range stageFilters[i] {
 				markElse(f)
 			}
+			// A PBSM fast-refine conjunct was stripped from the stage
+			// filters but its outer geometry is still read by the probe;
+			// it must not be classified ephemeral.
+			if paths[i].kind == accessPBSM && paths[i].pbsm.refineFC != nil {
+				markElse(paths[i].pbsm.refineFC)
+			}
 		}
 		var eph []bool
 		for i := 0; i < tables[0].hi; i++ {
@@ -443,8 +495,10 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 	}
 
 	// Pipeline: scan stage 0, then for each join stage either index
-	// probe, hash probe or nested loop, applying stage filters.
+	// probe, hash probe, partitioned sweep or nested loop, applying
+	// stage filters.
 	hashBuilt := make([]map[string][][]storage.Value, len(tables))
+	pbsmBuilt := make([]*pbsmState, len(tables))
 	var produce func(stage int, prefix []storage.Value, emit emitFn) (bool, error)
 	// stageEmit wraps a downstream emit with this stage's residual
 	// filters and the chain into the next pipeline stage.
@@ -487,6 +541,10 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		if paths[stage].kind == accessHashJoin {
 			return r.scanHashJoin(bt.tbl, paths[stage], prefix, scope.Len(), bt.lo,
 				&hashBuilt[stage], emitRow)
+		}
+		if paths[stage].kind == accessPBSM {
+			return r.scanPBSM(bt.tbl, paths[stage], prefix, scope.Len(), bt.lo,
+				&pbsmBuilt[stage], emitRow)
 		}
 		return r.scanTable(bt.tbl, paths[stage], prefix, scope.Len(), bt.lo, emitRow)
 	}
@@ -537,6 +595,17 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 	labels := make([]string, len(tables))
 	for i := range tables {
 		labels[i] = paths[i].kind.String()
+		if i > 0 {
+			// Join stages surface their strategy, fastpath-label style.
+			switch paths[i].kind {
+			case accessPBSM:
+				labels[i] = fmt.Sprintf("pbsm(cells=%dx%d)", paths[i].pbsm.gx, paths[i].pbsm.gy)
+			case accessSpatialWindow:
+				labels[i] = fmt.Sprintf("inl(index=%s)", paths[i].idxCol)
+			case accessHashJoin:
+				labels[i] = "hash"
+			}
+		}
 		if i == 0 && workers > 1 {
 			labels[i] = fmt.Sprintf("parallel %s (%d workers)", labels[i], workers)
 		}
@@ -555,10 +624,18 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 		}
 		return res, nil
 	}
+	if len(tables) > 1 {
+		switch paths[1].kind {
+		case accessPBSM:
+			r.joinPBSM.Add(1)
+		case accessSpatialWindow:
+			r.joinINL.Add(1)
+		}
+	}
 
 	// Build the per-shard stage-0 runner for parallel plans. Hash-join
-	// build sides are materialized up front: the lazy build inside
-	// scanHashJoin would race once workers share it.
+	// and PBSM build sides are materialized up front: the lazy build
+	// inside the scan would race once workers share it.
 	var runShard shardFn
 	if workers > 1 {
 		for i := range tables {
@@ -568,6 +645,13 @@ func (r *Runner) execSelect(sel *Select, explainOnly bool) (*Result, error) {
 					return nil, err
 				}
 				hashBuilt[i] = built
+			}
+			if paths[i].kind == accessPBSM {
+				built, err := r.acquirePBSM(paths[i].pbsm, paths[i].need)
+				if err != nil {
+					return nil, err
+				}
+				pbsmBuilt[i] = built
 			}
 		}
 		var err error

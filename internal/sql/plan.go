@@ -17,6 +17,7 @@ const (
 	accessAttrRange
 	accessKNN
 	accessHashJoin
+	accessPBSM
 )
 
 // String names the access path (used by EXPLAIN-style reporting and
@@ -35,6 +36,8 @@ func (k accessKind) String() string {
 		return "knn"
 	case accessHashJoin:
 		return "hash-join"
+	case accessPBSM:
+		return "pbsm"
 	}
 	return "?"
 }
@@ -70,6 +73,14 @@ type accessPath struct {
 	// the outer probe expression.
 	hashCol  int
 	hashExpr Expr
+
+	// Partition-based spatial-merge joins: the grid/sweep build plan.
+	// windowExpr/expandExpr above double as the probe-side key source so
+	// the candidate map is keyed exactly like the INL window.
+	pbsm *pbsmSpec
+
+	// idxCol names the indexed column of spatial-window paths (EXPLAIN).
+	idxCol string
 
 	// need marks which table-relative columns the plan references; it is
 	// passed to ScanProject/FetchProject so unreferenced columns are
@@ -289,6 +300,7 @@ func trySpatialWindow(tbl Table, lo, hi int, scope *Scope, c Expr) (accessPath, 
 			kind:       accessSpatialWindow,
 			spatial:    idx,
 			windowExpr: probe,
+			idxCol:     scope.Column(col.Index).Name,
 		}
 		if isDWithin {
 			if !refsInRange(fc.Args[2], 0, lo) {

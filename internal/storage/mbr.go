@@ -1,0 +1,57 @@
+package storage
+
+import "jackpine/internal/geom"
+
+// MBRBuf collects row envelopes as flat structure-of-arrays slices —
+// the PBSM join's unit of exchange. Keeping ids and the four bound
+// coordinates in parallel []float64 slices lets the grid assignment and
+// plane-sweep kernels run as tight loops over contiguous memory with no
+// per-row indirection, matching the ColBatch envelope layout.
+//
+// An MBRBuf is single-owner scratch: callers Reset and refill it, and
+// the backing arrays grow monotonically across uses.
+type MBRBuf struct {
+	IDs                    []int64
+	MinX, MinY, MaxX, MaxY []float64
+}
+
+// Len returns the number of collected envelopes.
+func (b *MBRBuf) Len() int { return len(b.IDs) }
+
+// Append records one envelope.
+func (b *MBRBuf) Append(id int64, minX, minY, maxX, maxY float64) {
+	b.IDs = append(b.IDs, id)
+	b.MinX = append(b.MinX, minX)
+	b.MinY = append(b.MinY, minY)
+	b.MaxX = append(b.MaxX, maxX)
+	b.MaxY = append(b.MaxY, maxY)
+}
+
+// Reset empties the buffer, keeping capacity.
+func (b *MBRBuf) Reset() {
+	b.IDs = b.IDs[:0]
+	b.MinX = b.MinX[:0]
+	b.MinY = b.MinY[:0]
+	b.MaxX = b.MaxX[:0]
+	b.MaxY = b.MaxY[:0]
+}
+
+// Bounds returns the union envelope of every collected rectangle.
+func (b *MBRBuf) Bounds() geom.Rect {
+	r := geom.EmptyRect()
+	for i := range b.IDs {
+		if b.MinX[i] < r.MinX {
+			r.MinX = b.MinX[i]
+		}
+		if b.MinY[i] < r.MinY {
+			r.MinY = b.MinY[i]
+		}
+		if b.MaxX[i] > r.MaxX {
+			r.MaxX = b.MaxX[i]
+		}
+		if b.MaxY[i] > r.MaxY {
+			r.MaxY = b.MaxY[i]
+		}
+	}
+	return r
+}

@@ -34,6 +34,7 @@ import (
 	"jackpine/internal/driver"
 	"jackpine/internal/engine"
 	"jackpine/internal/experiments"
+	"jackpine/internal/sql"
 	"jackpine/internal/sqldriver"
 	"jackpine/internal/storage/wal"
 	"jackpine/internal/tiger"
@@ -145,6 +146,28 @@ func WithBatchExec(enabled bool) engine.Option { return engine.WithBatchExec(ena
 // WithBatchSize overrides the number of row slots per column batch
 // (<= 0 means the default, 256).
 func WithBatchSize(n int) engine.Option { return engine.WithBatchSize(n) }
+
+// JoinStrategy selects how two-table spatial joins execute: JoinAuto
+// (cost-based), JoinINL (per-outer-row index probes), or JoinPBSM
+// (partition-based spatial-merge: grid partitioning + plane sweep).
+type JoinStrategy = sql.JoinStrategy
+
+// Spatial-join strategies (see JoinStrategy).
+const (
+	JoinAuto = sql.JoinAuto
+	JoinINL  = sql.JoinINL
+	JoinPBSM = sql.JoinPBSM
+)
+
+// WithJoinStrategy forces the spatial-join strategy. The default,
+// JoinAuto, costs index-nested-loop against the partitioned sweep from
+// table statistics per statement. See also Engine.SetJoinStrategy.
+func WithJoinStrategy(s JoinStrategy) engine.Option { return engine.WithJoinStrategy(s) }
+
+// JoinStats aliases the cumulative spatial-join counters reported by
+// Engine.JoinStats: joins per strategy, PBSM grid cells, and duplicate
+// candidate pairs suppressed by the reference-point rule.
+type JoinStats = sql.JoinStats
 
 // Stmt aliases a prepared statement (see Engine.Prepare).
 type Stmt = engine.Stmt
@@ -260,7 +283,7 @@ func AnalysisSuite() []MicroQuery { return core.AnalysisSuite() }
 // MicroSuite returns both micro suites.
 func MicroSuite() []MicroQuery { return core.MicroSuite() }
 
-// MacroSuite returns the six macro workload scenarios (MS1–MS6).
+// MacroSuite returns the seven macro workload scenarios (MS1–MS7).
 func MacroSuite() []MacroScenario { return core.MacroSuite() }
 
 // DefaultOptions returns the workload-runner defaults.

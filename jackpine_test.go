@@ -47,7 +47,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	macro := RunMacroSuite(Connect(eng), ctx, Options{Warmup: 0, Runs: 1})
-	if len(macro) != 6 {
+	if len(macro) != 7 {
 		t.Fatalf("macro results = %d", len(macro))
 	}
 	for _, r := range macro {
